@@ -1,0 +1,76 @@
+// Extension — noise-to-scale extrapolation (the paper's stated future work:
+// "quantify how our findings affect the scalability of those applications on
+// large machines with hundreds of thousands of cores").
+//
+// For each application, resample the measured per-event noise stream into a
+// bulk-synchronous model and estimate the expected slowdown as a function of
+// rank count (E[max over ranks of per-window noise] / granularity). The
+// qualitative predictions this regenerates:
+//   * fine-grained (1 ms) applications suffer far more than coarse (100 ms);
+//   * applications with heavy-tailed noise (AMG's 69 ms faults, LAMMPS's
+//     long rpciod preemptions) degrade fastest — rare events become
+//     per-iteration events at scale (Petrini et al.'s resonance).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "noise/scalability.hpp"
+
+int main() {
+  using namespace osn;
+  bench::print_header("Extension", "noise extrapolation to scale (paper §VI future work)");
+
+  const std::vector<std::uint64_t> scales = {1, 8, 64, 512, 4096, 32768};
+  std::string csv = "app,granularity_ms,ranks,slowdown,efficiency\n";
+
+  for (std::size_t i = 0; i < workloads::kSequoiaAppCount; ++i) {
+    const auto app = static_cast<workloads::SequoiaApp>(i);
+    const trace::TraceModel model = bench::sequoia_trace(app);
+    noise::NoiseAnalysis analysis(model);
+    const noise::NoiseProfile profile = noise::NoiseProfile::from_analysis(analysis);
+
+    std::printf("%s — %.0f noise events/s/rank, mean %s, %.3f%% of rank time\n",
+                workloads::app_name(app).c_str(), profile.events_per_sec,
+                fmt_duration(static_cast<DurNs>(profile.mean_duration_ns)).c_str(),
+                100.0 * profile.noise_fraction);
+
+    for (const DurNs granularity : {1 * kNsPerMs, 100 * kNsPerMs}) {
+      noise::ScalabilityParams params;
+      params.granularity = granularity;
+      params.iterations = granularity >= 100 * kNsPerMs ? 60u : 200u;
+      const auto points = noise::extrapolate_scalability(profile, scales, params);
+      std::printf("  granularity %-8s efficiency:", fmt_duration(granularity).c_str());
+      for (const auto& p : points) {
+        std::printf("  %llu:%0.3f", static_cast<unsigned long long>(p.ranks),
+                    p.efficiency);
+        csv += workloads::app_name(app) + "," +
+               fmt_fixed(static_cast<double>(granularity) / 1e6, 0) + "," +
+               std::to_string(p.ranks) + "," + fmt_fixed(p.slowdown, 4) + "," +
+               fmt_fixed(p.efficiency, 4) + "\n";
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+
+  // Shape checks on one representative app (AMG, heavy-tailed faults).
+  const trace::TraceModel amg_model = bench::sequoia_trace(workloads::SequoiaApp::kAmg);
+  noise::NoiseAnalysis amg(amg_model);
+  const auto profile = noise::NoiseProfile::from_analysis(amg);
+  noise::ScalabilityParams fine, coarse;
+  fine.granularity = 1 * kNsPerMs;
+  fine.iterations = 200;
+  coarse.granularity = 100 * kNsPerMs;
+  coarse.iterations = 60;
+  const auto fine_pts = noise::extrapolate_scalability(profile, {1, 32768}, fine);
+  const auto coarse_pts = noise::extrapolate_scalability(profile, {1, 32768}, coarse);
+
+  bench::check(fine_pts[1].slowdown > fine_pts[0].slowdown * 1.5,
+               "slowdown amplifies with rank count (order statistics of noise)");
+  const double fine_loss = fine_pts[1].slowdown - 1.0;
+  const double coarse_loss = coarse_pts[1].slowdown - 1.0;
+  bench::check(fine_loss > 2.0 * coarse_loss,
+               "fine-grained applications suffer disproportionately "
+               "(high-frequency noise resonance)");
+  bench::write_output("ext_scalability.csv", csv);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation — tick frequency. §IV-E: "In our test machine we set the
+// frequency of this periodic high resolution timer to the lowest possible
+// ... so to minimize the effect of the periodic timer interrupt." This
+// bench quantifies what that choice buys: the same SPHOT run (the most
+// periodic-noise-sensitive application) at 100 Hz vs 250 Hz vs 1000 Hz.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "export/ascii.hpp"
+
+int main() {
+  using namespace osn;
+  bench::print_header("Ablation", "periodic tick frequency (100 Hz vs 1 kHz)");
+
+  TextTable table({"tick", "timer irq freq", "periodic noise/rank", "total noise/rank",
+                   "periodic share"});
+  std::vector<double> periodic_per_rank;
+  for (const DurNs tick : {10 * kNsPerMs, 4 * kNsPerMs, 1 * kNsPerMs}) {
+    workloads::SequoiaWorkload wl(workloads::SequoiaApp::kSphot, sec(6));
+    wl.set_tick_period(tick);
+    std::fprintf(stderr, "[run]   SPHOT at %s tick...\n", fmt_duration(tick).c_str());
+    const workloads::RunResult run = workloads::run_workload(wl, bench::bench_seed());
+    noise::NoiseAnalysis analysis(run.trace);
+
+    const auto bd = analysis.category_breakdown_all();
+    DurNs total = 0;
+    for (std::size_t c = 0; c < bd.size(); ++c) {
+      if (c == static_cast<std::size_t>(noise::NoiseCategory::kRequestedService))
+        continue;
+      total += bd[c];
+    }
+    const DurNs periodic =
+        bd[static_cast<std::size_t>(noise::NoiseCategory::kPeriodic)];
+    const double ranks = static_cast<double>(run.trace.app_pids().size());
+    const double dur_sec =
+        static_cast<double>(run.trace.duration()) / static_cast<double>(kNsPerSec);
+    periodic_per_rank.push_back(static_cast<double>(periodic) / ranks / dur_sec);
+
+    const auto irq = analysis.activity_stats(noise::ActivityKind::kTimerIrq);
+    table.add_row({fmt_duration(tick), fmt_fixed(irq.freq_ev_per_sec, 0) + " ev/s",
+                   fmt_duration(static_cast<DurNs>(periodic_per_rank.back())) + "/s",
+                   fmt_duration(static_cast<DurNs>(
+                       static_cast<double>(total) / ranks / dur_sec)) +
+                       "/s",
+                   fmt_percent(static_cast<double>(periodic) /
+                               static_cast<double>(std::max<DurNs>(total, 1)))});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  bench::check(periodic_per_rank[2] > 5.0 * periodic_per_rank[0],
+               "1 kHz tick multiplies periodic noise ~10x over 100 Hz — the paper's "
+               "lowest-frequency setting is justified");
+  std::printf("\n(The paper's CNK/lightweight-kernel comparison point: removing the\n"
+              "periodic tick entirely is why LWKs show near-zero periodic noise.)\n");
+  return 0;
+}

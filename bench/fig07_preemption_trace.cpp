@@ -1,0 +1,70 @@
+// Figure 7 — Process preemption experienced by LAMMPS.
+//
+// "We filtered out all events but process preemptions (green) ... it is
+// clear that LAMMPS suffers many frequent preemptions", caused by rpciod
+// handling its NFS traffic.
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+#include "export/ascii.hpp"
+
+int main() {
+  using namespace osn;
+  bench::print_header("Figure 7", "process preemptions experienced by LAMMPS");
+
+  const trace::TraceModel model = bench::sequoia_trace(workloads::SequoiaApp::kLammps);
+  noise::NoiseAnalysis analysis(model);
+
+  std::printf("LAMMPS full run, preemptions only ('X'):\n%s\n",
+              exporter::render_timeline(analysis, 0, model.duration(), 110,
+                                        noise::NoiseCategory::kPreemption)
+                  .c_str());
+
+  // Who preempts, how often, for how long.
+  std::map<std::string, std::pair<std::uint64_t, DurNs>> by_preemptor;
+  std::size_t count = 0;
+  DurNs total = 0;
+  for (const auto& iv : analysis.noise_intervals()) {
+    if (iv.kind != noise::ActivityKind::kPreemption) continue;
+    auto& [c, t] = by_preemptor[model.task_name(static_cast<Pid>(iv.detail))];
+    ++c;
+    t += iv.self;
+    ++count;
+    total += iv.self;
+  }
+  const double per_rank_per_sec =
+      static_cast<double>(count) /
+      (static_cast<double>(model.duration()) / static_cast<double>(kNsPerSec)) /
+      static_cast<double>(model.app_pids().size());
+  std::printf("preemptions: %zu total (%.1f per rank per second), %s of rank time\n",
+              count, per_rank_per_sec, fmt_duration(total).c_str());
+  std::printf("by preempting task:\n");
+  DurNs rpciod_time = 0;
+  for (const auto& [name, ct] : by_preemptor) {
+    std::printf("  %-12s %6llu events  %10s total  (avg %s)\n", name.c_str(),
+                static_cast<unsigned long long>(ct.first),
+                fmt_duration(ct.second).c_str(),
+                fmt_duration(ct.second / std::max<std::uint64_t>(1, ct.first)).c_str());
+    if (name == "rpciod") rpciod_time = ct.second;
+  }
+  std::printf("\n");
+
+  bench::check(per_rank_per_sec > 1.0, "LAMMPS suffers frequent preemptions (Fig 7)");
+  bench::check(rpciod_time * 2 > total,
+               "rpciod causes most preemption time (\"the applications were "
+               "interrupted particularly by rpciod\")");
+  const auto bd = analysis.category_breakdown_all();
+  DurNs all = 0;
+  for (std::size_t c = 0; c < bd.size(); ++c) {
+    if (c == static_cast<std::size_t>(noise::NoiseCategory::kRequestedService)) continue;
+    all += bd[c];
+  }
+  const double preempt_share =
+      static_cast<double>(bd[static_cast<std::size_t>(noise::NoiseCategory::kPreemption)]) /
+      static_cast<double>(std::max<DurNs>(all, 1));
+  bench::check(preempt_share > 0.6,
+               "preemption dominates LAMMPS noise (paper: 80.2%; measured " +
+                   fmt_percent(preempt_share) + ")");
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Table I — Page fault statistics per Sequoia application.
+#include "table_common.hpp"
+
+int main() {
+  using namespace osn;
+  bench::TableSpec spec;
+  spec.artifact = "Table I";
+  spec.description = "Page fault statistics";
+  spec.kind = noise::ActivityKind::kPageFault;
+  spec.row = [](const workloads::PaperAppData& d) -> const workloads::PaperEventRow& {
+    return d.page_fault;
+  };
+  spec.freq_tolerance = 0.25;
+  spec.avg_tolerance = 0.20;
+  return bench::run_table(spec);
+}

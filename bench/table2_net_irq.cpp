@@ -1,0 +1,16 @@
+// Table II — Network interrupt events frequency and duration.
+#include "table_common.hpp"
+
+int main() {
+  using namespace osn;
+  bench::TableSpec spec;
+  spec.artifact = "Table II";
+  spec.description = "Network interrupt events frequency and duration";
+  spec.kind = noise::ActivityKind::kNetIrq;
+  spec.row = [](const workloads::PaperAppData& d) -> const workloads::PaperEventRow& {
+    return d.net_irq;
+  };
+  spec.freq_tolerance = 0.40;
+  spec.avg_tolerance = 0.30;
+  return bench::run_table(spec);
+}

@@ -1,0 +1,16 @@
+// Table III — net_rx_action frequency and duration (synchronous receive).
+#include "table_common.hpp"
+
+int main() {
+  using namespace osn;
+  bench::TableSpec spec;
+  spec.artifact = "Table III";
+  spec.description = "net_rx_action frequency and duration";
+  spec.kind = noise::ActivityKind::kNetRxTasklet;
+  spec.row = [](const workloads::PaperAppData& d) -> const workloads::PaperEventRow& {
+    return d.net_rx;
+  };
+  spec.freq_tolerance = 0.40;
+  spec.avg_tolerance = 0.30;
+  return bench::run_table(spec);
+}

@@ -1,0 +1,16 @@
+// Table IV — net_tx_action frequency and duration (asynchronous DMA kick).
+#include "table_common.hpp"
+
+int main() {
+  using namespace osn;
+  bench::TableSpec spec;
+  spec.artifact = "Table IV";
+  spec.description = "net_tx_action frequency and duration";
+  spec.kind = noise::ActivityKind::kNetTxTasklet;
+  spec.row = [](const workloads::PaperAppData& d) -> const workloads::PaperEventRow& {
+    return d.net_tx;
+  };
+  spec.freq_tolerance = 0.45;
+  spec.avg_tolerance = 0.30;
+  return bench::run_table(spec);
+}

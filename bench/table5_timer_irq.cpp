@@ -1,0 +1,16 @@
+// Table V — Timer interrupt statistics (exactly 100 ev/sec per CPU).
+#include "table_common.hpp"
+
+int main() {
+  using namespace osn;
+  bench::TableSpec spec;
+  spec.artifact = "Table V";
+  spec.description = "Timer interrupt statistics";
+  spec.kind = noise::ActivityKind::kTimerIrq;
+  spec.row = [](const workloads::PaperAppData& d) -> const workloads::PaperEventRow& {
+    return d.timer_irq;
+  };
+  spec.freq_tolerance = 0.03;
+  spec.avg_tolerance = 0.10;
+  return bench::run_table(spec);
+}

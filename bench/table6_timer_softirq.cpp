@@ -1,0 +1,16 @@
+// Table VI — run_timer_softirq statistics (the tick's "bottom half").
+#include "table_common.hpp"
+
+int main() {
+  using namespace osn;
+  bench::TableSpec spec;
+  spec.artifact = "Table VI";
+  spec.description = "run_timer_softirq statistics";
+  spec.kind = noise::ActivityKind::kTimerSoftirq;
+  spec.row = [](const workloads::PaperAppData& d) -> const workloads::PaperEventRow& {
+    return d.timer_softirq;
+  };
+  spec.freq_tolerance = 0.03;
+  spec.avg_tolerance = 0.12;
+  return bench::run_table(spec);
+}

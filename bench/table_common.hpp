@@ -1,0 +1,68 @@
+// Shared driver for the Table I-VI benches: run every Sequoia application,
+// compute the per-activity statistics, and print them beside the paper's
+// rows in the paper's own format (freq ev/sec, avg/max/min nsec).
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <string>
+
+#include "bench_common.hpp"
+
+namespace osn::bench {
+
+struct TableSpec {
+  std::string artifact;     ///< "Table I"
+  std::string description;  ///< "Page fault statistics"
+  noise::ActivityKind kind;
+  std::function<const workloads::PaperEventRow&(const workloads::PaperAppData&)> row;
+  double freq_tolerance = 0.35;  ///< relative deviation allowed on freq
+  double avg_tolerance = 0.25;   ///< relative deviation allowed on avg
+};
+
+inline int run_table(const TableSpec& spec) {
+  print_header(spec.artifact, spec.description);
+
+  TextTable table({"", "freq(ev/sec)", "avg(nsec)", "max(nsec)", "min(nsec)"});
+  double worst_freq = 0, worst_avg = 0;
+  std::string csv = "app,freq,avg_ns,max_ns,min_ns,paper_freq,paper_avg\n";
+
+  for (std::size_t i = 0; i < workloads::kSequoiaAppCount; ++i) {
+    const auto app = static_cast<workloads::SequoiaApp>(i);
+    const trace::TraceModel model = sequoia_trace(app);
+    noise::NoiseAnalysis analysis(model);
+    const auto& paper = workloads::paper_data(app);
+    const workloads::PaperEventRow& paper_row = spec.row(paper);
+    const noise::EventStats measured = analysis.activity_stats(spec.kind);
+    add_compare_rows(table, paper.name, paper_row, measured);
+
+    if (paper_row.freq > 0)
+      worst_freq = std::max(
+          worst_freq, std::abs(measured.freq_ev_per_sec - paper_row.freq) /
+                          paper_row.freq);
+    if (paper_row.avg_ns > 0)
+      worst_avg = std::max(worst_avg,
+                           std::abs(measured.avg_ns - paper_row.avg_ns) /
+                               paper_row.avg_ns);
+    csv += paper.name + "," + fmt_fixed(measured.freq_ev_per_sec, 2) + "," +
+           fmt_fixed(measured.avg_ns, 1) + "," + std::to_string(measured.max_ns) + "," +
+           std::to_string(measured.min_ns) + "," + fmt_fixed(paper_row.freq, 0) + "," +
+           fmt_fixed(paper_row.avg_ns, 0) + "\n";
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  check(worst_freq < spec.freq_tolerance,
+        "frequencies within " + fmt_percent(spec.freq_tolerance, 0) +
+            " of the paper (worst " + fmt_percent(worst_freq) + ")");
+  check(worst_avg < spec.avg_tolerance,
+        "averages within " + fmt_percent(spec.avg_tolerance, 0) +
+            " of the paper (worst " + fmt_percent(worst_avg) + ")");
+
+  std::string file = spec.artifact;
+  for (char& c : file)
+    if (c == ' ') c = '_';
+  write_output(file + ".csv", csv);
+  return 0;
+}
+
+}  // namespace osn::bench

@@ -1,0 +1,126 @@
+// sequoia_study: the paper's §IV case study on one application — run a
+// simulated Sequoia benchmark, apply the noise analysis, and print the
+// per-activity statistics (Tables I-VI format), the noise breakdown (Fig 3),
+// and paper-vs-measured comparisons.
+//
+//   usage: sequoia_study [amg|irs|lammps|sphot|umt] [seconds] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "export/ascii.hpp"
+#include "noise/analysis.hpp"
+#include "workloads/calibration.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+void print_row(osn::TextTable& table, const std::string& label,
+               const osn::workloads::PaperEventRow& paper,
+               const osn::noise::EventStats& measured) {
+  using osn::fmt_fixed;
+  table.add_row({label + " (paper)", fmt_fixed(paper.freq, 0),
+                 osn::with_commas(static_cast<std::uint64_t>(paper.avg_ns)),
+                 osn::with_commas(static_cast<std::uint64_t>(paper.max_ns)),
+                 osn::with_commas(static_cast<std::uint64_t>(paper.min_ns))});
+  table.add_row({label + " (measured)", fmt_fixed(measured.freq_ev_per_sec, 0),
+                 osn::with_commas(static_cast<std::uint64_t>(measured.avg_ns)),
+                 osn::with_commas(measured.max_ns), osn::with_commas(measured.min_ns)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace osn;
+  using workloads::SequoiaApp;
+
+  const std::map<std::string, SequoiaApp> apps = {{"amg", SequoiaApp::kAmg},
+                                                  {"irs", SequoiaApp::kIrs},
+                                                  {"lammps", SequoiaApp::kLammps},
+                                                  {"sphot", SequoiaApp::kSphot},
+                                                  {"umt", SequoiaApp::kUmt}};
+  const std::string which = argc > 1 ? argv[1] : "amg";
+  auto it = apps.find(which);
+  if (it == apps.end()) {
+    std::fprintf(stderr, "usage: %s [amg|irs|lammps|sphot|umt] [seconds] [seed]\n",
+                 argv[0]);
+    return 1;
+  }
+  const auto seconds = static_cast<std::uint64_t>(argc > 2 ? std::atoll(argv[2]) : 5);
+  const auto seed = static_cast<std::uint64_t>(argc > 3 ? std::atoll(argv[3]) : 1);
+
+  workloads::SequoiaWorkload wl(it->second, sec(seconds));
+  std::printf("running %s for %llus of simulated time...\n", wl.name().c_str(),
+              static_cast<unsigned long long>(seconds));
+  workloads::RunResult run = workloads::run_workload(wl, seed);
+  std::printf("traced %zu events over %s\n\n", run.trace.total_events(),
+              fmt_duration(run.trace.duration()).c_str());
+
+  noise::NoiseAnalysis analysis(run.trace);
+  const workloads::PaperAppData& paper = workloads::paper_data(it->second);
+
+  TextTable table({"activity", "freq(ev/sec)", "avg(nsec)", "max(nsec)", "min(nsec)"});
+  print_row(table, "page_fault", paper.page_fault,
+            analysis.activity_stats(noise::ActivityKind::kPageFault));
+  print_row(table, "net_irq", paper.net_irq,
+            analysis.activity_stats(noise::ActivityKind::kNetIrq));
+  print_row(table, "net_rx_action", paper.net_rx,
+            analysis.activity_stats(noise::ActivityKind::kNetRxTasklet));
+  print_row(table, "net_tx_action", paper.net_tx,
+            analysis.activity_stats(noise::ActivityKind::kNetTxTasklet));
+  print_row(table, "timer_irq", paper.timer_irq,
+            analysis.activity_stats(noise::ActivityKind::kTimerIrq));
+  print_row(table, "run_timer_softirq", paper.timer_softirq,
+            analysis.activity_stats(noise::ActivityKind::kTimerSoftirq));
+  std::printf("%s\n", table.render().c_str());
+
+  // Activities the paper discusses without a numeric table (Figs 6, 7, §IV-C).
+  TextTable extra({"activity", "freq(ev/sec)", "avg(nsec)", "max(nsec)", "min(nsec)"});
+  for (const auto kind :
+       {noise::ActivityKind::kPreemption, noise::ActivityKind::kSchedule,
+        noise::ActivityKind::kRebalanceSoftirq}) {
+    const noise::EventStats s = analysis.activity_stats(kind);
+    extra.add_row({std::string(noise::activity_name(kind)),
+                   fmt_fixed(s.freq_ev_per_sec, 1),
+                   with_commas(static_cast<std::uint64_t>(s.avg_ns)),
+                   with_commas(s.max_ns), with_commas(s.min_ns)});
+  }
+  std::printf("%s\n", extra.render().c_str());
+
+  // Who preempts the ranks (the paper: "interrupted particularly by rpciod").
+  std::map<std::string, std::pair<std::uint64_t, DurNs>> preemptors;
+  for (const auto& iv : analysis.noise_intervals()) {
+    if (iv.kind != noise::ActivityKind::kPreemption) continue;
+    auto& [count, total] = preemptors[run.trace.task_name(static_cast<Pid>(iv.detail))];
+    ++count;
+    total += iv.self;
+  }
+  std::printf("preempting tasks:\n");
+  for (const auto& [name, ct] : preemptors)
+    std::printf("  %-14s %6llu events  %s total\n", name.c_str(),
+                static_cast<unsigned long long>(ct.first),
+                fmt_duration(ct.second).c_str());
+  std::printf("\n");
+
+  const auto breakdown = analysis.category_breakdown_all();
+  std::printf("noise breakdown (measured):\n%s",
+              exporter::render_breakdown_row(wl.name(), breakdown).c_str());
+  std::printf(
+      "noise breakdown (paper)   : periodic=%.1f%% page fault=%.1f%% scheduling=%.1f%% "
+      "preemption=%.1f%% I/O=%.1f%%\n",
+      paper.pct_periodic, paper.pct_page_fault, paper.pct_scheduling,
+      paper.pct_preemption, paper.pct_io);
+
+  DurNs total = 0;
+  for (Pid pid : run.trace.app_pids()) total += analysis.total_noise(pid);
+  const double pct = static_cast<double>(total) /
+                     (static_cast<double>(run.trace.duration()) *
+                      static_cast<double>(run.trace.app_pids().size())) *
+                     100.0;
+  std::printf("\ntotal noise: %s across %zu ranks (%.3f%% of compute time)\n",
+              fmt_duration(total).c_str(), run.trace.app_pids().size(), pct);
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Lightweight contract checking used across the library.
+//
+// OSN_ASSERT is compiled in all build types: the simulator's correctness
+// depends on invariants (event ordering, frame-stack discipline, interval
+// nesting) whose violation would silently corrupt the statistics the paper's
+// methodology is built on, so we prefer a loud abort over a wrong table.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace osn {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "osn: assertion failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace osn
+
+#define OSN_ASSERT(expr)                                           \
+  do {                                                             \
+    if (!(expr)) ::osn::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define OSN_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) ::osn::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,50 @@
+#include "common/format.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace osn {
+
+std::string with_commas(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  std::size_t lead = digits.size() % 3;
+  if (lead == 0) lead = 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i + 3 - lead) % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string fmt_fixed(double v, int prec) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f", prec, v);
+  return std::string(buf.data());
+}
+
+std::string fmt_duration(DurNs v) {
+  const auto d = static_cast<double>(v);
+  if (v < 1'000) return std::to_string(v) + " ns";
+  if (v < 1'000'000) return fmt_fixed(d / 1e3, 2) + " us";
+  if (v < 1'000'000'000) return fmt_fixed(d / 1e6, 2) + " ms";
+  return fmt_fixed(d / 1e9, 2) + " s";
+}
+
+std::string fmt_percent(double fraction, int prec) {
+  return fmt_fixed(fraction * 100.0, prec) + "%";
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+}  // namespace osn

@@ -1,0 +1,29 @@
+// Human-readable formatting of times, rates and percentages.
+//
+// The bench binaries reproduce the paper's tables, which mix units (ev/sec,
+// nsec, usec, percent); these helpers keep that presentation consistent.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace osn {
+
+/// "4,380" style thousands separation, as used in the paper's tables.
+std::string with_commas(std::uint64_t v);
+
+/// Adaptive duration: "250 ns", "4.38 us", "69.40 ms", "2.10 s".
+std::string fmt_duration(DurNs ns);
+
+/// Fixed-point with `prec` decimals, e.g. fmt_fixed(82.43, 1) == "82.4".
+std::string fmt_fixed(double v, int prec);
+
+/// "82.4%" convenience.
+std::string fmt_percent(double fraction, int prec = 1);
+
+/// Left/right pad to a width (spaces). Strings longer than width pass through.
+std::string pad_left(const std::string& s, std::size_t width);
+std::string pad_right(const std::string& s, std::size_t width);
+
+}  // namespace osn

@@ -1,0 +1,28 @@
+#include "common/rng.hpp"
+
+namespace osn {
+
+std::uint64_t Xoshiro256::bounded(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  // Lemire's nearly-divisionless method, 64-bit variant.
+  std::uint64_t x = next();
+  unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t t = (0 - bound) % bound;
+    while (l < t) {
+      x = next();
+      m = static_cast<unsigned __int128>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+Xoshiro256 Xoshiro256::split() {
+  // Mix the parent's output through SplitMix64 to seed the child; the parent
+  // advances, so repeated splits give distinct streams.
+  return Xoshiro256(SplitMix64(next()).next());
+}
+
+}  // namespace osn

@@ -1,0 +1,45 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/format.hpp"
+
+namespace osn {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  OSN_ASSERT_MSG(!headers_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  OSN_ASSERT_MSG(cells.size() == headers_.size(), "row width != header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) line += "  ";
+      line += (c == 0) ? pad_right(row[c], widths[c]) : pad_left(row[c], widths[c]);
+    }
+    // Trim trailing spaces from left-aligned last columns.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+
+  std::string out = emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c != 0 ? 2 : 0);
+  out += std::string(total, '-') + "\n";
+  for (const auto& row : rows_) out += emit_row(row);
+  return out;
+}
+
+}  // namespace osn

@@ -1,0 +1,29 @@
+// Minimal text-table renderer for the benchmark binaries.
+//
+// Every table in the paper (Tables I-VI) is reprinted by a bench target; this
+// keeps the rendering in one place so all outputs align the same way.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace osn {
+
+class TextTable {
+ public:
+  /// Column headers; fixes the column count for all subsequent rows.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds a data row. Must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header separator; first column left-aligned, the rest
+  /// right-aligned (numeric convention).
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace osn

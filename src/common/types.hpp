@@ -1,0 +1,42 @@
+// Fundamental identifier and time types shared by every module.
+//
+// All simulated and traced time is expressed in integer nanoseconds since
+// "boot" of the simulated node (or since tracer start in host mode). The
+// paper's tooling relies on the CPU timestamp counter for nanosecond
+// granularity; an unsigned 64-bit nanosecond counter covers ~584 years and
+// never needs floating point until presentation time.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace osn {
+
+/// Absolute time in nanoseconds since trace origin.
+using TimeNs = std::uint64_t;
+/// Signed time difference / duration in nanoseconds.
+using DurNs = std::uint64_t;
+
+inline constexpr TimeNs kTimeInfinity = std::numeric_limits<TimeNs>::max();
+
+inline constexpr DurNs kNsPerUs = 1'000;
+inline constexpr DurNs kNsPerMs = 1'000'000;
+inline constexpr DurNs kNsPerSec = 1'000'000'000;
+
+constexpr TimeNs us(std::uint64_t v) { return v * kNsPerUs; }
+constexpr TimeNs ms(std::uint64_t v) { return v * kNsPerMs; }
+constexpr TimeNs sec(std::uint64_t v) { return v * kNsPerSec; }
+
+/// Logical CPU index on the simulated node.
+using CpuId = std::uint16_t;
+/// Process/task identifier. 0 is reserved for the per-CPU idle task.
+using Pid = std::uint32_t;
+
+inline constexpr Pid kIdlePid = 0;
+inline constexpr CpuId kNoCpu = std::numeric_limits<CpuId>::max();
+
+/// Saturating subtraction for unsigned time values; clamps at zero instead of
+/// wrapping, which is the behaviour every "elapsed since" computation wants.
+constexpr DurNs sat_sub(TimeNs a, TimeNs b) { return a > b ? a - b : 0; }
+
+}  // namespace osn

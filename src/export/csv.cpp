@@ -1,0 +1,51 @@
+#include "export/csv.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "common/format.hpp"
+
+namespace osn::exporter {
+
+std::string intervals_csv(const noise::NoiseAnalysis& analysis) {
+  std::string out = "task,cpu,kind,detail,start_ns,end_ns,self_ns,depth\n";
+  for (const noise::Interval& iv : analysis.noise_intervals()) {
+    out += std::to_string(iv.task) + "," + std::to_string(iv.cpu) + "," +
+           std::string(noise::activity_name(iv.kind)) + "," + std::to_string(iv.detail) +
+           "," + std::to_string(iv.start) + "," + std::to_string(iv.end) + "," +
+           std::to_string(analysis.charged(iv)) + "," + std::to_string(iv.depth) + "\n";
+  }
+  return out;
+}
+
+std::string chart_csv(const noise::SyntheticChart& chart) {
+  std::string out = "quantum_start_ns,total_noise_ns,components\n";
+  for (const noise::QuantumNoise& q : chart.quanta) {
+    out += std::to_string(q.start) + "," + std::to_string(q.total) + ",";
+    for (std::size_t i = 0; i < q.components.size(); ++i) {
+      if (i != 0) out += "+";
+      out += std::string(noise::activity_name(q.components[i].kind)) + ":" +
+             std::to_string(q.components[i].duration);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string histogram_csv(const stats::Histogram& h) {
+  std::string out = "bin_lo,bin_hi,count\n";
+  for (std::size_t i = 0; i < h.bin_count(); ++i) {
+    out += osn::fmt_fixed(h.bin_lo(i), 3) + "," + osn::fmt_fixed(h.bin_hi(i), 3) + "," +
+           std::to_string(h.bin(i)) + "\n";
+  }
+  return out;
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(std::fopen(path.c_str(), "wb"),
+                                                    &std::fclose);
+  if (!f) return false;
+  return std::fwrite(content.data(), 1, content.size(), f.get()) == content.size();
+}
+
+}  // namespace osn::exporter

@@ -1,0 +1,27 @@
+// CSV export — the "data format that can be used as input to Matlab" of
+// §III-A, from which the paper derives its synthetic noise charts and
+// histograms. Plain headers + comma-separated rows; every figure's bench can
+// dump its underlying series for external plotting.
+#pragma once
+
+#include <string>
+
+#include "noise/analysis.hpp"
+#include "noise/chart.hpp"
+#include "stats/histogram.hpp"
+
+namespace osn::exporter {
+
+/// All noise intervals: task,cpu,kind,detail,start_ns,end_ns,self_ns,depth.
+std::string intervals_csv(const noise::NoiseAnalysis& analysis);
+
+/// A synthetic chart: quantum_start_ns,total_noise_ns,components.
+std::string chart_csv(const noise::SyntheticChart& chart);
+
+/// A histogram: bin_lo,bin_hi,count.
+std::string histogram_csv(const stats::Histogram& h);
+
+/// Writes content to path; returns false on I/O error.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace osn::exporter

@@ -1,0 +1,87 @@
+#include "export/json.hpp"
+
+#include <cstdio>
+
+#include "common/format.hpp"
+
+namespace osn::exporter {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string summary_json(const noise::NoiseAnalysis& analysis) {
+  const trace::TraceModel& model = analysis.model();
+  std::string out = "{\n";
+  out += "  \"workload\": \"" + json_escape(model.meta().workload) + "\",\n";
+  out += "  \"duration_ns\": " + std::to_string(model.duration()) + ",\n";
+  out += "  \"cpus\": " + std::to_string(model.cpu_count()) + ",\n";
+  out += "  \"tick_period_ns\": " + std::to_string(model.meta().tick_period_ns) + ",\n";
+  out += "  \"events\": " + std::to_string(model.total_events()) + ",\n";
+  out += "  \"noise_intervals\": " + std::to_string(analysis.noise_intervals().size()) +
+         ",\n";
+
+  out += "  \"activities\": {\n";
+  bool first = true;
+  for (int k = 0; k < static_cast<int>(noise::ActivityKind::kMaxKind); ++k) {
+    const auto kind = static_cast<noise::ActivityKind>(k);
+    const noise::EventStats s = analysis.activity_stats(kind);
+    if (s.count == 0) continue;
+    if (!first) out += ",\n";
+    first = false;
+    out += "    \"" + std::string(noise::activity_name(kind)) + "\": {";
+    out += "\"count\": " + std::to_string(s.count);
+    out += ", \"freq_ev_per_sec\": " + fmt_fixed(s.freq_ev_per_sec, 3);
+    out += ", \"avg_ns\": " + fmt_fixed(s.avg_ns, 1);
+    out += ", \"max_ns\": " + std::to_string(s.max_ns);
+    out += ", \"min_ns\": " + std::to_string(s.min_ns);
+    out += "}";
+  }
+  out += "\n  },\n";
+
+  out += "  \"ranks\": [\n";
+  const auto apps = model.app_pids();
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const Pid pid = apps[i];
+    const auto bd = analysis.category_breakdown(pid);
+    out += "    {\"pid\": " + std::to_string(pid) + ", \"name\": \"" +
+           json_escape(model.task_name(pid)) + "\", \"total_noise_ns\": " +
+           std::to_string(analysis.total_noise(pid)) + ", \"by_category\": {";
+    bool first_cat = true;
+    for (std::size_t c = 0; c < bd.size(); ++c) {
+      const auto cat = static_cast<noise::NoiseCategory>(c);
+      if (cat == noise::NoiseCategory::kRequestedService ||
+          cat == noise::NoiseCategory::kMaxCategory)
+        continue;
+      if (!first_cat) out += ", ";
+      first_cat = false;
+      out += "\"" + std::string(noise::category_name(cat)) + "\": " +
+             std::to_string(bd[c]);
+    }
+    out += "}}";
+    out += i + 1 < apps.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace osn::exporter

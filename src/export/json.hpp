@@ -1,0 +1,18 @@
+// JSON summary export — a machine-readable digest of one analysis
+// (metadata, per-activity statistics, per-rank category breakdown), for
+// dashboards and regression tooling that should not parse tables.
+#pragma once
+
+#include <string>
+
+#include "noise/analysis.hpp"
+
+namespace osn::exporter {
+
+/// Serializes the analysis summary as a self-contained JSON document.
+std::string summary_json(const noise::NoiseAnalysis& analysis);
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(const std::string& s);
+
+}  // namespace osn::exporter

@@ -1,0 +1,132 @@
+#include "export/paraver.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace osn::exporter {
+
+namespace {
+
+struct Record {
+  TimeNs time = 0;
+  std::string line;
+};
+
+std::string prv_header(const trace::TraceModel& model, std::size_t n_tasks) {
+  // #Paraver (dd/mm/yy at hh:mm):duration_ns:nNodes(nCpus):nAppl:task list
+  std::string h = "#Paraver (05/07/26 at 00:00):" + std::to_string(model.duration()) +
+                  "_ns:1(" + std::to_string(model.cpu_count()) + "):1:" +
+                  std::to_string(n_tasks) + "(";
+  for (std::size_t t = 0; t < n_tasks; ++t) {
+    if (t != 0) h += ",";
+    h += "1:1";
+  }
+  h += ")";
+  return h;
+}
+
+}  // namespace
+
+ParaverFiles export_paraver(const noise::NoiseAnalysis& analysis) {
+  const trace::TraceModel& model = analysis.model();
+  const std::vector<Pid> apps = model.app_pids();
+  OSN_ASSERT_MSG(!apps.empty(), "paraver export needs application tasks");
+  std::map<Pid, std::size_t> task_index;  // pid -> 1-based Paraver task id
+  for (std::size_t i = 0; i < apps.size(); ++i) task_index[apps[i]] = i + 1;
+
+  std::vector<Record> records;
+  auto state = [&](Pid pid, CpuId cpu, TimeNs t0, TimeNs t1, int value) {
+    if (t1 <= t0) return;
+    records.push_back(Record{
+        t0, "1:" + std::to_string(cpu + 1) + ":1:" + std::to_string(task_index[pid]) +
+                ":1:" + std::to_string(t0) + ":" + std::to_string(t1) + ":" +
+                std::to_string(value)});
+  };
+  auto event = [&](Pid pid, CpuId cpu, TimeNs t, long type, long long value) {
+    records.push_back(Record{
+        t, "2:" + std::to_string(cpu + 1) + ":1:" + std::to_string(task_index[pid]) +
+               ":1:" + std::to_string(t) + ":" + std::to_string(type) + ":" +
+               std::to_string(value)});
+  };
+
+  // Background: every rank "running" for the full trace; kernel intervals,
+  // preemptions and communication windows are stamped on top as bursts.
+  for (Pid pid : apps)
+    state(pid, 0, model.meta().start_ns, model.meta().end_ns, kStateRunning);
+
+  for (const noise::Interval& iv : analysis.noise_intervals()) {
+    if (task_index.find(iv.task) == task_index.end()) continue;
+    const int value = iv.kind == noise::ActivityKind::kPreemption
+                          ? kStatePreempted
+                          : kStateKernelBase + static_cast<int>(iv.kind);
+    state(iv.task, iv.cpu, iv.start, iv.end, value);
+    event(iv.task, iv.cpu, iv.start, kEventKernelActivity,
+          static_cast<long long>(iv.kind) + 1);
+    if (iv.kind == noise::ActivityKind::kPageFault)
+      event(iv.task, iv.cpu, iv.start, kEventPageFaultKind,
+            static_cast<long long>(iv.detail) + 1);
+    event(iv.task, iv.cpu, iv.end, kEventKernelActivity, 0);
+  }
+  for (const noise::CommWindow& w : analysis.intervals().comm) {
+    if (task_index.find(w.task) == task_index.end()) continue;
+    state(w.task, 0, w.start, w.end, kStateBlocked);
+  }
+
+  std::stable_sort(records.begin(), records.end(),
+                   [](const Record& a, const Record& b) { return a.time < b.time; });
+
+  ParaverFiles out;
+  out.prv = prv_header(model, apps.size()) + "\n";
+  for (const Record& r : records) out.prv += r.line + "\n";
+
+  // --- .pcf -----------------------------------------------------------------
+  out.pcf =
+      "DEFAULT_OPTIONS\n\nLEVEL               THREAD\nUNITS               NANOSEC\n\n"
+      "STATES\n";
+  out.pcf += std::to_string(kStateRunning) + "    Running\n";
+  out.pcf += std::to_string(kStateBlocked) + "    Blocked (communication)\n";
+  out.pcf += std::to_string(kStatePreempted) + "    Preempted\n";
+  for (int k = 0; k < static_cast<int>(noise::ActivityKind::kMaxKind); ++k) {
+    out.pcf += std::to_string(kStateKernelBase + k) + "    " +
+               std::string(noise::activity_name(static_cast<noise::ActivityKind>(k))) +
+               "\n";
+  }
+  out.pcf += "\nEVENT_TYPE\n0    " + std::to_string(kEventKernelActivity) +
+             "    Kernel activity\nVALUES\n0      End\n";
+  for (int k = 0; k < static_cast<int>(noise::ActivityKind::kMaxKind); ++k) {
+    out.pcf += std::to_string(k + 1) + "      " +
+               std::string(noise::activity_name(static_cast<noise::ActivityKind>(k))) +
+               "\n";
+  }
+  out.pcf += "\nEVENT_TYPE\n0    " + std::to_string(kEventPageFaultKind) +
+             "    Page fault kind\nVALUES\n0      End\n1      minor_anon\n2      cow\n"
+             "3      file_minor\n4      file_major\n";
+
+  // --- .row -----------------------------------------------------------------
+  out.row = "LEVEL CPU SIZE " + std::to_string(model.cpu_count()) + "\n";
+  for (CpuId c = 0; c < model.cpu_count(); ++c)
+    out.row += "cpu" + std::to_string(c + 1) + "\n";
+  out.row += "\nLEVEL THREAD SIZE " + std::to_string(apps.size()) + "\n";
+  for (Pid pid : apps) out.row += model.task_name(pid) + "\n";
+  return out;
+}
+
+bool write_paraver(const noise::NoiseAnalysis& analysis, const std::string& base_path) {
+  const ParaverFiles files = export_paraver(analysis);
+  auto write_one = [](const std::string& path, const std::string& content) {
+    std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(std::fopen(path.c_str(), "wb"),
+                                                      &std::fclose);
+    if (!f) return false;
+    return std::fwrite(content.data(), 1, content.size(), f.get()) == content.size();
+  };
+  return write_one(base_path + ".prv", files.prv) &&
+         write_one(base_path + ".pcf", files.pcf) &&
+         write_one(base_path + ".row", files.row);
+}
+
+}  // namespace osn::exporter

@@ -1,0 +1,46 @@
+// Paraver trace export (.prv / .pcf / .row), §III-A's second LTTng extension:
+// "an external LTTng module that generates execution traces suitable for
+// Paraver".
+//
+// Mapping chosen for the OS Noise Trace:
+//  * one Paraver application; each application rank is a task (thread 1);
+//  * per-thread STATE records (type 1) encode what the rank experiences:
+//    running (1), blocked (9), preempted (13), or a kernel-activity state
+//    (20 + ActivityKind) while a kernel interval interrupts it;
+//  * per-thread EVENT records (type 2) carry the kernel activity ids (event
+//    type 90000001) and page-fault kinds (90000002), so Paraver filters can
+//    drill into any activity — the workflow of Figs 2, 5 and 7.
+//
+// The .pcf names every state and event value; the .row file labels CPUs and
+// threads. The writer is deliberately self-contained so its output can be
+// validated structurally by tests without Paraver itself.
+#pragma once
+
+#include <string>
+
+#include "noise/analysis.hpp"
+
+namespace osn::exporter {
+
+struct ParaverFiles {
+  std::string prv;  ///< trace body
+  std::string pcf;  ///< configuration (names/colors)
+  std::string row;  ///< row labels
+};
+
+/// Renders the three Paraver files for a completed analysis.
+ParaverFiles export_paraver(const noise::NoiseAnalysis& analysis);
+
+/// Writes the three files as <base>.prv/.pcf/.row; returns false on I/O error.
+bool write_paraver(const noise::NoiseAnalysis& analysis, const std::string& base_path);
+
+// State values used in the .prv (exposed for tests).
+inline constexpr int kStateRunning = 1;
+inline constexpr int kStateBlocked = 9;
+inline constexpr int kStatePreempted = 13;
+inline constexpr int kStateKernelBase = 20;  ///< + ActivityKind
+// Event types.
+inline constexpr long kEventKernelActivity = 90000001;
+inline constexpr long kEventPageFaultKind = 90000002;
+
+}  // namespace osn::exporter

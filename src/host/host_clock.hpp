@@ -1,0 +1,19 @@
+// Monotonic host clock with nanosecond resolution — the stand-in for the CPU
+// timestamp counter LTTng uses ("high-precision is obtained using the CPU
+// timestamp counter providing a time granularity on the order of
+// nanoseconds").
+#pragma once
+
+#include <ctime>
+
+#include "common/types.hpp"
+
+namespace osn::host {
+
+inline TimeNs now_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<TimeNs>(ts.tv_sec) * kNsPerSec + static_cast<TimeNs>(ts.tv_nsec);
+}
+
+}  // namespace osn::host

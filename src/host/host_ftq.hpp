@@ -1,0 +1,39 @@
+// FTQ on the real host machine.
+//
+// The simulated FTQ validates the analysis pipeline; this one runs on actual
+// hardware (the paper's §III methodology applied to whatever machine builds
+// this repo). It performs a calibrated busy-work loop and counts completed
+// work units per quantum — Nmax - Ni spikes reveal this machine's real OS
+// noise, no kernel patching required. Used by examples/host_ftq and the
+// tracer-overhead micro-benchmark.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace osn::host {
+
+struct HostFtqParams {
+  DurNs quantum = 1 * kNsPerMs;
+  std::size_t n_quanta = 1000;
+  /// Busy-work iterations per basic operation (calibrated if 0).
+  std::uint64_t ops_per_unit = 0;
+};
+
+struct HostFtqResult {
+  std::vector<std::uint64_t> units_per_quantum;
+  std::uint64_t nmax = 0;       ///< max observed units in one quantum
+  double unit_cost_ns = 0.0;    ///< measured cost of one work unit
+  /// Estimated OS noise per quantum: (nmax - n_i) * unit_cost.
+  std::vector<double> noise_ns() const;
+};
+
+/// Calibrates the work unit (if needed) and runs FTQ on the current thread.
+HostFtqResult run_host_ftq(const HostFtqParams& params);
+
+/// The busy-work kernel; exposed so benchmarks can calibrate it.
+std::uint64_t busy_work(std::uint64_t iterations);
+
+}  // namespace osn::host

@@ -1,0 +1,51 @@
+// A userspace tracer over the per-CPU lock-free channels, running on real
+// threads — demonstrating that the tracebuf substrate genuinely sustains the
+// concurrent produce/consume pattern LTTng relies on (one producer per CPU,
+// one consumer daemon), and providing the measured per-event overhead for
+// the §III-A overhead claim (~0.28%).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "host/host_clock.hpp"
+#include "trace/schema.hpp"
+#include "tracebuf/channel_set.hpp"
+
+namespace osn::host {
+
+class ThreadTracer {
+ public:
+  /// `lanes` plays the role of CPUs: each producer thread owns one lane.
+  explicit ThreadTracer(std::size_t lanes, std::size_t capacity_pow2 = 1u << 16);
+  ~ThreadTracer();
+
+  ThreadTracer(const ThreadTracer&) = delete;
+  ThreadTracer& operator=(const ThreadTracer&) = delete;
+
+  /// Hot path, wait-free: record an event on `lane` with a host timestamp.
+  void record(CpuId lane, trace::EventType type, std::uint64_t arg, Pid pid = 0) {
+    channels_.emit(lane,
+                   trace::make_record(now_ns() - origin_, lane, pid, type, arg));
+  }
+
+  /// Starts the consumer thread draining all lanes into the collected list.
+  void start_consumer();
+  /// Stops the consumer and drains any residue.
+  void stop_consumer();
+
+  const std::vector<tracebuf::EventRecord>& collected() const { return collected_; }
+  std::uint64_t lost() const { return channels_.total_lost(); }
+  TimeNs origin() const { return origin_; }
+
+ private:
+  TimeNs origin_;
+  tracebuf::ChannelSet channels_;
+  std::vector<tracebuf::EventRecord> collected_;
+  std::thread consumer_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace osn::host

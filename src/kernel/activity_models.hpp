@@ -1,0 +1,86 @@
+// Duration models for every kernel activity the node performs.
+//
+// The *durations* of kernel activities depend on kernel state the application
+// induces (number of expired software timers, dirty pages, scheduler domain
+// imbalance, RPC queue depth...). The paper measures those durations; this
+// simulator samples them from per-activity distributions. A workload ships
+// the ActivityModels calibrated to the paper's measured statistics for that
+// application (Tables I-VI and Figures 4, 6, 8), which is exactly the
+// "synthetic equivalent" substitution DESIGN.md documents: the *mechanics*
+// (who runs, nests, preempts whom) are simulated structurally, while the
+// *time constants* come from the published measurements.
+#pragma once
+
+#include "stats/distributions.hpp"
+
+namespace osn::kernel {
+
+struct ActivityModels {
+  // --- periodic ---------------------------------------------------------
+  stats::DurationModel timer_irq =
+      stats::DurationModel::lognormal(1'700, 0.35, 800, 50'000);
+  stats::DurationModel timer_softirq =
+      stats::DurationModel::lognormal(1'800, 0.5, 190, 90'000);
+  /// Extra cost per expired software timer fired by run_timer_softirq.
+  stats::DurationModel timer_callback =
+      stats::DurationModel::lognormal(900, 0.4, 200, 20'000);
+
+  // --- scheduling -------------------------------------------------------
+  /// The schedule() function itself; the paper found it "negligible and
+  /// constant" (CFS O(1) claim) — a tight distribution around ~300 ns.
+  stats::DurationModel schedule_fn =
+      stats::DurationModel::lognormal(300, 0.25, 150, 2'000);
+  stats::DurationModel rebalance =
+      stats::DurationModel::lognormal(1'800, 0.35, 400, 40'000);
+  stats::DurationModel rcu =
+      stats::DurationModel::lognormal(350, 0.3, 100, 5'000);
+  stats::DurationModel resched_ipi =
+      stats::DurationModel::lognormal(400, 0.2, 200, 2'000);
+
+  // --- memory management --------------------------------------------------
+  stats::DurationModel pf_minor_anon =
+      stats::DurationModel::lognormal(2'500, 0.3, 218, 30'000);
+  stats::DurationModel pf_cow =
+      stats::DurationModel::lognormal(4'500, 0.35, 500, 60'000);
+  stats::DurationModel pf_file_minor =
+      stats::DurationModel::lognormal(3'000, 0.4, 300, 50'000);
+  stats::DurationModel pf_file_major =
+      stats::DurationModel::lognormal(12'000, 1.0, 2'000, 70'000'000);
+
+  // --- network / NFS ------------------------------------------------------
+  stats::DurationModel net_irq = stats::DurationModel::mixture(
+      {{1.0, 1'500, 0.45}}, 480, 360'000, 0.004, 80'000, 1.4);
+  /// net_rx_action: synchronous copy from NIC buffer — slow, high variance.
+  stats::DurationModel net_rx = stats::DurationModel::mixture(
+      {{1.0, 3'000, 0.6}}, 167, 100'000, 0.01, 20'000, 1.3);
+  /// net_tx_action: returns right after the DMA kick — fast, low variance.
+  stats::DurationModel net_tx =
+      stats::DurationModel::lognormal(480, 0.3, 173, 9'000);
+  /// Wire latency (one way) between the compute node and the NFS server.
+  stats::DurationModel nfs_wire_latency =
+      stats::DurationModel::lognormal(30'000, 0.3, 8'000, 500'000);
+  /// NFS-server per-RPC service time; the server is a FIFO queue, so
+  /// concurrent requests see queueing delay on top of this.
+  stats::DurationModel nfs_server_service =
+      stats::DurationModel::lognormal(70'000, 0.5, 15'000, 3'000'000);
+  /// rpciod work per completed RPC (runs in task context, preempting ranks).
+  stats::DurationModel rpciod_service =
+      stats::DurationModel::lognormal(2'200, 0.4, 800, 60'000);
+
+  // --- daemons & syscalls -------------------------------------------------
+  /// Per-activation runtime of the periodic `events` workqueue daemon.
+  stats::DurationModel events_service =
+      stats::DurationModel::lognormal(2'200, 0.3, 800, 30'000);
+  /// Period between events-daemon activations.
+  stats::DurationModel events_period =
+      stats::DurationModel::lognormal(250'000'000, 0.3, 50'000'000, 2'000'000'000);
+  /// In-kernel cost of a syscall before it blocks/returns (entry, argument
+  /// marshalling, RPC construction). Requested service, not noise.
+  stats::DurationModel syscall_overhead =
+      stats::DurationModel::lognormal(1'200, 0.4, 400, 30'000);
+  /// Direct context-switch cost (register/address-space switch).
+  stats::DurationModel context_switch =
+      stats::DurationModel::lognormal(1'100, 0.3, 400, 12'000);
+};
+
+}  // namespace osn::kernel

@@ -1,0 +1,74 @@
+// Static configuration of the simulated compute node.
+//
+// Defaults reproduce the paper's testbed: a dual quad-core Opteron (8 CPUs)
+// running Linux 2.6.33 with the periodic timer at its lowest frequency
+// (100 Hz / 10 ms tick — the tables show exactly 100 timer events/second per
+// CPU), CFS scheduling, NFS-only I/O through rpciod, and all non-HPC daemons
+// removed.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace osn::kernel {
+
+struct NodeConfig {
+  std::uint16_t n_cpus = 8;
+
+  /// Periodic timer interval (100 Hz).
+  DurNs tick_period = 10 * kNsPerMs;
+  /// Per-CPU tick phase stagger, as on real SMP hardware where local APIC
+  /// timers are not synchronized. Keeps ticks from being artificially
+  /// simultaneous across CPUs.
+  DurNs tick_stagger = 100 * kNsPerUs;
+
+  /// run_rebalance_domains cadence in ticks (SCHED softirq raised when the
+  /// domain balance interval elapses).
+  std::uint32_t rebalance_period_ticks = 4;
+  /// rcu_process_callbacks cadence in ticks.
+  std::uint32_t rcu_period_ticks = 2;
+
+  /// CFS tunables (2.6.33-era defaults, scaled).
+  DurNs sched_latency = 24 * kNsPerMs;
+  DurNs sched_min_granularity = 3 * kNsPerMs;
+  /// Wakeup preemption granularity: a waking task preempts if its vruntime
+  /// is at least this far below the running task's.
+  DurNs sched_wakeup_granularity = 2 * kNsPerMs;
+  /// Sleeper credit: a waking task's vruntime is clamped to
+  /// min_vruntime - sleeper_bonus, granting interactive/daemon tasks
+  /// immediate wakeup preemption (the mechanism by which rpciod preempts
+  /// application ranks).
+  DurNs sched_sleeper_bonus = 12 * kNsPerMs;
+
+  /// Indirect migration cost: extra compute time modelling cold caches after
+  /// a task is moved to another CPU (the paper's "indirect" rebalance
+  /// overhead — it stretches application time but is not a kernel interval).
+  DurNs migration_cache_penalty = 60 * kNsPerUs;
+  /// Kernel threads (rpciod, events) carry a far smaller working set, so
+  /// their cross-CPU hops cost much less.
+  DurNs migration_cache_penalty_kthread = 3 * kNsPerUs;
+
+  /// Latency of a rescheduling IPI between CPUs.
+  DurNs resched_ipi_latency = 1 * kNsPerUs;
+
+  /// NFS transport parameters: one RPC moves at most rpc_chunk bytes (rsize/
+  /// wsize); the wire+server turnaround is sampled by the net models.
+  std::uint64_t rpc_chunk_bytes = 32 * 1024;
+  /// A reply arrives as this many wire fragments; every fragment raises a
+  /// net interrupt but only the last completes the RPC (how Table II's
+  /// interrupt rate exceeds Table III's net_rx_action rate).
+  std::uint32_t fragments_per_reply = 1;
+  /// Wire spacing between fragments of one reply.
+  DurNs fragment_gap = 4 * kNsPerUs;
+
+  /// Interrupt distribution: the NIC's irq lands on consecutive CPUs in
+  /// round-robin (irqbalance-like). If false, all net irqs hit CPU 0.
+  bool net_irq_round_robin = true;
+
+  /// Master seed for the node; every CPU and subsystem derives a split
+  /// stream from it so runs are bit-reproducible.
+  std::uint64_t seed = 0x0511f00d;
+};
+
+}  // namespace osn::kernel

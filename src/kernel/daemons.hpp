@@ -1,0 +1,36 @@
+// Kernel daemons, implemented against the same TaskProgram interface as
+// application workloads so they schedule, preempt and migrate uniformly.
+//
+//  * rpciod — the NFS I/O daemon, "the only kernel daemon that generates OS
+//    noise" for most of the paper's applications (§IV-D). Woken by
+//    net_rx_action, it processes one completed RPC at a time in task context
+//    (preempting application ranks) and wakes the blocked issuer when its
+//    I/O completes.
+//  * events — the workqueue daemon ("eventd" in Fig. 2b), activated
+//    periodically by a software timer for kernel bookkeeping.
+#pragma once
+
+#include <optional>
+
+#include "kernel/kernel.hpp"
+#include "kernel/program.hpp"
+
+namespace osn::kernel {
+
+class RpciodProgram final : public TaskProgram {
+ public:
+  Action next(Kernel& k, Task& self) override;
+
+ private:
+  std::optional<Rpc> in_hand_;
+};
+
+class EventsProgram final : public TaskProgram {
+ public:
+  Action next(Kernel& k, Task& self) override;
+
+ private:
+  bool work_pending_ = true;  ///< first activation runs at boot
+};
+
+}  // namespace osn::kernel

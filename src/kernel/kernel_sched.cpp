@@ -1,0 +1,277 @@
+// CFS-like scheduling: vruntime accounting, wakeup placement and preemption,
+// the schedule() frame, context switches, rescheduling IPIs, and periodic
+// scheduling-domain rebalancing (run_rebalance_domains).
+//
+// The paper's findings this module reproduces: the schedule() function itself
+// is "negligible and constant" (§IV-C); domain rebalancing has both a direct
+// cost (the softirq) and an indirect one (cold caches after migration,
+// modelled as a compute penalty); kernel daemons (rpciod) preempt ranks via
+// wakeup preemption backed by sleeper credit.
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "kernel/kernel.hpp"
+
+namespace osn::kernel {
+
+void Kernel::enqueue_task(CpuId cpu, Pid pid) {
+  CpuState& c = cpus_[cpu];
+  Task& t = task(pid);
+  OSN_ASSERT(t.state == TaskState::kRunnable);
+  OSN_ASSERT(std::find(c.runqueue.begin(), c.runqueue.end(), pid) == c.runqueue.end());
+  t.cpu = cpu;
+  c.runqueue.push_back(pid);
+  update_min_vruntime(cpu);
+}
+
+void Kernel::dequeue_task(CpuId cpu, Pid pid) {
+  CpuState& c = cpus_[cpu];
+  auto it = std::find(c.runqueue.begin(), c.runqueue.end(), pid);
+  OSN_ASSERT_MSG(it != c.runqueue.end(), "dequeue of task not on runqueue");
+  c.runqueue.erase(it);
+}
+
+Pid Kernel::pick_next(CpuId cpu) {
+  CpuState& c = cpus_[cpu];
+  if (c.runqueue.empty()) return kIdlePid;
+  auto best = c.runqueue.begin();
+  for (auto it = c.runqueue.begin(); it != c.runqueue.end(); ++it) {
+    const Task& cand = task(*it);
+    const Task& cur = task(*best);
+    if (cand.vruntime < cur.vruntime ||
+        (cand.vruntime == cur.vruntime && *it < *best)) {
+      best = it;
+    }
+  }
+  const Pid pid = *best;
+  c.runqueue.erase(best);
+  return pid;
+}
+
+void Kernel::update_curr(CpuId cpu) {
+  CpuState& c = cpus_[cpu];
+  if (c.current == kIdlePid) return;
+  Task& t = task(c.current);
+  const TimeNs t_now = now();
+  t.vruntime += static_cast<double>(sat_sub(t_now, t.exec_start));
+  t.exec_start = t_now;
+  update_min_vruntime(cpu);
+}
+
+void Kernel::update_min_vruntime(CpuId cpu) {
+  CpuState& c = cpus_[cpu];
+  double min_v = c.min_vruntime;
+  bool any = false;
+  if (c.current != kIdlePid) {
+    min_v = task(c.current).vruntime;
+    any = true;
+  }
+  for (Pid pid : c.runqueue) {
+    const double v = task(pid).vruntime;
+    if (!any || v < min_v) {
+      min_v = v;
+      any = true;
+    }
+  }
+  if (any) c.min_vruntime = std::max(c.min_vruntime, min_v);
+}
+
+CpuId Kernel::select_cpu(Task& t, CpuId waker_cpu) {
+  // Kernel threads wake affine to the waker: rpciod runs "on the CPU that
+  // receives the network interrupt" (§IV-D) and the events daemon on the CPU
+  // whose timer softirq fired — preempting whatever rank runs there. User
+  // tasks use wake_affine-style placement: previous CPU if idle (cache-hot),
+  // otherwise any idle CPU, otherwise the waker's CPU.
+  if (t.pinned != kNoCpu) return t.pinned;
+  if (t.is_kthread) return waker_cpu;
+  const CpuId prev = t.cpu == kNoCpu ? waker_cpu : t.cpu;
+  auto is_idle = [this](CpuId c) {
+    return cpus_[c].current == kIdlePid && cpus_[c].runqueue.empty();
+  };
+  if (is_idle(prev)) return prev;
+  for (CpuId off = 1; off < config_.n_cpus; ++off) {
+    const CpuId c = static_cast<CpuId>((prev + off) % config_.n_cpus);
+    if (is_idle(c)) return c;
+  }
+  return waker_cpu;
+}
+
+void Kernel::wake(Pid pid, CpuId waker_cpu) {
+  Task& t = task(pid);
+  if (t.state != TaskState::kBlocked) return;  // already runnable/running
+  if (t.cpu != kNoCpu && cpus_[t.cpu].current == pid) {
+    // The wakeup raced with the task going to sleep: it marked itself
+    // blocked but has not been switched out yet (e.g. a barrier released
+    // within the same microsecond). As in Linux's TASK_WAKING resolution,
+    // the sleep is aborted and the task never leaves its CPU.
+    t.state = TaskState::kRunning;
+    t.op = OpNone{};
+    t.program->on_wakeup(*this, t);
+    trace_event(waker_cpu, trace::EventType::kSchedWakeup, pid);
+    return;
+  }
+  t.state = TaskState::kRunnable;
+  // Whatever the task blocked on is over; it resumes by asking its program.
+  t.op = OpNone{};
+  t.program->on_wakeup(*this, t);
+  trace_event(waker_cpu, trace::EventType::kSchedWakeup, pid);
+
+  const CpuId prev = t.cpu;
+  const CpuId target = select_cpu(t, waker_cpu);
+  if (prev != kNoCpu && target != prev) {
+    ++t.migration_count;
+    trace_event(waker_cpu, trace::EventType::kSchedMigrate, trace::pack_migrate(pid, target));
+    t.pending_penalty += t.is_kthread ? config_.migration_cache_penalty_kthread
+                                      : config_.migration_cache_penalty;
+  }
+  // Sleeper credit: clamp the sleeper's vruntime near the head of the queue
+  // so daemons that sleep most of the time preempt promptly on wake.
+  t.vruntime = std::max(t.vruntime, cpus_[target].min_vruntime -
+                                        static_cast<double>(config_.sched_sleeper_bonus));
+  enqueue_task(target, pid);
+  check_preempt_wakeup(target, t);
+}
+
+void Kernel::check_preempt_wakeup(CpuId cpu, Task& woken) {
+  CpuState& c = cpus_[cpu];
+  if (c.need_resched) return;
+  if (c.current == kIdlePid) {
+    c.need_resched = true;
+  } else {
+    update_curr(cpu);
+    const Task& cur = task(c.current);
+    if (cur.vruntime - woken.vruntime >
+        static_cast<double>(config_.sched_wakeup_granularity)) {
+      c.need_resched = true;
+    }
+  }
+  if (!c.need_resched) return;
+  // If this CPU is not already in the kernel (where the resched flag gets
+  // checked on the way out), prod it with a rescheduling IPI.
+  if (c.stack.empty()) send_resched_ipi(cpu);
+}
+
+void Kernel::send_resched_ipi(CpuId target) {
+  CpuState& c = cpus_[target];
+  if (c.resched_ipi_inflight) return;
+  c.resched_ipi_inflight = true;
+  engine_.schedule_after(config_.resched_ipi_latency, [this, target] {
+    cpus_[target].resched_ipi_inflight = false;
+    deliver_irq(target, trace::IrqVector::kResched);
+  });
+}
+
+void Kernel::do_schedule(CpuId cpu) {
+  // The schedule() function runs as a (short, constant-cost) kernel frame.
+  const DurNs duration = models_.schedule_fn.sample(cpus_[cpu].rng);
+  push_frame(cpu, FrameKind::kSchedule, 0, duration, [cpu](Kernel& k) {
+    CpuState& c = k.cpus_[cpu];
+    c.need_resched = false;
+    k.update_curr(cpu);
+    // A still-running prev re-enters the queue and competes on vruntime, so
+    // a spurious resched naturally re-picks it.
+    const Pid prev = c.current;
+    if (prev != kIdlePid && k.task(prev).state == TaskState::kRunning) {
+      k.task(prev).state = TaskState::kRunnable;
+      k.enqueue_task(cpu, prev);
+    }
+    k.context_switch(cpu, k.pick_next(cpu));
+  });
+}
+
+void Kernel::context_switch(CpuId cpu, Pid next) {
+  CpuState& c = cpus_[cpu];
+  const Pid prev = c.current;
+
+  if (next == prev) {
+    // Spurious resched (prev re-picked) or idle staying idle: no switch.
+    if (prev != kIdlePid) {
+      Task& pt = task(prev);
+      pt.state = TaskState::kRunning;
+      pt.exec_start = now();
+    }
+    return;
+  }
+
+  bool prev_runnable = false;
+  if (prev != kIdlePid) {
+    Task& pt = task(prev);
+    // prev was either re-enqueued as kRunnable (involuntary) or is
+    // blocked/exited (voluntary).
+    prev_runnable = pt.state == TaskState::kRunnable;
+    if (prev_runnable) ++pt.preempt_count;
+  }
+
+  trace_event(cpu, trace::EventType::kSchedSwitch,
+              trace::pack_switch({prev, next, prev_runnable}));
+
+  c.current = next;
+  if (next != kIdlePid) {
+    Task& nt = task(next);
+    OSN_ASSERT(nt.state == TaskState::kRunnable);
+    nt.state = TaskState::kRunning;
+    nt.cpu = cpu;
+    nt.exec_start = now();
+  }
+  update_min_vruntime(cpu);
+}
+
+void Kernel::scheduler_tick(CpuId cpu) {
+  CpuState& c = cpus_[cpu];
+  if (c.current == kIdlePid) return;
+  update_curr(cpu);
+  const std::size_t nr = c.runqueue.size() + 1;
+  if (nr < 2) return;
+  const DurNs slice = std::max<DurNs>(config_.sched_min_granularity,
+                                      config_.sched_latency / nr);
+  Task& t = task(c.current);
+  // Approximate CFS: resched when the current task has run a full slice
+  // beyond the queue's minimum vruntime.
+  if (t.vruntime - c.min_vruntime > static_cast<double>(slice)) c.need_resched = true;
+}
+
+void Kernel::run_rebalance(CpuId cpu) {
+  // Pull-model balancing: this CPU checks for the busiest runqueue and pulls
+  // one task when the imbalance is at least two.
+  CpuState& c = cpus_[cpu];
+  const std::size_t my_nr = c.runqueue.size() + (c.current != kIdlePid ? 1u : 0u);
+  CpuId busiest = cpu;
+  std::size_t busiest_nr = my_nr;
+  for (CpuId other = 0; other < config_.n_cpus; ++other) {
+    if (other == cpu) continue;
+    const CpuState& oc = cpus_[other];
+    const std::size_t nr = oc.runqueue.size() + (oc.current != kIdlePid ? 1u : 0u);
+    if (nr > busiest_nr) {
+      busiest = other;
+      busiest_nr = nr;
+    }
+  }
+  if (busiest == cpu || busiest_nr < my_nr + 2) return;
+  // Pull the most recently queued migratable (non-pinned) task.
+  CpuState& bc = cpus_[busiest];
+  Pid victim = kIdlePid;
+  for (auto it = bc.runqueue.rbegin(); it != bc.runqueue.rend(); ++it) {
+    if (task(*it).pinned == kNoCpu) {
+      victim = *it;
+      break;
+    }
+  }
+  if (victim == kIdlePid) return;
+  migrate_task(victim, busiest, cpu);
+  if (c.current == kIdlePid) c.need_resched = true;
+}
+
+void Kernel::migrate_task(Pid pid, CpuId from, CpuId to) {
+  Task& t = task(pid);
+  OSN_ASSERT(t.state == TaskState::kRunnable);
+  dequeue_task(from, pid);
+  // Re-base vruntime into the destination queue's frame.
+  t.vruntime = t.vruntime - cpus_[from].min_vruntime + cpus_[to].min_vruntime;
+  ++t.migration_count;
+  t.pending_penalty += t.is_kthread ? config_.migration_cache_penalty_kthread
+                                    : config_.migration_cache_penalty;
+  trace_event(to, trace::EventType::kSchedMigrate, trace::pack_migrate(pid, to));
+  enqueue_task(to, pid);
+}
+
+}  // namespace osn::kernel

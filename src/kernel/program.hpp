@@ -1,0 +1,81 @@
+// The workload side of the kernel boundary.
+//
+// A TaskProgram is the "user space" of a simulated task: a deterministic
+// state machine that, each time its previous action completes, tells the
+// kernel what the task does next — burn CPU, touch memory (which may fault),
+// perform NFS I/O, synchronize at a barrier, sleep, or exit. Kernel daemons
+// (rpciod, events) are implemented against the same interface, which keeps
+// scheduling/wakeup semantics uniform for every task in the system.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+
+#include "common/types.hpp"
+
+namespace osn::kernel {
+
+class Kernel;
+struct Task;
+
+/// Burn user-mode CPU for `duration` ns (stretched by any kernel noise).
+struct ActCompute {
+  DurNs duration;
+};
+
+/// Touch `pages` pages of memory region `region` sequentially; pages not yet
+/// mapped raise page faults. `write` selects COW-style faults on regions
+/// created copy-on-write.
+struct ActTouch {
+  std::uint32_t region;
+  std::uint64_t first_page;
+  std::uint64_t pages;
+  bool write = false;
+  /// User time per already-mapped page (the load/store itself).
+  DurNs per_page_cost = 30;
+};
+
+/// Blocking NFS read/write of `bytes` (split into rsize-chunk RPCs).
+struct ActIo {
+  std::uint64_t bytes;
+  bool is_read = true;
+};
+
+/// Enter barrier `barrier_id`; blocks until `parties` tasks have arrived.
+struct ActBarrier {
+  std::uint32_t barrier_id;
+  std::uint32_t parties;
+};
+
+/// nanosleep for `duration`. With `precise` set the wakeup comes from a
+/// one-shot high-resolution timer at exactly the expiry; otherwise from
+/// run_timer_softirq on the first tick at/after it (2.6.33 low-res timers).
+struct ActSleep {
+  DurNs duration;
+  bool precise = false;
+};
+
+/// Block until another task/subsystem wakes this task (kernel daemons idle).
+struct ActBlock {};
+
+/// Terminate the task.
+struct ActExit {};
+
+using Action = std::variant<ActCompute, ActTouch, ActIo, ActBarrier, ActSleep, ActBlock,
+                            ActExit>;
+
+class TaskProgram {
+ public:
+  virtual ~TaskProgram() = default;
+
+  /// Called when the previous action has completed (and at first schedule).
+  /// May inspect/poke the kernel (e.g. a daemon draining its work queue).
+  virtual Action next(Kernel& kernel, Task& self) = 0;
+
+  /// Notification hook: the task was woken while blocked in ActBlock.
+  virtual void on_wakeup(Kernel&, Task&) {}
+};
+
+}  // namespace osn::kernel

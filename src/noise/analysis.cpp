@@ -1,0 +1,109 @@
+#include "noise/analysis.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace osn::noise {
+
+NoiseAnalysis::NoiseAnalysis(const trace::TraceModel& model, AnalysisOptions options)
+    : model_(&model), options_(options), intervals_(build_intervals(model)) {
+  for (const CommWindow& w : intervals_.comm) comm_by_task_[w.task].push_back(w);
+  for (auto& [pid, windows] : comm_by_task_)
+    std::sort(windows.begin(), windows.end(),
+              [](const CommWindow& a, const CommWindow& b) { return a.start < b.start; });
+  build_noise_list();
+}
+
+bool NoiseAnalysis::in_comm_window(Pid task, TimeNs t) const {
+  auto it = comm_by_task_.find(task);
+  if (it == comm_by_task_.end()) return false;
+  const auto& windows = it->second;
+  // First window starting after t, then check its predecessor.
+  auto upper = std::upper_bound(windows.begin(), windows.end(), t,
+                                [](TimeNs v, const CommWindow& w) { return v < w.start; });
+  if (upper == windows.begin()) return false;
+  --upper;
+  return t < upper->end;
+}
+
+void NoiseAnalysis::build_noise_list() {
+  noise_.clear();
+  auto consider = [&](const Interval& iv) {
+    const NoiseCategory cat = categorize(iv.kind);
+    if (cat == NoiseCategory::kRequestedService && !options_.include_requested_service)
+      return;
+    if (options_.runnable_filter) {
+      if (!model_->is_app(iv.task)) return;
+      if (in_comm_window(iv.task, iv.start)) return;
+    }
+    noise_.push_back(iv);
+  };
+  for (const Interval& iv : intervals_.kernel) consider(iv);
+  for (const Interval& iv : intervals_.preemption) consider(iv);
+  std::sort(noise_.begin(), noise_.end(), [](const Interval& a, const Interval& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.depth < b.depth;
+  });
+}
+
+EventStats NoiseAnalysis::activity_stats(ActivityKind kind) const {
+  stats::StreamingSummary summary;
+  auto scan = [&](const std::vector<Interval>& list) {
+    for (const Interval& iv : list)
+      if (iv.kind == kind) summary.add(static_cast<double>(charged(iv)));
+  };
+  scan(intervals_.kernel);
+  if (kind == ActivityKind::kPreemption) scan(intervals_.preemption);
+
+  EventStats out;
+  out.count = summary.count();
+  const double duration_sec =
+      static_cast<double>(model_->duration()) / static_cast<double>(kNsPerSec);
+  const double cpus = static_cast<double>(model_->cpu_count());
+  if (duration_sec > 0)
+    out.freq_ev_per_sec = static_cast<double>(summary.count()) / duration_sec / cpus;
+  out.avg_ns = summary.mean();
+  out.max_ns = static_cast<DurNs>(summary.max());
+  out.min_ns = static_cast<DurNs>(summary.min());
+  return out;
+}
+
+std::vector<double> NoiseAnalysis::noise_durations(ActivityKind kind) const {
+  std::vector<double> out;
+  for (const Interval& iv : noise_)
+    if (iv.kind == kind) out.push_back(static_cast<double>(charged(iv)));
+  return out;
+}
+
+std::array<DurNs, static_cast<std::size_t>(NoiseCategory::kMaxCategory)>
+NoiseAnalysis::category_breakdown(Pid task) const {
+  std::array<DurNs, static_cast<std::size_t>(NoiseCategory::kMaxCategory)> out{};
+  for (const Interval& iv : noise_) {
+    if (iv.task != task) continue;
+    out[static_cast<std::size_t>(categorize(iv.kind))] += charged(iv);
+  }
+  return out;
+}
+
+std::array<DurNs, static_cast<std::size_t>(NoiseCategory::kMaxCategory)>
+NoiseAnalysis::category_breakdown_all() const {
+  std::array<DurNs, static_cast<std::size_t>(NoiseCategory::kMaxCategory)> out{};
+  for (const Interval& iv : noise_) {
+    if (!model_->is_app(iv.task)) continue;
+    out[static_cast<std::size_t>(categorize(iv.kind))] += charged(iv);
+  }
+  return out;
+}
+
+DurNs NoiseAnalysis::total_noise(Pid task) const {
+  const auto breakdown = category_breakdown(task);
+  DurNs total = 0;
+  for (std::size_t c = 0; c < breakdown.size(); ++c) {
+    if (c == static_cast<std::size_t>(NoiseCategory::kRequestedService)) continue;
+    total += breakdown[c];
+  }
+  return total;
+}
+
+}  // namespace osn::noise

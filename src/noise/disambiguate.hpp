@@ -1,0 +1,53 @@
+// Noise disambiguation (§V): the two case studies the paper uses to show why
+// per-event data beats indirect micro-benchmark measurement.
+//
+//  Case 1 (Fig 10): two interruptions of nearly identical total duration
+//  that an external tool cannot tell apart — one a page fault, the other a
+//  timer interrupt + run_timer_softirq. find_lookalikes() locates such pairs.
+//
+//  Case 2 (Fig 9): one FTQ quantum containing two *unrelated* events (a page
+//  fault right before a periodic timer interrupt) that FTQ reports as a
+//  single larger spike, seemingly contradicting the periodicity of the timer.
+//  find_composite_quanta() locates quanta whose noise comes from more than
+//  one interruption.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "noise/chart.hpp"
+
+namespace osn::noise {
+
+/// A pair of interruptions with near-equal totals but different composition.
+struct LookalikePair {
+  Interruption a;
+  Interruption b;
+  double relative_difference = 0.0;  ///< |a.total - b.total| / max(total)
+};
+
+/// Composition signature: sorted list of activity kinds in an interruption.
+std::vector<ActivityKind> composition_signature(const Interruption& in);
+
+/// Finds interruption pairs whose totals differ by at most `tolerance`
+/// (relative) but whose composition signatures differ. At most `max_pairs`
+/// pairs are returned, closest totals first.
+std::vector<LookalikePair> find_lookalikes(const std::vector<Interruption>& interruptions,
+                                           double tolerance = 0.02,
+                                           std::size_t max_pairs = 16);
+
+/// A quantum whose noise is the sum of several distinct interruptions.
+struct CompositeQuantum {
+  std::size_t quantum_index = 0;
+  TimeNs start = 0;
+  DurNs total = 0;
+  std::vector<Interruption> interruptions;
+};
+
+/// Finds quanta of `chart` containing two or more interruptions separated by
+/// more than `min_separation` of user time (unrelated events, per Fig 9).
+std::vector<CompositeQuantum> find_composite_quanta(
+    const SyntheticChart& chart, const std::vector<Interruption>& interruptions,
+    DurNs min_separation = 10 * kNsPerUs);
+
+}  // namespace osn::noise

@@ -1,0 +1,40 @@
+#include "noise/ftq_compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "stats/compare.hpp"
+
+namespace osn::noise {
+
+FtqComparison compare_ftq(const std::vector<FtqQuantumSample>& ftq, std::uint64_t nmax,
+                          DurNs op_time, const SyntheticChart& chart) {
+  OSN_ASSERT_MSG(!ftq.empty(), "no FTQ samples");
+  FtqComparison out;
+  const std::size_t n = std::min(ftq.size(), chart.quanta.size());
+  out.ftq_noise_ns.reserve(n);
+  out.trace_noise_ns.reserve(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    OSN_ASSERT_MSG(ftq[i].start == chart.quanta[i].start,
+                   "FTQ samples and chart are not on the same quantum grid");
+    const std::uint64_t missing = ftq[i].ops >= nmax ? 0 : nmax - ftq[i].ops;
+    const double ftq_noise = static_cast<double>(missing * op_time);
+    const double trace_noise = static_cast<double>(chart.quanta[i].total);
+    out.ftq_noise_ns.push_back(ftq_noise);
+    out.trace_noise_ns.push_back(trace_noise);
+    // FTQ discretizes to whole operations, so it may under-read by strictly
+    // less than one op (boundary effects add one more op of slack).
+    if (ftq_noise < trace_noise - 2.0 * static_cast<double>(op_time))
+      ++out.underestimated_quanta;
+    else if (ftq_noise > trace_noise)
+      ++out.overestimated_quanta;
+  }
+
+  out.correlation = stats::pearson_correlation(out.ftq_noise_ns, out.trace_noise_ns);
+  out.mean_abs_diff_ns = stats::mean_abs_difference(out.ftq_noise_ns, out.trace_noise_ns);
+  return out;
+}
+
+}  // namespace osn::noise

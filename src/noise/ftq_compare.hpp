@@ -1,0 +1,44 @@
+// Validation of the tracing methodology against FTQ (§III-C, Fig 1).
+//
+// FTQ measures noise indirectly: in each fixed quantum it counts completed
+// basic operations; missing operations times the per-operation cost estimate
+// the OS overhead. The paper validates LTTNG-NOISE by showing the two series
+// agree, with FTQ slightly *over*estimating because partially completed
+// basic operations do not count. This module quantifies that agreement:
+// correlation, mean absolute difference, and the one-sided bound
+// (ftq >= trace - one operation's worth per quantum).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "noise/chart.hpp"
+
+namespace osn::noise {
+
+/// One FTQ quantum as measured by the benchmark itself (user space).
+struct FtqQuantumSample {
+  TimeNs start = 0;
+  std::uint64_t ops = 0;  ///< basic operations completed in the quantum
+};
+
+struct FtqComparison {
+  std::vector<double> ftq_noise_ns;    ///< (Nmax - Ni) * op_time
+  std::vector<double> trace_noise_ns;  ///< synthetic chart totals
+  double correlation = 0.0;
+  double mean_abs_diff_ns = 0.0;
+  /// Quanta where FTQ reported *less* noise than the trace by more than one
+  /// basic operation + one trace-grid slop: should be zero if the claim
+  /// "FTQ slightly overestimates" holds.
+  std::size_t underestimated_quanta = 0;
+  /// Quanta where FTQ reported more noise (the expected direction).
+  std::size_t overestimated_quanta = 0;
+};
+
+/// Pairs FTQ's own measurements with the trace-derived chart. The chart must
+/// use the same origin and quantum as the FTQ run. `nmax` is the calibrated
+/// operation capacity of a noise-free quantum.
+FtqComparison compare_ftq(const std::vector<FtqQuantumSample>& ftq, std::uint64_t nmax,
+                          DurNs op_time, const SyntheticChart& chart);
+
+}  // namespace osn::noise

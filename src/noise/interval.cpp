@@ -1,0 +1,187 @@
+#include "noise/interval.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/assert.hpp"
+#include "trace/schema.hpp"
+
+namespace osn::noise {
+
+using trace::EventType;
+
+std::string_view activity_name(ActivityKind k) {
+  switch (k) {
+    case ActivityKind::kTimerIrq: return "timer_interrupt";
+    case ActivityKind::kNetIrq: return "net_interrupt";
+    case ActivityKind::kReschedIpi: return "resched_ipi";
+    case ActivityKind::kTimerSoftirq: return "run_timer_softirq";
+    case ActivityKind::kRebalanceSoftirq: return "run_rebalance_domains";
+    case ActivityKind::kRcuSoftirq: return "rcu_process_callbacks";
+    case ActivityKind::kNetRxTasklet: return "net_rx_action";
+    case ActivityKind::kNetTxTasklet: return "net_tx_action";
+    case ActivityKind::kPageFault: return "page_fault";
+    case ActivityKind::kSyscall: return "syscall";
+    case ActivityKind::kSchedule: return "schedule";
+    case ActivityKind::kPreemption: return "preemption";
+    case ActivityKind::kMaxKind: break;
+  }
+  return "unknown";
+}
+
+ActivityKind activity_of(EventType entry_type, std::uint64_t arg) {
+  switch (entry_type) {
+    case EventType::kIrqEntry:
+      switch (static_cast<trace::IrqVector>(arg)) {
+        case trace::IrqVector::kTimer: return ActivityKind::kTimerIrq;
+        case trace::IrqVector::kNet: return ActivityKind::kNetIrq;
+        case trace::IrqVector::kResched: return ActivityKind::kReschedIpi;
+      }
+      break;
+    case EventType::kSoftirqEntry:
+      switch (static_cast<trace::SoftirqNr>(arg)) {
+        case trace::SoftirqNr::kTimer: return ActivityKind::kTimerSoftirq;
+        case trace::SoftirqNr::kSched: return ActivityKind::kRebalanceSoftirq;
+        case trace::SoftirqNr::kRcu: return ActivityKind::kRcuSoftirq;
+        case trace::SoftirqNr::kNetRx: return ActivityKind::kNetRxTasklet;
+        case trace::SoftirqNr::kNetTx: return ActivityKind::kNetTxTasklet;
+        default: break;
+      }
+      break;
+    case EventType::kTaskletEntry:
+      switch (static_cast<trace::TaskletId>(arg)) {
+        case trace::TaskletId::kNetRx: return ActivityKind::kNetRxTasklet;
+        case trace::TaskletId::kNetTx: return ActivityKind::kNetTxTasklet;
+      }
+      break;
+    case EventType::kPageFaultEntry: return ActivityKind::kPageFault;
+    case EventType::kSyscallEntry: return ActivityKind::kSyscall;
+    case EventType::kScheduleEntry: return ActivityKind::kSchedule;
+    default: break;
+  }
+  OSN_ASSERT_MSG(false, "unmapped entry event");
+}
+
+namespace {
+
+/// Per-CPU open-interval bookkeeping during the linear scan.
+struct OpenFrame {
+  std::size_t interval_index;  ///< position in out.kernel
+  DurNs child_time = 0;        ///< inclusive time of direct children
+};
+
+}  // namespace
+
+IntervalSet build_intervals(const trace::TraceModel& model) {
+  IntervalSet out;
+
+  // --- kernel entry/exit intervals, per CPU --------------------------------
+  for (CpuId cpu = 0; cpu < model.cpu_count(); ++cpu) {
+    std::vector<OpenFrame> stack;
+    for (const auto& rec : model.cpu_events(cpu)) {
+      const auto type = static_cast<EventType>(rec.event);
+      if (trace::is_entry(type)) {
+        Interval iv;
+        iv.kind = activity_of(type, rec.arg);
+        iv.detail = rec.arg;
+        iv.cpu = cpu;
+        iv.task = rec.pid;  // task current on the CPU at entry
+        iv.start = rec.timestamp;
+        iv.depth = static_cast<std::uint16_t>(stack.size());
+        stack.push_back(OpenFrame{out.kernel.size(), 0});
+        out.kernel.push_back(iv);
+      } else if (trace::is_exit(type)) {
+        OSN_ASSERT_MSG(!stack.empty(), "exit without entry");
+        const OpenFrame frame = stack.back();
+        stack.pop_back();
+        Interval& iv = out.kernel[frame.interval_index];
+        OSN_ASSERT_MSG(activity_of(trace::entry_of(type), rec.arg) == iv.kind,
+                       "mismatched exit");
+        iv.end = rec.timestamp;
+        iv.inclusive = iv.end - iv.start;
+        iv.self = sat_sub(iv.inclusive, frame.child_time);
+        if (!stack.empty()) stack.back().child_time += iv.inclusive;
+      }
+    }
+    OSN_ASSERT_MSG(stack.empty(), "unclosed kernel interval at end of trace");
+  }
+
+  // --- preemption intervals and communication windows, per task ------------
+  struct TaskScan {
+    bool preempted = false;
+    TimeNs preempt_start = 0;
+    CpuId preempt_cpu = 0;
+    Pid preemptor = 0;
+    bool in_comm = false;
+    TimeNs comm_start = 0;
+  };
+  std::map<Pid, TaskScan> scans;
+
+  for (const auto& rec : model.merged()) {
+    const auto type = static_cast<EventType>(rec.event);
+    if (type == EventType::kSchedSwitch) {
+      const trace::SwitchArg sw = trace::unpack_switch(rec.arg);
+      if (sw.prev != kIdlePid && model.is_app(sw.prev) && sw.prev_runnable) {
+        TaskScan& scan = scans[sw.prev];
+        OSN_ASSERT_MSG(!scan.preempted, "nested preemption of one task");
+        scan.preempted = true;
+        scan.preempt_start = rec.timestamp;
+        scan.preempt_cpu = static_cast<CpuId>(rec.cpu);
+        scan.preemptor = sw.next;
+      }
+      if (sw.next != kIdlePid && model.is_app(sw.next)) {
+        TaskScan& scan = scans[sw.next];
+        if (scan.preempted) {
+          Interval iv;
+          iv.kind = ActivityKind::kPreemption;
+          iv.detail = scan.preemptor;
+          iv.cpu = scan.preempt_cpu;
+          iv.task = sw.next;
+          iv.start = scan.preempt_start;
+          iv.end = rec.timestamp;
+          iv.inclusive = iv.end - iv.start;
+          iv.self = iv.inclusive;
+          out.preemption.push_back(iv);
+          scan.preempted = false;
+        }
+      }
+    } else if (type == EventType::kAppMark) {
+      const auto mark = static_cast<trace::AppMark>(rec.arg);
+      TaskScan& scan = scans[rec.pid];
+      if (mark == trace::AppMark::kBarrierEnter) {
+        scan.in_comm = true;
+        scan.comm_start = rec.timestamp;
+      } else if (mark == trace::AppMark::kBarrierExit && scan.in_comm) {
+        out.comm.push_back(CommWindow{rec.pid, scan.comm_start, rec.timestamp});
+        scan.in_comm = false;
+      }
+    }
+  }
+  // Close dangling windows at trace end (a task preempted when tracing
+  // stopped still contributes the observed portion).
+  for (auto& [pid, scan] : scans) {
+    if (scan.preempted) {
+      Interval iv;
+      iv.kind = ActivityKind::kPreemption;
+      iv.detail = scan.preemptor;
+      iv.cpu = scan.preempt_cpu;
+      iv.task = pid;
+      iv.start = scan.preempt_start;
+      iv.end = model.meta().end_ns;
+      iv.inclusive = iv.end - iv.start;
+      iv.self = iv.inclusive;
+      out.preemption.push_back(iv);
+    }
+    if (scan.in_comm) out.comm.push_back(CommWindow{pid, scan.comm_start, model.meta().end_ns});
+  }
+
+  auto by_start = [](const Interval& a, const Interval& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.depth < b.depth;
+  };
+  std::sort(out.kernel.begin(), out.kernel.end(), by_start);
+  std::sort(out.preemption.begin(), out.preemption.end(), by_start);
+  return out;
+}
+
+}  // namespace osn::noise

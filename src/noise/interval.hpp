@@ -1,0 +1,81 @@
+// Kernel-activity intervals: the unit of the paper's quantitative analysis.
+//
+// The analyzer pairs every entry/exit tracepoint into an Interval carrying
+// *inclusive* time (wall clock between entry and exit) and *self* time
+// (inclusive minus nested children). Nested events — "events that happen
+// while the OS is already performing other activities", e.g. a timer
+// interrupt raised while the kernel runs a tasklet — are the case §III-A
+// singles out as "particularly important for obtaining correct statistics":
+// without self-time resolution, the tasklet's duration would double-count
+// the interrupt that preempted it.
+//
+// Preemption intervals (an application task descheduled while runnable) are
+// derived from sched_switch events and attributed to the preempted task,
+// with the preempting task recorded for the per-daemon breakdown.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/trace_model.hpp"
+
+namespace osn::noise {
+
+enum class ActivityKind : std::uint8_t {
+  kTimerIrq,
+  kNetIrq,
+  kReschedIpi,
+  kTimerSoftirq,      ///< run_timer_softirq
+  kRebalanceSoftirq,  ///< run_rebalance_domains
+  kRcuSoftirq,        ///< rcu_process_callbacks
+  kNetRxTasklet,      ///< net_rx_action
+  kNetTxTasklet,      ///< net_tx_action
+  kPageFault,
+  kSyscall,
+  kSchedule,    ///< the schedule() function
+  kPreemption,  ///< derived: runnable task descheduled
+  kMaxKind
+};
+
+std::string_view activity_name(ActivityKind k);
+
+struct Interval {
+  ActivityKind kind = ActivityKind::kMaxKind;
+  std::uint64_t detail = 0;  ///< pf kind / syscall nr / preempting pid
+  CpuId cpu = 0;
+  Pid task = 0;  ///< task in whose context it occurred (preempted task for kPreemption)
+  TimeNs start = 0;
+  TimeNs end = 0;
+  DurNs inclusive = 0;
+  DurNs self = 0;
+  std::uint16_t depth = 0;  ///< nesting depth; 0 = outermost kernel activity
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// A time window during which a task was inside an application-level
+/// communication phase (barrier enter..exit markers): kernel activity inside
+/// it is excluded from noise by the runnable filter.
+struct CommWindow {
+  Pid task = 0;
+  TimeNs start = 0;
+  TimeNs end = 0;
+};
+
+/// All intervals extracted from a trace, sorted by start time.
+struct IntervalSet {
+  std::vector<Interval> kernel;      ///< entry/exit-paired kernel activities
+  std::vector<Interval> preemption;  ///< derived preemption intervals
+  std::vector<CommWindow> comm;      ///< barrier (communication) windows
+};
+
+/// Builds the interval set from a trace. Asserts trace well-formedness
+/// (per-CPU monotonicity, matched entry/exit pairs).
+IntervalSet build_intervals(const trace::TraceModel& model);
+
+/// Maps an entry/exit pair (event type + arg) to its ActivityKind.
+ActivityKind activity_of(trace::EventType entry_type, std::uint64_t arg);
+
+}  // namespace osn::noise

@@ -1,0 +1,51 @@
+#include "sim/engine.hpp"
+
+#include "common/assert.hpp"
+
+namespace osn::sim {
+
+EventId Engine::schedule_at(TimeNs t, std::function<void()> fn) {
+  OSN_ASSERT_MSG(t >= now_, "cannot schedule into the past");
+  OSN_ASSERT_MSG(fn != nullptr, "null callback");
+  const EventId id = next_id_++;
+  heap_.push(HeapItem{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+void Engine::cancel(EventId id) { callbacks_.erase(id); }
+
+bool Engine::step(TimeNs t_limit) {
+  while (!heap_.empty()) {
+    const HeapItem item = heap_.top();
+    if (item.time > t_limit) return false;
+    heap_.pop();
+    auto it = callbacks_.find(item.id);
+    if (it == callbacks_.end()) continue;  // lazily-cancelled entry
+    // Move the callback out before erasing: the callback may (re)schedule.
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    OSN_ASSERT(item.time >= now_);
+    now_ = item.time;
+    ++fired_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run() {
+  stopped_ = false;
+  while (!stopped_ && step(kTimeInfinity)) {
+  }
+}
+
+void Engine::run_until(TimeNs t_end) {
+  OSN_ASSERT(t_end >= now_);
+  stopped_ = false;
+  while (!stopped_ && step(t_end)) {
+  }
+  if (!stopped_ && now_ < t_end) now_ = t_end;
+}
+
+}  // namespace osn::sim

@@ -1,0 +1,82 @@
+// Deterministic discrete-event simulation engine.
+//
+// The simulated kernel (src/kernel) is written as a set of callbacks
+// scheduled on this engine: interrupt arrivals, execution-frame completions,
+// DMA completions, timer expiries. Determinism guarantees:
+//  * events fire in (time, insertion-sequence) order, so simultaneous events
+//    are processed FIFO — independent of container iteration order;
+//  * no wall-clock or address-based state enters the schedule.
+// Cancellation is O(1) lazy: cancelled ids stay in the heap and are skipped
+// when popped, the standard technique for DES engines with frequent
+// reschedules (every preempted execution frame cancels its completion).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace osn::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class Engine {
+ public:
+  /// Schedules `fn` at absolute time `t` (must be >= now()).
+  EventId schedule_at(TimeNs t, std::function<void()> fn);
+
+  /// Schedules `fn` `d` nanoseconds from now.
+  EventId schedule_after(DurNs d, std::function<void()> fn) {
+    return schedule_at(now_ + d, std::move(fn));
+  }
+
+  /// Cancels a pending event; cancelling an already-fired or already-
+  /// cancelled id is a harmless no-op (callers race with completions).
+  void cancel(EventId id);
+
+  /// True if `id` is still pending.
+  bool pending(EventId id) const { return callbacks_.contains(id); }
+
+  /// Runs events until the queue is empty or `stop()` is called.
+  void run();
+
+  /// Runs events with time <= t_end, then advances the clock to t_end.
+  void run_until(TimeNs t_end);
+
+  /// Stops run()/run_until() after the current callback returns.
+  void stop() { stopped_ = true; }
+
+  TimeNs now() const { return now_; }
+  std::size_t pending_count() const { return callbacks_.size(); }
+  std::uint64_t fired_count() const { return fired_; }
+
+ private:
+  struct HeapItem {
+    TimeNs time;
+    std::uint64_t seq;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops and dispatches one event; false when none is due by t_limit.
+  bool step(TimeNs t_limit);
+
+  TimeNs now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+  std::uint64_t fired_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, Later> heap_;
+  std::unordered_map<EventId, std::function<void()>> callbacks_;
+};
+
+}  // namespace osn::sim

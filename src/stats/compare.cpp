@@ -1,0 +1,58 @@
+#include "stats/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace osn::stats {
+
+double pearson_correlation(const std::vector<double>& a, const std::vector<double>& b) {
+  OSN_ASSERT_MSG(a.size() == b.size() && !a.empty(), "series must be paired and non-empty");
+  const auto n = static_cast<double>(a.size());
+  double ma = 0, mb = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0, va = 0, vb = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va == 0.0 || vb == 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+double ks_distance(std::vector<double> a, std::vector<double> b) {
+  OSN_ASSERT_MSG(!a.empty() && !b.empty(), "ks_distance of empty series");
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::size_t ia = 0, ib = 0;
+  double d = 0;
+  const auto na = static_cast<double>(a.size());
+  const auto nb = static_cast<double>(b.size());
+  while (ia < a.size() && ib < b.size()) {
+    if (a[ia] <= b[ib]) {
+      ++ia;
+    } else {
+      ++ib;
+    }
+    d = std::max(d, std::abs(static_cast<double>(ia) / na - static_cast<double>(ib) / nb));
+  }
+  return d;
+}
+
+double mean_abs_difference(const std::vector<double>& a, const std::vector<double>& b) {
+  OSN_ASSERT_MSG(a.size() == b.size() && !a.empty(), "series must be paired and non-empty");
+  double sum = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += std::abs(a[i] - b[i]);
+  return sum / static_cast<double>(a.size());
+}
+
+}  // namespace osn::stats

@@ -1,0 +1,22 @@
+// Series-comparison helpers used by the validation benches.
+//
+// Fig 1 of the paper argues that the FTQ-measured noise series and the
+// trace-derived synthetic noise series agree; we quantify that claim with
+// Pearson correlation and a Kolmogorov-Smirnov distance instead of eyeballing
+// two plots.
+#pragma once
+
+#include <vector>
+
+namespace osn::stats {
+
+/// Pearson correlation coefficient; 0 when either series is constant.
+double pearson_correlation(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Two-sample Kolmogorov-Smirnov statistic (max CDF distance).
+double ks_distance(std::vector<double> a, std::vector<double> b);
+
+/// Mean absolute difference between paired series.
+double mean_abs_difference(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace osn::stats

@@ -1,0 +1,97 @@
+#include "stats/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/assert.hpp"
+
+namespace osn::stats {
+
+double sample_normal(Xoshiro256& rng) {
+  // Box-Muller; guard u1 away from 0 so log() stays finite.
+  const double u1 = std::max(rng.uniform01(), 1e-18);
+  const double u2 = rng.uniform01();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double sample_exponential(Xoshiro256& rng, double mean) {
+  const double u = std::max(rng.uniform01(), 1e-18);
+  return -mean * std::log(u);
+}
+
+double sample_lognormal(Xoshiro256& rng, double median, double sigma) {
+  return median * std::exp(sigma * sample_normal(rng));
+}
+
+double sample_pareto(Xoshiro256& rng, double scale, double alpha) {
+  const double u = std::max(rng.uniform01(), 1e-18);
+  return scale * std::pow(u, -1.0 / alpha);
+}
+
+DurationModel DurationModel::fixed(DurNs v) {
+  DurationModel m;
+  m.is_fixed_ = true;
+  m.fixed_value_ = v;
+  m.min_ns_ = v;
+  m.max_ns_ = v;
+  return m;
+}
+
+DurationModel DurationModel::lognormal(double median_ns, double sigma, DurNs min_ns,
+                                       DurNs max_ns) {
+  return mixture({{1.0, median_ns, sigma}}, min_ns, max_ns);
+}
+
+DurationModel DurationModel::mixture(std::vector<LognormalComponent> components, DurNs min_ns,
+                                     DurNs max_ns, double tail_weight, double tail_scale_ns,
+                                     double tail_alpha) {
+  OSN_ASSERT_MSG(!components.empty(), "mixture needs at least one component");
+  OSN_ASSERT(min_ns <= max_ns);
+  OSN_ASSERT(tail_weight >= 0.0 && tail_weight < 1.0);
+  DurationModel m;
+  m.components_ = std::move(components);
+  double total = 0;
+  for (const auto& c : m.components_) {
+    OSN_ASSERT_MSG(c.weight > 0 && c.median_ns > 0 && c.sigma >= 0, "bad component");
+    total += c.weight;
+  }
+  double cum = 0;
+  m.cumulative_.reserve(m.components_.size());
+  for (const auto& c : m.components_) {
+    cum += c.weight / total;
+    m.cumulative_.push_back(cum);
+  }
+  m.cumulative_.back() = 1.0;  // kill fp residue
+  m.min_ns_ = min_ns;
+  m.max_ns_ = max_ns;
+  m.tail_weight_ = tail_weight;
+  m.tail_scale_ = tail_scale_ns;
+  m.tail_alpha_ = tail_alpha;
+  return m;
+}
+
+DurNs DurationModel::sample(Xoshiro256& rng) const {
+  if (is_fixed_) return fixed_value_;
+  double v;
+  if (tail_weight_ > 0.0 && rng.uniform01() < tail_weight_) {
+    v = sample_pareto(rng, tail_scale_, tail_alpha_);
+  } else {
+    const double u = rng.uniform01();
+    std::size_t idx = 0;
+    while (idx + 1 < cumulative_.size() && u > cumulative_[idx]) ++idx;
+    const auto& c = components_[idx];
+    v = sample_lognormal(rng, c.median_ns, c.sigma);
+  }
+  const auto clamped = static_cast<DurNs>(std::max(v, 0.0));
+  return std::clamp(clamped, min_ns_, max_ns_);
+}
+
+double DurationModel::estimate_mean(Xoshiro256& rng, std::size_t samples) const {
+  OSN_ASSERT(samples > 0);
+  double sum = 0;
+  for (std::size_t i = 0; i < samples; ++i) sum += static_cast<double>(sample(rng));
+  return sum / static_cast<double>(samples);
+}
+
+}  // namespace osn::stats

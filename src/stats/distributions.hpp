@@ -1,0 +1,76 @@
+// Sampling distributions for kernel-activity durations and arrivals.
+//
+// The paper's measured duration data share one signature: a dominant body
+// around a few microseconds plus a very long tail (page faults span 250 ns to
+// 69 ms on AMG; run_timer_softirq has a "long-tail density function").
+// DurationModel captures that shape as a mixture of lognormal components —
+// one per histogram peak — with an optional Pareto tail, clamped to the
+// [min, max] the tables report. Workload calibration in src/workloads builds
+// one model per (application, kernel activity) pair.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace osn::stats {
+
+/// Standard normal via Box-Muller (one value per call; simple > fast here).
+double sample_normal(Xoshiro256& rng);
+
+/// Exponential with the given mean.
+double sample_exponential(Xoshiro256& rng, double mean);
+
+/// Lognormal parameterized by its median exp(mu) and shape sigma.
+double sample_lognormal(Xoshiro256& rng, double median, double sigma);
+
+/// Pareto (type I): scale * U^(-1/alpha); heavy tail for alpha <= 2.
+double sample_pareto(Xoshiro256& rng, double scale, double alpha);
+
+/// One lognormal mode of a duration distribution.
+struct LognormalComponent {
+  double weight;     ///< Relative weight; normalized across the mixture.
+  double median_ns;  ///< Median of this mode in nanoseconds.
+  double sigma;      ///< Lognormal shape (0.1 = tight, 1.0 = wide).
+};
+
+/// Mixture-of-lognormals + optional Pareto tail duration model.
+class DurationModel {
+ public:
+  /// Degenerate model: always returns `v`.
+  static DurationModel fixed(DurNs v);
+
+  /// Single-mode model.
+  static DurationModel lognormal(double median_ns, double sigma, DurNs min_ns, DurNs max_ns);
+
+  /// Multi-mode model with an optional heavy tail. `tail_weight` is the
+  /// probability of drawing from the Pareto tail instead of the body.
+  static DurationModel mixture(std::vector<LognormalComponent> components, DurNs min_ns,
+                               DurNs max_ns, double tail_weight = 0.0,
+                               double tail_scale_ns = 0.0, double tail_alpha = 1.5);
+
+  DurNs sample(Xoshiro256& rng) const;
+
+  DurNs min_ns() const { return min_ns_; }
+  DurNs max_ns() const { return max_ns_; }
+
+  /// Analytic mean of the clamped model is intractable; estimate by sampling.
+  /// Used by calibration tests to check models against the paper's tables.
+  double estimate_mean(Xoshiro256& rng, std::size_t samples = 100'000) const;
+
+ private:
+  DurationModel() = default;
+
+  std::vector<LognormalComponent> components_;
+  std::vector<double> cumulative_;  // normalized CDF over components
+  DurNs fixed_value_ = 0;
+  bool is_fixed_ = false;
+  DurNs min_ns_ = 0;
+  DurNs max_ns_ = kTimeInfinity;
+  double tail_weight_ = 0.0;
+  double tail_scale_ = 0.0;
+  double tail_alpha_ = 1.5;
+};
+
+}  // namespace osn::stats

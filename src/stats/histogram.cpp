@@ -1,0 +1,126 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/format.hpp"
+
+namespace osn::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  OSN_ASSERT_MSG(hi > lo && bins > 0, "histogram range/bins invalid");
+}
+
+void Histogram::add(double x, std::uint64_t weight) {
+  total_ += weight;
+  if (x < lo_) {
+    underflow_ += weight;
+  } else if (x >= hi_) {
+    overflow_ += weight;
+  } else {
+    auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    idx = std::min(idx, counts_.size() - 1);  // guard fp edge at hi_
+    counts_[idx] += weight;
+  }
+}
+
+double Histogram::bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i) + width_; }
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (cum >= target) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto c = static_cast<double>(counts_[i]);
+    if (cum + c >= target && c > 0) {
+      const double frac = (target - cum) / c;
+      return bin_lo(i) + frac * width_;
+    }
+    cum += c;
+  }
+  return hi_;
+}
+
+std::size_t Histogram::mode_bin() const {
+  return static_cast<std::size_t>(
+      std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+std::vector<std::size_t> Histogram::peaks(double min_fraction, double dip_ratio) const {
+  std::vector<std::size_t> out;
+  if (counts_.empty()) return out;
+  const auto mode = static_cast<double>(counts_[mode_bin()]);
+  const double floor_count = mode * min_fraction;
+  // A peak is a bin >= its neighbours, above the floor, and separated from the
+  // previous accepted peak by a dip below `dip_ratio` of its own height.
+  std::size_t last_peak = counts_.size();
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t c = counts_[i];
+    if (static_cast<double>(c) < floor_count) continue;
+    const std::uint64_t left = i > 0 ? counts_[i - 1] : 0;
+    const std::uint64_t right = i + 1 < counts_.size() ? counts_[i + 1] : 0;
+    if (c < left || c < right) continue;
+    if (last_peak != counts_.size()) {
+      std::uint64_t dip = c;
+      for (std::size_t j = last_peak; j <= i; ++j) dip = std::min(dip, counts_[j]);
+      if (static_cast<double>(dip) > dip_ratio * static_cast<double>(c)) {
+        // Same hump as the previous peak: keep the taller one.
+        if (counts_[i] > counts_[last_peak]) out.back() = i, last_peak = i;
+        continue;
+      }
+    }
+    out.push_back(i);
+    last_peak = i;
+  }
+  return out;
+}
+
+LogHistogram::LogHistogram() : counts_(64, 0) {}
+
+void LogHistogram::add(DurNs v) {
+  ++total_;
+  const std::size_t idx = v == 0 ? 0 : static_cast<std::size_t>(std::bit_width(v) - 1);
+  ++counts_[idx];
+}
+
+DurNs LogHistogram::bucket_lo(std::size_t i) { return i == 0 ? 0 : (DurNs{1} << i); }
+
+DurNs LogHistogram::quantile(double q) const {
+  if (total_ == 0) return 0;
+  const double target = q * static_cast<double>(total_);
+  double cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto c = static_cast<double>(counts_[i]);
+    if (cum + c >= target && c > 0) {
+      const double frac = (target - cum) / c;
+      const auto lo = static_cast<double>(bucket_lo(i));
+      return static_cast<DurNs>(lo + frac * lo);  // bucket spans [lo, 2*lo)
+    }
+    cum += c;
+  }
+  return bucket_lo(counts_.size() - 1);
+}
+
+std::string render_histogram(const Histogram& h, const std::string& title,
+                             const std::string& x_unit, std::size_t bar_width) {
+  std::string out = title + "\n";
+  std::uint64_t peak = 1;
+  for (std::size_t i = 0; i < h.bin_count(); ++i) peak = std::max(peak, h.bin(i));
+  for (std::size_t i = 0; i < h.bin_count(); ++i) {
+    const auto bars = static_cast<std::size_t>(
+        static_cast<double>(h.bin(i)) / static_cast<double>(peak) *
+        static_cast<double>(bar_width));
+    out += osn::pad_left(osn::fmt_fixed(h.bin_lo(i), 2), 10) + " " + x_unit + " |" +
+           std::string(bars, '#') + " " + std::to_string(h.bin(i)) + "\n";
+  }
+  if (h.overflow() > 0)
+    out += "  (+" + std::to_string(h.overflow()) + " samples beyond range, cut as in the paper)\n";
+  return out;
+}
+
+}  // namespace osn::stats

@@ -1,0 +1,79 @@
+// Fixed-range linear and logarithmic histograms.
+//
+// The paper's duration figures (Figs 4, 6, 8) are duration histograms whose
+// distributions have very long tails; following the paper we support cutting
+// the rendered range at a percentile (they cut at the 99th). The log-scale
+// variant is used internally where durations span 250 ns .. 69 ms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace osn::stats {
+
+/// Linear-bin histogram over [lo, hi); out-of-range samples land in underflow
+/// and overflow counters so nothing is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, std::uint64_t weight = 1);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::uint64_t bin(std::size_t i) const { return counts_[i]; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  /// Value below which `q` (0..1) of all samples fall, interpolated within a
+  /// bin. Underflow counts as lo(), overflow as hi().
+  double quantile(double q) const;
+
+  /// Index of the fullest bin (mode); the paper talks about histogram
+  /// "picks" [sic] — peaks — e.g. AMG's bimodal page-fault distribution.
+  std::size_t mode_bin() const;
+
+  /// Local maxima whose height is at least `min_fraction` of the mode and
+  /// that are separated by a dip below `dip_ratio` of the smaller peak; used
+  /// by tests and benches to assert bimodality.
+  std::vector<std::size_t> peaks(double min_fraction = 0.25,
+                                 double dip_ratio = 0.5) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+/// Log2-bucketed histogram for full-range duration data.
+class LogHistogram {
+ public:
+  LogHistogram();
+
+  void add(DurNs v);
+  std::uint64_t total() const { return total_; }
+  /// Approximate quantile assuming uniform spread within a bucket.
+  DurNs quantile(double q) const;
+
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  static DurNs bucket_lo(std::size_t i);
+
+ private:
+  std::vector<std::uint64_t> counts_;  // bucket i holds [2^i, 2^(i+1))
+  std::uint64_t total_ = 0;
+};
+
+/// Renders a vertical-bar ASCII histogram (one row per bin, '#' bars), the
+/// textual stand-in for the paper's Matlab histogram figures.
+std::string render_histogram(const Histogram& h, const std::string& title,
+                             const std::string& x_unit, std::size_t bar_width = 60);
+
+}  // namespace osn::stats

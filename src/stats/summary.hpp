@@ -1,0 +1,38 @@
+// Streaming summary statistics (Welford / Chan).
+//
+// Tables I-VI of the paper report freq(ev/sec), avg, max and min per kernel
+// activity; StreamingSummary accumulates those in O(1) memory while the
+// analyzer walks a trace. Variance uses Welford's algorithm and merging uses
+// Chan et al.'s parallel update, so per-CPU partials can be combined.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace osn::stats {
+
+class StreamingSummary {
+ public:
+  void add(double x);
+
+  /// Combine another partial summary into this one (parallel merge).
+  void merge(const StreamingSummary& other);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+  /// Population variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace osn::stats

@@ -1,0 +1,84 @@
+// Trace sinks: where tracepoints deliver their records.
+//
+// The instrumented kernel emits through a TraceSink pointer, so the same
+// kernel build can trace into per-CPU ring buffers (production path), into a
+// plain vector (tests), into nothing (the tracing-disabled baseline used to
+// measure tracer overhead, §III-A), or through an event filter (the paper's
+// "simply applying different filters" capability, §III-A footnote 2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "trace/schema.hpp"
+#include "tracebuf/channel_set.hpp"
+#include "tracebuf/record.hpp"
+
+namespace osn::trace {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void write(const tracebuf::EventRecord& rec) = 0;
+};
+
+/// Collects records in memory; the default for the simulator and tests.
+class VectorSink final : public TraceSink {
+ public:
+  void write(const tracebuf::EventRecord& rec) override { records_.push_back(rec); }
+  const std::vector<tracebuf::EventRecord>& records() const { return records_; }
+  std::vector<tracebuf::EventRecord> take() { return std::move(records_); }
+
+ private:
+  std::vector<tracebuf::EventRecord> records_;
+};
+
+/// Routes each record into the per-CPU lock-free channel set (LTTng path).
+class ChannelSink final : public TraceSink {
+ public:
+  explicit ChannelSink(tracebuf::ChannelSet& channels) : channels_(channels) {}
+  void write(const tracebuf::EventRecord& rec) override {
+    channels_.emit(static_cast<CpuId>(rec.cpu), rec);
+  }
+
+ private:
+  tracebuf::ChannelSet& channels_;
+};
+
+/// Discards everything; the "tracing compiled out" baseline.
+class NullSink final : public TraceSink {
+ public:
+  void write(const tracebuf::EventRecord&) override {}
+};
+
+/// Counts records without storing them.
+class CountingSink final : public TraceSink {
+ public:
+  void write(const tracebuf::EventRecord&) override { ++count_; }
+  std::uint64_t count() const { return count_; }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+/// Per-event-type filter in front of another sink.
+class FilteredSink final : public TraceSink {
+ public:
+  explicit FilteredSink(TraceSink& next) : next_(next) { enabled_.fill(true); }
+
+  void set_enabled(EventType t, bool on) {
+    enabled_[static_cast<std::size_t>(t)] = on;
+  }
+  bool enabled(EventType t) const { return enabled_[static_cast<std::size_t>(t)]; }
+
+  void write(const tracebuf::EventRecord& rec) override {
+    if (enabled_[rec.event]) next_.write(rec);
+  }
+
+ private:
+  TraceSink& next_;
+  std::array<bool, static_cast<std::size_t>(EventType::kMaxEvent)> enabled_{};
+};
+
+}  // namespace osn::trace

@@ -1,0 +1,152 @@
+#include "trace/trace_io.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "common/assert.hpp"
+
+namespace osn::trace {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x544e534f;  // "OSNT" little-endian
+constexpr std::uint32_t kVersion = 1;
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_varint(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+std::string get_string(const std::vector<std::uint8_t>& buf, std::size_t& pos) {
+  const std::uint64_t len = get_varint(buf, pos);
+  OSN_ASSERT_MSG(pos + len <= buf.size(), "truncated string");
+  std::string s(reinterpret_cast<const char*>(buf.data() + pos), len);
+  pos += len;
+  return s;
+}
+}  // namespace
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t get_varint(const std::vector<std::uint8_t>& buf, std::size_t& pos) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    OSN_ASSERT_MSG(pos < buf.size(), "truncated varint");
+    const std::uint8_t byte = buf[pos++];
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    OSN_ASSERT_MSG(shift < 64, "varint too long");
+  }
+  return v;
+}
+
+std::vector<std::uint8_t> serialize_trace(const TraceModel& model) {
+  std::vector<std::uint8_t> out;
+  out.reserve(model.total_events() * 8 + 256);
+
+  put_varint(out, kMagic);
+  put_varint(out, kVersion);
+
+  const TraceMeta& meta = model.meta();
+  put_varint(out, meta.n_cpus);
+  put_varint(out, meta.tick_period_ns);
+  put_varint(out, meta.start_ns);
+  put_varint(out, meta.end_ns);
+  put_string(out, meta.workload);
+
+  put_varint(out, model.tasks().size());
+  for (const auto& [pid, info] : model.tasks()) {
+    put_varint(out, pid);
+    put_string(out, info.name);
+    put_varint(out, static_cast<std::uint64_t>(info.is_app ? 1 : 0) |
+                        (static_cast<std::uint64_t>(info.is_kernel_thread ? 1 : 0) << 1));
+  }
+
+  for (CpuId c = 0; c < meta.n_cpus; ++c) {
+    const auto& stream = model.cpu_events(c);
+    put_varint(out, stream.size());
+    TimeNs prev_ts = 0;
+    for (const auto& rec : stream) {
+      OSN_ASSERT_MSG(rec.timestamp >= prev_ts, "stream not time-ordered");
+      put_varint(out, rec.timestamp - prev_ts);
+      prev_ts = rec.timestamp;
+      put_varint(out, rec.pid);
+      put_varint(out, rec.event);
+      put_varint(out, rec.arg);
+    }
+  }
+  return out;
+}
+
+TraceModel deserialize_trace(const std::vector<std::uint8_t>& buf) {
+  std::size_t pos = 0;
+  OSN_ASSERT_MSG(get_varint(buf, pos) == kMagic, "bad magic: not an OSNT trace");
+  OSN_ASSERT_MSG(get_varint(buf, pos) == kVersion, "unsupported OSNT version");
+
+  TraceMeta meta;
+  meta.n_cpus = static_cast<std::uint16_t>(get_varint(buf, pos));
+  meta.tick_period_ns = get_varint(buf, pos);
+  meta.start_ns = get_varint(buf, pos);
+  meta.end_ns = get_varint(buf, pos);
+  meta.workload = get_string(buf, pos);
+
+  std::map<Pid, TaskInfo> tasks;
+  const std::uint64_t n_tasks = get_varint(buf, pos);
+  for (std::uint64_t i = 0; i < n_tasks; ++i) {
+    TaskInfo info;
+    info.pid = static_cast<Pid>(get_varint(buf, pos));
+    info.name = get_string(buf, pos);
+    const std::uint64_t flags = get_varint(buf, pos);
+    info.is_app = (flags & 1) != 0;
+    info.is_kernel_thread = (flags & 2) != 0;
+    tasks.emplace(info.pid, std::move(info));
+  }
+
+  std::vector<std::vector<tracebuf::EventRecord>> per_cpu(meta.n_cpus);
+  for (CpuId c = 0; c < meta.n_cpus; ++c) {
+    const std::uint64_t n = get_varint(buf, pos);
+    per_cpu[c].reserve(n);
+    TimeNs ts = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      tracebuf::EventRecord rec;
+      ts += get_varint(buf, pos);
+      rec.timestamp = ts;
+      rec.pid = static_cast<std::uint32_t>(get_varint(buf, pos));
+      rec.cpu = c;
+      rec.event = static_cast<std::uint16_t>(get_varint(buf, pos));
+      rec.arg = get_varint(buf, pos);
+      per_cpu[c].push_back(rec);
+    }
+  }
+  OSN_ASSERT_MSG(pos == buf.size(), "trailing bytes after trace");
+  return TraceModel(std::move(meta), std::move(per_cpu), std::move(tasks));
+}
+
+bool write_trace_file(const TraceModel& model, const std::string& path) {
+  const auto bytes = serialize_trace(model);
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(std::fopen(path.c_str(), "wb"),
+                                                    &std::fclose);
+  if (!f) return false;
+  return std::fwrite(bytes.data(), 1, bytes.size(), f.get()) == bytes.size();
+}
+
+TraceModel read_trace_file(const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(std::fopen(path.c_str(), "rb"),
+                                                    &std::fclose);
+  OSN_ASSERT_MSG(f != nullptr, "cannot open trace file");
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[65536];
+  std::size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f.get())) > 0)
+    bytes.insert(bytes.end(), chunk, chunk + n);
+  return deserialize_trace(bytes);
+}
+
+}  // namespace osn::trace

@@ -1,0 +1,36 @@
+// Compact binary serialization of traces ("OSNT" format).
+//
+// LTTng persists CTF; we persist an analogous compact stream: LEB128 varints
+// with per-CPU delta-encoded timestamps, which shrinks the dominant field
+// (monotonic nanosecond timestamps) to 1-3 bytes per event. The format is the
+// bridge between a tracing run and later offline analysis, exactly the
+// pre-processing split the paper describes (instrument statically, analyze
+// offline).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace_model.hpp"
+
+namespace osn::trace {
+
+/// Appends a LEB128 varint to `out`.
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v);
+
+/// Reads a LEB128 varint at `pos`, advancing it. Asserts on truncation.
+std::uint64_t get_varint(const std::vector<std::uint8_t>& buf, std::size_t& pos);
+
+/// Serializes a trace to the OSNT binary format.
+std::vector<std::uint8_t> serialize_trace(const TraceModel& model);
+
+/// Parses an OSNT buffer back into a TraceModel. Asserts on malformed input
+/// via OSN_ASSERT (corrupted traces are a programming/storage error here).
+TraceModel deserialize_trace(const std::vector<std::uint8_t>& buf);
+
+/// File convenience wrappers; return false / abort on I/O failure.
+bool write_trace_file(const TraceModel& model, const std::string& path);
+TraceModel read_trace_file(const std::string& path);
+
+}  // namespace osn::trace

@@ -1,0 +1,78 @@
+// In-memory representation of a completed trace, the input to all offline
+// analysis (noise intervals, statistics, exporters).
+//
+// A TraceModel bundles the per-CPU event streams with the task registry
+// (which pids are application ranks vs. kernel daemons — the distinction at
+// the heart of the paper's noise definition) and node metadata (CPU count,
+// tick period, trace window).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/schema.hpp"
+#include "tracebuf/record.hpp"
+
+namespace osn::trace {
+
+struct TaskInfo {
+  Pid pid = 0;
+  std::string name;
+  bool is_app = false;            ///< an application (HPC rank) process
+  bool is_kernel_thread = false;  ///< kernel daemon (rpciod, events, ...)
+
+  friend bool operator==(const TaskInfo&, const TaskInfo&) = default;
+};
+
+struct TraceMeta {
+  std::uint16_t n_cpus = 0;
+  DurNs tick_period_ns = 0;  ///< periodic timer interval (10 ms at 100 Hz)
+  TimeNs start_ns = 0;
+  TimeNs end_ns = 0;
+  std::string workload;
+
+  friend bool operator==(const TraceMeta&, const TraceMeta&) = default;
+};
+
+class TraceModel {
+ public:
+  TraceModel() = default;
+  TraceModel(TraceMeta meta, std::vector<std::vector<tracebuf::EventRecord>> per_cpu,
+             std::map<Pid, TaskInfo> tasks);
+
+  const TraceMeta& meta() const { return meta_; }
+  std::uint16_t cpu_count() const { return meta_.n_cpus; }
+  DurNs duration() const { return meta_.end_ns - meta_.start_ns; }
+
+  const std::vector<tracebuf::EventRecord>& cpu_events(CpuId cpu) const {
+    return per_cpu_[cpu];
+  }
+  std::size_t total_events() const;
+
+  const std::map<Pid, TaskInfo>& tasks() const { return tasks_; }
+  const TaskInfo* find_task(Pid pid) const;
+  bool is_app(Pid pid) const;
+  std::string task_name(Pid pid) const;
+
+  /// All application pids, sorted.
+  std::vector<Pid> app_pids() const;
+
+  /// Merged view of all CPU streams ordered by (timestamp, cpu).
+  std::vector<tracebuf::EventRecord> merged() const;
+
+  /// Validates per-CPU timestamp monotonicity and entry/exit pairing
+  /// discipline; returns a human-readable problem description or empty.
+  std::string validate() const;
+
+  friend bool operator==(const TraceModel&, const TraceModel&) = default;
+
+ private:
+  TraceMeta meta_;
+  std::vector<std::vector<tracebuf::EventRecord>> per_cpu_;
+  std::map<Pid, TaskInfo> tasks_;
+};
+
+}  // namespace osn::trace

@@ -1,0 +1,46 @@
+// A set of per-CPU channels — the tracer's session object.
+//
+// Mirrors an LTTng tracing session: one ring buffer per CPU, a consumer that
+// merges the per-CPU streams back into global timestamp order, and loss
+// accounting across the whole set.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "tracebuf/ring_buffer.hpp"
+
+namespace osn::tracebuf {
+
+class ChannelSet {
+ public:
+  ChannelSet(std::size_t n_cpus, std::size_t per_cpu_capacity_pow2,
+             FullPolicy policy = FullPolicy::kDiscard);
+
+  /// Hot path: record an event on `cpu`'s channel. Returns false on discard.
+  bool emit(CpuId cpu, const EventRecord& rec) {
+    return channels_[cpu]->try_push(rec);
+  }
+
+  std::size_t cpu_count() const { return channels_.size(); }
+  RingBuffer& channel(CpuId cpu) { return *channels_[cpu]; }
+  const RingBuffer& channel(CpuId cpu) const { return *channels_[cpu]; }
+
+  /// Total records discarded across all channels.
+  std::uint64_t total_lost() const;
+
+  /// Drains every channel and merges the streams into a single vector sorted
+  /// by (timestamp, cpu). Per-CPU streams are individually time-ordered (each
+  /// CPU's clock is monotonic), so this is a k-way merge.
+  std::vector<EventRecord> drain_merged();
+
+  /// Drains each channel into its own vector (index = cpu).
+  std::vector<std::vector<EventRecord>> drain_per_cpu();
+
+ private:
+  std::vector<std::unique_ptr<RingBuffer>> channels_;
+};
+
+}  // namespace osn::tracebuf

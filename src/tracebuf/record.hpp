@@ -1,0 +1,28 @@
+// The fixed-size binary event record transported by the ring buffers.
+//
+// LTTng writes variable-size CTF events; for the event vocabulary this system
+// needs (entry/exit points with one argument), a fixed 24-byte record is both
+// simpler and faster, and keeps the ring buffer wait-free. The *meaning* of
+// `event` and `arg` is defined by the schema in src/trace; the buffer layer
+// transports records opaquely.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace osn::tracebuf {
+
+struct EventRecord {
+  TimeNs timestamp = 0;        ///< nanoseconds since trace origin
+  std::uint32_t pid = 0;       ///< task current on the CPU when recorded
+  std::uint16_t cpu = 0;       ///< logical CPU the event occurred on
+  std::uint16_t event = 0;     ///< event id (osn::trace::EventType)
+  std::uint64_t arg = 0;       ///< event-specific argument
+
+  friend bool operator==(const EventRecord&, const EventRecord&) = default;
+};
+
+static_assert(sizeof(EventRecord) == 24, "records are packed to 24 bytes");
+
+}  // namespace osn::tracebuf

@@ -1,0 +1,272 @@
+#include "workloads/calibration.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace osn::workloads {
+
+namespace {
+
+// Paper values, transcribed from Tables I-VI. Fig 3 percentages quoted in
+// the paper's text are exact; the remaining percentages are read from the
+// figure (flagged in EXPERIMENTS.md).
+const std::array<PaperAppData, kSequoiaAppCount> kPaperData = {{
+    {"AMG",
+     {1693, 4380, 69398061, 250},   // page faults
+     {116, 1552, 347902, 540},      // net irq
+     {53, 3031, 98570, 192},        // net_rx_action
+     {15, 471, 8227, 176},          // net_tx_action
+     {100, 3334, 29422, 795},       // timer irq
+     {100, 1718, 49030, 191},       // run_timer_softirq
+     6.0, 82.4, 3.0, 5.0, 3.6},
+    {"IRS",
+     {1488, 4202, 4825103, 218},
+     {87, 1666, 353294, 521},
+     {43, 4460, 78236, 174},
+     {10, 504, 4725, 176},
+     {100, 6289, 35734, 867},
+     {100, 3897, 57663, 193},
+     7.0, 58.0, 4.0, 27.1, 3.9},
+    {"LAMMPS",
+     {231, 3221, 27544, 248},
+     {11, 2520, 356380, 594},
+     {10, 4707, 84152, 199},
+     {2, 559, 4392, 175},
+     {100, 3763, 34555, 1194},
+     {100, 2242, 58628, 256},
+     5.0, 10.2, 2.0, 80.2, 2.6},
+    {"SPHOT",
+     {25, 2467, 889333, 221},
+     {21, 1372, 341003, 535},
+     {15, 1987, 45150, 207},
+     {3, 409, 2746, 200},
+     {100, 1498, 10204, 833},
+     {100, 620, 32926, 223},
+     42.0, 13.5, 12.0, 24.7, 7.8},
+    {"UMT",
+     {3554, 4545, 50208, 229},
+     {77, 1975, 349288, 484},
+     {22, 5484, 75042, 167},
+     {9, 545, 8902, 173},
+     {100, 6451, 29662, 982},
+     {100, 3364, 87472, 214},
+     5.0, 86.7, 4.0, 3.0, 1.3},
+}};
+
+/// Builds a lognormal(+tail) model whose *clamped* mean matches target_avg:
+/// the analytic lognormal mean ignores the [min,max] clamp and the tail, so
+/// the median of the main component is corrected by fixed-point iteration
+/// against a sampled mean. `extras` are fixed side modes (rare extreme events
+/// that realize the tables' max column, or a fast path realizing the min
+/// column) included while fitting so the main mode compensates for them.
+stats::DurationModel fitted(double target_avg, double sigma, double min_ns, double max_ns,
+                            double tail_weight = 0.0, double tail_scale = 0.0,
+                            double tail_alpha = 1.5,
+                            std::vector<stats::LognormalComponent> extras = {}) {
+  OSN_ASSERT(target_avg > min_ns && target_avg < max_ns);
+  double median = target_avg / std::exp(sigma * sigma / 2.0);
+  stats::DurationModel model = stats::DurationModel::fixed(1);
+  for (int pass = 0; pass < 8; ++pass) {
+    std::vector<stats::LognormalComponent> components{{1.0, median, sigma}};
+    components.insert(components.end(), extras.begin(), extras.end());
+    model = stats::DurationModel::mixture(std::move(components),
+                                          static_cast<DurNs>(min_ns),
+                                          static_cast<DurNs>(max_ns), tail_weight,
+                                          tail_scale, tail_alpha);
+    Xoshiro256 rng(std::uint64_t{0xca11b7a7e} + static_cast<std::uint64_t>(pass));
+    const double est = model.estimate_mean(rng, 60'000);
+    const double ratio = target_avg / est;
+    if (std::abs(ratio - 1.0) < 0.005) break;
+    median *= ratio;
+    median = std::max(median, min_ns * 0.5);
+  }
+  return model;
+}
+
+/// A rare extreme mode sized so a minutes-scale run realizes the max column.
+stats::LognormalComponent rare_peak(double weight, double median) {
+  return {weight, median, 0.55};
+}
+/// A fast-path mode realizing the tables' min column (sub-300ns faults).
+stats::LognormalComponent fast_mode(double weight, double median) {
+  return {weight, median, 0.30};
+}
+
+}  // namespace
+
+const std::array<PaperAppData, kSequoiaAppCount>& paper_data() { return kPaperData; }
+
+const PaperAppData& paper_data(SequoiaApp app) {
+  return kPaperData[static_cast<std::size_t>(app)];
+}
+
+kernel::ActivityModels calibrated_models(SequoiaApp app) {
+  const PaperAppData& d = paper_data(app);
+  kernel::ActivityModels m;
+
+  // --- periodic: Tables V & VI ---------------------------------------------
+  m.timer_irq = fitted(d.timer_irq.avg_ns, 0.45, d.timer_irq.min_ns, d.timer_irq.max_ns,
+                       0.01, d.timer_irq.avg_ns * 2.0, 1.4);
+  m.timer_softirq = fitted(d.timer_softirq.avg_ns, 0.65, d.timer_softirq.min_ns,
+                           d.timer_softirq.max_ns, 0.015, d.timer_softirq.avg_ns * 2.5,
+                           1.25);
+
+  // --- network: Tables II-IV -----------------------------------------------
+  const double irq_rare_w =
+      app == SequoiaApp::kSphot || app == SequoiaApp::kLammps ? 2e-3 : 3e-4;
+  m.net_irq = fitted(d.net_irq.avg_ns, 0.50, d.net_irq.min_ns, d.net_irq.max_ns, 0.004,
+                     d.net_irq.avg_ns * 4.0, 1.2,
+                     {rare_peak(irq_rare_w, d.net_irq.max_ns * 0.55)});
+  m.net_rx = fitted(d.net_rx.avg_ns, 0.60, d.net_rx.min_ns, d.net_rx.max_ns, 0.01,
+                    d.net_rx.avg_ns * 3.0, 1.2);
+  m.net_tx = fitted(d.net_tx.avg_ns, 0.35, d.net_tx.min_ns, d.net_tx.max_ns, 0.004,
+                    d.net_tx.avg_ns * 3.0, 1.5);
+
+  // --- page faults: Table I + Fig 4 ----------------------------------------
+  // The two histogram modes (~2.5 us and ~4.5 us in AMG's bimodal Fig 4a)
+  // map to the anonymous and COW fault paths; the COW side carries the long
+  // tail up to Table I's per-app maximum. cow_fraction in the rank params
+  // weights the modes so the combined mean matches Table I's avg.
+  switch (app) {
+    case SequoiaApp::kAmg:
+      m.pf_minor_anon = fitted(2550, 0.10, d.page_fault.min_ns, 8'000, 0, 0, 1.5,
+                               {fast_mode(0.015, 330)});
+      m.pf_cow = fitted(5878, 0.13, 1'000, d.page_fault.max_ns, 0.004, 70'000, 1.35,
+                        {rare_peak(2e-5, 3.0e7)});
+      break;
+    case SequoiaApp::kIrs:
+      m.pf_minor_anon = fitted(2550, 0.14, d.page_fault.min_ns, 8'000, 0, 0, 1.5,
+                               {fast_mode(0.015, 300)});
+      m.pf_cow = fitted(5854, 0.20, 1'000, d.page_fault.max_ns, 0.008, 40'000, 1.5,
+                        {rare_peak(4e-5, 2.8e6)});
+      break;
+    case SequoiaApp::kLammps:
+      // One-sided single mode (Fig 4b), short maximum.
+      m.pf_minor_anon =
+          fitted(d.page_fault.avg_ns, 0.45, d.page_fault.min_ns, d.page_fault.max_ns,
+                 0.003, 9'000, 1.4, {fast_mode(0.02, 330)});
+      m.pf_cow = m.pf_minor_anon;
+      break;
+    case SequoiaApp::kSphot:
+      m.pf_minor_anon = fitted(d.page_fault.avg_ns, 0.50, d.page_fault.min_ns,
+                               d.page_fault.max_ns, 0.004, 20'000, 1.4,
+                               {fast_mode(0.02, 300), rare_peak(4e-4, 6.0e5)});
+      m.pf_cow = m.pf_minor_anon;
+      break;
+    case SequoiaApp::kUmt:
+      m.pf_minor_anon = fitted(2700, 0.16, d.page_fault.min_ns, 9'000, 0, 0, 1.5,
+                               {fast_mode(0.015, 310)});
+      m.pf_cow = fitted(6390, 0.22, 1'000, d.page_fault.max_ns, 0.01, 25'000, 1.6);
+      break;
+  }
+
+  // --- scheduling: Fig 6 (rebalance) + §IV-C (schedule negligible/constant)
+  m.schedule_fn = stats::DurationModel::lognormal(300, 0.22, 150, 1'800);
+  switch (app) {
+    case SequoiaApp::kIrs:
+      // "fairly compact distribution with a main pick around 1.80 us".
+      m.rebalance = fitted(1850, 0.16, 700, 12'000);
+      break;
+    case SequoiaApp::kUmt:
+      // "much larger distribution with average of 3.36 us" — the OS has a
+      // tougher balancing job with the Python helpers around.
+      m.rebalance = fitted(3360, 0.80, 700, 60'000, 0.01, 9'000, 1.4);
+      break;
+    default:
+      m.rebalance = fitted(2000, 0.40, 600, 30'000);
+      break;
+  }
+
+  // --- daemons: calibrated so Fig 3's preemption shares emerge -------------
+  // rpciod's per-RPC work scales with how much data each application moves
+  // per operation (LAMMPS ships large trajectory/checkpoint buffers).
+  switch (app) {
+    case SequoiaApp::kAmg: m.rpciod_service = fitted(25'000, 0.4, 4'000, 250'000); break;
+    case SequoiaApp::kIrs: m.rpciod_service = fitted(135'000, 0.5, 10'000, 1'200'000); break;
+    case SequoiaApp::kLammps:
+      m.rpciod_service = fitted(1'450'000, 0.45, 100'000, 9'000'000);
+      break;
+    case SequoiaApp::kSphot: m.rpciod_service = fitted(3'500, 0.4, 1'200, 30'000); break;
+    case SequoiaApp::kUmt: m.rpciod_service = fitted(5'000, 0.4, 1'500, 40'000); break;
+  }
+
+  return m;
+}
+
+RankParams calibrated_rank_params(SequoiaApp app, DurNs run_duration) {
+  const PaperAppData& d = paper_data(app);
+  RankParams p;
+  p.run_duration = run_duration;
+  const double dur_sec =
+      static_cast<double>(run_duration) / static_cast<double>(kNsPerSec);
+  const double total_faults = d.page_fault.freq * dur_sec;
+
+  switch (app) {
+    case SequoiaApp::kAmg:
+      // Faults throughout the run with accumulation points (Fig 5a). Bursts
+      // are sized per period so their rate contribution is duration-free;
+      // one-time budgets are inflated by the measured wall-clock stretch of
+      // a barrier-synchronized run.
+      p.compute_median = 2 * kNsPerMs;
+      p.iters_per_barrier = 10;
+      p.init_pages = static_cast<std::uint64_t>(0.04 * total_faults * 1.3);
+      p.burst_period = 1'800 * kNsPerMs;
+      p.burst_pages = static_cast<std::uint64_t>(0.26 * d.page_fault.freq * 1.8);
+      p.steady_faults_per_sec = 0.71 * d.page_fault.freq;
+      p.cow_fraction = 0.55;
+      p.io_per_sec = 13;
+      p.io_rpcs_median = 4;
+      break;
+    case SequoiaApp::kIrs:
+      p.compute_median = 3 * kNsPerMs;
+      p.iters_per_barrier = 8;
+      p.init_pages = static_cast<std::uint64_t>(0.05 * total_faults * 1.25);
+      p.steady_faults_per_sec = 0.95 * d.page_fault.freq;
+      p.cow_fraction = 0.50;
+      p.io_per_sec = 10;
+      p.io_rpcs_median = 4;
+      break;
+    case SequoiaApp::kLammps:
+      // Faults mainly at initialization and the end (Fig 5b).
+      p.compute_median = 1'500 * kNsPerUs;
+      p.iters_per_barrier = 10;
+      p.init_pages = static_cast<std::uint64_t>(0.62 * total_faults * 1.25);
+      p.final_pages = static_cast<std::uint64_t>(0.25 * total_faults * 1.25);
+      p.steady_faults_per_sec = 0.13 * d.page_fault.freq;
+      p.cow_fraction = 0.0;
+      p.io_per_sec = 2;
+      p.io_rpcs_median = 5;
+      break;
+    case SequoiaApp::kSphot:
+      // Monte Carlo, embarrassingly parallel: no collectives, few faults.
+      p.compute_median = 4 * kNsPerMs;
+      p.iters_per_barrier = 0;
+      p.init_pages = static_cast<std::uint64_t>(0.3 * total_faults);
+      p.final_pages = static_cast<std::uint64_t>(0.1 * total_faults);
+      p.steady_faults_per_sec = 0.60 * d.page_fault.freq;
+      p.cow_fraction = 0.0;
+      p.io_per_sec = 3.5;
+      p.io_rpcs_median = 5;
+      break;
+    case SequoiaApp::kUmt:
+      p.compute_median = 2'500 * kNsPerUs;
+      p.iters_per_barrier = 6;
+      p.init_pages = static_cast<std::uint64_t>(0.04 * total_faults * 1.3);
+      p.burst_period = 1'500 * kNsPerMs;
+      p.burst_pages = static_cast<std::uint64_t>(0.13 * d.page_fault.freq * 1.5);
+      p.steady_faults_per_sec = 0.84 * d.page_fault.freq;
+      p.cow_fraction = 0.50;
+      p.io_per_sec = 10;
+      p.io_rpcs_median = 2;
+      // Python/pyMPI helper processes.
+      p.helper_count = 4;
+      p.helper_period = 100 * kNsPerMs;
+      p.helper_compute = 100 * kNsPerUs;
+      break;
+  }
+  return p;
+}
+
+}  // namespace osn::workloads

@@ -1,0 +1,78 @@
+// The Fixed Time Quantum micro-benchmark (Sottile & Minnich), simulated.
+//
+// FTQ performs basic operations of known cost and counts how many complete
+// in each fixed quantum; Nmax - Ni, times the per-operation cost, estimates
+// the OS overhead of quantum i "from the outside". This is the baseline the
+// paper validates LTTNG-NOISE against (Figs 1, 9): the program keeps its own
+// per-quantum counts in user space exactly like the real benchmark, so the
+// comparison pits FTQ's indirect measurement against the trace's direct one.
+//
+// The program also touches a fresh page of its sample buffer periodically,
+// reproducing the "small spikes ... caused by page faults" the paper found
+// in the FTQ trace (Fig 2a) and uses for the disambiguation case studies.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "kernel/program.hpp"
+#include "noise/ftq_compare.hpp"
+#include "workloads/workload.hpp"
+
+namespace osn::workloads {
+
+struct FtqParams {
+  DurNs op_time = 1 * kNsPerUs;      ///< basic operation cost
+  DurNs quantum = 1 * kNsPerMs;      ///< measurement quantum
+  std::size_t n_quanta = 3000;       ///< run length (3 s default)
+  /// CPU the benchmark is pinned to. The default shares the CPU with the
+  /// `events` daemon (home: last CPU) so the paper's eventd-preempts-FTQ
+  /// interruptions (Fig 2b) occur; clamped to the node size at setup.
+  CpuId cpu = 7;
+  /// Touch one fresh page every this many quanta (0 = never): FTQ's own
+  /// memory growth, the page-fault source visible in Fig 2a.
+  std::size_t fault_period_quanta = 8;
+};
+
+class FtqProgram final : public kernel::TaskProgram {
+ public:
+  FtqProgram(FtqParams params,
+             std::shared_ptr<std::vector<noise::FtqQuantumSample>> samples,
+             std::uint32_t region);
+
+  kernel::Action next(kernel::Kernel& k, kernel::Task& self) override;
+
+ private:
+  FtqParams params_;
+  std::shared_ptr<std::vector<noise::FtqQuantumSample>> samples_;
+  std::uint32_t region_;
+  bool started_ = false;
+  bool op_in_flight_ = false;
+  std::size_t quantum_index_ = 0;
+  std::uint64_t ops_this_quantum_ = 0;
+  std::uint64_t pages_touched_ = 0;
+  TimeNs origin_ = 0;
+};
+
+class FtqWorkload final : public Workload {
+ public:
+  explicit FtqWorkload(FtqParams params = {});
+
+  std::string name() const override { return "ftq"; }
+  kernel::ActivityModels models() const override;
+  void setup(kernel::Kernel& kernel) override;
+
+  const FtqParams& params() const { return params_; }
+  /// Valid after the run: FTQ's own per-quantum measurements.
+  const std::vector<noise::FtqQuantumSample>& samples() const { return *samples_; }
+  /// Nmax: operations a noise-free quantum completes.
+  std::uint64_t nmax() const { return params_.quantum / params_.op_time; }
+  Pid ftq_pid() const { return ftq_pid_; }
+
+ private:
+  FtqParams params_;
+  std::shared_ptr<std::vector<noise::FtqQuantumSample>> samples_;
+  Pid ftq_pid_ = 0;
+};
+
+}  // namespace osn::workloads

@@ -1,0 +1,69 @@
+#include "workloads/injector.hpp"
+
+#include <algorithm>
+
+namespace osn::workloads {
+
+kernel::Action InjectorProgram::next(kernel::Kernel&, kernel::Task&) {
+  burning_ = !burning_;
+  if (burning_) {
+    ++injections_;
+    return kernel::ActCompute{params_.duration};
+  }
+  return kernel::ActSleep{params_.period, /*precise=*/true};
+}
+
+InjectionWorkload::InjectionWorkload(InjectionParams params) : params_(params) {}
+
+kernel::NodeConfig InjectionWorkload::config() const {
+  kernel::NodeConfig cfg;
+  cfg.n_cpus = 1;
+  return cfg;
+}
+
+kernel::ActivityModels InjectionWorkload::models() const {
+  // Deterministic kernel overheads so the injected signal is the only
+  // stochastic-free unknown the analyzer has to recover.
+  kernel::ActivityModels m;
+  m.timer_irq = stats::DurationModel::fixed(2'000);
+  m.timer_softirq = stats::DurationModel::fixed(1'500);
+  m.timer_callback = stats::DurationModel::fixed(500);
+  m.schedule_fn = stats::DurationModel::fixed(300);
+  m.rebalance = stats::DurationModel::fixed(1'800);
+  m.rcu = stats::DurationModel::fixed(300);
+  m.resched_ipi = stats::DurationModel::fixed(400);
+  m.events_period = stats::DurationModel::fixed(sec(100));  // effectively off
+  m.events_service = stats::DurationModel::fixed(1'000);
+  m.syscall_overhead = stats::DurationModel::fixed(800);
+  return m;
+}
+
+void InjectionWorkload::setup(kernel::Kernel& kernel) {
+  class VictimProgram final : public kernel::TaskProgram {
+   public:
+    explicit VictimProgram(DurNs total) : remaining_(total) {}
+    kernel::Action next(kernel::Kernel&, kernel::Task&) override {
+      if (remaining_ == 0) return kernel::ActExit{};
+      const DurNs chunk = std::min<DurNs>(remaining_, 10 * kNsPerMs);
+      remaining_ -= chunk;
+      return kernel::ActCompute{chunk};
+    }
+
+   private:
+    DurNs remaining_;
+  };
+
+  const auto cpu =
+      static_cast<CpuId>(std::min<std::size_t>(params_.cpu, kernel.config().n_cpus - 1));
+  params_.cpu = cpu;
+  victim_pid_ = kernel.spawn("victim",
+                             std::make_unique<VictimProgram>(params_.run_duration),
+                             /*is_app=*/true, cpu);
+  // The injector is a non-app task: its activations are preemption noise for
+  // the victim, exactly like a daemon.
+  injector_pid_ = kernel.spawn("injector", std::make_unique<InjectorProgram>(params_),
+                               /*is_app=*/false, params_.cpu);
+  kernel.task(injector_pid_).pinned = params_.cpu;
+}
+
+}  // namespace osn::workloads

@@ -1,0 +1,66 @@
+// Controlled noise injection — the validation methodology of Ferreira,
+// Bridges & Brightwell ("Characterizing application sensitivity to OS
+// interference using kernel-level noise injection", SC'08), cited by the
+// paper as the established way to study noise with *known ground truth*.
+//
+// An injector daemon wakes on a precise high-resolution timer every `period`
+// and burns `duration` of CPU next to a victim compute task. Because the
+// injected frequency and duration are exact by construction, the analyzer's
+// output can be checked against them — the strongest possible validation of
+// the measurement pipeline: LTTNG-NOISE must report preemption events at
+// rate 1/period with durations of `duration` plus bounded scheduling
+// overhead.
+#pragma once
+
+#include <memory>
+
+#include "kernel/program.hpp"
+#include "workloads/workload.hpp"
+
+namespace osn::workloads {
+
+struct InjectionParams {
+  DurNs period = 10 * kNsPerMs;     ///< injection interval (exact, hrtimer)
+  DurNs duration = 100 * kNsPerUs;  ///< CPU burned per injection (exact)
+  DurNs run_duration = sec(2);      ///< victim compute time
+  CpuId cpu = 0;                    ///< CPU hosting victim + injector
+};
+
+/// The injector daemon: precise-sleep(period) -> burn(duration) -> repeat.
+class InjectorProgram final : public kernel::TaskProgram {
+ public:
+  explicit InjectorProgram(InjectionParams params) : params_(params) {}
+  kernel::Action next(kernel::Kernel& k, kernel::Task& self) override;
+
+  std::uint64_t injections() const { return injections_; }
+
+ private:
+  InjectionParams params_;
+  bool burning_ = false;
+  std::uint64_t injections_ = 0;
+};
+
+/// Victim (one compute-only rank) + injector on one CPU of a quiet node.
+/// Tick noise still exists (it always does); the injected signal sits on top
+/// and must be recovered exactly.
+class InjectionWorkload final : public Workload {
+ public:
+  explicit InjectionWorkload(InjectionParams params = {});
+
+  std::string name() const override { return "injection"; }
+  /// A single-CPU node: the injected signal cannot escape via rebalancing.
+  kernel::NodeConfig config() const override;
+  kernel::ActivityModels models() const override;
+  void setup(kernel::Kernel& kernel) override;
+
+  const InjectionParams& params() const { return params_; }
+  Pid victim_pid() const { return victim_pid_; }
+  Pid injector_pid() const { return injector_pid_; }
+
+ private:
+  InjectionParams params_;
+  Pid victim_pid_ = 0;
+  Pid injector_pid_ = 0;
+};
+
+}  // namespace osn::workloads

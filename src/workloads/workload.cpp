@@ -1,0 +1,24 @@
+#include "workloads/workload.hpp"
+
+namespace osn::workloads {
+
+kernel::NodeConfig Workload::config() const { return kernel::NodeConfig{}; }
+
+RunResult run_workload(Workload& workload, std::uint64_t seed) {
+  kernel::NodeConfig cfg = workload.config();
+  cfg.seed = seed;
+
+  trace::VectorSink sink;
+  kernel::Kernel kernel(cfg, workload.models(), sink);
+  workload.setup(kernel);
+  kernel.start();
+  kernel.run_until_apps_done(workload.max_time());
+  trace::TraceMeta meta = kernel.finish(workload.name());
+
+  RunResult result{
+      kernel::build_trace_model(std::move(meta), sink.records(), kernel.task_infos()),
+      kernel.engine().fired_count()};
+  return result;
+}
+
+}  // namespace osn::workloads

@@ -1,0 +1,40 @@
+// Workload framework: a Workload bundles node configuration, calibrated
+// activity models and task setup; run_workload() boots the simulated node,
+// traces it with the LTTng-style sink, and returns the offline TraceModel —
+// the exact pre-processing pipeline of the paper (instrument statically,
+// analyze offline).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "kernel/kernel.hpp"
+#include "trace/sink.hpp"
+#include "trace/trace_model.hpp"
+
+namespace osn::workloads {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+  /// Node configuration (CPU count, tick rate, seed is overridden by run).
+  virtual kernel::NodeConfig config() const;
+  /// Calibrated per-activity duration models.
+  virtual kernel::ActivityModels models() const = 0;
+  /// Spawns tasks/regions on the kernel. Called before start().
+  virtual void setup(kernel::Kernel& kernel) = 0;
+  /// Hard stop for the simulation (safety net; programs normally exit).
+  virtual TimeNs max_time() const { return sec(600); }
+};
+
+struct RunResult {
+  trace::TraceModel trace;
+  std::uint64_t engine_events = 0;
+};
+
+/// Runs a workload to completion under the given seed and returns the trace.
+RunResult run_workload(Workload& workload, std::uint64_t seed);
+
+}  // namespace osn::workloads

@@ -1,0 +1,92 @@
+// Test helpers for driving the simulated kernel with scripted tasks.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "kernel/kernel.hpp"
+#include "kernel/program.hpp"
+#include "trace/sink.hpp"
+
+namespace osn::testing {
+
+/// Replays a fixed action list, then exits.
+class ScriptProgram final : public kernel::TaskProgram {
+ public:
+  explicit ScriptProgram(std::vector<kernel::Action> actions)
+      : actions_(actions.begin(), actions.end()) {}
+
+  kernel::Action next(kernel::Kernel&, kernel::Task&) override {
+    if (actions_.empty()) return kernel::ActExit{};
+    kernel::Action a = std::move(actions_.front());
+    actions_.pop_front();
+    return a;
+  }
+
+ private:
+  std::deque<kernel::Action> actions_;
+};
+
+/// Computes `chunk` ns, `count` times, then exits.
+inline std::unique_ptr<ScriptProgram> compute_program(DurNs chunk, int count) {
+  std::vector<kernel::Action> actions;
+  for (int i = 0; i < count; ++i) actions.push_back(kernel::ActCompute{chunk});
+  return std::make_unique<ScriptProgram>(std::move(actions));
+}
+
+/// Fixed-duration activity models: deterministic kernel overheads make the
+/// tests' arithmetic exact.
+inline kernel::ActivityModels fixed_models(DurNs v = 1'000) {
+  kernel::ActivityModels m;
+  const auto f = [v](DurNs scale) { return stats::DurationModel::fixed(scale == 0 ? v : scale); };
+  m.timer_irq = f(0);
+  m.timer_softirq = f(0);
+  m.timer_callback = f(0);
+  m.schedule_fn = stats::DurationModel::fixed(200);
+  m.rebalance = f(0);
+  m.rcu = stats::DurationModel::fixed(100);
+  m.resched_ipi = stats::DurationModel::fixed(300);
+  m.pf_minor_anon = f(0);
+  m.pf_cow = f(0);
+  m.pf_file_minor = f(0);
+  m.pf_file_major = f(0);
+  m.net_irq = f(0);
+  m.net_rx = f(0);
+  m.net_tx = stats::DurationModel::fixed(400);
+  m.nfs_wire_latency = stats::DurationModel::fixed(20'000);
+  m.nfs_server_service = stats::DurationModel::fixed(50'000);
+  m.rpciod_service = stats::DurationModel::fixed(2'000);
+  m.events_service = stats::DurationModel::fixed(2'200);
+  m.events_period = stats::DurationModel::fixed(100 * kNsPerMs);
+  m.syscall_overhead = stats::DurationModel::fixed(800);
+  m.context_switch = stats::DurationModel::fixed(500);
+  return m;
+}
+
+struct KernelRun {
+  trace::VectorSink sink;
+  std::unique_ptr<kernel::Kernel> kernel;
+
+  explicit KernelRun(kernel::NodeConfig cfg = {},
+                     kernel::ActivityModels models = fixed_models()) {
+    kernel = std::make_unique<kernel::Kernel>(cfg, std::move(models), sink);
+  }
+
+  trace::TraceModel finish(const std::string& name = "test") {
+    trace::TraceMeta meta = kernel->finish(name);
+    return kernel::build_trace_model(std::move(meta), sink.records(),
+                                     kernel->task_infos());
+  }
+};
+
+/// Counts records of one event type.
+inline std::size_t count_events(const trace::TraceModel& model, trace::EventType type) {
+  std::size_t n = 0;
+  for (CpuId c = 0; c < model.cpu_count(); ++c)
+    for (const auto& rec : model.cpu_events(c))
+      if (static_cast<trace::EventType>(rec.event) == type) ++n;
+  return n;
+}
+
+}  // namespace osn::testing

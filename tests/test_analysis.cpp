@@ -1,0 +1,193 @@
+// The noise definition: attribution, the runnable filter, requested-service
+// exclusion, nesting ablation, statistics normalization.
+#include <gtest/gtest.h>
+
+#include "noise/analysis.hpp"
+#include "trace_builder.hpp"
+
+namespace osn::noise {
+namespace {
+
+using osn::testing::TraceBuilder;
+using trace::EventType;
+
+TraceBuilder base_builder() {
+  TraceBuilder b(2);
+  b.task(1, "app", true).task(9, "rpciod", false, true);
+  return b;
+}
+
+TEST(Analysis, KernelIntervalInAppContextIsNoise) {
+  auto b = base_builder();
+  b.pair(0, 100, 2'000, 1, EventType::kIrqEntry, 0);
+  const auto model_a = b.build();
+  NoiseAnalysis a(model_a);
+  ASSERT_EQ(a.noise_intervals().size(), 1u);
+  EXPECT_EQ(a.total_noise(1), 1'900u);
+}
+
+TEST(Analysis, KernelIntervalInDaemonContextExcluded) {
+  auto b = base_builder();
+  b.pair(0, 100, 2'000, 9, EventType::kIrqEntry, 0);  // current = rpciod
+  const auto model_a = b.build();
+  NoiseAnalysis a(model_a);
+  EXPECT_TRUE(a.noise_intervals().empty());
+}
+
+TEST(Analysis, IdleContextExcluded) {
+  auto b = base_builder();
+  b.pair(0, 100, 2'000, kIdlePid, EventType::kIrqEntry, 0);
+  const auto model_a = b.build();
+  NoiseAnalysis a(model_a);
+  EXPECT_TRUE(a.noise_intervals().empty());
+}
+
+TEST(Analysis, RunnableFilterDropsBarrierWindows) {
+  auto b = base_builder();
+  b.ev(0, 1'000, 1, EventType::kAppMark,
+       static_cast<std::uint64_t>(trace::AppMark::kBarrierEnter));
+  b.pair(0, 2'000, 3'000, 1, EventType::kIrqEntry, 0);  // inside the window
+  b.ev(0, 5'000, 1, EventType::kAppMark,
+       static_cast<std::uint64_t>(trace::AppMark::kBarrierExit));
+  b.pair(0, 6'000, 7'000, 1, EventType::kIrqEntry, 0);  // outside
+
+  const auto model_filtered = b.build();
+
+  NoiseAnalysis filtered(model_filtered);
+  EXPECT_EQ(filtered.noise_intervals().size(), 1u);
+  EXPECT_EQ(filtered.noise_intervals()[0].start, 6'000u);
+
+  AnalysisOptions opts;
+  opts.runnable_filter = false;
+  const auto model_unfiltered = b.build();
+  NoiseAnalysis unfiltered(model_unfiltered, opts);
+  EXPECT_EQ(unfiltered.noise_intervals().size(), 2u);
+}
+
+TEST(Analysis, InCommWindowQueries) {
+  auto b = base_builder();
+  b.ev(0, 1'000, 1, EventType::kAppMark,
+       static_cast<std::uint64_t>(trace::AppMark::kBarrierEnter));
+  b.ev(0, 5'000, 1, EventType::kAppMark,
+       static_cast<std::uint64_t>(trace::AppMark::kBarrierExit));
+  const auto model_a = b.build();
+  NoiseAnalysis a(model_a);
+  EXPECT_FALSE(a.in_comm_window(1, 999));
+  EXPECT_TRUE(a.in_comm_window(1, 1'000));
+  EXPECT_TRUE(a.in_comm_window(1, 4'999));
+  EXPECT_FALSE(a.in_comm_window(1, 5'000));
+  EXPECT_FALSE(a.in_comm_window(2, 2'000));
+}
+
+TEST(Analysis, SyscallsExcludedByDefault) {
+  auto b = base_builder();
+  b.pair(0, 100, 900, 1, EventType::kSyscallEntry,
+         static_cast<std::uint64_t>(trace::SyscallNr::kRead));
+  const auto model_a = b.build();
+  NoiseAnalysis a(model_a);
+  EXPECT_TRUE(a.noise_intervals().empty());
+
+  AnalysisOptions opts;
+  opts.include_requested_service = true;
+  const auto model_with = b.build();
+  NoiseAnalysis with(model_with, opts);
+  EXPECT_EQ(with.noise_intervals().size(), 1u);
+}
+
+TEST(Analysis, NestingAblationDoubleCounts) {
+  // Nested irq inside tasklet: with resolution, charges sum to wall time;
+  // without, the sum exceeds it — the ablation quantifies the error.
+  auto b = base_builder();
+  b.ev(0, 1'000, 1, EventType::kTaskletEntry,
+       static_cast<std::uint64_t>(trace::TaskletId::kNetRx));
+  b.ev(0, 2'000, 1, EventType::kIrqEntry, 0);
+  b.ev(0, 4'000, 1, EventType::kIrqExit, 0);
+  b.ev(0, 6'000, 1, EventType::kTaskletExit,
+       static_cast<std::uint64_t>(trace::TaskletId::kNetRx));
+
+  const auto model_resolved = b.build();
+
+  NoiseAnalysis resolved(model_resolved);
+  DurNs resolved_total = 0;
+  for (const auto& iv : resolved.noise_intervals()) resolved_total += resolved.charged(iv);
+  EXPECT_EQ(resolved_total, 5'000u);
+
+  AnalysisOptions opts;
+  opts.resolve_nesting = false;
+  const auto model_naive = b.build();
+  NoiseAnalysis naive(model_naive, opts);
+  DurNs naive_total = 0;
+  for (const auto& iv : naive.noise_intervals()) naive_total += naive.charged(iv);
+  EXPECT_EQ(naive_total, 7'000u);  // the 2 us irq counted twice
+}
+
+TEST(Analysis, CategoryBreakdownPerTask) {
+  auto b = base_builder();
+  b.task(2, "app2", true);
+  b.pair(0, 100, 1'100, 1, EventType::kIrqEntry, 0);          // periodic, app1
+  b.pair(0, 2'000, 4'000, 1, EventType::kPageFaultEntry, 0);  // pf, app1
+  b.pair(1, 100, 600, 2, EventType::kPageFaultEntry, 0);      // pf, app2
+  const auto model_a = b.build();
+  NoiseAnalysis a(model_a);
+  const auto bd1 = a.category_breakdown(1);
+  EXPECT_EQ(bd1[static_cast<std::size_t>(NoiseCategory::kPeriodic)], 1'000u);
+  EXPECT_EQ(bd1[static_cast<std::size_t>(NoiseCategory::kPageFault)], 2'000u);
+  const auto bd2 = a.category_breakdown(2);
+  EXPECT_EQ(bd2[static_cast<std::size_t>(NoiseCategory::kPageFault)], 500u);
+  const auto all = a.category_breakdown_all();
+  EXPECT_EQ(all[static_cast<std::size_t>(NoiseCategory::kPageFault)], 2'500u);
+  EXPECT_EQ(a.total_noise(1), 3'000u);
+}
+
+TEST(Analysis, ActivityStatsComputesTableColumns) {
+  TraceBuilder b(2);  // 2 CPUs -> freq normalized per CPU
+  b.task(1, "app", true);
+  // Three timer irqs of 1000/2000/3000 ns over a 1 s trace on 2 CPUs.
+  b.pair(0, 1'000, 2'000, 1, EventType::kIrqEntry, 0);
+  b.pair(0, 10'000, 12'000, 1, EventType::kIrqEntry, 0);
+  b.pair(1, 5'000, 8'000, 1, EventType::kIrqEntry, 0);
+  const auto model_a = b.build(kNsPerSec);
+  NoiseAnalysis a(model_a);
+  const EventStats s = a.activity_stats(ActivityKind::kTimerIrq);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_NEAR(s.freq_ev_per_sec, 1.5, 1e-9);  // 3 events / 1 s / 2 cpus
+  EXPECT_NEAR(s.avg_ns, 2'000.0, 1e-9);
+  EXPECT_EQ(s.min_ns, 1'000u);
+  EXPECT_EQ(s.max_ns, 3'000u);
+}
+
+TEST(Analysis, PreemptionStatsIncluded) {
+  auto b = base_builder();
+  b.ev(0, 1'000, 1, EventType::kSchedSwitch, trace::pack_switch({1, 9, true}));
+  b.ev(0, 3'215, 9, EventType::kSchedSwitch, trace::pack_switch({9, 1, false}));
+  const auto model_a = b.build();
+  NoiseAnalysis a(model_a);
+  const EventStats s = a.activity_stats(ActivityKind::kPreemption);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_NEAR(s.avg_ns, 2'215.0, 1e-9);
+  const auto bd = a.category_breakdown(1);
+  EXPECT_EQ(bd[static_cast<std::size_t>(NoiseCategory::kPreemption)], 2'215u);
+}
+
+TEST(Analysis, NoiseDurationsFilterByKind) {
+  auto b = base_builder();
+  b.pair(0, 100, 1'100, 1, EventType::kIrqEntry, 0);
+  b.pair(0, 2'000, 2'500, 1, EventType::kPageFaultEntry, 0);
+  const auto model_a = b.build();
+  NoiseAnalysis a(model_a);
+  const auto pf = a.noise_durations(ActivityKind::kPageFault);
+  ASSERT_EQ(pf.size(), 1u);
+  EXPECT_EQ(pf[0], 500.0);
+  EXPECT_EQ(a.noise_durations(ActivityKind::kNetIrq).size(), 0u);
+}
+
+TEST(Analysis, EmptyTraceYieldsEmptyAnalysis) {
+  const auto model_a = TraceBuilder(1).task(1, "app", true).build(100);
+  NoiseAnalysis a(model_a);
+  EXPECT_TRUE(a.noise_intervals().empty());
+  EXPECT_EQ(a.total_noise(1), 0u);
+  EXPECT_EQ(a.activity_stats(ActivityKind::kTimerIrq).count, 0u);
+}
+
+}  // namespace
+}  // namespace osn::noise

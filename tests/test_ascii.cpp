@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "export/ascii.hpp"
+#include "trace_builder.hpp"
+
+namespace osn::exporter {
+namespace {
+
+using osn::testing::TraceBuilder;
+using trace::EventType;
+
+TEST(Ascii, GlyphsAreDistinct) {
+  std::set<char> glyphs;
+  for (int c = 0; c < static_cast<int>(noise::NoiseCategory::kMaxCategory); ++c)
+    glyphs.insert(category_glyph(static_cast<noise::NoiseCategory>(c)));
+  EXPECT_EQ(glyphs.size(),
+            static_cast<std::size_t>(noise::NoiseCategory::kMaxCategory));
+}
+
+TEST(Ascii, TimelineMarksDominantCategory) {
+  TraceBuilder b(1);
+  b.task(1, "rank0", true);
+  // Page fault in the first tenth, timer irq in the last tenth.
+  b.pair(0, 100, 3'000, 1, EventType::kPageFaultEntry, 0);
+  b.pair(0, 95'000, 98'000, 1, EventType::kIrqEntry, 0);
+  auto model = b.build(100'000);
+  noise::NoiseAnalysis a(model);
+  const std::string out = render_timeline(a, 0, 100'000, 10);
+  // One row for the rank; 'P' near the start, 'T' near the end.
+  const std::size_t bar = out.find('|');
+  ASSERT_NE(bar, std::string::npos);
+  EXPECT_EQ(out[bar + 1], 'P');
+  EXPECT_EQ(out[bar + 10], 'T');
+  EXPECT_EQ(out[bar + 5], '.');
+}
+
+TEST(Ascii, TimelineFilterShowsOnlyOneCategory) {
+  TraceBuilder b(1);
+  b.task(1, "rank0", true);
+  b.pair(0, 100, 3'000, 1, EventType::kPageFaultEntry, 0);
+  b.pair(0, 95'000, 98'000, 1, EventType::kIrqEntry, 0);
+  auto model = b.build(100'000);
+  noise::NoiseAnalysis a(model);
+  const std::string out =
+      render_timeline(a, 0, 100'000, 10, noise::NoiseCategory::kPageFault);
+  EXPECT_NE(out.find('P'), std::string::npos);
+  // The timer irq must be filtered out of the strip body. ('T' still appears
+  // in the legend text, so check the bar region only.)
+  const std::size_t bar = out.find('|');
+  EXPECT_EQ(out.substr(bar, 12).find('T'), std::string::npos);
+}
+
+TEST(Ascii, SpikesListNonQuietQuanta) {
+  noise::SyntheticChart chart;
+  chart.origin = 0;
+  chart.quantum = 1'000'000;
+  chart.quanta.resize(3);
+  for (std::size_t i = 0; i < 3; ++i)
+    chart.quanta[i].start = static_cast<TimeNs>(i) * chart.quantum;
+  chart.quanta[1].total = 4'500;
+  chart.quanta[1].components.push_back({noise::ActivityKind::kTimerIrq, 0, 2'500});
+  chart.quanta[1].components.push_back(
+      {noise::ActivityKind::kTimerSoftirq, 1, 2'000});
+  const std::string out = render_spikes(chart, 1'000);
+  EXPECT_NE(out.find("4.50 us"), std::string::npos);
+  EXPECT_NE(out.find("timer_interrupt(2500)"), std::string::npos);
+  EXPECT_NE(out.find("run_timer_softirq(2000)"), std::string::npos);
+  // Quiet quanta are not listed.
+  EXPECT_EQ(out.find("t=     0.000"), std::string::npos);
+}
+
+TEST(Ascii, SpikesRespectsRowLimit) {
+  noise::SyntheticChart chart;
+  chart.origin = 0;
+  chart.quantum = 1'000;
+  chart.quanta.resize(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    chart.quanta[i].start = static_cast<TimeNs>(i) * 1'000;
+    chart.quanta[i].total = 500;
+  }
+  const std::string out = render_spikes(chart, 0, 5);
+  EXPECT_NE(out.find("elided"), std::string::npos);
+}
+
+TEST(Ascii, SpikesEmptyChartSaysSo) {
+  noise::SyntheticChart chart;
+  chart.origin = 0;
+  chart.quantum = 1'000;
+  chart.quanta.resize(4);
+  EXPECT_NE(render_spikes(chart).find("no quanta"), std::string::npos);
+}
+
+TEST(Ascii, BreakdownRowPercentagesSumSensibly) {
+  std::array<DurNs, static_cast<std::size_t>(noise::NoiseCategory::kMaxCategory)> bd{};
+  bd[static_cast<std::size_t>(noise::NoiseCategory::kPageFault)] = 824;
+  bd[static_cast<std::size_t>(noise::NoiseCategory::kPeriodic)] = 100;
+  bd[static_cast<std::size_t>(noise::NoiseCategory::kPreemption)] = 76;
+  const std::string out = render_breakdown_row("AMG", bd);
+  EXPECT_NE(out.find("page fault=82.4%"), std::string::npos);
+  EXPECT_NE(out.find("periodic=10.0%"), std::string::npos);
+}
+
+TEST(Ascii, BreakdownRowHandlesZeroNoise) {
+  std::array<DurNs, static_cast<std::size_t>(noise::NoiseCategory::kMaxCategory)> bd{};
+  EXPECT_NE(render_breakdown_row("x", bd).find("no noise"), std::string::npos);
+}
+
+TEST(Ascii, BreakdownIgnoresRequestedService) {
+  std::array<DurNs, static_cast<std::size_t>(noise::NoiseCategory::kMaxCategory)> bd{};
+  bd[static_cast<std::size_t>(noise::NoiseCategory::kPageFault)] = 100;
+  bd[static_cast<std::size_t>(noise::NoiseCategory::kRequestedService)] = 900;
+  const std::string out = render_breakdown_row("x", bd);
+  EXPECT_NE(out.find("page fault=100.0%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace osn::exporter

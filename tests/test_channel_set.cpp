@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "tracebuf/channel_set.hpp"
+
+namespace osn::tracebuf {
+namespace {
+
+EventRecord rec(TimeNs ts, std::uint16_t cpu) {
+  EventRecord r;
+  r.timestamp = ts;
+  r.cpu = cpu;
+  return r;
+}
+
+TEST(ChannelSet, RoutesByCpu) {
+  ChannelSet cs(4, 16);
+  cs.emit(0, rec(1, 0));
+  cs.emit(3, rec(2, 3));
+  EXPECT_EQ(cs.channel(0).size(), 1u);
+  EXPECT_EQ(cs.channel(1).size(), 0u);
+  EXPECT_EQ(cs.channel(3).size(), 1u);
+}
+
+TEST(ChannelSet, DrainPerCpuPreservesStreams) {
+  ChannelSet cs(2, 16);
+  cs.emit(0, rec(10, 0));
+  cs.emit(0, rec(20, 0));
+  cs.emit(1, rec(15, 1));
+  auto streams = cs.drain_per_cpu();
+  ASSERT_EQ(streams.size(), 2u);
+  EXPECT_EQ(streams[0].size(), 2u);
+  EXPECT_EQ(streams[1].size(), 1u);
+  EXPECT_EQ(streams[0][0].timestamp, 10u);
+}
+
+TEST(ChannelSet, MergeIsGloballyTimeOrdered) {
+  ChannelSet cs(4, 1u << 8);
+  // Interleaved timestamps across CPUs.
+  for (TimeNs t = 0; t < 100; ++t) cs.emit(static_cast<CpuId>(t % 4), rec(t * 7 % 101, static_cast<std::uint16_t>(t % 4)));
+  // Per-channel streams must be monotonic for the merge contract: rebuild
+  // with monotonic per-cpu times instead.
+  (void)cs.drain_per_cpu();
+
+  ChannelSet cs2(4, 1u << 8);
+  for (TimeNs t = 0; t < 100; ++t) cs2.emit(static_cast<CpuId>(t % 4), rec(t, static_cast<std::uint16_t>(t % 4)));
+  auto merged = cs2.drain_merged();
+  ASSERT_EQ(merged.size(), 100u);
+  for (std::size_t i = 1; i < merged.size(); ++i)
+    EXPECT_LE(merged[i - 1].timestamp, merged[i].timestamp);
+}
+
+TEST(ChannelSet, MergeBreaksTiesByCpu) {
+  ChannelSet cs(3, 16);
+  cs.emit(2, rec(5, 2));
+  cs.emit(0, rec(5, 0));
+  cs.emit(1, rec(5, 1));
+  auto merged = cs.drain_merged();
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].cpu, 0u);
+  EXPECT_EQ(merged[1].cpu, 1u);
+  EXPECT_EQ(merged[2].cpu, 2u);
+}
+
+TEST(ChannelSet, TotalLostAggregates) {
+  ChannelSet cs(2, 2);
+  for (int i = 0; i < 5; ++i) cs.emit(0, rec(static_cast<TimeNs>(i), 0));
+  for (int i = 0; i < 4; ++i) cs.emit(1, rec(static_cast<TimeNs>(i), 1));
+  EXPECT_EQ(cs.total_lost(), 3u + 2u);
+}
+
+TEST(ChannelSet, ZeroCpusDies) { EXPECT_DEATH(ChannelSet(0, 16), "at least one"); }
+
+}  // namespace
+}  // namespace osn::tracebuf

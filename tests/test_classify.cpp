@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "noise/classify.hpp"
+
+namespace osn::noise {
+namespace {
+
+TEST(Classify, PaperCategoryMapping) {
+  // §IV-A's five categories, verbatim.
+  EXPECT_EQ(categorize(ActivityKind::kTimerIrq), NoiseCategory::kPeriodic);
+  EXPECT_EQ(categorize(ActivityKind::kTimerSoftirq), NoiseCategory::kPeriodic);
+  EXPECT_EQ(categorize(ActivityKind::kPageFault), NoiseCategory::kPageFault);
+  EXPECT_EQ(categorize(ActivityKind::kSchedule), NoiseCategory::kScheduling);
+  EXPECT_EQ(categorize(ActivityKind::kRcuSoftirq), NoiseCategory::kScheduling);
+  EXPECT_EQ(categorize(ActivityKind::kRebalanceSoftirq), NoiseCategory::kScheduling);
+  EXPECT_EQ(categorize(ActivityKind::kPreemption), NoiseCategory::kPreemption);
+  EXPECT_EQ(categorize(ActivityKind::kNetIrq), NoiseCategory::kIo);
+  EXPECT_EQ(categorize(ActivityKind::kNetRxTasklet), NoiseCategory::kIo);
+  EXPECT_EQ(categorize(ActivityKind::kNetTxTasklet), NoiseCategory::kIo);
+}
+
+TEST(Classify, SyscallsAreRequestedService) {
+  EXPECT_EQ(categorize(ActivityKind::kSyscall), NoiseCategory::kRequestedService);
+}
+
+TEST(Classify, EveryKindHasACategory) {
+  for (std::uint8_t k = 0; k < static_cast<std::uint8_t>(ActivityKind::kMaxKind); ++k) {
+    const auto cat = categorize(static_cast<ActivityKind>(k));
+    EXPECT_LT(static_cast<std::uint8_t>(cat),
+              static_cast<std::uint8_t>(NoiseCategory::kMaxCategory));
+  }
+}
+
+TEST(Classify, CategoryNamesMatchPaper) {
+  EXPECT_EQ(category_name(NoiseCategory::kPeriodic), "periodic");
+  EXPECT_EQ(category_name(NoiseCategory::kPageFault), "page fault");
+  EXPECT_EQ(category_name(NoiseCategory::kScheduling), "scheduling");
+  EXPECT_EQ(category_name(NoiseCategory::kPreemption), "preemption");
+  EXPECT_EQ(category_name(NoiseCategory::kIo), "I/O");
+}
+
+TEST(Classify, ActivityNamesMatchKernelSymbols) {
+  EXPECT_EQ(activity_name(ActivityKind::kTimerSoftirq), "run_timer_softirq");
+  EXPECT_EQ(activity_name(ActivityKind::kRebalanceSoftirq), "run_rebalance_domains");
+  EXPECT_EQ(activity_name(ActivityKind::kRcuSoftirq), "rcu_process_callbacks");
+  EXPECT_EQ(activity_name(ActivityKind::kNetRxTasklet), "net_rx_action");
+  EXPECT_EQ(activity_name(ActivityKind::kNetTxTasklet), "net_tx_action");
+}
+
+}  // namespace
+}  // namespace osn::noise

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "stats/compare.hpp"
+
+namespace osn::stats {
+namespace {
+
+TEST(Pearson, PerfectPositive) {
+  EXPECT_NEAR(pearson_correlation({1, 2, 3, 4}, {10, 20, 30, 40}), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegative) {
+  EXPECT_NEAR(pearson_correlation({1, 2, 3, 4}, {4, 3, 2, 1}), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesGivesZero) {
+  EXPECT_EQ(pearson_correlation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(Pearson, IndependentNoiseNearZero) {
+  Xoshiro256 rng(1);
+  std::vector<double> a, b;
+  for (int i = 0; i < 20'000; ++i) {
+    a.push_back(rng.uniform01());
+    b.push_back(rng.uniform01());
+  }
+  EXPECT_NEAR(pearson_correlation(a, b), 0.0, 0.03);
+}
+
+TEST(Pearson, MismatchedSizesDie) {
+  EXPECT_DEATH(pearson_correlation({1, 2}, {1}), "paired");
+}
+
+TEST(KsDistance, IdenticalSamplesZero) {
+  std::vector<double> a{1, 2, 3, 4, 5};
+  EXPECT_NEAR(ks_distance(a, a), 0.0, 0.21);  // step-function granularity
+}
+
+TEST(KsDistance, DisjointSamplesOne) {
+  EXPECT_NEAR(ks_distance({1, 2, 3}, {10, 20, 30}), 1.0, 1e-12);
+}
+
+TEST(KsDistance, SameDistributionSmall) {
+  Xoshiro256 rng(2);
+  std::vector<double> a, b;
+  for (int i = 0; i < 10'000; ++i) {
+    a.push_back(rng.uniform01());
+    b.push_back(rng.uniform01());
+  }
+  EXPECT_LT(ks_distance(a, b), 0.03);
+}
+
+TEST(MeanAbsDifference, Basic) {
+  EXPECT_DOUBLE_EQ(mean_abs_difference({1, 2, 3}, {2, 2, 5}), (1 + 0 + 2) / 3.0);
+}
+
+}  // namespace
+}  // namespace osn::stats

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "export/csv.hpp"
+#include "trace_builder.hpp"
+
+namespace osn::exporter {
+namespace {
+
+using osn::testing::TraceBuilder;
+using trace::EventType;
+
+TEST(Csv, IntervalsHaveHeaderAndRows) {
+  TraceBuilder b(1);
+  b.task(1, "app", true);
+  b.pair(0, 100, 2'278, 1, EventType::kIrqEntry, 0);
+  b.pair(0, 5'000, 7'913, 1, EventType::kPageFaultEntry, 0);
+  auto model = b.build(10'000);
+  noise::NoiseAnalysis a(model);
+  const std::string csv = intervals_csv(a);
+
+  std::istringstream in(csv);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "task,cpu,kind,detail,start_ns,end_ns,self_ns,depth");
+  std::size_t rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 2u);
+  EXPECT_NE(csv.find("timer_interrupt"), std::string::npos);
+  EXPECT_NE(csv.find("page_fault"), std::string::npos);
+  EXPECT_NE(csv.find("2178"), std::string::npos);  // self time
+}
+
+TEST(Csv, ChartRowsPerQuantum) {
+  noise::SyntheticChart chart;
+  chart.origin = 0;
+  chart.quantum = 1'000;
+  chart.quanta.resize(3);
+  chart.quanta[1].total = 500;
+  chart.quanta[1].components.push_back(
+      {noise::ActivityKind::kTimerIrq, 0, 500});
+  const std::string csv = chart_csv(chart);
+  std::istringstream in(csv);
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 4u);  // header + 3 quanta
+  EXPECT_NE(csv.find("timer_interrupt:500"), std::string::npos);
+}
+
+TEST(Csv, HistogramRows) {
+  stats::Histogram h(0, 10, 2);
+  h.add(1, 3);
+  h.add(7, 5);
+  const std::string csv = histogram_csv(h);
+  EXPECT_NE(csv.find("bin_lo,bin_hi,count"), std::string::npos);
+  EXPECT_NE(csv.find("0.000,5.000,3"), std::string::npos);
+  EXPECT_NE(csv.find("5.000,10.000,5"), std::string::npos);
+}
+
+TEST(Csv, WriteTextFileRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/osn_csv_test.csv";
+  ASSERT_TRUE(write_text_file(path, "a,b\n1,2\n"));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[32] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf), f);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buf, n), "a,b\n1,2\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, WriteToBadPathFails) {
+  EXPECT_FALSE(write_text_file("/nonexistent/dir/x.csv", "data"));
+}
+
+}  // namespace
+}  // namespace osn::exporter

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "stats/distributions.hpp"
+#include "stats/summary.hpp"
+
+namespace osn::stats {
+namespace {
+
+TEST(Samplers, NormalMeanZeroVarOne) {
+  Xoshiro256 rng(1);
+  StreamingSummary s;
+  for (int i = 0; i < 200'000; ++i) s.add(sample_normal(rng));
+  EXPECT_NEAR(s.mean(), 0.0, 0.01);
+  EXPECT_NEAR(s.variance(), 1.0, 0.02);
+}
+
+TEST(Samplers, ExponentialMeanMatches) {
+  Xoshiro256 rng(2);
+  StreamingSummary s;
+  for (int i = 0; i < 200'000; ++i) s.add(sample_exponential(rng, 250.0));
+  EXPECT_NEAR(s.mean(), 250.0, 3.0);
+}
+
+TEST(Samplers, LognormalMedianMatches) {
+  Xoshiro256 rng(3);
+  std::vector<double> data;
+  for (int i = 0; i < 100'001; ++i) data.push_back(sample_lognormal(rng, 4'000, 0.5));
+  std::nth_element(data.begin(), data.begin() + 50'000, data.end());
+  EXPECT_NEAR(data[50'000], 4'000, 80);
+}
+
+TEST(Samplers, ParetoNeverBelowScale) {
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 10'000; ++i) ASSERT_GE(sample_pareto(rng, 100.0, 1.5), 100.0);
+}
+
+TEST(DurationModel, FixedAlwaysSameValue) {
+  auto m = DurationModel::fixed(1234);
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(m.sample(rng), 1234u);
+}
+
+TEST(DurationModel, ClampRespected) {
+  auto m = DurationModel::lognormal(2'500, 1.5, 1'000, 5'000);
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 50'000; ++i) {
+    const DurNs v = m.sample(rng);
+    ASSERT_GE(v, 1'000u);
+    ASSERT_LE(v, 5'000u);
+  }
+}
+
+TEST(DurationModel, DeterministicGivenSeed) {
+  auto m = DurationModel::mixture({{0.5, 2'500, 0.3}, {0.5, 4'500, 0.3}}, 100, 100'000,
+                                  0.01, 10'000, 1.5);
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1'000; ++i) EXPECT_EQ(m.sample(a), m.sample(b));
+}
+
+TEST(DurationModel, MixtureWeightsRespected) {
+  // Well-separated modes: count samples near each.
+  auto m = DurationModel::mixture({{0.8, 1'000, 0.05}, {0.2, 100'000, 0.05}}, 1,
+                                  1'000'000);
+  Xoshiro256 rng(8);
+  int low = 0, high = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    const DurNs v = m.sample(rng);
+    if (v < 10'000) ++low;
+    else ++high;
+  }
+  EXPECT_NEAR(static_cast<double>(low) / n, 0.8, 0.01);
+  EXPECT_NEAR(static_cast<double>(high) / n, 0.2, 0.01);
+}
+
+TEST(DurationModel, TailProducesExtremes) {
+  auto with_tail = DurationModel::mixture({{1.0, 1'000, 0.1}}, 1, 10'000'000, 0.05,
+                                          50'000, 1.2);
+  auto without = DurationModel::mixture({{1.0, 1'000, 0.1}}, 1, 10'000'000);
+  Xoshiro256 r1(9), r2(9);
+  DurNs max_with = 0, max_without = 0;
+  for (int i = 0; i < 50'000; ++i) {
+    max_with = std::max(max_with, with_tail.sample(r1));
+    max_without = std::max(max_without, without.sample(r2));
+  }
+  EXPECT_GT(max_with, 50'000u);
+  EXPECT_LT(max_without, 3'000u);
+}
+
+TEST(DurationModel, EstimateMeanCloseToAnalytic) {
+  // Unclamped lognormal mean = median * exp(sigma^2/2).
+  const double median = 3'000, sigma = 0.4;
+  auto m = DurationModel::lognormal(median, sigma, 1, 100'000'000);
+  Xoshiro256 rng(10);
+  const double analytic = median * std::exp(sigma * sigma / 2);
+  EXPECT_NEAR(m.estimate_mean(rng, 200'000), analytic, analytic * 0.02);
+}
+
+TEST(DurationModel, InvalidMixtureDies) {
+  EXPECT_DEATH(DurationModel::mixture({}, 0, 100), "at least one");
+  EXPECT_DEATH(DurationModel::mixture({{0.0, 100, 0.1}}, 0, 100), "bad component");
+  EXPECT_DEATH(DurationModel::mixture({{1.0, 100, 0.1}}, 200, 100), "");
+}
+
+// Property sweep: for any (median, sigma) the sample mean respects the
+// lognormal mean formula within tolerance when clamps are inactive.
+class LognormalMean
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(LognormalMean, MatchesFormula) {
+  const auto [median, sigma] = GetParam();
+  auto m = DurationModel::lognormal(median, sigma, 1, 1'000'000'000);
+  Xoshiro256 rng(11);
+  const double analytic = median * std::exp(sigma * sigma / 2);
+  EXPECT_NEAR(m.estimate_mean(rng, 150'000), analytic, analytic * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LognormalMean,
+                         ::testing::Combine(::testing::Values(500.0, 2'500.0, 65'000.0),
+                                            ::testing::Values(0.1, 0.5, 1.0)));
+
+}  // namespace
+}  // namespace osn::stats

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace osn::sim {
+namespace {
+
+TEST(Engine, FiresInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(30, [&] { order.push_back(3); });
+  e.schedule_at(10, [&] { order.push_back(1); });
+  e.schedule_at(20, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30u);
+}
+
+TEST(Engine, SimultaneousEventsFireFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) e.schedule_at(5, [&order, i] { order.push_back(i); });
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, ScheduleAfterUsesCurrentTime) {
+  Engine e;
+  TimeNs fired_at = 0;
+  e.schedule_at(100, [&] { e.schedule_after(50, [&] { fired_at = e.now(); }); });
+  e.run();
+  EXPECT_EQ(fired_at, 150u);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  bool fired = false;
+  const EventId id = e.schedule_at(10, [&] { fired = true; });
+  e.cancel(id);
+  e.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(e.fired_count(), 0u);
+}
+
+TEST(Engine, CancelFromEarlierCallback) {
+  Engine e;
+  bool fired = false;
+  const EventId id = e.schedule_at(20, [&] { fired = true; });
+  e.schedule_at(10, [&] { e.cancel(id); });
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelAlreadyFiredIsNoop) {
+  Engine e;
+  const EventId id = e.schedule_at(10, [] {});
+  e.run();
+  e.cancel(id);  // must not crash
+  EXPECT_EQ(e.pending_count(), 0u);
+}
+
+TEST(Engine, PendingReflectsQueue) {
+  Engine e;
+  const EventId id = e.schedule_at(10, [] {});
+  EXPECT_TRUE(e.pending(id));
+  e.run();
+  EXPECT_FALSE(e.pending(id));
+}
+
+TEST(Engine, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Engine e;
+  std::vector<TimeNs> fired;
+  e.schedule_at(10, [&] { fired.push_back(10); });
+  e.schedule_at(20, [&] { fired.push_back(20); });
+  e.schedule_at(30, [&] { fired.push_back(30); });
+  e.run_until(20);
+  EXPECT_EQ(fired, (std::vector<TimeNs>{10, 20}));
+  EXPECT_EQ(e.now(), 20u);
+  e.run_until(100);
+  EXPECT_EQ(fired.size(), 3u);
+  EXPECT_EQ(e.now(), 100u);
+}
+
+TEST(Engine, StopBreaksRun) {
+  Engine e;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i)
+    e.schedule_at(static_cast<TimeNs>(i), [&] {
+      if (++count == 3) e.stop();
+    });
+  e.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(e.pending_count(), 7u);
+}
+
+TEST(Engine, SchedulingIntoThePastDies) {
+  Engine e;
+  e.schedule_at(100, [&] { EXPECT_DEATH(e.schedule_at(50, [] {}), "past"); });
+  e.run();
+}
+
+TEST(Engine, SelfReschedulingChain) {
+  Engine e;
+  int hops = 0;
+  std::function<void()> hop = [&] {
+    if (++hops < 100) e.schedule_after(10, hop);
+  };
+  e.schedule_at(0, hop);
+  e.run();
+  EXPECT_EQ(hops, 100);
+  EXPECT_EQ(e.now(), 990u);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine e;
+    std::vector<int> order;
+    for (int i = 0; i < 50; ++i) {
+      e.schedule_at(static_cast<TimeNs>((i * 37) % 20), [&order, i] { order.push_back(i); });
+    }
+    e.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Engine, FiredCountCounts) {
+  Engine e;
+  for (int i = 0; i < 5; ++i) e.schedule_at(static_cast<TimeNs>(i), [] {});
+  e.run();
+  EXPECT_EQ(e.fired_count(), 5u);
+}
+
+}  // namespace
+}  // namespace osn::sim

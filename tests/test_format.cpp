@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "common/format.hpp"
+
+namespace osn {
+namespace {
+
+TEST(WithCommas, SmallNumbersUnchanged) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(7), "7");
+  EXPECT_EQ(with_commas(999), "999");
+}
+
+TEST(WithCommas, GroupsOfThree) {
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(4380), "4,380");
+  EXPECT_EQ(with_commas(69398061), "69,398,061");
+  EXPECT_EQ(with_commas(1234567890123ULL), "1,234,567,890,123");
+}
+
+TEST(FmtDuration, PicksAdaptiveUnit) {
+  EXPECT_EQ(fmt_duration(250), "250 ns");
+  EXPECT_EQ(fmt_duration(4380), "4.38 us");
+  EXPECT_EQ(fmt_duration(69'398'061), "69.40 ms");
+  EXPECT_EQ(fmt_duration(2'000'000'000), "2.00 s");
+}
+
+TEST(FmtDuration, BoundaryValues) {
+  EXPECT_EQ(fmt_duration(999), "999 ns");
+  EXPECT_EQ(fmt_duration(1000), "1.00 us");
+  EXPECT_EQ(fmt_duration(999'999'999), "1000.00 ms");
+}
+
+TEST(FmtFixed, RoundsToPrecision) {
+  EXPECT_EQ(fmt_fixed(82.43, 1), "82.4");
+  EXPECT_EQ(fmt_fixed(82.46, 1), "82.5");
+  EXPECT_EQ(fmt_fixed(1.0, 0), "1");
+}
+
+TEST(FmtPercent, FractionToPercent) {
+  EXPECT_EQ(fmt_percent(0.824), "82.4%");
+  EXPECT_EQ(fmt_percent(0.05, 0), "5%");
+}
+
+TEST(Pad, LeftAndRight) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+}
+
+TEST(Pad, LongerStringsPassThrough) {
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");
+  EXPECT_EQ(pad_right("abcdef", 3), "abcdef");
+}
+
+}  // namespace
+}  // namespace osn

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "noise/ftq_compare.hpp"
+
+namespace osn::noise {
+namespace {
+
+SyntheticChart chart_with(std::vector<DurNs> totals, DurNs quantum = 1'000'000) {
+  SyntheticChart c;
+  c.origin = 0;
+  c.quantum = quantum;
+  for (std::size_t i = 0; i < totals.size(); ++i) {
+    QuantumNoise q;
+    q.start = static_cast<TimeNs>(i) * quantum;
+    q.total = totals[i];
+    c.quanta.push_back(q);
+  }
+  return c;
+}
+
+std::vector<FtqQuantumSample> ftq_with(std::vector<std::uint64_t> ops,
+                                       DurNs quantum = 1'000'000) {
+  std::vector<FtqQuantumSample> out;
+  for (std::size_t i = 0; i < ops.size(); ++i)
+    out.push_back({static_cast<TimeNs>(i) * quantum, ops[i]});
+  return out;
+}
+
+TEST(FtqCompare, PerfectAgreement) {
+  // nmax=1000 ops of 1000 ns; noise of k ops -> k*1000 ns.
+  const auto chart = chart_with({0, 3'000, 0, 7'000});
+  const auto ftq = ftq_with({1000, 997, 1000, 993});
+  const auto cmp = compare_ftq(ftq, 1000, 1'000, chart);
+  EXPECT_NEAR(cmp.correlation, 1.0, 1e-9);
+  EXPECT_EQ(cmp.mean_abs_diff_ns, 0.0);
+  EXPECT_EQ(cmp.underestimated_quanta, 0u);
+}
+
+TEST(FtqCompare, FtqOverestimatesByPartialOps) {
+  // Trace says 2500 ns; FTQ loses 3 whole ops (3000 ns): over, not under.
+  const auto chart = chart_with({2'500});
+  const auto ftq = ftq_with({997});
+  const auto cmp = compare_ftq(ftq, 1000, 1'000, chart);
+  EXPECT_EQ(cmp.overestimated_quanta, 1u);
+  EXPECT_EQ(cmp.underestimated_quanta, 0u);
+}
+
+TEST(FtqCompare, GrossUnderestimateDetected) {
+  // Trace reports 10 us; FTQ claims nothing: flagged.
+  const auto chart = chart_with({10'000});
+  const auto ftq = ftq_with({1000});
+  const auto cmp = compare_ftq(ftq, 1000, 1'000, chart);
+  EXPECT_EQ(cmp.underestimated_quanta, 1u);
+}
+
+TEST(FtqCompare, WithinOneOpToleranceNotFlagged) {
+  const auto chart = chart_with({1'800});
+  const auto ftq = ftq_with({1000});  // ftq 0 vs trace 1800 < 2 ops
+  const auto cmp = compare_ftq(ftq, 1000, 1'000, chart);
+  EXPECT_EQ(cmp.underestimated_quanta, 0u);
+}
+
+TEST(FtqCompare, UsesShorterSeries) {
+  const auto chart = chart_with({0, 0});
+  const auto ftq = ftq_with({1000, 1000, 1000, 1000});
+  const auto cmp = compare_ftq(ftq, 1000, 1'000, chart);
+  EXPECT_EQ(cmp.ftq_noise_ns.size(), 2u);
+}
+
+TEST(FtqCompare, MisalignedGridsDie) {
+  const auto chart = chart_with({0, 0});
+  std::vector<FtqQuantumSample> ftq{{123, 1000}, {456, 1000}};
+  EXPECT_DEATH(compare_ftq(ftq, 1000, 1'000, chart), "quantum grid");
+}
+
+TEST(FtqCompare, EmptyFtqDies) {
+  const auto chart = chart_with({0});
+  EXPECT_DEATH(compare_ftq({}, 1000, 1'000, chart), "no FTQ samples");
+}
+
+TEST(FtqCompare, OpsAboveNmaxClampToZeroNoise) {
+  const auto chart = chart_with({0});
+  const auto ftq = ftq_with({1005});
+  const auto cmp = compare_ftq(ftq, 1000, 1'000, chart);
+  EXPECT_EQ(cmp.ftq_noise_ns[0], 0.0);
+}
+
+}  // namespace
+}  // namespace osn::noise

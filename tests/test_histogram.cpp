@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "stats/distributions.hpp"
+#include "stats/histogram.hpp"
+
+namespace osn::stats {
+namespace {
+
+TEST(Histogram, BinsPartitionRange) {
+  Histogram h(0, 10, 10);
+  EXPECT_EQ(h.bin_count(), 10u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(9), 9.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(9), 10.0);
+}
+
+TEST(Histogram, SamplesLandInCorrectBin) {
+  Histogram h(0, 10, 10);
+  h.add(0.5);
+  h.add(9.99);
+  h.add(5.0);  // bin boundary: lands in [5,6)
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(9), 1u);
+  EXPECT_EQ(h.bin(5), 1u);
+}
+
+TEST(Histogram, OutOfRangeCounted) {
+  Histogram h(0, 10, 5);
+  h.add(-1);
+  h.add(10.0);  // hi is exclusive
+  h.add(1e9);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h(0, 10, 10);
+  h.add(2.5, 7);
+  EXPECT_EQ(h.bin(2), 7u);
+  EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(Histogram, QuantileOfUniformData) {
+  Histogram h(0, 100, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.01), 1.0, 1.5);
+}
+
+TEST(Histogram, QuantileEmptyReturnsLo) {
+  Histogram h(5, 10, 5);
+  EXPECT_EQ(h.quantile(0.5), 5.0);
+}
+
+TEST(Histogram, ModeBin) {
+  Histogram h(0, 10, 10);
+  h.add(3.5, 10);
+  h.add(7.5, 3);
+  EXPECT_EQ(h.mode_bin(), 3u);
+}
+
+TEST(Histogram, PeaksDetectBimodal) {
+  // Two clear humps like AMG's page-fault distribution (Fig 4a).
+  Histogram h(0, 10'000, 50);
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 20'000; ++i) h.add(sample_lognormal(rng, 2'500, 0.1));
+  for (int i = 0; i < 20'000; ++i) h.add(sample_lognormal(rng, 6'500, 0.1));
+  const auto peaks = h.peaks(0.2);
+  EXPECT_EQ(peaks.size(), 2u);
+  EXPECT_NEAR(h.bin_lo(peaks[0]), 2'500, 600);
+  EXPECT_NEAR(h.bin_lo(peaks[1]), 6'500, 800);
+}
+
+TEST(Histogram, PeaksDetectUnimodal) {
+  Histogram h(0, 10'000, 50);
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 40'000; ++i) h.add(sample_lognormal(rng, 2'500, 0.3));
+  EXPECT_EQ(h.peaks(0.2).size(), 1u);
+}
+
+TEST(Histogram, InvalidConstructionDies) {
+  EXPECT_DEATH(Histogram(10, 5, 10), "range/bins");
+  EXPECT_DEATH(Histogram(0, 10, 0), "range/bins");
+}
+
+TEST(LogHistogram, BucketsByPowerOfTwo) {
+  LogHistogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(1024);
+  EXPECT_EQ(h.bucket(0), 2u);  // 0 and 1
+  EXPECT_EQ(h.bucket(1), 2u);  // 2 and 3
+  EXPECT_EQ(h.bucket(10), 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(LogHistogram, QuantileMonotonic) {
+  LogHistogram h;
+  Xoshiro256 rng(8);
+  for (int i = 0; i < 10'000; ++i)
+    h.add(static_cast<DurNs>(sample_lognormal(rng, 4'000, 1.0)));
+  EXPECT_LE(h.quantile(0.25), h.quantile(0.5));
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.9));
+  EXPECT_LE(h.quantile(0.9), h.quantile(0.999));
+}
+
+TEST(RenderHistogram, ContainsTitleAndBars) {
+  Histogram h(0, 10, 5);
+  h.add(1, 100);
+  h.add(6, 50);
+  const std::string out = render_histogram(h, "page fault durations", "us");
+  EXPECT_NE(out.find("page fault durations"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("100"), std::string::npos);
+}
+
+TEST(RenderHistogram, MentionsCutTail) {
+  Histogram h(0, 10, 5);
+  h.add(5);
+  h.add(1e9);  // overflow
+  const std::string out = render_histogram(h, "t", "ns");
+  EXPECT_NE(out.find("beyond range"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace osn::stats

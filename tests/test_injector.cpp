@@ -1,0 +1,87 @@
+// Controlled noise injection: the analyzer must recover the injected ground
+// truth (frequency and duration), and the victim's slowdown must equal the
+// injected noise share.
+#include <gtest/gtest.h>
+
+#include "noise/analysis.hpp"
+#include "stats/summary.hpp"
+#include "workloads/injector.hpp"
+#include "workloads/workload.hpp"
+
+namespace osn::workloads {
+namespace {
+
+struct InjectionRun {
+  RunResult result;
+  double measured_freq = 0;
+  double measured_avg_ns = 0;
+  std::uint64_t preemptions = 0;
+};
+
+InjectionRun run_injection(DurNs period, DurNs duration, DurNs run_for = sec(2)) {
+  InjectionParams params;
+  params.period = period;
+  params.duration = duration;
+  params.run_duration = run_for;
+  InjectionWorkload wl(params);
+  InjectionRun out{run_workload(wl, 1), 0, 0, 0};
+  noise::NoiseAnalysis analysis(out.result.trace);
+  stats::StreamingSummary s;
+  for (const auto& iv : analysis.noise_intervals()) {
+    if (iv.kind != noise::ActivityKind::kPreemption) continue;
+    if (out.result.trace.task_name(static_cast<Pid>(iv.detail)) != "injector") continue;
+    s.add(static_cast<double>(iv.self));
+  }
+  out.preemptions = s.count();
+  out.measured_avg_ns = s.mean();
+  out.measured_freq =
+      static_cast<double>(s.count()) /
+      (static_cast<double>(out.result.trace.duration()) / static_cast<double>(kNsPerSec));
+  return out;
+}
+
+TEST(Injector, RecoversInjectedFrequency) {
+  const auto run = run_injection(10 * kNsPerMs, 100 * kNsPerUs);
+  // Injection cycle = period + duration => ~99 Hz.
+  const double expected = 1e9 / static_cast<double>(10 * kNsPerMs + 100 * kNsPerUs);
+  EXPECT_NEAR(run.measured_freq, expected, expected * 0.02);
+}
+
+TEST(Injector, RecoversInjectedDuration) {
+  const auto run = run_injection(10 * kNsPerMs, 100 * kNsPerUs);
+  // Preemption = burn + bounded scheduling overhead, never less than burn.
+  EXPECT_GE(run.measured_avg_ns, 100'000.0);
+  EXPECT_LE(run.measured_avg_ns, 112'000.0);
+}
+
+TEST(Injector, VictimSlowdownMatchesInjectedShare) {
+  // 100 us every ~10 ms ~= 1% injected; victim's 2 s of work must take
+  // ~2 s * (1 + noise_share).
+  const auto run = run_injection(10 * kNsPerMs, 100 * kNsPerUs);
+  const double wall = static_cast<double>(run.result.trace.duration());
+  const double slowdown = wall / static_cast<double>(sec(2));
+  EXPECT_GT(slowdown, 1.005);
+  EXPECT_LT(slowdown, 1.06);  // 1% injection + tick noise + switches
+}
+
+TEST(Injector, HigherFrequencyMoreEvents) {
+  const auto slow = run_injection(20 * kNsPerMs, 50 * kNsPerUs, sec(1));
+  const auto fast = run_injection(2 * kNsPerMs, 50 * kNsPerUs, sec(1));
+  EXPECT_GT(fast.preemptions, 5 * slow.preemptions);
+}
+
+TEST(Injector, TraceValidates) {
+  InjectionWorkload wl;
+  const RunResult run = run_workload(wl, 2);
+  EXPECT_EQ(run.trace.validate(), "");
+  EXPECT_TRUE(run.trace.is_app(wl.victim_pid()));
+  EXPECT_FALSE(run.trace.is_app(wl.injector_pid()));
+}
+
+TEST(Injector, DeterministicAcrossRuns) {
+  InjectionWorkload a, b;
+  EXPECT_EQ(run_workload(a, 5).trace, run_workload(b, 5).trace);
+}
+
+}  // namespace
+}  // namespace osn::workloads

@@ -1,0 +1,171 @@
+// End-to-end integration: workload -> trace -> analysis -> exports, plus the
+// paper's headline validation (FTQ vs LTTNG-NOISE agreement) on a real
+// simulated run.
+#include <gtest/gtest.h>
+
+#include "export/csv.hpp"
+#include "export/paraver.hpp"
+#include "noise/chart.hpp"
+#include "noise/disambiguate.hpp"
+#include "noise/ftq_compare.hpp"
+#include "trace/trace_io.hpp"
+#include "workloads/ftq.hpp"
+#include "workloads/sequoia.hpp"
+#include "workloads/workload.hpp"
+
+namespace osn {
+namespace {
+
+struct FtqRun {
+  workloads::FtqWorkload workload;
+  workloads::RunResult result;
+  FtqRun()
+      : workload([] {
+          workloads::FtqParams p;
+          p.n_quanta = 500;
+          return p;
+        }()),
+        result(workloads::run_workload(workload, 1)) {}
+};
+
+FtqRun& ftq_run() {
+  static FtqRun run;
+  return run;
+}
+
+TEST(Integration, FtqAndTraceAgree) {
+  // §III-C / Fig 1: the two measurement methods see the same noise.
+  auto& run = ftq_run();
+  noise::NoiseAnalysis analysis(run.result.trace);
+  const noise::SyntheticChart chart =
+      noise::build_chart(analysis, run.workload.ftq_pid(),
+                         run.workload.samples().front().start,
+                         run.workload.params().quantum, run.workload.samples().size());
+  const noise::FtqComparison cmp = noise::compare_ftq(
+      run.workload.samples(), run.workload.nmax(), run.workload.params().op_time, chart);
+  EXPECT_GT(cmp.correlation, 0.9);
+  EXPECT_EQ(cmp.underestimated_quanta, 0u);
+  // "In general, the result is that FTQ slightly overestimates the OS noise."
+  EXPECT_GT(cmp.overestimated_quanta, cmp.underestimated_quanta);
+  EXPECT_LT(cmp.mean_abs_diff_ns, 2.0 * static_cast<double>(run.workload.params().op_time));
+}
+
+TEST(Integration, TickQuantaCarryPeriodicComposition) {
+  auto& run = ftq_run();
+  noise::NoiseAnalysis analysis(run.result.trace);
+  const noise::SyntheticChart chart =
+      noise::build_chart(analysis, run.workload.ftq_pid(),
+                         run.workload.samples().front().start,
+                         run.workload.params().quantum, run.workload.samples().size());
+  // Quanta containing a tick must show timer_interrupt + run_timer_softirq.
+  std::size_t tick_quanta = 0;
+  for (const auto& q : chart.quanta) {
+    bool irq = false, softirq = false;
+    for (const auto& c : q.components) {
+      if (c.kind == noise::ActivityKind::kTimerIrq) irq = true;
+      if (c.kind == noise::ActivityKind::kTimerSoftirq) softirq = true;
+    }
+    if (irq) {
+      EXPECT_TRUE(softirq);
+      ++tick_quanta;
+    }
+  }
+  // 500 ms at 100 Hz: ~50 tick quanta.
+  EXPECT_NEAR(static_cast<double>(tick_quanta), 50.0, 5.0);
+}
+
+TEST(Integration, DisambiguationFindsCompositeQuanta) {
+  // Fig 9: some quanta contain a page fault *and* an unrelated tick.
+  auto& run = ftq_run();
+  noise::NoiseAnalysis analysis(run.result.trace);
+  const noise::SyntheticChart chart =
+      noise::build_chart(analysis, run.workload.ftq_pid(),
+                         run.workload.samples().front().start,
+                         run.workload.params().quantum, run.workload.samples().size());
+  const auto interruptions = noise::group_interruptions(analysis, run.workload.ftq_pid());
+  EXPECT_GT(interruptions.size(), 50u);
+  const auto composites = noise::find_composite_quanta(chart, interruptions);
+  EXPECT_GE(composites.size(), 1u);
+}
+
+TEST(Integration, TraceSurvivesOsntRoundTrip) {
+  auto& run = ftq_run();
+  const auto bytes = trace::serialize_trace(run.result.trace);
+  EXPECT_EQ(trace::deserialize_trace(bytes), run.result.trace);
+  // Compact: well under the 24-byte in-memory record size.
+  EXPECT_LT(static_cast<double>(bytes.size()),
+            16.0 * static_cast<double>(run.result.trace.total_events()));
+}
+
+TEST(Integration, ParaverExportOfRealRunIsWellFormed) {
+  auto& run = ftq_run();
+  noise::NoiseAnalysis analysis(run.result.trace);
+  const auto files = exporter::export_paraver(analysis);
+  EXPECT_EQ(files.prv.substr(0, 8), "#Paraver");
+  // One line per record plus header; every noise interval contributes a
+  // state and two events.
+  const std::size_t lines = static_cast<std::size_t>(
+      std::count(files.prv.begin(), files.prv.end(), '\n'));
+  EXPECT_GT(lines, analysis.noise_intervals().size() * 2);
+}
+
+TEST(Integration, CsvExportOfRealRunParses) {
+  auto& run = ftq_run();
+  noise::NoiseAnalysis analysis(run.result.trace);
+  const std::string csv = exporter::intervals_csv(analysis);
+  const std::size_t lines = static_cast<std::size_t>(
+      std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(lines, analysis.noise_intervals().size() + 1);
+}
+
+TEST(Integration, NestingAblationInflatesSequoiaNoise) {
+  workloads::SequoiaWorkload wl(workloads::SequoiaApp::kUmt, sec(1));
+  const auto run = workloads::run_workload(wl, 1);
+  noise::AnalysisOptions naive;
+  naive.resolve_nesting = false;
+  noise::NoiseAnalysis resolved(run.trace);
+  noise::NoiseAnalysis inflated(run.trace, naive);
+  DurNs resolved_total = 0, inflated_total = 0;
+  for (Pid pid : run.trace.app_pids()) {
+    resolved_total += resolved.total_noise(pid);
+    inflated_total += inflated.total_noise(pid);
+  }
+  EXPECT_GT(inflated_total, resolved_total);
+}
+
+TEST(Integration, RunnableFilterReducesAccountedNoise) {
+  workloads::SequoiaWorkload wl(workloads::SequoiaApp::kIrs, sec(1));
+  const auto run = workloads::run_workload(wl, 1);
+  noise::AnalysisOptions no_filter;
+  no_filter.runnable_filter = false;
+  noise::NoiseAnalysis filtered(run.trace);
+  noise::NoiseAnalysis unfiltered(run.trace, no_filter);
+  EXPECT_LT(filtered.noise_intervals().size(), unfiltered.noise_intervals().size());
+}
+
+TEST(Integration, TracerOverheadIsSmall) {
+  // §III-A: the tracer's overhead is ~0.28%. In the simulator the trace
+  // sink is free by construction, so verify the *accounting* analogue: a
+  // traced run and an untraced run advance identically (tracing never
+  // perturbs simulated time).
+  auto run_end_time = [](bool with_sink) {
+    workloads::FtqParams p;
+    p.n_quanta = 200;
+    workloads::FtqWorkload wl(p);
+    kernel::NodeConfig cfg = wl.config();
+    cfg.seed = 5;
+    trace::VectorSink vec;
+    trace::NullSink null;
+    trace::TraceSink& sink = with_sink ? static_cast<trace::TraceSink&>(vec)
+                                       : static_cast<trace::TraceSink&>(null);
+    kernel::Kernel k(cfg, wl.models(), sink);
+    wl.setup(k);
+    k.start();
+    k.run_until_apps_done(sec(60));
+    return k.now();
+  };
+  EXPECT_EQ(run_end_time(true), run_end_time(false));
+}
+
+}  // namespace
+}  // namespace osn

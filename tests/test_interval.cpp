@@ -1,0 +1,198 @@
+// Interval building: entry/exit pairing, nested-event (self vs inclusive)
+// resolution, preemption derivation, communication windows.
+#include <gtest/gtest.h>
+
+#include "noise/interval.hpp"
+#include "trace_builder.hpp"
+
+namespace osn::noise {
+namespace {
+
+using osn::testing::TraceBuilder;
+using trace::EventType;
+
+TEST(Interval, SimplePairBecomesInterval) {
+  auto model = TraceBuilder(1)
+                   .task(1, "app", true)
+                   .pair(0, 100, 2'278, 1, EventType::kIrqEntry,
+                         static_cast<std::uint64_t>(trace::IrqVector::kTimer))
+                   .build();
+  const IntervalSet set = build_intervals(model);
+  ASSERT_EQ(set.kernel.size(), 1u);
+  const Interval& iv = set.kernel[0];
+  EXPECT_EQ(iv.kind, ActivityKind::kTimerIrq);
+  EXPECT_EQ(iv.task, 1u);
+  EXPECT_EQ(iv.start, 100u);
+  EXPECT_EQ(iv.end, 2'278u);
+  EXPECT_EQ(iv.inclusive, 2'178u);
+  EXPECT_EQ(iv.self, 2'178u);
+  EXPECT_EQ(iv.depth, 0u);
+}
+
+TEST(Interval, NestedChildSubtractedFromParentSelf) {
+  // The paper's canonical case: a timer interrupt inside a tasklet.
+  TraceBuilder b(1);
+  b.task(1, "app", true);
+  b.ev(0, 1'000, 1, EventType::kTaskletEntry,
+       static_cast<std::uint64_t>(trace::TaskletId::kNetRx));
+  b.ev(0, 1'500, 1, EventType::kIrqEntry,
+       static_cast<std::uint64_t>(trace::IrqVector::kTimer));
+  b.ev(0, 3'500, 1, EventType::kIrqExit,
+       static_cast<std::uint64_t>(trace::IrqVector::kTimer));
+  b.ev(0, 6'000, 1, EventType::kTaskletExit,
+       static_cast<std::uint64_t>(trace::TaskletId::kNetRx));
+  const IntervalSet set = build_intervals(b.build());
+  ASSERT_EQ(set.kernel.size(), 2u);
+  // Sorted by start: tasklet first.
+  const Interval& tasklet = set.kernel[0];
+  const Interval& irq = set.kernel[1];
+  EXPECT_EQ(tasklet.kind, ActivityKind::kNetRxTasklet);
+  EXPECT_EQ(tasklet.inclusive, 5'000u);
+  EXPECT_EQ(tasklet.self, 3'000u);  // 5000 - nested 2000
+  EXPECT_EQ(irq.kind, ActivityKind::kTimerIrq);
+  EXPECT_EQ(irq.self, 2'000u);
+  EXPECT_EQ(irq.depth, 1u);
+  // Self times sum to wall time: no double counting.
+  EXPECT_EQ(tasklet.self + irq.self, tasklet.inclusive);
+}
+
+TEST(Interval, DoubleNestingResolvesEachLevel) {
+  TraceBuilder b(1);
+  b.task(1, "app", true);
+  b.ev(0, 0, 1, EventType::kSyscallEntry, 0);
+  b.ev(0, 100, 1, EventType::kSoftirqEntry, 1);
+  b.ev(0, 200, 1, EventType::kIrqEntry, 0);
+  b.ev(0, 300, 1, EventType::kIrqExit, 0);
+  b.ev(0, 500, 1, EventType::kSoftirqExit, 1);
+  b.ev(0, 1'000, 1, EventType::kSyscallExit, 0);
+  const IntervalSet set = build_intervals(b.build());
+  ASSERT_EQ(set.kernel.size(), 3u);
+  EXPECT_EQ(set.kernel[0].self, 600u);  // syscall: 1000 - 400 (softirq)
+  EXPECT_EQ(set.kernel[1].self, 300u);  // softirq: 400 - 100 (irq)
+  EXPECT_EQ(set.kernel[2].self, 100u);  // irq
+}
+
+TEST(Interval, SequentialSiblingsBothChargedToParent) {
+  TraceBuilder b(1);
+  b.task(1, "app", true);
+  b.ev(0, 0, 1, EventType::kSyscallEntry, 0);
+  b.pair(0, 100, 200, 1, EventType::kIrqEntry, 0);
+  b.pair(0, 300, 450, 1, EventType::kIrqEntry, 0);
+  b.ev(0, 1'000, 1, EventType::kSyscallExit, 0);
+  const IntervalSet set = build_intervals(b.build());
+  ASSERT_EQ(set.kernel.size(), 3u);
+  EXPECT_EQ(set.kernel[0].self, 1'000u - 100u - 150u);
+}
+
+TEST(Interval, PreemptionDerivedFromSwitches) {
+  TraceBuilder b(1);
+  b.task(1, "app", true).task(9, "rpciod", false, true);
+  // app switched out runnable at t=1000, rpciod runs, app back at t=3215.
+  b.ev(0, 1'000, 1, EventType::kSchedSwitch, trace::pack_switch({1, 9, true}));
+  b.ev(0, 3'215, 9, EventType::kSchedSwitch, trace::pack_switch({9, 1, false}));
+  const IntervalSet set = build_intervals(b.build());
+  ASSERT_EQ(set.preemption.size(), 1u);
+  const Interval& p = set.preemption[0];
+  EXPECT_EQ(p.kind, ActivityKind::kPreemption);
+  EXPECT_EQ(p.task, 1u);
+  EXPECT_EQ(p.detail, 9u);  // preemptor
+  EXPECT_EQ(p.self, 2'215u);
+}
+
+TEST(Interval, VoluntarySwitchIsNotPreemption) {
+  TraceBuilder b(1);
+  b.task(1, "app", true);
+  b.ev(0, 1'000, 1, EventType::kSchedSwitch, trace::pack_switch({1, 0, false}));
+  b.ev(0, 9'000, 0, EventType::kSchedSwitch, trace::pack_switch({0, 1, false}));
+  EXPECT_TRUE(build_intervals(b.build()).preemption.empty());
+}
+
+TEST(Interval, PreemptionClosesOnOtherCpu) {
+  // Preempted on CPU 0, migrated, resumes on CPU 1.
+  TraceBuilder b(2);
+  b.task(1, "app", true).task(9, "rpciod", false, true);
+  b.ev(0, 1'000, 1, EventType::kSchedSwitch, trace::pack_switch({1, 9, true}));
+  b.ev(1, 5'000, 0, EventType::kSchedSwitch, trace::pack_switch({0, 1, false}));
+  const IntervalSet set = build_intervals(b.build());
+  ASSERT_EQ(set.preemption.size(), 1u);
+  EXPECT_EQ(set.preemption[0].inclusive, 4'000u);
+  EXPECT_EQ(set.preemption[0].cpu, 0u);  // where it was preempted
+}
+
+TEST(Interval, DanglingPreemptionClosedAtTraceEnd) {
+  TraceBuilder b(1);
+  b.task(1, "app", true).task(9, "d", false, true);
+  b.ev(0, 1'000, 1, EventType::kSchedSwitch, trace::pack_switch({1, 9, true}));
+  const IntervalSet set = build_intervals(b.build(10'000));
+  ASSERT_EQ(set.preemption.size(), 1u);
+  EXPECT_EQ(set.preemption[0].end, 10'000u);
+}
+
+TEST(Interval, KernelDaemonPreemptionNotTracked) {
+  // Only application tasks get preemption intervals.
+  TraceBuilder b(1);
+  b.task(8, "kd1", false, true).task(9, "kd2", false, true);
+  b.ev(0, 1'000, 8, EventType::kSchedSwitch, trace::pack_switch({8, 9, true}));
+  b.ev(0, 2'000, 9, EventType::kSchedSwitch, trace::pack_switch({9, 8, false}));
+  EXPECT_TRUE(build_intervals(b.build()).preemption.empty());
+}
+
+TEST(Interval, CommWindowsFromBarrierMarks) {
+  TraceBuilder b(1);
+  b.task(1, "app", true);
+  b.ev(0, 1'000, 1, EventType::kAppMark,
+       static_cast<std::uint64_t>(trace::AppMark::kBarrierEnter));
+  b.ev(0, 5'000, 1, EventType::kAppMark,
+       static_cast<std::uint64_t>(trace::AppMark::kBarrierExit));
+  const IntervalSet set = build_intervals(b.build());
+  ASSERT_EQ(set.comm.size(), 1u);
+  EXPECT_EQ(set.comm[0].task, 1u);
+  EXPECT_EQ(set.comm[0].start, 1'000u);
+  EXPECT_EQ(set.comm[0].end, 5'000u);
+}
+
+TEST(Interval, UnclosedCommWindowEndsAtTraceEnd) {
+  TraceBuilder b(1);
+  b.task(1, "app", true);
+  b.ev(0, 1'000, 1, EventType::kAppMark,
+       static_cast<std::uint64_t>(trace::AppMark::kBarrierEnter));
+  const IntervalSet set = build_intervals(b.build(8'000));
+  ASSERT_EQ(set.comm.size(), 1u);
+  EXPECT_EQ(set.comm[0].end, 8'000u);
+}
+
+TEST(Interval, OutputSortedByStart) {
+  TraceBuilder b(2);
+  b.task(1, "app", true);
+  b.pair(1, 500, 600, 1, EventType::kIrqEntry, 0);
+  b.pair(0, 100, 200, 1, EventType::kIrqEntry, 0);
+  b.pair(0, 900, 950, 1, EventType::kIrqEntry, 0);
+  const IntervalSet set = build_intervals(b.build());
+  ASSERT_EQ(set.kernel.size(), 3u);
+  EXPECT_LT(set.kernel[0].start, set.kernel[1].start);
+  EXPECT_LT(set.kernel[1].start, set.kernel[2].start);
+}
+
+TEST(Interval, ActivityOfMapsPaperNames) {
+  EXPECT_EQ(activity_of(EventType::kSoftirqEntry,
+                        static_cast<std::uint64_t>(trace::SoftirqNr::kTimer)),
+            ActivityKind::kTimerSoftirq);
+  EXPECT_EQ(activity_of(EventType::kSoftirqEntry,
+                        static_cast<std::uint64_t>(trace::SoftirqNr::kSched)),
+            ActivityKind::kRebalanceSoftirq);
+  EXPECT_EQ(activity_of(EventType::kTaskletEntry,
+                        static_cast<std::uint64_t>(trace::TaskletId::kNetTx)),
+            ActivityKind::kNetTxTasklet);
+  EXPECT_EQ(activity_of(EventType::kPageFaultEntry, 0), ActivityKind::kPageFault);
+}
+
+TEST(Interval, UnmatchedExitDies) {
+  TraceBuilder b(1);
+  b.task(1, "app", true);
+  b.ev(0, 100, 1, EventType::kIrqExit, 0);
+  auto model = b.build();
+  EXPECT_DEATH(build_intervals(model), "exit without entry");
+}
+
+}  // namespace
+}  // namespace osn::noise

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "export/json.hpp"
+#include "trace_builder.hpp"
+
+namespace osn::exporter {
+namespace {
+
+using osn::testing::TraceBuilder;
+using trace::EventType;
+
+TEST(JsonEscape, PassesPlainText) { EXPECT_EQ(json_escape("abc 123"), "abc 123"); }
+
+TEST(JsonEscape, EscapesSpecials) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(SummaryJson, ContainsMetadataAndActivities) {
+  TraceBuilder b(2);
+  b.task(1, "rank0", true).task(9, "rpciod", false, true);
+  b.pair(0, 100, 2'278, 1, EventType::kIrqEntry, 0);
+  b.pair(0, 5'000, 7'913, 1, EventType::kPageFaultEntry, 0);
+  const auto model = b.build(kNsPerSec);
+  noise::NoiseAnalysis analysis(model);
+  const std::string json = summary_json(analysis);
+
+  EXPECT_NE(json.find("\"workload\": \"test\""), std::string::npos);
+  EXPECT_NE(json.find("\"duration_ns\": 1000000000"), std::string::npos);
+  EXPECT_NE(json.find("\"cpus\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"timer_interrupt\""), std::string::npos);
+  EXPECT_NE(json.find("\"page_fault\""), std::string::npos);
+  EXPECT_NE(json.find("\"max_ns\": 2913"), std::string::npos);
+  EXPECT_NE(json.find("\"rank0\""), std::string::npos);
+  // Total noise of rank0: 2178 + 2913.
+  EXPECT_NE(json.find("\"total_noise_ns\": 5091"), std::string::npos);
+}
+
+TEST(SummaryJson, BalancedBracesAndQuotes) {
+  TraceBuilder b(1);
+  b.task(1, "app", true);
+  b.pair(0, 10, 20, 1, EventType::kIrqEntry, 0);
+  const auto model = b.build(1'000);
+  noise::NoiseAnalysis analysis(model);
+  const std::string json = summary_json(analysis);
+  long depth = 0;
+  std::size_t quotes = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char ch = json[i];
+    if (ch == '"' && (i == 0 || json[i - 1] != '\\')) {
+      in_string = !in_string;
+      ++quotes;
+    }
+    if (in_string) continue;
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(quotes % 2, 0u);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(SummaryJson, EmptyAnalysisStillValidShape) {
+  const auto model = TraceBuilder(1).task(1, "app", true).build(100);
+  noise::NoiseAnalysis analysis(model);
+  const std::string json = summary_json(analysis);
+  EXPECT_NE(json.find("\"noise_intervals\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"activities\": {"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace osn::exporter

@@ -1,0 +1,209 @@
+// NFS-over-network I/O: RPC chunking, the tx/rx tasklet pipeline, tasklet
+// serialization, rpciod delivery, reply fragmentation, server FIFO.
+#include <gtest/gtest.h>
+
+#include "kernel_helpers.hpp"
+
+namespace osn::kernel {
+namespace {
+
+using osn::testing::compute_program;
+using osn::testing::count_events;
+using osn::testing::fixed_models;
+using osn::testing::KernelRun;
+using osn::testing::ScriptProgram;
+using trace::EventType;
+
+TEST(KernelNet, IoSplitsIntoChunkRpcs) {
+  KernelRun run;
+  run.kernel->spawn(
+      "t",
+      std::make_unique<ScriptProgram>(std::vector<Action>{ActIo{100 * 1024, true}}),
+      true, 0);
+  run.kernel->start();
+  run.kernel->run_until_apps_done(sec(10));
+  // 100 KiB at 32 KiB rsize = 4 RPCs.
+  EXPECT_EQ(run.kernel->net().rpcs_sent, 4u);
+  EXPECT_EQ(run.kernel->net().rpcs_completed, 4u);
+}
+
+TEST(KernelNet, SmallIoIsOneRpc) {
+  KernelRun run;
+  run.kernel->spawn(
+      "t", std::make_unique<ScriptProgram>(std::vector<Action>{ActIo{100, false}}),
+      true, 0);
+  run.kernel->start();
+  run.kernel->run_until_apps_done(sec(10));
+  EXPECT_EQ(run.kernel->net().rpcs_sent, 1u);
+}
+
+TEST(KernelNet, BlockingIoTakesServerRoundTrip) {
+  // Fixed models: wire 20 us each way, server 50 us -> >= 90 us blocked.
+  KernelRun run;
+  run.kernel->spawn(
+      "t", std::make_unique<ScriptProgram>(std::vector<Action>{ActIo{100, true}}),
+      true, 0);
+  run.kernel->start();
+  run.kernel->run_until_apps_done(sec(10));
+  EXPECT_GE(run.kernel->now(), 90'000u);
+}
+
+TEST(KernelNet, ServerFifoSerializesBurst) {
+  // 8 RPCs through a 50 us server: completion spans >= 8 * 50 us.
+  KernelRun run;
+  run.kernel->spawn(
+      "t",
+      std::make_unique<ScriptProgram>(std::vector<Action>{ActIo{8 * 32 * 1024, true}}),
+      true, 0);
+  run.kernel->start();
+  run.kernel->run_until_apps_done(sec(10));
+  EXPECT_GE(run.kernel->now(), 8u * 50'000u);
+}
+
+TEST(KernelNet, TxAndRxTaskletsAppearInTrace) {
+  KernelRun run;
+  run.kernel->spawn(
+      "t",
+      std::make_unique<ScriptProgram>(std::vector<Action>{ActIo{64 * 1024, true}}),
+      true, 0);
+  run.kernel->start();
+  run.kernel->run_until_apps_done(sec(10));
+  const auto model = run.finish();
+  std::size_t tx = 0, rx = 0;
+  for (CpuId c = 0; c < model.cpu_count(); ++c) {
+    for (const auto& rec : model.cpu_events(c)) {
+      if (static_cast<EventType>(rec.event) != EventType::kTaskletEntry) continue;
+      if (rec.arg == static_cast<std::uint64_t>(trace::TaskletId::kNetTx)) ++tx;
+      if (rec.arg == static_cast<std::uint64_t>(trace::TaskletId::kNetRx)) ++rx;
+    }
+  }
+  EXPECT_GE(tx, 1u);
+  EXPECT_GE(rx, 1u);
+}
+
+TEST(KernelNet, SameTypeTaskletsNeverOverlapAcrossCpus) {
+  // The serialization property from the paper's footnote 5: merge all CPUs'
+  // tasklet windows per type and assert none intersect.
+  NodeConfig cfg;
+  cfg.n_cpus = 4;
+  KernelRun run(cfg);
+  for (int i = 0; i < 4; ++i) {
+    std::vector<Action> script;
+    for (int k = 0; k < 10; ++k) {
+      script.push_back(ActCompute{us(50)});
+      script.push_back(ActIo{64 * 1024, true});
+    }
+    run.kernel->spawn("t" + std::to_string(i),
+                      std::make_unique<ScriptProgram>(std::move(script)), true,
+                      static_cast<CpuId>(i));
+  }
+  run.kernel->start();
+  run.kernel->run_until_apps_done(sec(30));
+  const auto model = run.finish();
+  for (const auto tasklet : {trace::TaskletId::kNetRx, trace::TaskletId::kNetTx}) {
+    std::vector<std::pair<TimeNs, TimeNs>> windows;
+    for (CpuId c = 0; c < model.cpu_count(); ++c) {
+      TimeNs entry = 0;
+      for (const auto& rec : model.cpu_events(c)) {
+        if (rec.arg != static_cast<std::uint64_t>(tasklet)) continue;
+        const auto t = static_cast<EventType>(rec.event);
+        if (t == EventType::kTaskletEntry) entry = rec.timestamp;
+        if (t == EventType::kTaskletExit) windows.emplace_back(entry, rec.timestamp);
+      }
+    }
+    std::sort(windows.begin(), windows.end());
+    for (std::size_t i = 1; i < windows.size(); ++i)
+      EXPECT_GE(windows[i].first, windows[i - 1].second)
+          << "tasklet windows overlap across CPUs";
+  }
+}
+
+TEST(KernelNet, RpciodWakesAndDeliversCompletion) {
+  KernelRun run;
+  const Pid pid = run.kernel->spawn(
+      "t",
+      std::make_unique<ScriptProgram>(std::vector<Action>{ActIo{100, true},
+                                                          ActCompute{ms(1)}}),
+      true, 0);
+  run.kernel->start();
+  run.kernel->run_until_apps_done(sec(10));
+  EXPECT_EQ(run.kernel->task(pid).state, TaskState::kExited);
+  const auto model = run.finish();
+  // rpciod must have been woken at least once.
+  bool rpciod_woken = false;
+  for (CpuId c = 0; c < model.cpu_count(); ++c)
+    for (const auto& rec : model.cpu_events(c))
+      if (static_cast<EventType>(rec.event) == EventType::kSchedWakeup &&
+          rec.arg == run.kernel->rpciod_pid())
+        rpciod_woken = true;
+  EXPECT_TRUE(rpciod_woken);
+}
+
+TEST(KernelNet, FragmentsMultiplyNetIrqs) {
+  auto run_with_frags = [](std::uint32_t frags) {
+    NodeConfig cfg;
+    cfg.fragments_per_reply = frags;
+    KernelRun run(cfg);
+    run.kernel->spawn(
+        "t",
+        std::make_unique<ScriptProgram>(std::vector<Action>{ActIo{4 * 32 * 1024, true}}),
+        true, 0);
+    run.kernel->start();
+    run.kernel->run_until_apps_done(sec(10));
+    const auto model = run.finish();
+    std::size_t net_irqs = 0;
+    for (CpuId c = 0; c < model.cpu_count(); ++c)
+      for (const auto& rec : model.cpu_events(c))
+        if (static_cast<EventType>(rec.event) == EventType::kIrqEntry &&
+            rec.arg == static_cast<std::uint64_t>(trace::IrqVector::kNet))
+          ++net_irqs;
+    return net_irqs;
+  };
+  // 4 replies: frags=3 adds 2 extra irqs per reply over frags=1.
+  EXPECT_EQ(run_with_frags(3), run_with_frags(1) + 4u * 2u);
+}
+
+TEST(KernelNet, RoundRobinSpreadsNetIrqs) {
+  NodeConfig cfg;
+  cfg.n_cpus = 4;
+  cfg.net_irq_round_robin = true;
+  KernelRun run(cfg);
+  run.kernel->spawn(
+      "t",
+      std::make_unique<ScriptProgram>(std::vector<Action>{ActIo{8 * 32 * 1024, true}}),
+      true, 0);
+  run.kernel->start();
+  run.kernel->run_until_apps_done(sec(10));
+  const auto model = run.finish();
+  std::set<std::uint16_t> cpus_hit;
+  for (CpuId c = 0; c < model.cpu_count(); ++c)
+    for (const auto& rec : model.cpu_events(c))
+      if (static_cast<EventType>(rec.event) == EventType::kIrqEntry &&
+          rec.arg == static_cast<std::uint64_t>(trace::IrqVector::kNet))
+        cpus_hit.insert(rec.cpu);
+  EXPECT_GE(cpus_hit.size(), 3u);
+}
+
+TEST(KernelNet, PinnedIrqsAllOnCpuZero) {
+  NodeConfig cfg;
+  cfg.n_cpus = 4;
+  cfg.net_irq_round_robin = false;
+  KernelRun run(cfg);
+  run.kernel->spawn(
+      "t",
+      std::make_unique<ScriptProgram>(std::vector<Action>{ActIo{8 * 32 * 1024, true}}),
+      true, 1);
+  run.kernel->start();
+  run.kernel->run_until_apps_done(sec(10));
+  const auto model = run.finish();
+  for (CpuId c = 1; c < model.cpu_count(); ++c) {
+    for (const auto& rec : model.cpu_events(c)) {
+      if (static_cast<EventType>(rec.event) == EventType::kIrqEntry) {
+        EXPECT_NE(rec.arg, static_cast<std::uint64_t>(trace::IrqVector::kNet));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace osn::kernel

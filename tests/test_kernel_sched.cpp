@@ -1,0 +1,197 @@
+// Scheduler: fairness, wakeup preemption, affinity, rebalancing, migration,
+// and the wakeup/sleep race.
+#include <gtest/gtest.h>
+
+#include "kernel_helpers.hpp"
+
+namespace osn::kernel {
+namespace {
+
+using osn::testing::compute_program;
+using osn::testing::count_events;
+using osn::testing::fixed_models;
+using osn::testing::KernelRun;
+using osn::testing::ScriptProgram;
+using trace::EventType;
+
+TEST(KernelSched, TwoTasksShareOneCpuFairly) {
+  NodeConfig cfg;
+  cfg.n_cpus = 1;
+  KernelRun run(cfg);
+  const Pid a = run.kernel->spawn("a", compute_program(ms(200), 1), true, 0);
+  const Pid b = run.kernel->spawn("b", compute_program(ms(200), 1), true, 0);
+  run.kernel->start();
+  run.kernel->run_until_apps_done(sec(30));
+  EXPECT_EQ(run.kernel->task(a).state, TaskState::kExited);
+  EXPECT_EQ(run.kernel->task(b).state, TaskState::kExited);
+  // 400 ms of combined work on one CPU: finishes shortly after 400 ms, and
+  // interleaving implies both ran in slices (each got preempted).
+  EXPECT_GE(run.kernel->now(), ms(400));
+  EXPECT_LT(run.kernel->now(), ms(440));
+  EXPECT_GT(run.kernel->task(a).preempt_count, 2u);
+  EXPECT_GT(run.kernel->task(b).preempt_count, 2u);
+}
+
+TEST(KernelSched, TasksSpreadAcrossCpus) {
+  NodeConfig cfg;
+  cfg.n_cpus = 4;
+  KernelRun run(cfg);
+  std::vector<Pid> pids;
+  for (int i = 0; i < 4; ++i)
+    pids.push_back(run.kernel->spawn("t" + std::to_string(i),
+                                     compute_program(ms(50), 1), true,
+                                     static_cast<CpuId>(i)));
+  run.kernel->start();
+  run.kernel->run_until_apps_done(sec(10));
+  // Four 50 ms jobs on four CPUs finish in ~50 ms, not 200 ms.
+  EXPECT_LT(run.kernel->now(), ms(60));
+}
+
+TEST(KernelSched, RebalancePullsFromOverloadedCpu) {
+  NodeConfig cfg;
+  cfg.n_cpus = 2;
+  KernelRun run(cfg);
+  // Three tasks piled on CPU 0; CPU 1 idle -> its rebalance pull must move one.
+  for (int i = 0; i < 3; ++i)
+    run.kernel->spawn("t" + std::to_string(i), compute_program(ms(300), 1), true, 0);
+  run.kernel->start();
+  run.kernel->run_until_apps_done(sec(30));
+  const auto model = run.finish();
+  EXPECT_GE(count_events(model, EventType::kSchedMigrate), 1u);
+  // With balancing, 900 ms of work on 2 CPUs takes ~450-650 ms, not 900.
+  EXPECT_LT(run.kernel->now(), ms(700));
+}
+
+TEST(KernelSched, PinnedTaskNeverMigrates) {
+  NodeConfig cfg;
+  cfg.n_cpus = 2;
+  KernelRun run(cfg);
+  // events/N daemons are pinned; overload CPU 0 to tempt the balancer.
+  for (int i = 0; i < 3; ++i)
+    run.kernel->spawn("t" + std::to_string(i), compute_program(ms(100), 1), true, 0);
+  run.kernel->start();
+  run.kernel->run_until_apps_done(sec(30));
+  for (const Pid events_pid : run.kernel->events_pids()) {
+    const Task& t = run.kernel->task(events_pid);
+    EXPECT_EQ(t.cpu, t.pinned);
+    EXPECT_EQ(t.migration_count, 0u);
+  }
+}
+
+TEST(KernelSched, KthreadWakePreemptsRunningApp) {
+  // The events daemon (period 100 ms, fixed) must preempt the rank sharing
+  // its CPU: involuntary switches with prev_runnable set.
+  NodeConfig cfg;
+  cfg.n_cpus = 1;
+  KernelRun run(cfg);
+  const Pid pid = run.kernel->spawn("rank", compute_program(ms(500), 1), true, 0);
+  run.kernel->start();
+  run.kernel->run_until_apps_done(sec(30));
+  EXPECT_GT(run.kernel->task(pid).preempt_count, 2u);
+  const auto model = run.finish();
+  bool app_preempted_by_events = false;
+  for (const auto& rec : model.cpu_events(0)) {
+    if (static_cast<EventType>(rec.event) != EventType::kSchedSwitch) continue;
+    const auto sw = trace::unpack_switch(rec.arg);
+    if (sw.prev == pid && sw.prev_runnable && model.task_name(sw.next).starts_with("events"))
+      app_preempted_by_events = true;
+  }
+  EXPECT_TRUE(app_preempted_by_events);
+}
+
+TEST(KernelSched, SleepingTaskWakesOnTimerTick) {
+  KernelRun run;
+  run.kernel->spawn(
+      "t", std::make_unique<ScriptProgram>(std::vector<Action>{ActSleep{ms(25)}}),
+      true, 0);
+  run.kernel->start();
+  run.kernel->run_until_apps_done(sec(10));
+  // nanosleep(25 ms) wakes at the first tick >= expiry: between 25 and 36 ms.
+  EXPECT_GE(run.kernel->now(), ms(25));
+  EXPECT_LE(run.kernel->now(), ms(37));
+}
+
+TEST(KernelSched, WakeRaceAbortsSleepInPlace) {
+  // Two tasks hit a 2-party barrier nearly simultaneously: the waiter can be
+  // woken before it is switched out. Regression test for the TASK_WAKING
+  // race — the run must complete without tripping state assertions.
+  NodeConfig cfg;
+  cfg.n_cpus = 2;
+  KernelRun run(cfg);
+  for (int i = 0; i < 2; ++i) {
+    std::vector<Action> script;
+    for (int k = 0; k < 50; ++k) {
+      script.push_back(ActCompute{us(10)});
+      script.push_back(ActBarrier{static_cast<std::uint32_t>(k), 2});
+    }
+    run.kernel->spawn("t" + std::to_string(i),
+                      std::make_unique<ScriptProgram>(std::move(script)), true,
+                      static_cast<CpuId>(i));
+  }
+  run.kernel->start();
+  run.kernel->run_until_apps_done(sec(10));
+  EXPECT_EQ(run.kernel->live_app_count(), 0u);
+  EXPECT_EQ(run.finish().validate(), "");
+}
+
+TEST(KernelSched, VoluntarySwitchNotMarkedRunnable) {
+  KernelRun run;
+  run.kernel->spawn(
+      "t", std::make_unique<ScriptProgram>(std::vector<Action>{ActSleep{ms(15)}}),
+      true, 0);
+  run.kernel->start();
+  run.kernel->run_until_apps_done(sec(10));
+  const auto model = run.finish();
+  bool found_voluntary = false;
+  for (const auto& rec : model.cpu_events(0)) {
+    if (static_cast<EventType>(rec.event) != EventType::kSchedSwitch) continue;
+    const auto sw = trace::unpack_switch(rec.arg);
+    if (model.task_name(sw.prev) == "t" && !sw.prev_runnable) found_voluntary = true;
+  }
+  EXPECT_TRUE(found_voluntary);
+}
+
+TEST(KernelSched, ReschedIpiDeliveredForCrossCpuWake) {
+  NodeConfig cfg;
+  cfg.n_cpus = 2;
+  KernelRun run(cfg);
+  // Rank on CPU 1 sleeps; its wake comes from CPU 1's own timer softirq, but
+  // the events daemon activations on the *other* CPU force cross-CPU checks.
+  run.kernel->spawn("busy", compute_program(ms(300), 1), true, 1);
+  run.kernel->spawn(
+      "s", std::make_unique<ScriptProgram>(std::vector<Action>{
+               ActCompute{ms(5)}, ActSleep{ms(30)}, ActCompute{ms(5)}}),
+      true, 0);
+  run.kernel->start();
+  run.kernel->run_until_apps_done(sec(30));
+  const auto model = run.finish();
+  std::size_t ipis = 0;
+  for (CpuId c = 0; c < model.cpu_count(); ++c)
+    for (const auto& rec : model.cpu_events(c))
+      if (static_cast<EventType>(rec.event) == EventType::kIrqEntry &&
+          rec.arg == static_cast<std::uint64_t>(trace::IrqVector::kResched))
+        ++ipis;
+  EXPECT_GE(ipis, 1u);
+}
+
+TEST(KernelSched, ScheduleFunctionShortAndConstant) {
+  // §IV-C: schedule() overhead "negligible and constant". With the fixed
+  // test model the schedule frames are exactly 200 ns.
+  KernelRun run;
+  run.kernel->spawn("a", compute_program(ms(50), 2), true, 0);
+  run.kernel->spawn("b", compute_program(ms(50), 2), true, 0);
+  run.kernel->start();
+  run.kernel->run_until_apps_done(sec(30));
+  const auto model = run.finish();
+  TimeNs entry_ts = 0;
+  for (const auto& rec : model.cpu_events(0)) {
+    const auto t = static_cast<EventType>(rec.event);
+    if (t == EventType::kScheduleEntry) entry_ts = rec.timestamp;
+    if (t == EventType::kScheduleExit) {
+      EXPECT_EQ(rec.timestamp - entry_ts, 200u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace osn::kernel

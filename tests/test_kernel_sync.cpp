@@ -1,0 +1,211 @@
+// Barriers, sleeps, app markers — the synchronization surface workloads use.
+#include <gtest/gtest.h>
+
+#include "kernel_helpers.hpp"
+
+namespace osn::kernel {
+namespace {
+
+using osn::testing::count_events;
+using osn::testing::KernelRun;
+using osn::testing::ScriptProgram;
+using trace::EventType;
+
+std::vector<Action> barrier_script(std::uint32_t parties, int rounds, DurNs work) {
+  std::vector<Action> s;
+  for (int k = 0; k < rounds; ++k) {
+    s.push_back(ActCompute{work});
+    s.push_back(ActBarrier{static_cast<std::uint32_t>(k), parties});
+  }
+  return s;
+}
+
+TEST(KernelSync, BarrierReleasesAllParties) {
+  NodeConfig cfg;
+  cfg.n_cpus = 4;
+  KernelRun run(cfg);
+  for (int i = 0; i < 4; ++i)
+    run.kernel->spawn("t" + std::to_string(i),
+                      std::make_unique<ScriptProgram>(barrier_script(4, 5, ms(1))),
+                      true, static_cast<CpuId>(i));
+  run.kernel->start();
+  run.kernel->run_until_apps_done(sec(10));
+  EXPECT_EQ(run.kernel->live_app_count(), 0u);
+}
+
+TEST(KernelSync, BarrierSynchronizesSkewedRanks) {
+  // One slow rank: the fast ones must wait; total time tracks the slow one.
+  NodeConfig cfg;
+  cfg.n_cpus = 2;
+  KernelRun run(cfg);
+  run.kernel->spawn("fast",
+                    std::make_unique<ScriptProgram>(barrier_script(2, 1, ms(1))), true,
+                    0);
+  run.kernel->spawn("slow",
+                    std::make_unique<ScriptProgram>(barrier_script(2, 1, ms(40))),
+                    true, 1);
+  run.kernel->start();
+  run.kernel->run_until_apps_done(sec(10));
+  EXPECT_GE(run.kernel->now(), ms(40));
+}
+
+TEST(KernelSync, BarrierEmitsFutexSyscalls) {
+  NodeConfig cfg;
+  cfg.n_cpus = 2;
+  KernelRun run(cfg);
+  for (int i = 0; i < 2; ++i)
+    run.kernel->spawn("t" + std::to_string(i),
+                      std::make_unique<ScriptProgram>(barrier_script(2, 3, ms(1))),
+                      true, static_cast<CpuId>(i));
+  run.kernel->start();
+  run.kernel->run_until_apps_done(sec(10));
+  const auto model = run.finish();
+  std::size_t futexes = 0;
+  for (CpuId c = 0; c < model.cpu_count(); ++c)
+    for (const auto& rec : model.cpu_events(c))
+      if (static_cast<EventType>(rec.event) == EventType::kSyscallEntry &&
+          rec.arg == static_cast<std::uint64_t>(trace::SyscallNr::kFutex))
+        ++futexes;
+  EXPECT_EQ(futexes, 2u * 3u);
+}
+
+TEST(KernelSync, BarrierIsReusableAcrossRounds) {
+  // Same barrier id reused every round (arrived counter must reset).
+  NodeConfig cfg;
+  cfg.n_cpus = 2;
+  KernelRun run(cfg);
+  std::vector<Action> script;
+  for (int k = 0; k < 10; ++k) {
+    script.push_back(ActCompute{us(100)});
+    script.push_back(ActBarrier{7, 2});  // same id each round
+  }
+  for (int i = 0; i < 2; ++i)
+    run.kernel->spawn("t" + std::to_string(i),
+                      std::make_unique<ScriptProgram>(script), true,
+                      static_cast<CpuId>(i));
+  run.kernel->start();
+  run.kernel->run_until_apps_done(sec(10));
+  EXPECT_EQ(run.kernel->live_app_count(), 0u);
+}
+
+TEST(KernelSync, SleepDoesNotBusyTheCpu) {
+  // While one task sleeps 50 ms, another task on the same CPU runs freely.
+  NodeConfig cfg;
+  cfg.n_cpus = 1;
+  KernelRun run(cfg);
+  run.kernel->spawn(
+      "sleeper",
+      std::make_unique<ScriptProgram>(std::vector<Action>{ActSleep{ms(50)}}), true, 0);
+  run.kernel->spawn("worker", osn::testing::compute_program(ms(40), 1), true, 0);
+  run.kernel->start();
+  run.kernel->run_until_apps_done(sec(10));
+  // Worker's 40 ms fits inside the sleeper's 50 ms window: total ~50-62 ms.
+  EXPECT_LT(run.kernel->now(), ms(63));
+}
+
+TEST(KernelSync, MarksLandInTrace) {
+  class MarkingProgram final : public TaskProgram {
+   public:
+    Action next(Kernel& k, Task& self) override {
+      if (step_ == 0) {
+        k.mark(self, trace::AppMark::kBarrierEnter);
+        ++step_;
+        return ActCompute{ms(1)};
+      }
+      if (step_ == 1) {
+        k.mark(self, trace::AppMark::kBarrierExit);
+        ++step_;
+        return ActCompute{ms(1)};
+      }
+      return ActExit{};
+    }
+
+   private:
+    int step_ = 0;
+  };
+  KernelRun run;
+  run.kernel->spawn("t", std::make_unique<MarkingProgram>(), true, 0);
+  run.kernel->start();
+  run.kernel->run_until_apps_done(sec(10));
+  const auto model = run.finish();
+  EXPECT_EQ(count_events(model, EventType::kAppMark), 2u);
+}
+
+TEST(KernelSync, MaxTimeStopsRunawayRun) {
+  // A task that never exits: run_until_apps_done must respect max_time.
+  class ForeverProgram final : public TaskProgram {
+   public:
+    Action next(Kernel&, Task&) override { return ActCompute{ms(1)}; }
+  };
+  KernelRun run;
+  run.kernel->spawn("t", std::make_unique<ForeverProgram>(), true, 0);
+  run.kernel->start();
+  run.kernel->run_until_apps_done(ms(100));
+  EXPECT_LE(run.kernel->now(), ms(101));
+  EXPECT_EQ(run.kernel->live_app_count(), 1u);
+}
+
+
+TEST(KernelSync, PreciseSleepWakesAtExactExpiry) {
+  // hrtimer-backed nanosleep (§IV-E): the local timer raises an interrupt at
+  // exactly the expiry, not at the next tick.
+  KernelRun run;
+  run.kernel->spawn(
+      "t",
+      std::make_unique<ScriptProgram>(std::vector<Action>{
+          ActSleep{ms(25) + 137, /*precise=*/true}, ActCompute{us(10)}}),
+      true, 0);
+  run.kernel->start();
+  run.kernel->run_until_apps_done(sec(10));
+  // Exit = syscall overhead + 25.000137 ms sleep + wake/schedule + 10 us +
+  // the kernel's ~1 ms post-exit grace period — well under the 5 ms it
+  // would take if the wake had waited for the next 10 ms tick.
+  EXPECT_GE(run.kernel->now(), ms(25) + 137);
+  EXPECT_LE(run.kernel->now(), ms(27));
+}
+
+TEST(KernelSync, TickGranularSleepRoundsUpToTick) {
+  KernelRun run;
+  run.kernel->spawn(
+      "t",
+      std::make_unique<ScriptProgram>(std::vector<Action>{
+          ActSleep{ms(25) + 137, /*precise=*/false}}),
+      true, 0);
+  run.kernel->start();
+  run.kernel->run_until_apps_done(sec(10));
+  // Low-res timers fire from run_timer_softirq on the next tick: >= 30 ms.
+  EXPECT_GE(run.kernel->now(), ms(30));
+}
+
+TEST(KernelSync, HrtimerIrqDoesNotRaiseTimerSoftirq) {
+  // An hrtimer-only timer interrupt must not run the tick machinery: the
+  // run_timer_softirq count stays equal to the periodic tick count.
+  KernelRun run;
+  run.kernel->spawn(
+      "t",
+      std::make_unique<ScriptProgram>(std::vector<Action>{
+          ActCompute{ms(2)}, ActSleep{ms(3), true}, ActCompute{ms(2)},
+          ActSleep{ms(3), true}, ActCompute{ms(2)}}),
+      true, 0);
+  run.kernel->start();
+  run.kernel->run_until_apps_done(sec(10));
+  const auto model = run.finish();
+  std::size_t timer_irqs = 0, timer_softirqs = 0;
+  for (CpuId c = 0; c < model.cpu_count(); ++c) {
+    for (const auto& rec : model.cpu_events(c)) {
+      const auto t = static_cast<EventType>(rec.event);
+      if (t == EventType::kIrqEntry &&
+          rec.arg == static_cast<std::uint64_t>(trace::IrqVector::kTimer))
+        ++timer_irqs;
+      if (t == EventType::kSoftirqEntry &&
+          rec.arg == static_cast<std::uint64_t>(trace::SoftirqNr::kTimer))
+        ++timer_softirqs;
+    }
+  }
+  // Two hrtimer expiries add two timer irqs beyond the periodic ticks.
+  EXPECT_EQ(timer_irqs, timer_softirqs + 2);
+  EXPECT_EQ(model.validate(), "");
+}
+
+}  // namespace
+}  // namespace osn::kernel

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "export/paraver.hpp"
+#include "trace_builder.hpp"
+
+namespace osn::exporter {
+namespace {
+
+using osn::testing::TraceBuilder;
+using trace::EventType;
+
+noise::NoiseAnalysis make_analysis() {
+  static TraceBuilder b = [] {
+    TraceBuilder builder(2);
+    builder.task(1, "rank0", true).task(2, "rank1", true).task(9, "rpciod", false, true);
+    builder.pair(0, 100, 2'278, 1, EventType::kIrqEntry, 0);
+    builder.pair(0, 5'000, 7'913, 1, EventType::kPageFaultEntry, 0);
+    builder.pair(1, 300, 800, 2, EventType::kSoftirqEntry, 1);
+    builder.ev(1, 10'000, 2, EventType::kAppMark,
+               static_cast<std::uint64_t>(trace::AppMark::kBarrierEnter));
+    builder.ev(1, 12'000, 2, EventType::kAppMark,
+               static_cast<std::uint64_t>(trace::AppMark::kBarrierExit));
+    return builder;
+  }();
+  static auto model = b.build(20'000);
+  return noise::NoiseAnalysis(model);
+}
+
+TEST(Paraver, HeaderDeclaresGeometry) {
+  const auto files = export_paraver(make_analysis());
+  // 20000 ns, 1 node with 2 cpus, 1 application with 2 tasks.
+  EXPECT_EQ(files.prv.substr(0, 8), "#Paraver");
+  EXPECT_NE(files.prv.find(":20000_ns:1(2):1:2("), std::string::npos);
+}
+
+TEST(Paraver, StateRecordsForNoiseIntervals) {
+  const auto files = export_paraver(make_analysis());
+  // Timer irq on cpu 1 (1-based), task 1: state 20 + kTimerIrq(0).
+  EXPECT_NE(files.prv.find("1:1:1:1:1:100:2278:20"), std::string::npos);
+  // Page fault: state 20 + kPageFault.
+  const int pf_state = kStateKernelBase +
+                       static_cast<int>(noise::ActivityKind::kPageFault);
+  EXPECT_NE(files.prv.find("1:1:1:1:1:5000:7913:" + std::to_string(pf_state)),
+            std::string::npos);
+}
+
+TEST(Paraver, EventRecordsBracketIntervals) {
+  const auto files = export_paraver(make_analysis());
+  const std::string type = std::to_string(kEventKernelActivity);
+  // entry event with value kind+1, end event with value 0.
+  EXPECT_NE(files.prv.find("2:1:1:1:1:100:" + type + ":1"), std::string::npos);
+  EXPECT_NE(files.prv.find("2:1:1:1:1:2278:" + type + ":0"), std::string::npos);
+}
+
+TEST(Paraver, CommunicationWindowBecomesBlockedState) {
+  const auto files = export_paraver(make_analysis());
+  EXPECT_NE(files.prv.find(":10000:12000:" + std::to_string(kStateBlocked)),
+            std::string::npos);
+}
+
+TEST(Paraver, RecordsAreTimeSorted) {
+  const auto files = export_paraver(make_analysis());
+  std::istringstream in(files.prv);
+  std::string line;
+  std::getline(in, line);  // header
+  long long prev = -1;
+  while (std::getline(in, line)) {
+    // field 6 is the (start) time for both record types.
+    std::istringstream ls(line);
+    std::string field;
+    for (int i = 0; i < 6; ++i) std::getline(ls, field, ':');
+    const long long t = std::stoll(field);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Paraver, PcfNamesActivitiesAndStates) {
+  const auto files = export_paraver(make_analysis());
+  EXPECT_NE(files.pcf.find("run_timer_softirq"), std::string::npos);
+  EXPECT_NE(files.pcf.find("net_rx_action"), std::string::npos);
+  EXPECT_NE(files.pcf.find("Preempted"), std::string::npos);
+  EXPECT_NE(files.pcf.find("STATES"), std::string::npos);
+  EXPECT_NE(files.pcf.find("EVENT_TYPE"), std::string::npos);
+}
+
+TEST(Paraver, RowFileListsCpusAndTasks) {
+  const auto files = export_paraver(make_analysis());
+  EXPECT_NE(files.row.find("LEVEL CPU SIZE 2"), std::string::npos);
+  EXPECT_NE(files.row.find("rank0"), std::string::npos);
+  EXPECT_NE(files.row.find("rank1"), std::string::npos);
+}
+
+TEST(Paraver, WritesThreeFiles) {
+  const std::string base = ::testing::TempDir() + "/osn_paraver_test";
+  ASSERT_TRUE(write_paraver(make_analysis(), base));
+  for (const char* ext : {".prv", ".pcf", ".row"}) {
+    std::FILE* f = std::fopen((base + ext).c_str(), "rb");
+    ASSERT_NE(f, nullptr) << ext;
+    std::fclose(f);
+    std::remove((base + ext).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace osn::exporter

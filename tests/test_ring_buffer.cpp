@@ -1,0 +1,176 @@
+// The per-CPU lock-free ring buffer: correctness under sequential use,
+// wraparound, both full-buffer policies, and a real two-thread stress run —
+// the SPSC pattern LTTng's low overhead depends on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "tracebuf/ring_buffer.hpp"
+
+namespace osn::tracebuf {
+namespace {
+
+EventRecord rec(TimeNs ts, std::uint64_t arg = 0) {
+  EventRecord r;
+  r.timestamp = ts;
+  r.arg = arg;
+  return r;
+}
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer rb(8);
+  EXPECT_TRUE(rb.empty());
+  EXPECT_EQ(rb.size(), 0u);
+  EXPECT_FALSE(rb.try_pop().has_value());
+}
+
+TEST(RingBuffer, FifoOrder) {
+  RingBuffer rb(8);
+  for (TimeNs i = 0; i < 5; ++i) ASSERT_TRUE(rb.try_push(rec(i)));
+  for (TimeNs i = 0; i < 5; ++i) {
+    auto r = rb.try_pop();
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->timestamp, i);
+  }
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, WrapsAroundManyTimes) {
+  RingBuffer rb(4);
+  TimeNs next_out = 0;
+  for (TimeNs i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(rb.try_push(rec(i)));
+    if (i % 2 == 1) {
+      // Drain two to exercise wraparound at various offsets.
+      for (int k = 0; k < 2; ++k) {
+        auto r = rb.try_pop();
+        ASSERT_TRUE(r.has_value());
+        EXPECT_EQ(r->timestamp, next_out++);
+      }
+    }
+  }
+}
+
+TEST(RingBuffer, DiscardPolicyDropsNewAndCounts) {
+  RingBuffer rb(4, FullPolicy::kDiscard);
+  for (TimeNs i = 0; i < 4; ++i) ASSERT_TRUE(rb.try_push(rec(i)));
+  EXPECT_FALSE(rb.try_push(rec(99)));
+  EXPECT_FALSE(rb.try_push(rec(100)));
+  EXPECT_EQ(rb.lost(), 2u);
+  // Oldest records survive.
+  EXPECT_EQ(rb.try_pop()->timestamp, 0u);
+}
+
+TEST(RingBuffer, OverwritePolicyKeepsNewest) {
+  RingBuffer rb(4, FullPolicy::kOverwrite);
+  for (TimeNs i = 0; i < 10; ++i) ASSERT_TRUE(rb.try_push(rec(i)));
+  EXPECT_EQ(rb.overwritten(), 6u);
+  EXPECT_EQ(rb.lost(), 0u);
+  // Flight-recorder semantics: the last `capacity` records remain.
+  for (TimeNs i = 6; i < 10; ++i) EXPECT_EQ(rb.try_pop()->timestamp, i);
+}
+
+TEST(RingBuffer, SizeTracksPushesAndPops) {
+  RingBuffer rb(8);
+  rb.try_push(rec(1));
+  rb.try_push(rec(2));
+  EXPECT_EQ(rb.size(), 2u);
+  rb.try_pop();
+  EXPECT_EQ(rb.size(), 1u);
+}
+
+TEST(RingBuffer, DrainCollectsEverything) {
+  RingBuffer rb(16);
+  for (TimeNs i = 0; i < 10; ++i) rb.try_push(rec(i));
+  std::vector<EventRecord> out;
+  EXPECT_EQ(rb.drain(out), 10u);
+  EXPECT_EQ(out.size(), 10u);
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, NonPowerOfTwoCapacityDies) {
+  EXPECT_DEATH(RingBuffer(3), "power of two");
+  EXPECT_DEATH(RingBuffer(0), "power of two");
+  EXPECT_DEATH(RingBuffer(1), "power of two");
+}
+
+TEST(RingBuffer, RecordContentsPreserved) {
+  RingBuffer rb(4);
+  EventRecord in;
+  in.timestamp = 123456789;
+  in.pid = 42;
+  in.cpu = 7;
+  in.event = 3;
+  in.arg = 0xdeadbeefULL;
+  rb.try_push(in);
+  EXPECT_EQ(*rb.try_pop(), in);
+}
+
+// The real thing: a producer thread and a consumer thread running
+// concurrently; every record must arrive exactly once, in order.
+TEST(RingBuffer, ConcurrentSpscStress) {
+  RingBuffer rb(1u << 10);
+  constexpr std::uint64_t kCount = 400'000;
+  std::atomic<bool> start{false};
+
+  std::thread producer([&] {
+    while (!start.load()) {
+    }
+    for (std::uint64_t i = 0; i < kCount; ++i) {
+      while (!rb.try_push(rec(i, i * 3))) {
+        // Buffer full: consumer will catch up.
+      }
+    }
+  });
+
+  std::uint64_t received = 0;
+  bool ordered = true, intact = true;
+  std::thread consumer([&] {
+    while (!start.load()) {
+    }
+    while (received < kCount) {
+      if (auto r = rb.try_pop()) {
+        if (r->timestamp != received) ordered = false;
+        if (r->arg != received * 3) intact = false;
+        ++received;
+      }
+    }
+  });
+
+  start.store(true);
+  producer.join();
+  consumer.join();
+  EXPECT_EQ(received, kCount);
+  EXPECT_TRUE(ordered);
+  EXPECT_TRUE(intact);
+  // Note: lost() counts rejected push *attempts*; the producer's retry loop
+  // makes that nonzero by design, but no accepted record may be dropped.
+}
+
+TEST(RingBuffer, ConcurrentDiscardAccountsExactly) {
+  // Slow consumer: pushes + losses must equal attempts.
+  RingBuffer rb(1u << 4);
+  constexpr std::uint64_t kAttempts = 100'000;
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<bool> done{false};
+
+  std::thread producer([&] {
+    std::uint64_t ok = 0;
+    for (std::uint64_t i = 0; i < kAttempts; ++i)
+      if (rb.try_push(rec(i))) ++ok;
+    accepted.store(ok);
+    done.store(true);
+  });
+
+  std::uint64_t consumed = 0;
+  while (!done.load() || !rb.empty()) {
+    if (rb.try_pop()) ++consumed;
+  }
+  producer.join();
+  EXPECT_EQ(consumed, accepted.load());
+  EXPECT_EQ(accepted.load() + rb.lost(), kAttempts);
+}
+
+}  // namespace
+}  // namespace osn::tracebuf

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/schema.hpp"
+
+namespace osn::trace {
+namespace {
+
+TEST(Schema, EntryExitPartition) {
+  for (std::uint16_t e = 1; e < static_cast<std::uint16_t>(EventType::kMaxEvent); ++e) {
+    const auto t = static_cast<EventType>(e);
+    EXPECT_FALSE(is_entry(t) && is_exit(t)) << event_name(t);
+  }
+}
+
+TEST(Schema, EveryEntryHasMatchingExit) {
+  for (std::uint16_t e = 1; e < static_cast<std::uint16_t>(EventType::kMaxEvent); ++e) {
+    const auto t = static_cast<EventType>(e);
+    if (!is_entry(t)) continue;
+    const EventType exit = exit_of(t);
+    EXPECT_TRUE(is_exit(exit)) << event_name(t);
+    EXPECT_EQ(entry_of(exit), t) << event_name(t);
+  }
+}
+
+TEST(Schema, EntryOfNonExitDies) {
+  EXPECT_DEATH(entry_of(EventType::kSchedSwitch), "non-exit");
+  EXPECT_DEATH(exit_of(EventType::kIrqExit), "");
+}
+
+TEST(Schema, NamesAreUniqueAndNonEmpty) {
+  std::set<std::string_view> names;
+  for (std::uint16_t e = 0; e < static_cast<std::uint16_t>(EventType::kMaxEvent); ++e) {
+    const auto name = event_name(static_cast<EventType>(e));
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second) << name;
+  }
+}
+
+TEST(Schema, PaperActivityNamesPresent) {
+  EXPECT_EQ(softirq_name(SoftirqNr::kTimer), "run_timer_softirq");
+  EXPECT_EQ(softirq_name(SoftirqNr::kSched), "run_rebalance_domains");
+  EXPECT_EQ(softirq_name(SoftirqNr::kRcu), "rcu_process_callbacks");
+  EXPECT_EQ(tasklet_name(TaskletId::kNetRx), "net_rx_action");
+  EXPECT_EQ(tasklet_name(TaskletId::kNetTx), "net_tx_action");
+  EXPECT_EQ(irq_name(IrqVector::kTimer), "timer_interrupt");
+}
+
+// Switch-argument packing round-trips for boundary pid values.
+class SwitchPacking : public ::testing::TestWithParam<std::tuple<Pid, Pid, bool>> {};
+
+TEST_P(SwitchPacking, RoundTrips) {
+  const auto [prev, next, runnable] = GetParam();
+  const SwitchArg in{prev, next, runnable};
+  const SwitchArg out = unpack_switch(pack_switch(in));
+  EXPECT_EQ(out.prev, prev);
+  EXPECT_EQ(out.next, next);
+  EXPECT_EQ(out.prev_runnable, runnable);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, SwitchPacking,
+    ::testing::Combine(::testing::Values<Pid>(0, 1, 255, (1u << 24) - 1),
+                       ::testing::Values<Pid>(0, 7, (1u << 24) - 1),
+                       ::testing::Bool()));
+
+TEST(SwitchPacking, OversizedPidDies) {
+  EXPECT_DEATH(pack_switch({1u << 24, 0, false}), "");
+}
+
+TEST(MigratePacking, RoundTrips) {
+  for (Pid pid : {Pid{0}, Pid{123}, Pid{(1u << 24) - 1}}) {
+    for (CpuId cpu : {CpuId{0}, CpuId{7}, CpuId{255}}) {
+      const std::uint64_t packed = pack_migrate(pid, cpu);
+      EXPECT_EQ(unpack_migrate_pid(packed), pid);
+      EXPECT_EQ(unpack_migrate_cpu(packed), cpu);
+    }
+  }
+}
+
+TEST(MakeRecord, FillsAllFields) {
+  const auto r = make_record(123, 4, 56, EventType::kIrqEntry, 789);
+  EXPECT_EQ(r.timestamp, 123u);
+  EXPECT_EQ(r.cpu, 4u);
+  EXPECT_EQ(r.pid, 56u);
+  EXPECT_EQ(static_cast<EventType>(r.event), EventType::kIrqEntry);
+  EXPECT_EQ(r.arg, 789u);
+}
+
+}  // namespace
+}  // namespace osn::trace

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace osn::stats {
+namespace {
+
+TEST(StreamingSummary, EmptyIsZero) {
+  StreamingSummary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(StreamingSummary, SingleValue) {
+  StreamingSummary s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(StreamingSummary, MatchesDirectComputation) {
+  std::vector<double> data{4380, 250, 69398061, 2500, 4500, 1718, 620};
+  StreamingSummary s;
+  double sum = 0;
+  for (double v : data) {
+    s.add(v);
+    sum += v;
+  }
+  const double mean = sum / static_cast<double>(data.size());
+  double m2 = 0;
+  for (double v : data) m2 += (v - mean) * (v - mean);
+  EXPECT_NEAR(s.mean(), mean, 1e-6 * mean);
+  EXPECT_NEAR(s.variance(), m2 / static_cast<double>(data.size()),
+              1e-6 * m2 / static_cast<double>(data.size()));
+  EXPECT_EQ(s.min(), 250);
+  EXPECT_EQ(s.max(), 69398061);
+}
+
+TEST(StreamingSummary, SumIsMeanTimesCount) {
+  StreamingSummary s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_NEAR(s.sum(), 5050.0, 1e-9);
+}
+
+TEST(StreamingSummary, MergeWithEmpty) {
+  StreamingSummary a, b;
+  a.add(1);
+  a.add(2);
+  const double mean = a.mean();
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), mean);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.mean(), mean);
+}
+
+// Property: merging partials equals single-pass accumulation, for any split.
+class SummaryMergeProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SummaryMergeProperty, MergeEqualsSinglePass) {
+  Xoshiro256 rng(17);
+  std::vector<double> data;
+  for (int i = 0; i < 1000; ++i) data.push_back(rng.uniform01() * 1e6);
+
+  StreamingSummary whole;
+  for (double v : data) whole.add(v);
+
+  const std::size_t split = GetParam();
+  StreamingSummary left, right;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    (i < split ? left : right).add(data[i]);
+  left.merge(right);
+
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-6);
+  EXPECT_NEAR(left.variance(), whole.variance(), whole.variance() * 1e-9 + 1e-6);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, SummaryMergeProperty,
+                         ::testing::Values(0, 1, 13, 500, 999, 1000));
+
+TEST(StreamingSummary, StddevIsSqrtVariance) {
+  StreamingSummary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_NEAR(s.stddev(), std::sqrt(s.variance()), 1e-12);
+}
+
+TEST(StreamingSummary, ConstantDataZeroVariance) {
+  StreamingSummary s;
+  for (int i = 0; i < 100; ++i) s.add(3.14);
+  EXPECT_NEAR(s.variance(), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace osn::stats

@@ -1,0 +1,43 @@
+#include <gtest/gtest.h>
+
+#include "common/table.hpp"
+
+namespace osn {
+namespace {
+
+TEST(TextTable, RendersHeaderAndSeparator) {
+  TextTable t({"name", "value"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("value"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TextTable, FirstColumnLeftRestRightAligned) {
+  TextTable t({"k", "num"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-key", "12345"});
+  const std::string out = t.render();
+  // "a" row: number right-aligned under the widest cell.
+  EXPECT_NE(out.find("a             1"), std::string::npos);
+  EXPECT_NE(out.find("long-key  12345"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchDies) {
+  TextTable t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "row width");
+}
+
+TEST(TextTable, EmptyHeaderDies) {
+  EXPECT_DEATH(TextTable({}), "at least one column");
+}
+
+TEST(TextTable, ManyRowsAllPresent) {
+  TextTable t({"i"});
+  for (int i = 0; i < 50; ++i) t.add_row({std::to_string(i)});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("\n49"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace osn

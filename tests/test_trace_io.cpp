@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "trace/trace_io.hpp"
+#include "trace_builder.hpp"
+
+namespace osn::trace {
+namespace {
+
+using osn::testing::TraceBuilder;
+
+// Varint round-trips across the full value spectrum.
+class VarintRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarintRoundTrip, EncodesAndDecodes) {
+  std::vector<std::uint8_t> buf;
+  put_varint(buf, GetParam());
+  std::size_t pos = 0;
+  EXPECT_EQ(get_varint(buf, pos), GetParam());
+  EXPECT_EQ(pos, buf.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, VarintRoundTrip,
+                         ::testing::Values(0ULL, 1ULL, 127ULL, 128ULL, 129ULL,
+                                           16383ULL, 16384ULL, (1ULL << 32) - 1,
+                                           1ULL << 32, ~0ULL));
+
+TEST(Varint, CompactForSmallValues) {
+  std::vector<std::uint8_t> buf;
+  put_varint(buf, 100);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.clear();
+  put_varint(buf, 1000);
+  EXPECT_EQ(buf.size(), 2u);
+}
+
+TEST(Varint, SequencesConcatenate) {
+  std::vector<std::uint8_t> buf;
+  for (std::uint64_t v = 0; v < 1000; v += 13) put_varint(buf, v * v);
+  std::size_t pos = 0;
+  for (std::uint64_t v = 0; v < 1000; v += 13) EXPECT_EQ(get_varint(buf, pos), v * v);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(Varint, TruncatedInputDies) {
+  std::vector<std::uint8_t> buf{0x80};  // continuation bit set, no next byte
+  std::size_t pos = 0;
+  EXPECT_DEATH(get_varint(buf, pos), "truncated");
+}
+
+TraceModel sample_trace() {
+  TraceBuilder b(2);
+  b.task(1, "rank0", true).task(9, "rpciod", false, true);
+  b.pair(0, 100, 2'278, 1, EventType::kIrqEntry, 0);
+  b.pair(0, 2'278, 4'120, 1, EventType::kSoftirqEntry, 1);
+  b.ev(1, 50, 9, EventType::kSchedWakeup, 1);
+  b.pair(1, 1'000'000, 1'002'913, 1, EventType::kPageFaultEntry, 0);
+  return b.build(2'000'000);
+}
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  const TraceModel original = sample_trace();
+  const auto bytes = serialize_trace(original);
+  const TraceModel restored = deserialize_trace(bytes);
+  EXPECT_EQ(original, restored);
+}
+
+TEST(TraceIo, RoundTripEmptyTrace) {
+  const TraceModel original = TraceBuilder(4).build(1);
+  EXPECT_EQ(deserialize_trace(serialize_trace(original)), original);
+}
+
+TEST(TraceIo, DeltaEncodingIsCompact) {
+  // 1000 events with small inter-arrival gaps: ~few bytes per event.
+  TraceBuilder b(1);
+  for (TimeNs i = 0; i < 1000; ++i)
+    b.ev(0, i * 100, 1, EventType::kSchedWakeup, 1);
+  const auto bytes = serialize_trace(b.build(200'000));
+  EXPECT_LT(bytes.size(), 1000u * 8u);
+}
+
+TEST(TraceIo, BadMagicDies) {
+  std::vector<std::uint8_t> junk{1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_DEATH(deserialize_trace(junk), "magic");
+}
+
+TEST(TraceIo, TrailingBytesDie) {
+  auto bytes = serialize_trace(sample_trace());
+  bytes.push_back(0);
+  EXPECT_DEATH(deserialize_trace(bytes), "trailing");
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const TraceModel original = sample_trace();
+  const std::string path = ::testing::TempDir() + "/osn_io_test.osnt";
+  ASSERT_TRUE(write_trace_file(original, path));
+  const TraceModel restored = read_trace_file(path);
+  EXPECT_EQ(original, restored);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, UnreadableFileDies) {
+  EXPECT_DEATH(read_trace_file("/nonexistent/dir/file.osnt"), "cannot open");
+}
+
+}  // namespace
+}  // namespace osn::trace

@@ -1,0 +1,57 @@
+// Test helper: build small hand-crafted traces for analyzer unit tests.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "trace/schema.hpp"
+#include "trace/trace_model.hpp"
+
+namespace osn::testing {
+
+class TraceBuilder {
+ public:
+  explicit TraceBuilder(std::uint16_t n_cpus = 1) : per_cpu_(n_cpus) {
+    meta_.n_cpus = n_cpus;
+    meta_.tick_period_ns = 10 * kNsPerMs;
+    meta_.workload = "test";
+  }
+
+  TraceBuilder& task(Pid pid, std::string name, bool is_app, bool is_kthread = false) {
+    trace::TaskInfo info;
+    info.pid = pid;
+    info.name = std::move(name);
+    info.is_app = is_app;
+    info.is_kernel_thread = is_kthread;
+    tasks_[pid] = std::move(info);
+    return *this;
+  }
+
+  TraceBuilder& ev(CpuId cpu, TimeNs ts, Pid pid, trace::EventType type,
+                   std::uint64_t arg = 0) {
+    per_cpu_[cpu].push_back(trace::make_record(ts, cpu, pid, type, arg));
+    end_ = std::max(end_, ts);
+    return *this;
+  }
+
+  /// Convenience: a full entry/exit pair on one CPU.
+  TraceBuilder& pair(CpuId cpu, TimeNs t0, TimeNs t1, Pid pid, trace::EventType entry,
+                     std::uint64_t arg = 0) {
+    ev(cpu, t0, pid, entry, arg);
+    ev(cpu, t1, pid, trace::exit_of(entry), arg);
+    return *this;
+  }
+
+  trace::TraceModel build(TimeNs end = 0) {
+    meta_.end_ns = end != 0 ? end : end_ + 1;
+    return trace::TraceModel(meta_, per_cpu_, tasks_);
+  }
+
+ private:
+  trace::TraceMeta meta_;
+  std::vector<std::vector<tracebuf::EventRecord>> per_cpu_;
+  std::map<Pid, trace::TaskInfo> tasks_;
+  TimeNs end_ = 0;
+};
+
+}  // namespace osn::testing

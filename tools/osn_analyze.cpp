@@ -1,0 +1,453 @@
+// osn-analyze — the LTTNG-NOISE offline analysis tool.
+//
+// The paper's workflow is: instrument statically, trace, analyze offline.
+// This command-line tool is the offline half, operating on compact OSNT
+// trace files (written by the simulator, the benches, or `osn-analyze run`):
+//
+//   osn-analyze run <ftq|amg|irs|lammps|sphot|umt> [-o trace.osnt]
+//                   [--seconds N] [--seed S]
+//   osn-analyze info <trace.osnt>
+//   osn-analyze stats <trace.osnt>
+//   osn-analyze breakdown <trace.osnt> [--per-rank] [--no-runnable-filter]
+//                   [--no-nesting]
+//   osn-analyze chart <trace.osnt> [--task PID] [--quantum-us N]
+//                   [--min-noise-us N] [--rows N]
+//   osn-analyze timeline <trace.osnt> [--category P|T|S|X|I] [--from-ms A]
+//                   [--to-ms B] [--width N]
+//   osn-analyze interruptions <trace.osnt> [--task PID] [--top N]
+//   osn-analyze lookalikes <trace.osnt> [--task PID] [--tolerance PCT]
+//   osn-analyze export <trace.osnt> (--paraver BASE | --csv FILE)
+//
+// Filters ("developers concerned about specific areas can use our
+// infrastructure to drill down into any particular area of interest by
+// simply applying different filters", §III-A) are the --category/--task
+// options.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "export/ascii.hpp"
+#include "export/csv.hpp"
+#include "export/json.hpp"
+#include "export/paraver.hpp"
+#include "noise/analysis.hpp"
+#include "noise/chart.hpp"
+#include "noise/disambiguate.hpp"
+#include "noise/scalability.hpp"
+#include "trace/trace_io.hpp"
+#include "workloads/ftq.hpp"
+#include "workloads/sequoia.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace osn;
+
+// ---------------------------------------------------------------------------
+// Tiny argument parser: positionals + --flag / --key value options.
+// ---------------------------------------------------------------------------
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (!arg.empty() && arg[0] == '-') {
+        const std::string key = arg.substr(arg.rfind("--", 0) == 0 ? 2 : 1);
+        if (i + 1 < argc && argv[i + 1][0] != '-') {
+          options_[key] = argv[++i];
+        } else {
+          options_[key] = "";
+        }
+      } else {
+        positionals_.push_back(arg);
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return options_.contains(key); }
+  std::string get(const std::string& key, const std::string& fallback = "") const {
+    auto it = options_.find(key);
+    return it == options_.end() || it->second.empty() ? fallback : it->second;
+  }
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const {
+    auto it = options_.find(key);
+    if (it == options_.end() || it->second.empty()) return fallback;
+    return static_cast<std::uint64_t>(std::strtoull(it->second.c_str(), nullptr, 10));
+  }
+  double get_double(const std::string& key, double fallback) const {
+    auto it = options_.find(key);
+    if (it == options_.end() || it->second.empty()) return fallback;
+    return std::strtod(it->second.c_str(), nullptr);
+  }
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positionals_;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "osn-analyze — quantitative OS-noise analysis on OSNT traces\n\n"
+      "  osn-analyze run <ftq|amg|irs|lammps|sphot|umt> [-o out.osnt]\n"
+      "              [--seconds N] [--seed S]\n"
+      "  osn-analyze info <trace.osnt>\n"
+      "  osn-analyze stats <trace.osnt>\n"
+      "  osn-analyze breakdown <trace.osnt> [--per-rank] [--no-runnable-filter]\n"
+      "              [--no-nesting]\n"
+      "  osn-analyze chart <trace.osnt> [--task PID] [--quantum-us N]\n"
+      "              [--min-noise-us N] [--rows N]\n"
+      "  osn-analyze timeline <trace.osnt> [--category P|T|S|X|I] [--from-ms A]\n"
+      "              [--to-ms B] [--width N]\n"
+      "  osn-analyze interruptions <trace.osnt> [--task PID] [--top N]\n"
+      "  osn-analyze lookalikes <trace.osnt> [--task PID] [--tolerance PCT]\n"
+      "  osn-analyze export <trace.osnt> (--paraver BASE | --csv FILE |\n"
+      "              --json FILE)\n"
+      "  osn-analyze diff <a.osnt> <b.osnt>\n"
+      "  osn-analyze scalability <trace.osnt> [--granularity-us N]\n"
+      "              [--ranks N,N,...]\n");
+  return 2;
+}
+
+trace::TraceModel load(const Args& args) {
+  if (args.positionals().empty()) {
+    std::fprintf(stderr, "error: missing trace file\n");
+    std::exit(usage());
+  }
+  return trace::read_trace_file(args.positionals()[0]);
+}
+
+noise::AnalysisOptions analysis_options(const Args& args) {
+  noise::AnalysisOptions opts;
+  opts.runnable_filter = !args.has("no-runnable-filter");
+  opts.resolve_nesting = !args.has("no-nesting");
+  return opts;
+}
+
+Pid pick_task(const Args& args, const trace::TraceModel& model) {
+  const auto apps = model.app_pids();
+  if (apps.empty()) {
+    std::fprintf(stderr, "error: trace has no application tasks\n");
+    std::exit(1);
+  }
+  const auto pid = static_cast<Pid>(args.get_u64("task", apps.front()));
+  if (!model.is_app(pid)) {
+    std::fprintf(stderr, "error: pid %u is not an application task\n", pid);
+    std::exit(1);
+  }
+  return pid;
+}
+
+std::optional<noise::NoiseCategory> parse_category(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  switch (s[0]) {
+    case 'T': return noise::NoiseCategory::kPeriodic;
+    case 'P': return noise::NoiseCategory::kPageFault;
+    case 'S': return noise::NoiseCategory::kScheduling;
+    case 'X': return noise::NoiseCategory::kPreemption;
+    case 'I': return noise::NoiseCategory::kIo;
+    default: return std::nullopt;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Subcommands
+// ---------------------------------------------------------------------------
+
+int cmd_run(const Args& args) {
+  if (args.positionals().empty()) return usage();
+  const std::string which = args.positionals()[0];
+  const std::uint64_t seconds = args.get_u64("seconds", 3);
+  const std::uint64_t seed = args.get_u64("seed", 1);
+  const std::string out = args.get("o", which + ".osnt");
+
+  std::unique_ptr<workloads::Workload> workload;
+  if (which == "ftq") {
+    workloads::FtqParams p;
+    p.n_quanta = static_cast<std::size_t>(seconds * 1000);
+    workload = std::make_unique<workloads::FtqWorkload>(p);
+  } else {
+    const std::map<std::string, workloads::SequoiaApp> apps = {
+        {"amg", workloads::SequoiaApp::kAmg},     {"irs", workloads::SequoiaApp::kIrs},
+        {"lammps", workloads::SequoiaApp::kLammps}, {"sphot", workloads::SequoiaApp::kSphot},
+        {"umt", workloads::SequoiaApp::kUmt}};
+    auto it = apps.find(which);
+    if (it == apps.end()) return usage();
+    workload = std::make_unique<workloads::SequoiaWorkload>(it->second, sec(seconds));
+  }
+
+  std::fprintf(stderr, "simulating %s for %llus (seed %llu)...\n", which.c_str(),
+               static_cast<unsigned long long>(seconds),
+               static_cast<unsigned long long>(seed));
+  const workloads::RunResult run = workloads::run_workload(*workload, seed);
+  if (!trace::write_trace_file(run.trace, out)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %zu events over %s\n", out.c_str(), run.trace.total_events(),
+              fmt_duration(run.trace.duration()).c_str());
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  const trace::TraceModel model = load(args);
+  std::printf("workload:  %s\n", model.meta().workload.c_str());
+  std::printf("duration:  %s\n", fmt_duration(model.duration()).c_str());
+  std::printf("cpus:      %u (tick %s)\n", model.cpu_count(),
+              fmt_duration(model.meta().tick_period_ns).c_str());
+  std::printf("events:    %zu\n", model.total_events());
+  const std::string problem = model.validate();
+  std::printf("validated: %s\n", problem.empty() ? "OK" : problem.c_str());
+  std::printf("tasks:\n");
+  for (const auto& [pid, info] : model.tasks())
+    std::printf("  %6u  %-16s %s\n", pid, info.name.c_str(),
+                info.is_app ? "application" : (info.is_kernel_thread ? "kthread" : "user"));
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  const trace::TraceModel model = load(args);
+  noise::NoiseAnalysis analysis(model, analysis_options(args));
+  TextTable table({"activity", "freq(ev/sec)", "avg(nsec)", "max(nsec)", "min(nsec)"});
+  for (int k = 0; k < static_cast<int>(noise::ActivityKind::kMaxKind); ++k) {
+    const auto kind = static_cast<noise::ActivityKind>(k);
+    const noise::EventStats s = analysis.activity_stats(kind);
+    if (s.count == 0) continue;
+    table.add_row({std::string(noise::activity_name(kind)),
+                   fmt_fixed(s.freq_ev_per_sec, 1),
+                   with_commas(static_cast<std::uint64_t>(s.avg_ns)),
+                   with_commas(s.max_ns), with_commas(s.min_ns)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_breakdown(const Args& args) {
+  const trace::TraceModel model = load(args);
+  noise::NoiseAnalysis analysis(model, analysis_options(args));
+  if (args.has("per-rank")) {
+    for (const Pid pid : model.app_pids())
+      std::printf("%s", exporter::render_breakdown_row(model.task_name(pid),
+                                                       analysis.category_breakdown(pid))
+                            .c_str());
+  } else {
+    std::printf("%s", exporter::render_breakdown_row(model.meta().workload,
+                                                     analysis.category_breakdown_all())
+                          .c_str());
+  }
+  DurNs total = 0;
+  for (const Pid pid : model.app_pids()) total += analysis.total_noise(pid);
+  const double pct = 100.0 * static_cast<double>(total) /
+                     (static_cast<double>(model.duration()) *
+                      static_cast<double>(model.app_pids().size()));
+  std::printf("total: %s across %zu ranks (%.3f%% of compute time)\n",
+              fmt_duration(total).c_str(), model.app_pids().size(), pct);
+  return 0;
+}
+
+int cmd_chart(const Args& args) {
+  const trace::TraceModel model = load(args);
+  noise::NoiseAnalysis analysis(model, analysis_options(args));
+  const Pid pid = pick_task(args, model);
+  const DurNs quantum = args.get_u64("quantum-us", 1000) * kNsPerUs;
+  const auto n = static_cast<std::size_t>(model.duration() / quantum);
+  const noise::SyntheticChart chart =
+      noise::build_chart(analysis, pid, 0, quantum, std::max<std::size_t>(n, 1));
+  const DurNs min_noise = args.get_u64("min-noise-us", 2) * kNsPerUs;
+  std::printf("synthetic OS noise chart for %s (quantum %s):\n%s",
+              model.task_name(pid).c_str(), fmt_duration(quantum).c_str(),
+              exporter::render_spikes(chart, min_noise,
+                                      static_cast<std::size_t>(args.get_u64("rows", 40)))
+                  .c_str());
+  return 0;
+}
+
+int cmd_timeline(const Args& args) {
+  const trace::TraceModel model = load(args);
+  noise::NoiseAnalysis analysis(model, analysis_options(args));
+  const TimeNs from = args.get_u64("from-ms", 0) * kNsPerMs;
+  const TimeNs to_default = model.duration() / kNsPerMs;
+  const TimeNs to = args.get_u64("to-ms", to_default) * kNsPerMs;
+  const auto width = static_cast<std::size_t>(args.get_u64("width", 100));
+  std::printf("%s", exporter::render_timeline(analysis, from, std::max(to, from + 1),
+                                              width, parse_category(args.get("category")))
+                        .c_str());
+  return 0;
+}
+
+int cmd_interruptions(const Args& args) {
+  const trace::TraceModel model = load(args);
+  noise::NoiseAnalysis analysis(model, analysis_options(args));
+  const Pid pid = pick_task(args, model);
+  auto interruptions = noise::group_interruptions(analysis, pid);
+  std::sort(interruptions.begin(), interruptions.end(),
+            [](const noise::Interruption& a, const noise::Interruption& b) {
+              return a.total > b.total;
+            });
+  const auto top = static_cast<std::size_t>(args.get_u64("top", 20));
+  std::printf("%zu interruptions for %s; top %zu by duration:\n",
+              interruptions.size(), model.task_name(pid).c_str(),
+              std::min(top, interruptions.size()));
+  for (std::size_t i = 0; i < std::min(top, interruptions.size()); ++i) {
+    const auto& in = interruptions[i];
+    std::printf("  t=%10.3f ms  %10s  %s\n", static_cast<double>(in.start) / 1e6,
+                fmt_duration(in.total).c_str(),
+                noise::describe_interruption(in).c_str());
+  }
+  return 0;
+}
+
+int cmd_lookalikes(const Args& args) {
+  const trace::TraceModel model = load(args);
+  noise::NoiseAnalysis analysis(model, analysis_options(args));
+  const Pid pid = pick_task(args, model);
+  const auto interruptions = noise::group_interruptions(analysis, pid);
+  const double tol = args.get_double("tolerance", 2.0) / 100.0;
+  const auto pairs = noise::find_lookalikes(interruptions, tol);
+  std::printf("%zu look-alike pairs (within %.1f%%, different composition):\n",
+              pairs.size(), tol * 100.0);
+  for (const auto& p : pairs) {
+    std::printf("  %s vs %s\n", fmt_duration(p.a.total).c_str(),
+                fmt_duration(p.b.total).c_str());
+    std::printf("    A @ %.3f ms: %s\n", static_cast<double>(p.a.start) / 1e6,
+                noise::describe_interruption(p.a).c_str());
+    std::printf("    B @ %.3f ms: %s\n", static_cast<double>(p.b.start) / 1e6,
+                noise::describe_interruption(p.b).c_str());
+  }
+  return 0;
+}
+
+int cmd_export(const Args& args) {
+  const trace::TraceModel model = load(args);
+  noise::NoiseAnalysis analysis(model, analysis_options(args));
+  if (args.has("paraver")) {
+    const std::string base = args.get("paraver", model.meta().workload);
+    if (!exporter::write_paraver(analysis, base)) {
+      std::fprintf(stderr, "error: cannot write %s.prv\n", base.c_str());
+      return 1;
+    }
+    std::printf("wrote %s.prv / .pcf / .row\n", base.c_str());
+    return 0;
+  }
+  if (args.has("csv")) {
+    const std::string path = args.get("csv", model.meta().workload + ".csv");
+    if (!exporter::write_text_file(path, exporter::intervals_csv(analysis))) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu noise intervals)\n", path.c_str(),
+                analysis.noise_intervals().size());
+    return 0;
+  }
+  if (args.has("json")) {
+    const std::string path = args.get("json", model.meta().workload + ".json");
+    if (!exporter::write_text_file(path, exporter::summary_json(analysis))) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
+  }
+  return usage();
+}
+
+
+int cmd_diff(const Args& args) {
+  if (args.positionals().size() < 2) return usage();
+  const trace::TraceModel a = trace::read_trace_file(args.positionals()[0]);
+  const trace::TraceModel b = trace::read_trace_file(args.positionals()[1]);
+  noise::NoiseAnalysis aa(a, analysis_options(args));
+  noise::NoiseAnalysis ab(b, analysis_options(args));
+
+  std::printf("A: %s (%s)   B: %s (%s)\n\n", a.meta().workload.c_str(),
+              fmt_duration(a.duration()).c_str(), b.meta().workload.c_str(),
+              fmt_duration(b.duration()).c_str());
+  TextTable table({"activity", "A freq", "B freq", "A avg(ns)", "B avg(ns)", "avg delta"});
+  for (int k = 0; k < static_cast<int>(noise::ActivityKind::kMaxKind); ++k) {
+    const auto kind = static_cast<noise::ActivityKind>(k);
+    const noise::EventStats sa = aa.activity_stats(kind);
+    const noise::EventStats sb = ab.activity_stats(kind);
+    if (sa.count == 0 && sb.count == 0) continue;
+    const double delta = sa.avg_ns > 0 ? (sb.avg_ns - sa.avg_ns) / sa.avg_ns : 0.0;
+    table.add_row({std::string(noise::activity_name(kind)),
+                   fmt_fixed(sa.freq_ev_per_sec, 1), fmt_fixed(sb.freq_ev_per_sec, 1),
+                   fmt_fixed(sa.avg_ns, 0), fmt_fixed(sb.avg_ns, 0),
+                   (delta >= 0 ? "+" : "") + fmt_percent(delta)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  auto noise_pct = [](const noise::NoiseAnalysis& an, const trace::TraceModel& m) {
+    DurNs total = 0;
+    for (const Pid pid : m.app_pids()) total += an.total_noise(pid);
+    return 100.0 * static_cast<double>(total) /
+           (static_cast<double>(m.duration()) *
+            static_cast<double>(std::max<std::size_t>(m.app_pids().size(), 1)));
+  };
+  std::printf("per-rank noise: A %.3f%%   B %.3f%%\n", noise_pct(aa, a), noise_pct(ab, b));
+  return 0;
+}
+
+int cmd_scalability(const Args& args) {
+  const trace::TraceModel model = load(args);
+  noise::NoiseAnalysis analysis(model, analysis_options(args));
+  const noise::NoiseProfile profile = noise::NoiseProfile::from_analysis(analysis);
+  std::printf("profile: %.0f noise events/s/rank, mean %s, %.3f%% of rank time\n\n",
+              profile.events_per_sec,
+              fmt_duration(static_cast<DurNs>(profile.mean_duration_ns)).c_str(),
+              100.0 * profile.noise_fraction);
+
+  std::vector<std::uint64_t> ranks{1, 8, 64, 512, 4096, 32768};
+  if (args.has("ranks")) {
+    ranks.clear();
+    const std::string list = args.get("ranks");
+    std::size_t pos = 0;
+    while (pos < list.size()) {
+      std::size_t next = list.find(',', pos);
+      if (next == std::string::npos) next = list.size();
+      ranks.push_back(static_cast<std::uint64_t>(
+          std::strtoull(list.substr(pos, next - pos).c_str(), nullptr, 10)));
+      pos = next + 1;
+    }
+  }
+  noise::ScalabilityParams params;
+  params.granularity = args.get_u64("granularity-us", 1000) * kNsPerUs;
+  params.iterations = static_cast<std::uint32_t>(args.get_u64("iterations", 200));
+
+  TextTable table({"ranks", "E[max noise]/window", "slowdown", "efficiency"});
+  for (const auto& pt : noise::extrapolate_scalability(profile, ranks, params)) {
+    table.add_row({std::to_string(pt.ranks),
+                   fmt_duration(static_cast<DurNs>(pt.mean_max_noise_ns)),
+                   fmt_fixed(pt.slowdown, 3), fmt_fixed(pt.efficiency, 3)});
+  }
+  std::printf("bulk-synchronous model, %s compute between barriers:\n%s",
+              fmt_duration(params.granularity).c_str(), table.render().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Args args(argc, argv);
+  if (cmd == "run") return cmd_run(args);
+  if (cmd == "info") return cmd_info(args);
+  if (cmd == "stats") return cmd_stats(args);
+  if (cmd == "breakdown") return cmd_breakdown(args);
+  if (cmd == "chart") return cmd_chart(args);
+  if (cmd == "timeline") return cmd_timeline(args);
+  if (cmd == "interruptions") return cmd_interruptions(args);
+  if (cmd == "lookalikes") return cmd_lookalikes(args);
+  if (cmd == "export") return cmd_export(args);
+  if (cmd == "diff") return cmd_diff(args);
+  if (cmd == "scalability") return cmd_scalability(args);
+  return usage();
+}
