@@ -3,36 +3,15 @@
 namespace osn::host {
 
 ThreadTracer::ThreadTracer(std::size_t lanes, std::size_t capacity_pow2)
-    : origin_(now_ns()), channels_(lanes, capacity_pow2) {}
+    : origin_(now_ns()), channels_(lanes, capacity_pow2) {
+  consumer_ = std::make_unique<tracebuf::Consumer>(
+      channels_, [this](const tracebuf::EventRecord& rec) { collected_.push_back(rec); });
+}
 
 ThreadTracer::~ThreadTracer() { stop_consumer(); }
 
-void ThreadTracer::start_consumer() {
-  if (running_.exchange(true)) return;
-  consumer_ = std::thread([this] {
-    while (running_.load(std::memory_order_acquire)) {
-      bool any = false;
-      for (CpuId lane = 0; lane < channels_.cpu_count(); ++lane) {
-        while (auto rec = channels_.channel(lane).try_pop()) {
-          collected_.push_back(*rec);
-          any = true;
-        }
-      }
-      if (!any) std::this_thread::yield();
-    }
-  });
-}
+void ThreadTracer::start_consumer() { consumer_->start(); }
 
-void ThreadTracer::stop_consumer() {
-  if (!running_.exchange(false)) {
-    // Consumer never started (or already stopped): drain inline.
-    for (CpuId lane = 0; lane < channels_.cpu_count(); ++lane)
-      channels_.channel(lane).drain(collected_);
-    return;
-  }
-  if (consumer_.joinable()) consumer_.join();
-  for (CpuId lane = 0; lane < channels_.cpu_count(); ++lane)
-    channels_.channel(lane).drain(collected_);
-}
+void ThreadTracer::stop_consumer() { consumer_->stop(); }
 
 }  // namespace osn::host

@@ -5,14 +5,14 @@
 // the §III-A overhead claim (~0.28%).
 #pragma once
 
-#include <atomic>
 #include <cstdint>
-#include <thread>
+#include <memory>
 #include <vector>
 
 #include "host/host_clock.hpp"
 #include "trace/schema.hpp"
 #include "tracebuf/channel_set.hpp"
+#include "tracebuf/consumer.hpp"
 
 namespace osn::host {
 
@@ -31,21 +31,24 @@ class ThreadTracer {
                    trace::make_record(now_ns() - origin_, lane, pid, type, arg));
   }
 
-  /// Starts the consumer thread draining all lanes into the collected list.
+  /// Starts the consumer daemon draining all lanes into the collected list.
   void start_consumer();
-  /// Stops the consumer and drains any residue.
+  /// Stops the consumer and drains any residue (usable repeatedly; without a
+  /// prior start_consumer() it performs an inline drain).
   void stop_consumer();
 
+  /// Records in global (timestamp, lane) merged order.
   const std::vector<tracebuf::EventRecord>& collected() const { return collected_; }
   std::uint64_t lost() const { return channels_.total_lost(); }
+  /// Drain observability counters (stable after stop_consumer()).
+  const tracebuf::ConsumerStats& drain_stats() const { return consumer_->stats(); }
   TimeNs origin() const { return origin_; }
 
  private:
   TimeNs origin_;
   tracebuf::ChannelSet channels_;
   std::vector<tracebuf::EventRecord> collected_;
-  std::thread consumer_;
-  std::atomic<bool> running_{false};
+  std::unique_ptr<tracebuf::Consumer> consumer_;
 };
 
 }  // namespace osn::host

@@ -1,0 +1,52 @@
+#include "noise/streaming.hpp"
+
+#include "common/assert.hpp"
+#include "trace/schema.hpp"
+
+namespace osn::noise {
+
+void StreamingStats::consume(const tracebuf::EventRecord& rec) {
+  ++consumed_;
+  const auto type = static_cast<trace::EventType>(rec.event);
+  if (rec.cpu >= stacks_.size()) stacks_.resize(rec.cpu + 1u);
+  std::vector<OpenFrame>& stack = stacks_[rec.cpu];
+
+  if (trace::is_entry(type)) {
+    stack.push_back(OpenFrame{activity_of(type, rec.arg), rec.timestamp, 0});
+    return;
+  }
+  if (!trace::is_exit(type)) return;  // point event
+
+  OSN_ASSERT_MSG(!stack.empty(), "exit without entry in live stream");
+  const OpenFrame frame = stack.back();
+  stack.pop_back();
+  OSN_ASSERT_MSG(activity_of(trace::entry_of(type), rec.arg) == frame.kind,
+                 "mismatched exit in live stream");
+  const DurNs inclusive = rec.timestamp - frame.start;
+  const DurNs self = sat_sub(inclusive, frame.child_time);
+  if (!stack.empty()) stack.back().child_time += inclusive;
+  summaries_[static_cast<std::size_t>(frame.kind)].add(static_cast<double>(self));
+}
+
+EventStats StreamingStats::activity_stats(ActivityKind kind, DurNs duration,
+                                          std::uint16_t n_cpus) const {
+  const stats::StreamingSummary& summary = summaries_[static_cast<std::size_t>(kind)];
+  EventStats out;
+  out.count = summary.count();
+  const double duration_sec = static_cast<double>(duration) / static_cast<double>(kNsPerSec);
+  if (duration_sec > 0 && n_cpus > 0)
+    out.freq_ev_per_sec =
+        static_cast<double>(summary.count()) / duration_sec / static_cast<double>(n_cpus);
+  out.avg_ns = summary.mean();
+  out.max_ns = static_cast<DurNs>(summary.max());
+  out.min_ns = static_cast<DurNs>(summary.min());
+  return out;
+}
+
+std::size_t StreamingStats::open_frames() const {
+  std::size_t open = 0;
+  for (const auto& stack : stacks_) open += stack.size();
+  return open;
+}
+
+}  // namespace osn::noise

@@ -1,0 +1,56 @@
+// Incremental per-activity statistics over a live record stream.
+//
+// The offline NoiseAnalysis needs the whole TraceModel in memory; the live
+// consumer-daemon pipeline instead feeds records one at a time, in global
+// merged order, into this accumulator. It performs the same entry/exit
+// pairing with nested-event resolution (self time = inclusive minus nested
+// children) as build_intervals, but in O(max nesting depth) memory per CPU —
+// the whole-trace interval list is never materialized.
+//
+// Scope: kernel entry/exit activities (the paper's Tables I-VI). Derived
+// preemption intervals and the runnable filter need the task registry, which
+// is only known at end of run; those remain offline analyses.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "noise/analysis.hpp"
+#include "noise/interval.hpp"
+#include "stats/summary.hpp"
+#include "tracebuf/record.hpp"
+
+namespace osn::noise {
+
+class StreamingStats {
+ public:
+  /// Feed the next record of the merged stream. Per-CPU subsequences must be
+  /// time-ordered with balanced entry/exit pairs (the tracer guarantees
+  /// both). Point events are counted but open no interval.
+  void consume(const tracebuf::EventRecord& rec);
+
+  /// Self-time statistics for one activity, matching
+  /// NoiseAnalysis::activity_stats under default options once the stream is
+  /// complete. `duration`/`n_cpus` come from the run's TraceMeta.
+  EventStats activity_stats(ActivityKind kind, DurNs duration, std::uint16_t n_cpus) const;
+
+  std::uint64_t consumed() const { return consumed_; }
+  /// Entry events whose exit has not arrived yet (0 once a well-formed
+  /// stream ends).
+  std::size_t open_frames() const;
+
+ private:
+  struct OpenFrame {
+    ActivityKind kind = ActivityKind::kMaxKind;
+    TimeNs start = 0;
+    DurNs child_time = 0;
+  };
+
+  std::vector<std::vector<OpenFrame>> stacks_;  ///< per-cpu, grown on demand
+  std::array<stats::StreamingSummary, static_cast<std::size_t>(ActivityKind::kMaxKind)>
+      summaries_;
+  std::uint64_t consumed_ = 0;
+};
+
+}  // namespace osn::noise

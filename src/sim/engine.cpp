@@ -1,25 +1,47 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 
 namespace osn::sim {
+
+namespace {
+// Below this size the residue is too small to be worth filtering.
+constexpr std::size_t kCompactMinHeap = 64;
+}  // namespace
 
 EventId Engine::schedule_at(TimeNs t, std::function<void()> fn) {
   OSN_ASSERT_MSG(t >= now_, "cannot schedule into the past");
   OSN_ASSERT_MSG(fn != nullptr, "null callback");
   const EventId id = next_id_++;
-  heap_.push(HeapItem{t, next_seq_++, id});
+  heap_.push_back(HeapItem{t, next_seq_++, id});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   callbacks_.emplace(id, std::move(fn));
   return id;
 }
 
-void Engine::cancel(EventId id) { callbacks_.erase(id); }
+void Engine::cancel(EventId id) {
+  if (callbacks_.erase(id) == 0) return;
+  // The heap entry stays behind (lazy cancellation). Every heap entry maps
+  // to a live callback unless cancelled, so the stale count is the size
+  // difference; compact once stale entries exceed half the heap.
+  if (heap_.size() >= kCompactMinHeap && heap_.size() > 2 * callbacks_.size())
+    compact_heap();
+}
+
+void Engine::compact_heap() {
+  std::erase_if(heap_,
+                [this](const HeapItem& item) { return !callbacks_.contains(item.id); });
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+}
 
 bool Engine::step(TimeNs t_limit) {
   while (!heap_.empty()) {
-    const HeapItem item = heap_.top();
+    const HeapItem item = heap_.front();
     if (item.time > t_limit) return false;
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
     auto it = callbacks_.find(item.id);
     if (it == callbacks_.end()) continue;  // lazily-cancelled entry
     // Move the callback out before erasing: the callback may (re)schedule.

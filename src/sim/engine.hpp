@@ -9,11 +9,13 @@
 // Cancellation is O(1) lazy: cancelled ids stay in the heap and are skipped
 // when popped, the standard technique for DES engines with frequent
 // reschedules (every preempted execution frame cancels its completion).
+// Rearm-heavy workloads (cancel + reschedule far-future timers forever)
+// would grow the heap without bound under pure laziness, so cancel()
+// amortizes a compaction pass whenever stale entries outnumber live ones.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -36,6 +38,8 @@ class Engine {
 
   /// Cancels a pending event; cancelling an already-fired or already-
   /// cancelled id is a harmless no-op (callers race with completions).
+  /// Lazily-cancelled heap entries are compacted away once they exceed half
+  /// the heap, bounding memory under rearm-heavy timer workloads.
   void cancel(EventId id);
 
   /// True if `id` is still pending.
@@ -52,6 +56,9 @@ class Engine {
 
   TimeNs now() const { return now_; }
   std::size_t pending_count() const { return callbacks_.size(); }
+  /// Heap entries including lazily-cancelled residue; stays within a small
+  /// constant factor of pending_count() thanks to compaction.
+  std::size_t queued_count() const { return heap_.size(); }
   std::uint64_t fired_count() const { return fired_; }
 
  private:
@@ -69,13 +76,17 @@ class Engine {
 
   /// Pops and dispatches one event; false when none is due by t_limit.
   bool step(TimeNs t_limit);
+  /// Drops lazily-cancelled entries and restores the heap property.
+  void compact_heap();
 
   TimeNs now_ = 0;
   std::uint64_t next_seq_ = 1;
   EventId next_id_ = 1;
   std::uint64_t fired_ = 0;
   bool stopped_ = false;
-  std::priority_queue<HeapItem, std::vector<HeapItem>, Later> heap_;
+  // A plain vector managed with std::push_heap/pop_heap (rather than
+  // std::priority_queue) so compact_heap can filter it in place.
+  std::vector<HeapItem> heap_;
   std::unordered_map<EventId, std::function<void()>> callbacks_;
 };
 

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "trace/schema.hpp"
@@ -44,6 +45,44 @@ class ChannelSink final : public TraceSink {
 
  private:
   tracebuf::ChannelSet& channels_;
+};
+
+/// ChannelSink with backpressure: when the target channel is full, the
+/// producer spin/yields until the concurrent consumer daemon has drained it
+/// back below a high-watermark, then pushes — zero-loss by construction.
+///
+/// The watermark hysteresis matters: resuming the instant one slot frees
+/// would ping-pong the producer against the consumer at the full boundary;
+/// waiting for the fill level to fall to `resume_fill` lets the next burst
+/// proceed without stalling again. Requires a live consumer (deadlocks
+/// otherwise) and a single producer per channel, like the buffers themselves.
+class BlockingChannelSink final : public TraceSink {
+ public:
+  /// `resume_fill` = fill level (records) at which a stalled producer
+  /// resumes; 0 selects half the channel capacity.
+  explicit BlockingChannelSink(tracebuf::ChannelSet& channels, std::size_t resume_fill = 0)
+      : channels_(channels), resume_fill_(resume_fill) {}
+
+  void write(const tracebuf::EventRecord& rec) override {
+    const auto cpu = static_cast<CpuId>(rec.cpu);
+    tracebuf::RingBuffer& ch = channels_.channel(cpu);
+    if (ch.size() >= ch.capacity()) {
+      ++stalls_;
+      const std::size_t resume =
+          resume_fill_ > 0 && resume_fill_ < ch.capacity() ? resume_fill_
+                                                           : ch.capacity() / 2;
+      while (ch.size() > resume) std::this_thread::yield();
+    }
+    channels_.emit(cpu, rec);
+  }
+
+  /// Number of writes that had to wait for the consumer.
+  std::uint64_t stalls() const { return stalls_; }
+
+ private:
+  tracebuf::ChannelSet& channels_;
+  std::size_t resume_fill_;
+  std::uint64_t stalls_ = 0;
 };
 
 /// Discards everything; the "tracing compiled out" baseline.

@@ -9,7 +9,8 @@ namespace osn::trace {
 
 namespace {
 constexpr std::uint32_t kMagic = 0x544e534f;  // "OSNT" little-endian
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 1;          // whole-trace layout
+constexpr std::uint32_t kVersionStream = 2;    // chunked layout with footer
 
 void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
   put_varint(out, s.size());
@@ -22,6 +23,23 @@ std::string get_string(const std::vector<std::uint8_t>& buf, std::size_t& pos) {
   std::string s(reinterpret_cast<const char*>(buf.data() + pos), len);
   pos += len;
   return s;
+}
+
+void put_meta_and_tasks(std::vector<std::uint8_t>& out, const TraceMeta& meta,
+                        const std::map<Pid, TaskInfo>& tasks) {
+  put_varint(out, meta.n_cpus);
+  put_varint(out, meta.tick_period_ns);
+  put_varint(out, meta.start_ns);
+  put_varint(out, meta.end_ns);
+  put_string(out, meta.workload);
+
+  put_varint(out, tasks.size());
+  for (const auto& [pid, info] : tasks) {
+    put_varint(out, pid);
+    put_string(out, info.name);
+    put_varint(out, static_cast<std::uint64_t>(info.is_app ? 1 : 0) |
+                        (static_cast<std::uint64_t>(info.is_kernel_thread ? 1 : 0) << 1));
+  }
 }
 }  // namespace
 
@@ -55,19 +73,7 @@ std::vector<std::uint8_t> serialize_trace(const TraceModel& model) {
   put_varint(out, kVersion);
 
   const TraceMeta& meta = model.meta();
-  put_varint(out, meta.n_cpus);
-  put_varint(out, meta.tick_period_ns);
-  put_varint(out, meta.start_ns);
-  put_varint(out, meta.end_ns);
-  put_string(out, meta.workload);
-
-  put_varint(out, model.tasks().size());
-  for (const auto& [pid, info] : model.tasks()) {
-    put_varint(out, pid);
-    put_string(out, info.name);
-    put_varint(out, static_cast<std::uint64_t>(info.is_app ? 1 : 0) |
-                        (static_cast<std::uint64_t>(info.is_kernel_thread ? 1 : 0) << 1));
-  }
+  put_meta_and_tasks(out, meta, model.tasks());
 
   for (CpuId c = 0; c < meta.n_cpus; ++c) {
     const auto& stream = model.cpu_events(c);
@@ -85,19 +91,18 @@ std::vector<std::uint8_t> serialize_trace(const TraceModel& model) {
   return out;
 }
 
-TraceModel deserialize_trace(const std::vector<std::uint8_t>& buf) {
-  std::size_t pos = 0;
-  OSN_ASSERT_MSG(get_varint(buf, pos) == kMagic, "bad magic: not an OSNT trace");
-  OSN_ASSERT_MSG(get_varint(buf, pos) == kVersion, "unsupported OSNT version");
+namespace {
 
-  TraceMeta meta;
+/// Shared footer/header fields of both layouts: node metadata + task table.
+/// v2 additionally appends the drain counters.
+void get_meta_and_tasks(const std::vector<std::uint8_t>& buf, std::size_t& pos,
+                        TraceMeta& meta, std::map<Pid, TaskInfo>& tasks) {
   meta.n_cpus = static_cast<std::uint16_t>(get_varint(buf, pos));
   meta.tick_period_ns = get_varint(buf, pos);
   meta.start_ns = get_varint(buf, pos);
   meta.end_ns = get_varint(buf, pos);
   meta.workload = get_string(buf, pos);
 
-  std::map<Pid, TaskInfo> tasks;
   const std::uint64_t n_tasks = get_varint(buf, pos);
   for (std::uint64_t i = 0; i < n_tasks; ++i) {
     TaskInfo info;
@@ -108,6 +113,62 @@ TraceModel deserialize_trace(const std::vector<std::uint8_t>& buf) {
     info.is_kernel_thread = (flags & 2) != 0;
     tasks.emplace(info.pid, std::move(info));
   }
+}
+
+/// v2: chunks of cpu-tagged records in merged order, 0-count terminator,
+/// then the metadata footer.
+TraceModel deserialize_stream(const std::vector<std::uint8_t>& buf, std::size_t pos) {
+  std::vector<std::vector<tracebuf::EventRecord>> per_cpu;
+  std::vector<TimeNs> prev_ts;
+  for (;;) {
+    const std::uint64_t n = get_varint(buf, pos);
+    if (n == 0) break;  // terminator chunk
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto cpu = static_cast<std::size_t>(get_varint(buf, pos));
+      OSN_ASSERT_MSG(cpu < 65536, "stream chunk cpu out of range");
+      if (cpu >= per_cpu.size()) {
+        per_cpu.resize(cpu + 1);
+        prev_ts.resize(cpu + 1, 0);
+      }
+      tracebuf::EventRecord rec;
+      prev_ts[cpu] += get_varint(buf, pos);
+      rec.timestamp = prev_ts[cpu];
+      rec.pid = static_cast<std::uint32_t>(get_varint(buf, pos));
+      rec.cpu = static_cast<std::uint16_t>(cpu);
+      rec.event = static_cast<std::uint16_t>(get_varint(buf, pos));
+      rec.arg = get_varint(buf, pos);
+      per_cpu[cpu].push_back(rec);
+    }
+  }
+
+  TraceMeta meta;
+  std::map<Pid, TaskInfo> tasks;
+  get_meta_and_tasks(buf, pos, meta, tasks);
+  meta.drain.records = get_varint(buf, pos);
+  meta.drain.batches = get_varint(buf, pos);
+  meta.drain.max_batch = get_varint(buf, pos);
+  meta.drain.lost = get_varint(buf, pos);
+  meta.drain.overwritten = get_varint(buf, pos);
+  meta.drain.producer_stalls = get_varint(buf, pos);
+  OSN_ASSERT_MSG(pos == buf.size(), "trailing bytes after trace");
+  OSN_ASSERT_MSG(per_cpu.size() <= meta.n_cpus, "stream chunk cpu >= n_cpus");
+  per_cpu.resize(meta.n_cpus);
+  return TraceModel(std::move(meta), std::move(per_cpu), std::move(tasks));
+}
+
+}  // namespace
+
+TraceModel deserialize_trace(const std::vector<std::uint8_t>& buf) {
+  std::size_t pos = 0;
+  OSN_ASSERT_MSG(get_varint(buf, pos) == kMagic, "bad magic: not an OSNT trace");
+  const std::uint64_t version = get_varint(buf, pos);
+  OSN_ASSERT_MSG(version == kVersion || version == kVersionStream,
+                 "unsupported OSNT version");
+  if (version == kVersionStream) return deserialize_stream(buf, pos);
+
+  TraceMeta meta;
+  std::map<Pid, TaskInfo> tasks;
+  get_meta_and_tasks(buf, pos, meta, tasks);
 
   std::vector<std::vector<tracebuf::EventRecord>> per_cpu(meta.n_cpus);
   for (CpuId c = 0; c < meta.n_cpus; ++c) {
@@ -135,6 +196,75 @@ bool write_trace_file(const TraceModel& model, const std::string& path) {
                                                     &std::fclose);
   if (!f) return false;
   return std::fwrite(bytes.data(), 1, bytes.size(), f.get()) == bytes.size();
+}
+
+// ---------------------------------------------------------------------------
+// OsntStreamWriter — the v2 chunked layout, written incrementally.
+// ---------------------------------------------------------------------------
+
+OsntStreamWriter::OsntStreamWriter(const std::string& path, std::size_t chunk_records)
+    : file_(std::fopen(path.c_str(), "wb")), chunk_records_(chunk_records) {
+  OSN_ASSERT_MSG(chunk_records_ >= 1, "chunk must hold at least one record");
+  if (file_ == nullptr) {
+    failed_ = true;
+    return;
+  }
+  std::vector<std::uint8_t> header;
+  put_varint(header, kMagic);
+  put_varint(header, kVersionStream);
+  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size())
+    failed_ = true;
+}
+
+OsntStreamWriter::~OsntStreamWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void OsntStreamWriter::append(const tracebuf::EventRecord& rec) {
+  OSN_ASSERT_MSG(!finished_, "append after finish");
+  if (rec.cpu >= prev_ts_.size()) prev_ts_.resize(rec.cpu + 1u, 0);
+  OSN_ASSERT_MSG(rec.timestamp >= prev_ts_[rec.cpu], "stream not time-ordered");
+  put_varint(chunk_buf_, rec.cpu);
+  put_varint(chunk_buf_, rec.timestamp - prev_ts_[rec.cpu]);
+  prev_ts_[rec.cpu] = rec.timestamp;
+  put_varint(chunk_buf_, rec.pid);
+  put_varint(chunk_buf_, rec.event);
+  put_varint(chunk_buf_, rec.arg);
+  ++in_chunk_;
+  ++records_;
+  if (in_chunk_ >= chunk_records_) flush_chunk();
+}
+
+void OsntStreamWriter::flush_chunk() {
+  if (in_chunk_ == 0 || file_ == nullptr) return;
+  std::vector<std::uint8_t> count;
+  put_varint(count, in_chunk_);
+  if (std::fwrite(count.data(), 1, count.size(), file_) != count.size() ||
+      std::fwrite(chunk_buf_.data(), 1, chunk_buf_.size(), file_) != chunk_buf_.size())
+    failed_ = true;
+  chunk_buf_.clear();
+  in_chunk_ = 0;
+}
+
+bool OsntStreamWriter::finish(const TraceMeta& meta, const std::map<Pid, TaskInfo>& tasks) {
+  if (finished_) return ok();
+  finished_ = true;
+  if (file_ == nullptr) return false;
+  flush_chunk();
+  std::vector<std::uint8_t> footer;
+  put_varint(footer, 0);  // chunk terminator
+  put_meta_and_tasks(footer, meta, tasks);
+  put_varint(footer, meta.drain.records);
+  put_varint(footer, meta.drain.batches);
+  put_varint(footer, meta.drain.max_batch);
+  put_varint(footer, meta.drain.lost);
+  put_varint(footer, meta.drain.overwritten);
+  put_varint(footer, meta.drain.producer_stalls);
+  if (std::fwrite(footer.data(), 1, footer.size(), file_) != footer.size())
+    failed_ = true;
+  if (std::fclose(file_) != 0) failed_ = true;
+  file_ = nullptr;
+  return !failed_;
 }
 
 TraceModel read_trace_file(const std::string& path) {

@@ -6,9 +6,20 @@
 // bridge between a tracing run and later offline analysis, exactly the
 // pre-processing split the paper describes (instrument statically, analyze
 // offline).
+//
+// Two layouts share the magic:
+//  * v1 (serialize_trace) — whole-trace: per-CPU streams with up-front
+//    counts. Requires the complete trace in memory before writing.
+//  * v2 (OsntStreamWriter) — streamed: a sequence of record chunks in global
+//    merged order, each record tagged with its cpu, followed by a metadata
+//    footer (the counts are not known until the run ends). This is what the
+//    live consumer-daemon pipeline writes: bounded memory, chunk-at-a-time
+//    I/O. deserialize_trace reads both and yields identical TraceModels.
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -32,5 +43,45 @@ TraceModel deserialize_trace(const std::vector<std::uint8_t>& buf);
 /// File convenience wrappers; return false / abort on I/O failure.
 bool write_trace_file(const TraceModel& model, const std::string& path);
 TraceModel read_trace_file(const std::string& path);
+
+/// Incremental writer for the streamed (v2) OSNT layout.
+///
+/// Feed records in global merged order via append() — per-CPU subsequences
+/// must stay time-ordered (the consumer daemon's emit order satisfies both).
+/// Records are buffered into chunks of `chunk_records` and flushed to disk as
+/// each chunk fills, so memory stays O(chunk) regardless of trace length.
+/// finish() writes the terminator and metadata footer; a writer that is
+/// destroyed without finish() leaves an unreadable file.
+class OsntStreamWriter {
+ public:
+  explicit OsntStreamWriter(const std::string& path, std::size_t chunk_records = 8192);
+  ~OsntStreamWriter();
+
+  OsntStreamWriter(const OsntStreamWriter&) = delete;
+  OsntStreamWriter& operator=(const OsntStreamWriter&) = delete;
+
+  /// False when the output file could not be opened or a write failed.
+  bool ok() const { return !failed_; }
+
+  void append(const tracebuf::EventRecord& rec);
+
+  /// Flushes the final chunk, writes the footer and closes the file.
+  /// Returns ok(). Idempotent.
+  bool finish(const TraceMeta& meta, const std::map<Pid, TaskInfo>& tasks);
+
+  std::uint64_t records_written() const { return records_; }
+
+ private:
+  void flush_chunk();
+
+  std::FILE* file_ = nullptr;
+  bool failed_ = false;
+  bool finished_ = false;
+  std::size_t chunk_records_;
+  std::size_t in_chunk_ = 0;
+  std::uint64_t records_ = 0;
+  std::vector<std::uint8_t> chunk_buf_;
+  std::vector<TimeNs> prev_ts_;  ///< per-cpu previous timestamp (delta base)
+};
 
 }  // namespace osn::trace

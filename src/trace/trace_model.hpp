@@ -27,12 +27,27 @@ struct TaskInfo {
   friend bool operator==(const TaskInfo&, const TaskInfo&) = default;
 };
 
+/// Observability counters from a live (consumer-daemon) tracing run. All
+/// zero for offline-drained traces; persisted by the streamed OSNT format
+/// and surfaced by `osn-analyze info`.
+struct DrainStats {
+  std::uint64_t records = 0;          ///< records delivered by the consumer
+  std::uint64_t batches = 0;          ///< non-empty batch pops
+  std::uint64_t max_batch = 0;        ///< largest single batch
+  std::uint64_t lost = 0;             ///< records discarded at full channels
+  std::uint64_t overwritten = 0;      ///< records reclaimed in overwrite mode
+  std::uint64_t producer_stalls = 0;  ///< backpressure waits at the producer
+
+  friend bool operator==(const DrainStats&, const DrainStats&) = default;
+};
+
 struct TraceMeta {
   std::uint16_t n_cpus = 0;
   DurNs tick_period_ns = 0;  ///< periodic timer interval (10 ms at 100 Hz)
   TimeNs start_ns = 0;
   TimeNs end_ns = 0;
   std::string workload;
+  DrainStats drain;  ///< live-drain counters (zero for offline traces)
 
   friend bool operator==(const TraceMeta&, const TraceMeta&) = default;
 };

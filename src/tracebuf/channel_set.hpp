@@ -20,7 +20,9 @@ class ChannelSet {
              FullPolicy policy = FullPolicy::kDiscard);
 
   /// Hot path: record an event on `cpu`'s channel. Returns false on discard.
+  /// An out-of-range cpu is a contract violation, not silent UB.
   bool emit(CpuId cpu, const EventRecord& rec) {
+    OSN_ASSERT_MSG(cpu < channels_.size(), "emit: cpu out of channel range");
     return channels_[cpu]->try_push(rec);
   }
 

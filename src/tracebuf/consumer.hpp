@@ -1,0 +1,118 @@
+// The consumer daemon: concurrent, batched draining of a ChannelSet.
+//
+// This is the missing half of the LTTng reproduction. LTTng's low overhead
+// comes from per-CPU lock-free channels *drained by a concurrent consumer
+// daemon* (lttng-consumerd); until now this repo only drained buffers offline
+// after a run, so whole traces had to fit in memory and the SPSC fast path
+// never ran against a live producer. The Consumer closes that gap:
+//
+//  * one daemon thread drains every per-CPU RingBuffer in batches
+//    (RingBuffer::try_pop_batch — one head acquire + one tail release per
+//    batch instead of per record);
+//  * popped records are merged incrementally into global (timestamp, cpu)
+//    order and handed to an emit callback — the same order drain_merged()
+//    produces offline, so downstream consumers (streaming OSNT writer,
+//    incremental analysis) see a totally ordered stream with bounded staging;
+//  * per-channel observability counters (records, batches, max batch, loss,
+//    overwrite) are collected for surfacing in `osn-analyze info`.
+//
+// Live-merge correctness: a staged record r from channel c may only be
+// emitted once no channel can still produce an earlier record. Each channel's
+// stream is monotonic, so after popping a record with timestamp t from
+// channel d, every future record of d has timestamp >= t. The daemon
+// therefore emits r iff for every channel d with an empty staging queue,
+// (r.ts, c) < (floor_d, d) where floor_d is the newest timestamp ever popped
+// from d. Channels that have produced nothing yet hold the merge back (their
+// floor is unknown); everything is flushed unconditionally at stop(), when
+// producers are quiescent. Ties are broken by cpu id, matching the offline
+// k-way merge exactly — the live path is byte-for-byte deterministic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "tracebuf/channel_set.hpp"
+
+namespace osn::tracebuf {
+
+/// Per-channel drain observability counters.
+struct ChannelDrainStats {
+  std::uint64_t records = 0;    ///< records popped from this channel
+  std::uint64_t batches = 0;    ///< non-empty try_pop_batch calls
+  std::uint64_t max_batch = 0;  ///< largest single batch
+  std::uint64_t lost = 0;       ///< producer-side discards (buffer full)
+  std::uint64_t overwritten = 0;
+};
+
+struct ConsumerStats {
+  std::vector<ChannelDrainStats> channels;
+  std::uint64_t records = 0;  ///< total records emitted in merged order
+  std::uint64_t batches = 0;
+  std::uint64_t max_batch = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t overwritten = 0;
+};
+
+class Consumer {
+ public:
+  /// Called on the consumer thread, in global (timestamp, cpu) order.
+  using Emit = std::function<void(const EventRecord&)>;
+
+  struct Options {
+    std::size_t batch_size = 256;  ///< records per try_pop_batch call
+  };
+
+  /// Attaches to every channel of `channels` (asserting it is the only
+  /// consumer). `emit` receives the merged stream.
+  Consumer(ChannelSet& channels, Emit emit, Options options);
+  Consumer(ChannelSet& channels, Emit emit)
+      : Consumer(channels, std::move(emit), Options{}) {}
+  ~Consumer();
+
+  Consumer(const Consumer&) = delete;
+  Consumer& operator=(const Consumer&) = delete;
+
+  /// Starts the daemon thread. Producers may push concurrently from then on.
+  void start();
+
+  /// Stops the daemon (joining the thread if running), then drains and emits
+  /// all residual records. Producers must be quiescent by the time stop() is
+  /// called. Idempotent; also usable without start() for an inline drain.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Stable after stop(); while the daemon runs the counters are updated
+  /// from the consumer thread without synchronization.
+  const ConsumerStats& stats() const { return stats_; }
+
+ private:
+  void drain_loop();
+  /// Pops one batch from every channel into staging; returns records popped.
+  std::size_t poll_once();
+  /// Emits staged records that are safe under the watermark rule; `final`
+  /// additionally treats empty channels as exhausted (end-of-trace flush).
+  void flush(bool final);
+  void refresh_channel_counters();
+
+  ChannelSet& channels_;
+  Emit emit_;
+  Options options_;
+
+  // Staging: per-channel FIFO of popped-but-not-yet-merged records.
+  std::vector<std::vector<EventRecord>> staging_;
+  std::vector<std::size_t> staging_head_;
+  std::vector<TimeNs> floor_;  ///< newest timestamp ever popped per channel
+  std::vector<bool> seen_;     ///< channel has produced at least one record
+  std::vector<EventRecord> scratch_;
+
+  ConsumerStats stats_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  bool attached_ = false;
+};
+
+}  // namespace osn::tracebuf

@@ -21,11 +21,13 @@
 //                 "snapshot" usage.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <memory>
 #include <new>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -63,6 +65,8 @@ class RingBuffer {
       }
       // Overwrite: reclaim the oldest slot. Safe only without a concurrent
       // consumer (see file comment); the producer owns both indices then.
+      OSN_ASSERT_MSG(!consumer_attached_.load(std::memory_order_relaxed),
+                     "overwrite reclaim with a consumer attached");
       tail_.store(tail + 1, std::memory_order_relaxed);
       overwritten_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -81,8 +85,24 @@ class RingBuffer {
     return rec;
   }
 
+  /// Consumer side, batched: pops up to `out.size()` records with a single
+  /// head acquire and a single tail release, amortizing the atomics that
+  /// dominate per-record pop cost. Returns the number of records written to
+  /// the front of `out`. Wait-free.
+  std::size_t try_pop_batch(std::span<EventRecord> out) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t avail = head - tail;
+    if (avail == 0 || out.empty()) return 0;
+    const std::size_t n = std::min<std::size_t>(out.size(), static_cast<std::size_t>(avail));
+    for (std::size_t i = 0; i < n; ++i) out[i] = slots_[(tail + i) & mask_];
+    tail_.store(tail + n, std::memory_order_release);
+    return n;
+  }
+
   /// Drains everything currently visible into `out`; returns count.
   std::size_t drain(std::vector<EventRecord>& out) {
+    out.reserve(out.size() + size());
     std::size_t n = 0;
     while (auto rec = try_pop()) {
       out.push_back(*rec);
@@ -91,10 +111,26 @@ class RingBuffer {
     return n;
   }
 
+  /// Marks that a consumer (daemon) is actively draining this buffer, which
+  /// is incompatible with kOverwrite reclaim (the producer would race the
+  /// consumer for `tail_`). try_push asserts this on the reclaim path.
+  void attach_consumer() {
+    OSN_ASSERT_MSG(!consumer_attached_.exchange(true, std::memory_order_relaxed),
+                   "ring buffer already has a consumer attached");
+  }
+  void detach_consumer() { consumer_attached_.store(false, std::memory_order_relaxed); }
+  bool consumer_attached() const {
+    return consumer_attached_.load(std::memory_order_relaxed);
+  }
+
   std::size_t capacity() const { return capacity_; }
+  /// Clamped to capacity(): during an overwrite reclaim the two indices are
+  /// updated separately, so a racing reader could otherwise transiently see
+  /// head - tail == capacity + 1.
   std::size_t size() const {
-    return static_cast<std::size_t>(head_.load(std::memory_order_acquire) -
-                                    tail_.load(std::memory_order_acquire));
+    const auto raw = static_cast<std::size_t>(head_.load(std::memory_order_acquire) -
+                                              tail_.load(std::memory_order_acquire));
+    return std::min(raw, capacity_);
   }
   bool empty() const { return size() == 0; }
   std::uint64_t lost() const { return lost_.load(std::memory_order_relaxed); }
@@ -111,6 +147,7 @@ class RingBuffer {
   alignas(kCacheLine) std::atomic<std::uint64_t> tail_{0};  // consumer-owned
   alignas(kCacheLine) std::atomic<std::uint64_t> lost_{0};
   std::atomic<std::uint64_t> overwritten_{0};
+  std::atomic<bool> consumer_attached_{false};
 };
 
 }  // namespace osn::tracebuf

@@ -1,5 +1,8 @@
 #include "workloads/workload.hpp"
 
+#include "common/assert.hpp"
+#include "tracebuf/channel_set.hpp"
+
 namespace osn::workloads {
 
 kernel::NodeConfig Workload::config() const { return kernel::NodeConfig{}; }
@@ -18,6 +21,42 @@ RunResult run_workload(Workload& workload, std::uint64_t seed) {
   RunResult result{
       kernel::build_trace_model(std::move(meta), sink.records(), kernel.task_infos()),
       kernel.engine().fired_count()};
+  return result;
+}
+
+LiveRunResult run_workload_live(Workload& workload, std::uint64_t seed,
+                                const LiveOptions& options) {
+  OSN_ASSERT_MSG(options.on_record != nullptr, "live run needs an on_record hook");
+  kernel::NodeConfig cfg = workload.config();
+  cfg.seed = seed;
+
+  tracebuf::ChannelSet channels(cfg.n_cpus, options.per_cpu_capacity);
+  trace::BlockingChannelSink sink(channels, options.resume_fill);
+  tracebuf::Consumer consumer(channels, options.on_record,
+                              tracebuf::Consumer::Options{options.batch_size});
+  consumer.start();
+
+  kernel::Kernel kernel(cfg, workload.models(), sink);
+  workload.setup(kernel);
+  kernel.start();
+  kernel.run_until_apps_done(workload.max_time());
+  trace::TraceMeta meta = kernel.finish(workload.name());
+
+  // The producer (this thread) is quiescent now; stop() drains the residue
+  // and completes the merge.
+  consumer.stop();
+
+  LiveRunResult result;
+  result.tasks = kernel.task_infos();
+  result.engine_events = kernel.engine().fired_count();
+  result.drain = consumer.stats();
+  meta.drain.records = result.drain.records;
+  meta.drain.batches = result.drain.batches;
+  meta.drain.max_batch = result.drain.max_batch;
+  meta.drain.lost = result.drain.lost;
+  meta.drain.overwritten = result.drain.overwritten;
+  meta.drain.producer_stalls = sink.stalls();
+  result.meta = std::move(meta);
   return result;
 }
 

@@ -5,12 +5,15 @@
 // analyze offline).
 #pragma once
 
+#include <functional>
+#include <map>
 #include <memory>
 #include <string>
 
 #include "kernel/kernel.hpp"
 #include "trace/sink.hpp"
 #include "trace/trace_model.hpp"
+#include "tracebuf/consumer.hpp"
 
 namespace osn::workloads {
 
@@ -36,5 +39,41 @@ struct RunResult {
 
 /// Runs a workload to completion under the given seed and returns the trace.
 RunResult run_workload(Workload& workload, std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Live pipeline: trace through the per-CPU lock-free channels, drained by a
+// concurrent consumer daemon while the simulation runs. Nothing accumulates
+// in memory beyond the channel capacity plus the consumer's merge staging —
+// the caller's on_record hook streams the merged record sequence out (to a
+// chunked OSNT file, an incremental analysis, or both).
+// ---------------------------------------------------------------------------
+
+struct LiveOptions {
+  /// Per-CPU channel capacity; must be a power of two >= 2.
+  std::size_t per_cpu_capacity = 1u << 16;
+  /// Records per consumer batch pop.
+  std::size_t batch_size = 256;
+  /// Backpressure high-watermark: fill level at which a stalled producer
+  /// resumes (0 = half the capacity). See trace::BlockingChannelSink.
+  std::size_t resume_fill = 0;
+  /// Receives every record in global (timestamp, cpu) order — the identical
+  /// sequence drain_merged()/TraceModel::merged() would produce offline.
+  /// Called on the consumer thread, concurrently with the simulation.
+  std::function<void(const tracebuf::EventRecord&)> on_record;
+};
+
+struct LiveRunResult {
+  trace::TraceMeta meta;  ///< drain counters filled in
+  std::map<Pid, trace::TaskInfo> tasks;
+  std::uint64_t engine_events = 0;
+  tracebuf::ConsumerStats drain;
+};
+
+/// Runs a workload with the live consumer-daemon pipeline. Deterministic:
+/// the record sequence delivered to on_record is identical to the offline
+/// run_workload trace for the same seed, and zero-loss (backpressure blocks
+/// the producer rather than discarding).
+LiveRunResult run_workload_live(Workload& workload, std::uint64_t seed,
+                                const LiveOptions& options);
 
 }  // namespace osn::workloads

@@ -70,5 +70,39 @@ TEST(ChannelSet, TotalLostAggregates) {
 
 TEST(ChannelSet, ZeroCpusDies) { EXPECT_DEATH(ChannelSet(0, 16), "at least one"); }
 
+TEST(ChannelSet, EmitOutOfRangeCpuDies) {
+  ChannelSet cs(4, 16);
+  cs.emit(3, rec(1, 3));  // last valid cpu is fine
+  EXPECT_DEATH(cs.emit(4, rec(1, 4)), "out of channel range");
+  EXPECT_DEATH(cs.emit(1000, rec(1, 0)), "out of channel range");
+}
+
+// Regression for the merge tie-break contract: with equal timestamps spread
+// across every channel and interleaved with distinct ones, the merged stream
+// must order equal-timestamp records strictly by CPU id. The live Consumer
+// replays this exact order, so this test pins the contract both rely on.
+TEST(ChannelSet, MergeOrdersEqualTimestampsByCpuAcrossRuns) {
+  ChannelSet cs(5, 1u << 6);
+  // Each channel gets ts = 10, 10, 20, 30, 30 — monotonic per channel, with
+  // heavy cross-channel ties at 10 and 30.
+  for (std::uint16_t cpu = 0; cpu < 5; ++cpu)
+    for (TimeNs ts : {10u, 10u, 20u, 30u, 30u}) cs.emit(cpu, rec(ts, cpu));
+  auto merged = cs.drain_merged();
+  ASSERT_EQ(merged.size(), 25u);
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    const auto& a = merged[i - 1];
+    const auto& b = merged[i];
+    ASSERT_LE(a.timestamp, b.timestamp);
+    // Equal timestamps: CPU ids must never go backwards.
+    if (a.timestamp == b.timestamp) {
+      ASSERT_LE(a.cpu, b.cpu);
+    }
+  }
+  // Spot-check the head: both ts=10 records of cpu 0 precede cpu 1's.
+  EXPECT_EQ(merged[0].cpu, 0u);
+  EXPECT_EQ(merged[1].cpu, 0u);
+  EXPECT_EQ(merged[2].cpu, 1u);
+}
+
 }  // namespace
 }  // namespace osn::tracebuf

@@ -133,5 +133,54 @@ TEST(Engine, FiredCountCounts) {
   EXPECT_EQ(e.fired_count(), 5u);
 }
 
+// Regression for the lazy-cancellation heap leak: a rearm-heavy workload
+// (cancel a far-future timer, schedule a new one, forever — exactly what a
+// watchdog or a repeatedly-reset timeout does) used to grow the heap by one
+// stale entry per cycle, O(cycles) memory. With amortized compaction the heap
+// must stay within a small constant factor of the live-event count.
+TEST(Engine, RearmedTimerCancellationDoesNotLeakHeap) {
+  Engine e;
+  constexpr std::uint64_t kCycles = 1'000'000;
+  EventId timer = e.schedule_at(kCycles + 1000, [] {});
+  for (std::uint64_t i = 1; i <= kCycles; ++i) {
+    e.cancel(timer);
+    timer = e.schedule_at(kCycles + 1000 + i, [] {});
+  }
+  EXPECT_EQ(e.pending_count(), 1u);
+  // One live event; compaction keeps the heap's stale residue bounded
+  // (compact triggers at 2x live, and the minimum-heap floor is 64).
+  EXPECT_LE(e.queued_count(), 128u);
+  // The surviving timer still fires correctly after all that churn.
+  bool fired = false;
+  e.cancel(timer);
+  e.schedule_at(kCycles + 2000, [&] { fired = true; });
+  e.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(e.pending_count(), 0u);
+}
+
+TEST(Engine, CompactionPreservesOrderAndFifoTies) {
+  Engine e;
+  std::vector<int> order;
+  std::vector<EventId> doomed;
+  // Interleave survivors with victims, then cancel enough to force a
+  // compaction mid-stream; survivors must still fire in (time, seq) order.
+  for (int i = 0; i < 200; ++i) {
+    e.schedule_at(static_cast<TimeNs>(100 + i % 3), [&order, i] { order.push_back(i); });
+    doomed.push_back(e.schedule_at(500, [] {}));
+    doomed.push_back(e.schedule_at(600, [] {}));
+  }
+  for (const EventId id : doomed) e.cancel(id);
+  EXPECT_EQ(e.pending_count(), 200u);
+  e.run();
+  ASSERT_EQ(order.size(), 200u);
+  // Same (time, insertion) order a compaction-free engine would produce.
+  std::vector<int> expected;
+  for (int t = 0; t < 3; ++t)
+    for (int i = 0; i < 200; ++i)
+      if (i % 3 == t) expected.push_back(i);
+  EXPECT_EQ(order, expected);
+}
+
 }  // namespace
 }  // namespace osn::sim

@@ -148,6 +148,71 @@ TEST(RingBuffer, ConcurrentSpscStress) {
   // makes that nonzero by design, but no accepted record may be dropped.
 }
 
+TEST(RingBuffer, PopBatchEmptyAndZeroSpan) {
+  RingBuffer rb(8);
+  std::vector<EventRecord> buf(4);
+  EXPECT_EQ(rb.try_pop_batch(buf), 0u);
+  rb.try_push(rec(1));
+  EXPECT_EQ(rb.try_pop_batch(std::span<EventRecord>{}), 0u);
+  EXPECT_EQ(rb.size(), 1u);
+}
+
+TEST(RingBuffer, PopBatchRespectsSpanSizeAndOrder) {
+  RingBuffer rb(16);
+  for (TimeNs i = 0; i < 10; ++i) rb.try_push(rec(i, i * 2));
+  std::vector<EventRecord> buf(4);
+  ASSERT_EQ(rb.try_pop_batch(buf), 4u);
+  for (TimeNs i = 0; i < 4; ++i) {
+    EXPECT_EQ(buf[i].timestamp, i);
+    EXPECT_EQ(buf[i].arg, i * 2);
+  }
+  // A larger span than remaining records pops just the remainder.
+  std::vector<EventRecord> big(32);
+  ASSERT_EQ(rb.try_pop_batch(big), 6u);
+  EXPECT_EQ(big[0].timestamp, 4u);
+  EXPECT_EQ(big[5].timestamp, 9u);
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, PopBatchWrapsAround) {
+  RingBuffer rb(4);
+  // Advance the indices so batches straddle the wrap point.
+  for (TimeNs i = 0; i < 3; ++i) rb.try_push(rec(i));
+  std::vector<EventRecord> buf(4);
+  ASSERT_EQ(rb.try_pop_batch(buf), 3u);
+  for (TimeNs i = 3; i < 7; ++i) ASSERT_TRUE(rb.try_push(rec(i)));
+  ASSERT_EQ(rb.try_pop_batch(buf), 4u);
+  for (TimeNs i = 0; i < 4; ++i) EXPECT_EQ(buf[i].timestamp, i + 3);
+}
+
+TEST(RingBuffer, SizeNeverExceedsCapacityUnderOverwrite) {
+  RingBuffer rb(4, FullPolicy::kOverwrite);
+  for (TimeNs i = 0; i < 100; ++i) {
+    rb.try_push(rec(i));
+    EXPECT_LE(rb.size(), rb.capacity());
+  }
+  EXPECT_EQ(rb.size(), 4u);
+}
+
+TEST(RingBuffer, OverwriteReclaimWithConsumerAttachedDies) {
+  RingBuffer rb(4, FullPolicy::kOverwrite);
+  rb.attach_consumer();
+  // Non-full pushes remain fine with a consumer attached...
+  for (TimeNs i = 0; i < 4; ++i) ASSERT_TRUE(rb.try_push(rec(i)));
+  // ...but the reclaim path would race the consumer for tail_.
+  EXPECT_DEATH(rb.try_push(rec(4)), "consumer attached");
+}
+
+TEST(RingBuffer, DoubleAttachDies) {
+  RingBuffer rb(4);
+  rb.attach_consumer();
+  EXPECT_TRUE(rb.consumer_attached());
+  EXPECT_DEATH(rb.attach_consumer(), "already has a consumer");
+  rb.detach_consumer();
+  EXPECT_FALSE(rb.consumer_attached());
+  rb.attach_consumer();  // re-attach after detach is fine
+}
+
 TEST(RingBuffer, ConcurrentDiscardAccountsExactly) {
   // Slow consumer: pushes + losses must equal attempts.
   RingBuffer rb(1u << 4);

@@ -104,5 +104,65 @@ TEST(TraceIo, UnreadableFileDies) {
   EXPECT_DEATH(read_trace_file("/nonexistent/dir/file.osnt"), "cannot open");
 }
 
+// Streaming the merged record sequence through the v2 chunked writer must
+// reconstruct the exact TraceModel the v1 whole-trace path produces.
+TEST(TraceIo, StreamWriterRoundTripMatchesModel) {
+  const TraceModel original = sample_trace();
+  const std::string path = ::testing::TempDir() + "/osn_io_stream.osnt";
+  {
+    OsntStreamWriter writer(path, /*chunk_records=*/4);  // force many chunks
+    ASSERT_TRUE(writer.ok());
+    for (const auto& rec : original.merged()) writer.append(rec);
+    EXPECT_EQ(writer.records_written(), original.total_events());
+    ASSERT_TRUE(writer.finish(original.meta(), original.tasks()));
+    ASSERT_TRUE(writer.finish(original.meta(), original.tasks()));  // idempotent
+  }
+  const TraceModel restored = read_trace_file(path);
+  EXPECT_EQ(restored, original);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, StreamWriterPersistsDrainStats) {
+  TraceModel original = sample_trace();
+  TraceMeta meta = original.meta();
+  meta.drain.records = 7;
+  meta.drain.batches = 3;
+  meta.drain.max_batch = 4;
+  meta.drain.lost = 1;
+  meta.drain.overwritten = 2;
+  meta.drain.producer_stalls = 5;
+  const std::string path = ::testing::TempDir() + "/osn_io_drain.osnt";
+  OsntStreamWriter writer(path);
+  ASSERT_TRUE(writer.ok());
+  for (const auto& rec : original.merged()) writer.append(rec);
+  ASSERT_TRUE(writer.finish(meta, original.tasks()));
+  const TraceModel restored = read_trace_file(path);
+  EXPECT_EQ(restored.meta().drain, meta.drain);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, StreamWriterEmptyTrace) {
+  const TraceModel original = TraceBuilder(4).build(1);
+  const std::string path = ::testing::TempDir() + "/osn_io_empty.osnt";
+  OsntStreamWriter writer(path);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer.finish(original.meta(), original.tasks()));
+  EXPECT_EQ(read_trace_file(path), original);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, StreamWriterRejectsNonMonotonicPerCpu) {
+  const std::string path = ::testing::TempDir() + "/osn_io_mono.osnt";
+  OsntStreamWriter writer(path);
+  tracebuf::EventRecord a;
+  a.timestamp = 100;
+  a.cpu = 0;
+  writer.append(a);
+  tracebuf::EventRecord b = a;
+  b.timestamp = 50;
+  EXPECT_DEATH(writer.append(b), "not time-ordered");
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace osn::trace

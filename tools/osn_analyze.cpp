@@ -41,6 +41,7 @@
 #include "noise/chart.hpp"
 #include "noise/disambiguate.hpp"
 #include "noise/scalability.hpp"
+#include "noise/streaming.hpp"
 #include "trace/trace_io.hpp"
 #include "workloads/ftq.hpp"
 #include "workloads/sequoia.hpp"
@@ -98,7 +99,8 @@ int usage() {
       stderr,
       "osn-analyze — quantitative OS-noise analysis on OSNT traces\n\n"
       "  osn-analyze run <ftq|amg|irs|lammps|sphot|umt> [-o out.osnt]\n"
-      "              [--seconds N] [--seed S]\n"
+      "              [--seconds N] [--seed S] [--offline]\n"
+      "              [--buf-capacity N] [--batch N]\n"
       "  osn-analyze info <trace.osnt>\n"
       "  osn-analyze stats <trace.osnt>\n"
       "  osn-analyze breakdown <trace.osnt> [--per-rank] [--no-runnable-filter]\n"
@@ -162,6 +164,12 @@ std::optional<noise::NoiseCategory> parse_category(const std::string& s) {
 // Subcommands
 // ---------------------------------------------------------------------------
 
+std::size_t ceil_pow2(std::uint64_t v) {
+  std::size_t p = 2;
+  while (p < v) p <<= 1;
+  return p;
+}
+
 int cmd_run(const Args& args) {
   if (args.positionals().empty()) return usage();
   const std::string which = args.positionals()[0];
@@ -184,16 +192,71 @@ int cmd_run(const Args& args) {
     workload = std::make_unique<workloads::SequoiaWorkload>(it->second, sec(seconds));
   }
 
-  std::fprintf(stderr, "simulating %s for %llus (seed %llu)...\n", which.c_str(),
+  std::fprintf(stderr, "simulating %s for %llus (seed %llu, %s drain)...\n", which.c_str(),
                static_cast<unsigned long long>(seconds),
-               static_cast<unsigned long long>(seed));
-  const workloads::RunResult run = workloads::run_workload(*workload, seed);
-  if (!trace::write_trace_file(run.trace, out)) {
+               static_cast<unsigned long long>(seed),
+               args.has("offline") ? "offline" : "live");
+
+  if (args.has("offline")) {
+    // Legacy path: collect the whole trace in memory, then serialize (v1).
+    const workloads::RunResult run = workloads::run_workload(*workload, seed);
+    if (!trace::write_trace_file(run.trace, out)) {
+      std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s: %zu events over %s\n", out.c_str(), run.trace.total_events(),
+                fmt_duration(run.trace.duration()).c_str());
+    return 0;
+  }
+
+  // Live pipeline: the consumer daemon drains the per-CPU channels while the
+  // simulation runs, streaming merged records straight into the chunked OSNT
+  // writer and the incremental analyzer — the full trace never sits in RAM.
+  trace::OsntStreamWriter writer(out);
+  if (!writer.ok()) {
     std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
     return 1;
   }
-  std::printf("wrote %s: %zu events over %s\n", out.c_str(), run.trace.total_events(),
-              fmt_duration(run.trace.duration()).c_str());
+  noise::StreamingStats live_stats;
+  workloads::LiveOptions lopts;
+  lopts.per_cpu_capacity = ceil_pow2(args.get_u64("buf-capacity", 1u << 16));
+  lopts.batch_size = std::max<std::uint64_t>(args.get_u64("batch", 256), 1);
+  lopts.on_record = [&](const tracebuf::EventRecord& rec) {
+    writer.append(rec);
+    live_stats.consume(rec);
+  };
+  const workloads::LiveRunResult run = workloads::run_workload_live(*workload, seed, lopts);
+  if (!writer.finish(run.meta, run.tasks)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    return 1;
+  }
+
+  std::printf("wrote %s: %llu events over %s\n", out.c_str(),
+              static_cast<unsigned long long>(writer.records_written()),
+              fmt_duration(run.meta.end_ns - run.meta.start_ns).c_str());
+  const trace::DrainStats& d = run.meta.drain;
+  std::printf("live drain: %llu records in %llu batches (max %llu), %llu lost, "
+              "%llu producer stalls\n",
+              static_cast<unsigned long long>(d.records),
+              static_cast<unsigned long long>(d.batches),
+              static_cast<unsigned long long>(d.max_batch),
+              static_cast<unsigned long long>(d.lost),
+              static_cast<unsigned long long>(d.producer_stalls));
+
+  // Incremental per-activity summary, computed without ever materializing
+  // the trace (the same numbers `osn-analyze stats` derives offline).
+  TextTable table({"activity", "freq(ev/sec)", "avg(nsec)", "max(nsec)", "min(nsec)"});
+  for (int k = 0; k < static_cast<int>(noise::ActivityKind::kMaxKind); ++k) {
+    const auto kind = static_cast<noise::ActivityKind>(k);
+    const noise::EventStats s = live_stats.activity_stats(
+        kind, run.meta.end_ns - run.meta.start_ns, run.meta.n_cpus);
+    if (s.count == 0) continue;
+    table.add_row({std::string(noise::activity_name(kind)),
+                   fmt_fixed(s.freq_ev_per_sec, 1),
+                   with_commas(static_cast<std::uint64_t>(s.avg_ns)),
+                   with_commas(s.max_ns), with_commas(s.min_ns)});
+  }
+  std::printf("%s", table.render().c_str());
   return 0;
 }
 
@@ -206,6 +269,17 @@ int cmd_info(const Args& args) {
   std::printf("events:    %zu\n", model.total_events());
   const std::string problem = model.validate();
   std::printf("validated: %s\n", problem.empty() ? "OK" : problem.c_str());
+  const trace::DrainStats& d = model.meta().drain;
+  if (d.records > 0 || d.lost > 0 || d.overwritten > 0) {
+    std::printf("drain:     %llu records / %llu batches (max %llu)\n",
+                static_cast<unsigned long long>(d.records),
+                static_cast<unsigned long long>(d.batches),
+                static_cast<unsigned long long>(d.max_batch));
+    std::printf("           lost %llu, overwritten %llu, producer stalls %llu\n",
+                static_cast<unsigned long long>(d.lost),
+                static_cast<unsigned long long>(d.overwritten),
+                static_cast<unsigned long long>(d.producer_stalls));
+  }
   std::printf("tasks:\n");
   for (const auto& [pid, info] : model.tasks())
     std::printf("  %6u  %-16s %s\n", pid, info.name.c_str(),
