@@ -1,0 +1,114 @@
+// Sharded-analysis throughput: serial (--jobs 1) vs parallel (--jobs 8)
+// end-to-end offline analysis of one generated 8-CPU trace.
+//
+// "End-to-end" is the work `osn-analyze stats` + `breakdown` do after the
+// trace is loaded: interval building (per-CPU shards), noise classification,
+// and the per-activity statistics reduce. The determinism contract is
+// checked alongside the timing: both modes must render byte-identical stats
+// tables and Paraver exports. The >= 2x speedup criterion only applies when
+// the host actually has cores to shard onto (hardware_concurrency >= 4);
+// single-core CI still verifies identity and reports the measured ratio.
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "export/paraver.hpp"
+
+namespace {
+
+using namespace osn;
+
+std::string stats_table(const noise::NoiseAnalysis& analysis) {
+  TextTable table({"activity", "freq(ev/sec)", "avg(nsec)", "max(nsec)", "min(nsec)"});
+  for (int k = 0; k < static_cast<int>(noise::ActivityKind::kMaxKind); ++k) {
+    const auto kind = static_cast<noise::ActivityKind>(k);
+    const noise::EventStats s = analysis.activity_stats(kind);
+    if (s.count == 0) continue;
+    table.add_row({std::string(noise::activity_name(kind)), fmt_fixed(s.freq_ev_per_sec, 1),
+                   with_commas(static_cast<std::uint64_t>(s.avg_ns)),
+                   with_commas(s.max_ns), with_commas(s.min_ns)});
+  }
+  return table.render();
+}
+
+struct RunOutput {
+  std::string table;
+  std::array<DurNs, static_cast<std::size_t>(noise::NoiseCategory::kMaxCategory)> breakdown{};
+  std::size_t noise_count = 0;
+};
+
+/// One full analysis pass; returns wall time in seconds and the outputs.
+double run_once(const trace::TraceModel& model, std::size_t jobs, RunOutput& out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  noise::AnalysisOptions opts;
+  opts.jobs = jobs;
+  noise::NoiseAnalysis analysis(model, opts);
+  out.table = stats_table(analysis);
+  out.breakdown = analysis.category_breakdown_all();
+  out.noise_count = analysis.noise_intervals().size();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("micro_analysis_throughput",
+                      "serial vs sharded offline analysis (--jobs 1 vs --jobs 8)");
+
+  const trace::TraceModel model = bench::sequoia_trace(workloads::SequoiaApp::kAmg);
+  std::printf("trace: %u CPUs, %zu events, %s\n\n",
+              static_cast<unsigned>(model.cpu_count()), model.total_events(),
+              fmt_duration(model.duration()).c_str());
+
+  constexpr std::size_t kParallelJobs = 8;
+  constexpr int kReps = 3;
+  double serial_best = 1e100, parallel_best = 1e100;
+  RunOutput serial_out, parallel_out;
+  for (int rep = 0; rep < kReps; ++rep) {
+    serial_best = std::min(serial_best, run_once(model, 1, serial_out));
+    parallel_best = std::min(parallel_best, run_once(model, kParallelJobs, parallel_out));
+  }
+
+  const double events_per_sec =
+      static_cast<double>(model.total_events()) / parallel_best;
+  const double speedup = serial_best / parallel_best;
+  TextTable table({"mode", "best of 3", "events/sec"});
+  table.add_row({"--jobs 1 (serial)", fmt_fixed(serial_best * 1e3, 2) + " ms",
+                 fmt_fixed(static_cast<double>(model.total_events()) / serial_best / 1e6, 1) +
+                     " M"});
+  table.add_row({"--jobs 8 (sharded)", fmt_fixed(parallel_best * 1e3, 2) + " ms",
+                 fmt_fixed(events_per_sec / 1e6, 1) + " M"});
+  std::printf("%s\nspeedup: %.2fx\n\n", table.render().c_str(), speedup);
+
+  // Determinism contract: byte-identical outputs across modes.
+  bench::check(serial_out.table == parallel_out.table,
+               "stats tables byte-identical across --jobs settings");
+  bench::check(serial_out.breakdown == parallel_out.breakdown &&
+                   serial_out.noise_count == parallel_out.noise_count,
+               "noise breakdown and interval count identical across --jobs settings");
+  {
+    noise::AnalysisOptions serial_opts, parallel_opts;
+    serial_opts.jobs = 1;
+    parallel_opts.jobs = kParallelJobs;
+    noise::NoiseAnalysis a(model, serial_opts), b(model, parallel_opts);
+    const auto pa = exporter::export_paraver(a);
+    const auto pb = exporter::export_paraver(b);
+    bench::check(pa.prv == pb.prv && pa.pcf == pb.pcf && pa.row == pb.row,
+                 "Paraver .prv/.pcf/.row byte-identical across --jobs settings");
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw >= 4) {
+    bench::check(speedup >= 2.0, "sharded analysis >= 2x serial on this host");
+  } else {
+    std::printf("note: host has %u hardware thread(s); the >= 2x criterion needs >= 4\n"
+                "      (shards serialize on one core — identity checks above still bind).\n",
+                hw);
+  }
+  return 0;
+}

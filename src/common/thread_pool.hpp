@@ -1,0 +1,69 @@
+// Fixed-size worker pool for the sharded offline analysis.
+//
+// The paper's pipeline is per-CPU end to end — LTTng drains lock-free
+// per-CPU channels and interval pairing is a per-CPU linear scan — so the
+// offline analyzer can fan its shards out to a small pool of workers and
+// merge deterministically afterwards. The pool is deliberately minimal:
+// fixed worker count, a mutex-guarded deque, futures for results. Analysis
+// tasks are coarse (one shard each), so queue contention is irrelevant.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace osn {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (at least 1). The destructor drains the queue
+  /// and joins; tasks submitted before destruction all run.
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// Enqueues a task and returns a future for its result. Exceptions thrown
+  /// by the task are rethrown from future::get().
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Runs fn(i) for every i in [0, n), distributing across the pool, and
+  /// blocks until all complete. The caller's thread also executes tasks, so
+  /// a 1-worker pool still makes progress if workers are saturated.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Worker count to use for `jobs` ("0 = auto"): hardware_concurrency,
+  /// clamped to at least 1.
+  static std::size_t resolve_jobs(std::size_t jobs);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace osn

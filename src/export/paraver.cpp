@@ -17,9 +17,48 @@ struct Record {
   std::string line;
 };
 
+/// The header's capture date, derived from the trace metadata rather than
+/// the wall clock so exports stay deterministic: meta.start_ns is read as an
+/// offset from a fixed epoch (01/01/00). Simulated traces start at 0 and
+/// always stamp "01/01/00 at 00:00".
+std::string prv_date(const trace::TraceMeta& meta) {
+  std::uint64_t minutes = meta.start_ns / (60 * kNsPerSec);
+  const std::uint64_t minute = minutes % 60;
+  minutes /= 60;
+  const std::uint64_t hour = minutes % 24;
+  std::uint64_t days = minutes / 24;
+  // Civil date from the day serial; every fourth year from the epoch is a
+  // leap year (the 2000-2099 Gregorian rule, enough for a 64-bit trace).
+  static constexpr std::uint64_t kDaysPerMonth[12] = {31, 28, 31, 30, 31, 30,
+                                                      31, 31, 30, 31, 30, 31};
+  std::uint64_t year = 0;
+  for (;;) {
+    const std::uint64_t in_year = year % 4 == 0 ? 366 : 365;
+    if (days < in_year) break;
+    days -= in_year;
+    ++year;
+  }
+  std::uint64_t month = 0;
+  for (; month < 12; ++month) {
+    const std::uint64_t in_month =
+        kDaysPerMonth[month] + (month == 1 && year % 4 == 0 ? 1 : 0);
+    if (days < in_month) break;
+    days -= in_month;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%02llu/%02llu/%02llu at %02llu:%02llu",
+                static_cast<unsigned long long>(days + 1),
+                static_cast<unsigned long long>(month + 1),
+                static_cast<unsigned long long>(year % 100),
+                static_cast<unsigned long long>(hour),
+                static_cast<unsigned long long>(minute));
+  return buf;
+}
+
 std::string prv_header(const trace::TraceModel& model, std::size_t n_tasks) {
   // #Paraver (dd/mm/yy at hh:mm):duration_ns:nNodes(nCpus):nAppl:task list
-  std::string h = "#Paraver (05/07/26 at 00:00):" + std::to_string(model.duration()) +
+  std::string h = "#Paraver (" + prv_date(model.meta()) + "):" +
+                  std::to_string(model.duration()) +
                   "_ns:1(" + std::to_string(model.cpu_count()) + "):1:" +
                   std::to_string(n_tasks) + "(";
   for (std::size_t t = 0; t < n_tasks; ++t) {

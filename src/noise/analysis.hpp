@@ -19,9 +19,12 @@
 
 #include <array>
 #include <cstdint>
+#include <limits>
 #include <map>
+#include <memory>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "noise/classify.hpp"
 #include "noise/interval.hpp"
 #include "stats/histogram.hpp"
@@ -38,6 +41,11 @@ struct AnalysisOptions {
   bool runnable_filter = true;
   /// Count syscalls as noise (the paper does not; ablation only).
   bool include_requested_service = false;
+  /// Worker threads for the sharded pipeline. 1 = fully serial (the
+  /// bisection-friendly reference path); 0 = hardware_concurrency. Any
+  /// value produces bit-identical results: shards merge deterministically
+  /// and all reductions are exact integer arithmetic.
+  std::size_t jobs = 1;
 };
 
 /// Per-activity statistics in the units of the paper's tables.
@@ -48,6 +56,37 @@ struct EventStats {
   DurNs max_ns = 0;
   DurNs min_ns = 0;
 };
+
+/// Exact per-activity accumulator: integer count/sum/min/max over charged
+/// durations. Unlike a floating-point streaming mean, merging partials is
+/// associative and bit-exact, so sharded accumulation reduces to the same
+/// EventStats as a single serial pass regardless of chunking — the
+/// determinism contract of the parallel analyzer. (A uint64 nanosecond sum
+/// holds > 580 years of accumulated activity; no overflow in practice.)
+struct ActivityAccum {
+  std::uint64_t count = 0;
+  std::uint64_t sum_ns = 0;
+  DurNs max_ns = 0;
+  DurNs min_ns = std::numeric_limits<DurNs>::max();
+
+  void add(DurNs v) {
+    ++count;
+    sum_ns += v;
+    if (v > max_ns) max_ns = v;
+    if (v < min_ns) min_ns = v;
+  }
+  void merge(const ActivityAccum& other) {
+    count += other.count;
+    sum_ns += other.sum_ns;
+    if (other.max_ns > max_ns) max_ns = other.max_ns;
+    if (other.min_ns < min_ns) min_ns = other.min_ns;
+  }
+  /// Converts to the tables' units; freq is per CPU over `duration`.
+  EventStats to_stats(DurNs duration, std::uint16_t n_cpus) const;
+};
+
+using ActivityAccumArray =
+    std::array<ActivityAccum, static_cast<std::size_t>(ActivityKind::kMaxKind)>;
 
 class NoiseAnalysis {
  public:
@@ -71,6 +110,7 @@ class NoiseAnalysis {
 
   /// Statistics over *all* kernel intervals of one activity (the tables
   /// describe the activities themselves; frequency is normalized per CPU).
+  /// Precomputed in one sharded pass during construction; O(1) here.
   EventStats activity_stats(ActivityKind kind) const;
 
   /// Duration samples (charged ns) for one activity across noise intervals.
@@ -92,12 +132,17 @@ class NoiseAnalysis {
 
  private:
   void build_noise_list();
+  void build_kind_stats();
 
   const trace::TraceModel* model_;
   AnalysisOptions options_;
+  /// Present when options_.jobs resolves to > 1; shared by every phase
+  /// (interval shards, classification chunks, stats reduction).
+  std::unique_ptr<ThreadPool> pool_;
   IntervalSet intervals_;
   std::vector<Interval> noise_;
   std::map<Pid, std::vector<CommWindow>> comm_by_task_;
+  ActivityAccumArray kind_accums_;
 };
 
 }  // namespace osn::noise

@@ -59,51 +59,106 @@ ActivityKind activity_of(EventType entry_type, std::uint64_t arg) {
     case EventType::kScheduleEntry: return ActivityKind::kSchedule;
     default: break;
   }
-  OSN_ASSERT_MSG(false, "unmapped entry event");
+  // Not an OSN_ASSERT: this must abort even in builds that compile contract
+  // checks out — falling off the end of a value-returning function is UB.
+  assert_fail("activity_of: mapped entry event", __FILE__, __LINE__,
+              "unmapped entry event");
+}
+
+bool interval_before(const Interval& a, const Interval& b) {
+  if (a.start != b.start) return a.start < b.start;
+  if (a.depth != b.depth) return a.depth < b.depth;
+  if (a.cpu != b.cpu) return a.cpu < b.cpu;
+  if (a.kind != b.kind) return a.kind < b.kind;
+  if (a.task != b.task) return a.task < b.task;
+  if (a.detail != b.detail) return a.detail < b.detail;
+  return a.end < b.end;
 }
 
 namespace {
 
 /// Per-CPU open-interval bookkeeping during the linear scan.
 struct OpenFrame {
-  std::size_t interval_index;  ///< position in out.kernel
+  std::size_t interval_index;  ///< position in the shard
   DurNs child_time = 0;        ///< inclusive time of direct children
 };
 
 }  // namespace
 
-IntervalSet build_intervals(const trace::TraceModel& model) {
+std::vector<Interval> scan_cpu_kernel(const trace::TraceModel& model, CpuId cpu) {
+  std::vector<Interval> shard;
+  std::vector<OpenFrame> stack;
+  for (const auto& rec : model.cpu_events(cpu)) {
+    const auto type = static_cast<EventType>(rec.event);
+    if (trace::is_entry(type)) {
+      Interval iv;
+      iv.kind = activity_of(type, rec.arg);
+      iv.detail = rec.arg;
+      iv.cpu = cpu;
+      iv.task = rec.pid;  // task current on the CPU at entry
+      iv.start = rec.timestamp;
+      iv.depth = static_cast<std::uint16_t>(stack.size());
+      stack.push_back(OpenFrame{shard.size(), 0});
+      shard.push_back(iv);
+    } else if (trace::is_exit(type)) {
+      OSN_ASSERT_MSG(!stack.empty(), "exit without entry");
+      const OpenFrame frame = stack.back();
+      stack.pop_back();
+      Interval& iv = shard[frame.interval_index];
+      OSN_ASSERT_MSG(activity_of(trace::entry_of(type), rec.arg) == iv.kind,
+                     "mismatched exit");
+      iv.end = rec.timestamp;
+      iv.inclusive = iv.end - iv.start;
+      iv.self = sat_sub(iv.inclusive, frame.child_time);
+      if (!stack.empty()) stack.back().child_time += iv.inclusive;
+    }
+  }
+  OSN_ASSERT_MSG(stack.empty(), "unclosed kernel interval at end of trace");
+  return shard;
+}
+
+std::vector<Interval> merge_kernel_shards(std::vector<std::vector<Interval>> shards) {
+  std::size_t total = 0;
+  for (const auto& shard : shards) total += shard.size();
+  std::vector<Interval> out;
+  out.reserve(total);
+
+  // Each shard is already ordered by interval_before, and (start, depth,
+  // cpu) cannot tie across shards, so repeatedly taking the smallest shard
+  // head is a deterministic total ordering. Linear selection over k shards
+  // beats a heap for the node sizes we simulate (k <= 64).
+  std::vector<std::size_t> cursor(shards.size(), 0);
+  while (out.size() < total) {
+    std::size_t best = shards.size();
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      if (cursor[s] == shards[s].size()) continue;
+      if (best == shards.size() ||
+          interval_before(shards[s][cursor[s]], shards[best][cursor[best]]))
+        best = s;
+    }
+    out.push_back(shards[best][cursor[best]]);
+    ++cursor[best];
+  }
+  return out;
+}
+
+IntervalSet build_intervals(const trace::TraceModel& model, ThreadPool* pool) {
   IntervalSet out;
 
-  // --- kernel entry/exit intervals, per CPU --------------------------------
-  for (CpuId cpu = 0; cpu < model.cpu_count(); ++cpu) {
-    std::vector<OpenFrame> stack;
-    for (const auto& rec : model.cpu_events(cpu)) {
-      const auto type = static_cast<EventType>(rec.event);
-      if (trace::is_entry(type)) {
-        Interval iv;
-        iv.kind = activity_of(type, rec.arg);
-        iv.detail = rec.arg;
-        iv.cpu = cpu;
-        iv.task = rec.pid;  // task current on the CPU at entry
-        iv.start = rec.timestamp;
-        iv.depth = static_cast<std::uint16_t>(stack.size());
-        stack.push_back(OpenFrame{out.kernel.size(), 0});
-        out.kernel.push_back(iv);
-      } else if (trace::is_exit(type)) {
-        OSN_ASSERT_MSG(!stack.empty(), "exit without entry");
-        const OpenFrame frame = stack.back();
-        stack.pop_back();
-        Interval& iv = out.kernel[frame.interval_index];
-        OSN_ASSERT_MSG(activity_of(trace::entry_of(type), rec.arg) == iv.kind,
-                       "mismatched exit");
-        iv.end = rec.timestamp;
-        iv.inclusive = iv.end - iv.start;
-        iv.self = sat_sub(iv.inclusive, frame.child_time);
-        if (!stack.empty()) stack.back().child_time += iv.inclusive;
-      }
-    }
-    OSN_ASSERT_MSG(stack.empty(), "unclosed kernel interval at end of trace");
+  // --- kernel entry/exit intervals: one shard per CPU ----------------------
+  // The scan is CPU-local by construction (LTTng's channels are per-CPU), so
+  // shards run concurrently; the calling thread derives the preemption and
+  // communication windows from the merged stream meanwhile.
+  std::vector<std::vector<Interval>> shards(model.cpu_count());
+  std::vector<std::future<std::vector<Interval>>> futures;
+  if (pool != nullptr && model.cpu_count() > 1) {
+    futures.reserve(model.cpu_count());
+    for (CpuId cpu = 0; cpu < model.cpu_count(); ++cpu)
+      futures.push_back(
+          pool->submit([&model, cpu] { return scan_cpu_kernel(model, cpu); }));
+  } else {
+    for (CpuId cpu = 0; cpu < model.cpu_count(); ++cpu)
+      shards[cpu] = scan_cpu_kernel(model, cpu);
   }
 
   // --- preemption intervals and communication windows, per task ------------
@@ -175,12 +230,9 @@ IntervalSet build_intervals(const trace::TraceModel& model) {
     if (scan.in_comm) out.comm.push_back(CommWindow{pid, scan.comm_start, model.meta().end_ns});
   }
 
-  auto by_start = [](const Interval& a, const Interval& b) {
-    if (a.start != b.start) return a.start < b.start;
-    return a.depth < b.depth;
-  };
-  std::sort(out.kernel.begin(), out.kernel.end(), by_start);
-  std::sort(out.preemption.begin(), out.preemption.end(), by_start);
+  for (std::size_t cpu = 0; cpu < futures.size(); ++cpu) shards[cpu] = futures[cpu].get();
+  out.kernel = merge_kernel_shards(std::move(shards));
+  std::sort(out.preemption.begin(), out.preemption.end(), interval_before);
   return out;
 }
 

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "common/types.hpp"
 #include "trace/trace_model.hpp"
 
@@ -64,18 +65,38 @@ struct CommWindow {
   TimeNs end = 0;
 };
 
-/// All intervals extracted from a trace, sorted by start time.
+/// All intervals extracted from a trace, sorted by interval_before.
 struct IntervalSet {
   std::vector<Interval> kernel;      ///< entry/exit-paired kernel activities
   std::vector<Interval> preemption;  ///< derived preemption intervals
   std::vector<CommWindow> comm;      ///< barrier (communication) windows
 };
 
-/// Builds the interval set from a trace. Asserts trace well-formedness
-/// (per-CPU monotonicity, matched entry/exit pairs).
-IntervalSet build_intervals(const trace::TraceModel& model);
+/// Strict ordering used everywhere intervals are sorted or merged:
+/// (start, depth, cpu) — a total order on kernel intervals, since one CPU
+/// cannot open two intervals at the same timestamp and depth — with
+/// content tie-breakers so mixed kernel/preemption lists order
+/// deterministically too (no dependence on sort algorithm or shard count).
+bool interval_before(const Interval& a, const Interval& b);
 
-/// Maps an entry/exit pair (event type + arg) to its ActivityKind.
+/// Builds the interval set from a trace. Asserts trace well-formedness
+/// (per-CPU monotonicity, matched entry/exit pairs). With a pool, the
+/// per-CPU kernel scans run as parallel shards while the calling thread
+/// derives preemption/communication windows from the merged stream; the
+/// deterministic shard merge makes the result identical to pool == nullptr.
+IntervalSet build_intervals(const trace::TraceModel& model, ThreadPool* pool = nullptr);
+
+/// One shard of the kernel scan: entry/exit pairing with nested-event
+/// resolution for a single CPU's event stream, in entry order (sorted by
+/// interval_before, all intervals carrying cpu == `cpu`).
+std::vector<Interval> scan_cpu_kernel(const trace::TraceModel& model, CpuId cpu);
+
+/// Deterministic k-way merge of per-CPU kernel shards by interval_before.
+std::vector<Interval> merge_kernel_shards(std::vector<std::vector<Interval>> shards);
+
+/// Maps an entry/exit pair (event type + arg) to its ActivityKind. An
+/// unmapped entry event aborts (loud failure rather than a corrupt table),
+/// in every build type.
 ActivityKind activity_of(trace::EventType entry_type, std::uint64_t arg);
 
 }  // namespace osn::noise

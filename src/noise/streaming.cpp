@@ -25,22 +25,12 @@ void StreamingStats::consume(const tracebuf::EventRecord& rec) {
   const DurNs inclusive = rec.timestamp - frame.start;
   const DurNs self = sat_sub(inclusive, frame.child_time);
   if (!stack.empty()) stack.back().child_time += inclusive;
-  summaries_[static_cast<std::size_t>(frame.kind)].add(static_cast<double>(self));
+  accums_[static_cast<std::size_t>(frame.kind)].add(self);
 }
 
 EventStats StreamingStats::activity_stats(ActivityKind kind, DurNs duration,
                                           std::uint16_t n_cpus) const {
-  const stats::StreamingSummary& summary = summaries_[static_cast<std::size_t>(kind)];
-  EventStats out;
-  out.count = summary.count();
-  const double duration_sec = static_cast<double>(duration) / static_cast<double>(kNsPerSec);
-  if (duration_sec > 0 && n_cpus > 0)
-    out.freq_ev_per_sec =
-        static_cast<double>(summary.count()) / duration_sec / static_cast<double>(n_cpus);
-  out.avg_ns = summary.mean();
-  out.max_ns = static_cast<DurNs>(summary.max());
-  out.min_ns = static_cast<DurNs>(summary.min());
-  return out;
+  return accums_[static_cast<std::size_t>(kind)].to_stats(duration, n_cpus);
 }
 
 std::size_t StreamingStats::open_frames() const {

@@ -18,7 +18,6 @@
 
 #include "noise/analysis.hpp"
 #include "noise/interval.hpp"
-#include "stats/summary.hpp"
 #include "tracebuf/record.hpp"
 
 namespace osn::noise {
@@ -48,8 +47,9 @@ class StreamingStats {
   };
 
   std::vector<std::vector<OpenFrame>> stacks_;  ///< per-cpu, grown on demand
-  std::array<stats::StreamingSummary, static_cast<std::size_t>(ActivityKind::kMaxKind)>
-      summaries_;
+  /// Exact integer accumulators — the same reduce the offline analyzer
+  /// uses, so live and offline tables agree bit-for-bit.
+  ActivityAccumArray accums_;
   std::uint64_t consumed_ = 0;
 };
 

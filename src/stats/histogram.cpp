@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <limits>
 
 #include "common/assert.hpp"
 #include "common/format.hpp"
@@ -90,20 +91,40 @@ void LogHistogram::add(DurNs v) {
 
 DurNs LogHistogram::bucket_lo(std::size_t i) { return i == 0 ? 0 : (DurNs{1} << i); }
 
+namespace {
+
+/// Value `frac` of the way through bucket i. Bucket 0 spans [0, 2) — it
+/// holds both duration 0 and duration 1 — so its width is 2, not lo (which
+/// is 0 and would pin every interpolation to 0); bucket i >= 1 spans
+/// [2^i, 2^(i+1)), width == lo. The top bucket's upper edge (2^64) does not
+/// fit a DurNs; clamp instead of overflowing the cast.
+DurNs bucket_interpolate(std::size_t i, double frac) {
+  const auto lo = static_cast<double>(LogHistogram::bucket_lo(i));
+  const double width = i == 0 ? 2.0 : lo;
+  const double v = lo + frac * width;
+  const auto top = static_cast<double>(std::numeric_limits<DurNs>::max());
+  return v >= top ? std::numeric_limits<DurNs>::max() : static_cast<DurNs>(v);
+}
+
+}  // namespace
+
 DurNs LogHistogram::quantile(double q) const {
   if (total_ == 0) return 0;
   const double target = q * static_cast<double>(total_);
   double cum = 0;
+  std::size_t last_nonempty = 0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     const auto c = static_cast<double>(counts_[i]);
+    if (c > 0) last_nonempty = i;
     if (cum + c >= target && c > 0) {
       const double frac = (target - cum) / c;
-      const auto lo = static_cast<double>(bucket_lo(i));
-      return static_cast<DurNs>(lo + frac * lo);  // bucket spans [lo, 2*lo)
+      return bucket_interpolate(i, frac);
     }
     cum += c;
   }
-  return bucket_lo(counts_.size() - 1);
+  // q > 1 (or rounding pushed target past total_): the answer is the top of
+  // the highest *occupied* bucket, not bucket_lo(63) ~ 9.2e18 ns.
+  return bucket_interpolate(last_nonempty, 1.0);
 }
 
 std::string render_histogram(const Histogram& h, const std::string& title,
@@ -111,6 +132,9 @@ std::string render_histogram(const Histogram& h, const std::string& title,
   std::string out = title + "\n";
   std::uint64_t peak = 1;
   for (std::size_t i = 0; i < h.bin_count(); ++i) peak = std::max(peak, h.bin(i));
+  if (h.underflow() > 0)
+    out += "  (+" + std::to_string(h.underflow()) +
+           " samples below range, cut as in the paper)\n";
   for (std::size_t i = 0; i < h.bin_count(); ++i) {
     const auto bars = static_cast<std::size_t>(
         static_cast<double>(h.bin(i)) / static_cast<double>(peak) *

@@ -100,6 +100,39 @@ TEST(LogHistogram, BucketsByPowerOfTwo) {
   EXPECT_EQ(h.total(), 5u);
 }
 
+TEST(LogHistogram, QuantileInterpolatesInsideBucketZero) {
+  // Bucket 0 holds durations {0, 1} and spans [0, 2). The interpolation
+  // used to be lo + frac * lo with lo == 0 — every quantile of bucket-0
+  // data collapsed to 0 regardless of frac.
+  LogHistogram h;
+  h.add(0);
+  h.add(1);
+  EXPECT_EQ(h.quantile(0.5), 1u);   // halfway through [0, 2)
+  EXPECT_LT(h.quantile(1.0), 2u + 1u);
+  EXPECT_GT(h.quantile(1.0), 0u);
+  // With mixed buckets, a mid quantile landing in bucket 0 still moves.
+  LogHistogram m;
+  m.add(1);
+  m.add(1);
+  m.add(1024);
+  EXPECT_GT(m.quantile(0.5), 0u);
+  EXPECT_LT(m.quantile(0.5), 2u);
+}
+
+TEST(LogHistogram, QuantileEdgesStayInDataRange) {
+  // Empty histogram: 0, not bucket_lo(63) ~ 9.2e18 ns.
+  LogHistogram empty;
+  EXPECT_EQ(empty.quantile(0.5), 0u);
+  EXPECT_EQ(empty.quantile(1.0), 0u);
+  // q = 1 (and even q > 1 from caller rounding) clamps to the top of the
+  // highest occupied bucket instead of falling through to bucket 63.
+  LogHistogram h;
+  h.add(100);  // bucket 6: [64, 128)
+  EXPECT_EQ(h.quantile(1.0), 128u);
+  EXPECT_EQ(h.quantile(1.5), 128u);
+  EXPECT_LT(h.quantile(0.999), 129u);
+}
+
 TEST(LogHistogram, QuantileMonotonic) {
   LogHistogram h;
   Xoshiro256 rng(8);
@@ -126,6 +159,19 @@ TEST(RenderHistogram, MentionsCutTail) {
   h.add(1e9);  // overflow
   const std::string out = render_histogram(h, "t", "ns");
   EXPECT_NE(out.find("beyond range"), std::string::npos);
+}
+
+TEST(RenderHistogram, MentionsUnderflowSymmetrically) {
+  // Underflow samples used to vanish from the rendering entirely; they are
+  // now reported like the overflow tail.
+  Histogram h(100, 200, 5);
+  h.add(150);
+  h.add(1);   // underflow
+  h.add(2);   // underflow
+  h.add(1e9);  // overflow
+  const std::string out = render_histogram(h, "t", "ns");
+  EXPECT_NE(out.find("+2 samples below range"), std::string::npos);
+  EXPECT_NE(out.find("+1 samples beyond range"), std::string::npos);
 }
 
 }  // namespace

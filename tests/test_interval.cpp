@@ -2,6 +2,8 @@
 // resolution, preemption derivation, communication windows.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "noise/interval.hpp"
 #include "trace_builder.hpp"
 
@@ -192,6 +194,45 @@ TEST(Interval, UnmatchedExitDies) {
   b.ev(0, 100, 1, EventType::kIrqExit, 0);
   auto model = b.build();
   EXPECT_DEATH(build_intervals(model), "exit without entry");
+}
+
+TEST(Interval, UnmappedEntryEventDies) {
+  // activity_of must abort loudly on an unmapped entry — never fall off the
+  // end of the function (UB if the contract check were compiled out).
+  EXPECT_DEATH(activity_of(EventType::kSchedSwitch, 0), "unmapped entry event");
+  EXPECT_DEATH(activity_of(EventType::kIrqEntry, 999), "unmapped entry event");
+  EXPECT_DEATH(activity_of(EventType::kSoftirqEntry,
+                           static_cast<std::uint64_t>(trace::SoftirqNr::kBlock)),
+               "unmapped entry event");
+}
+
+TEST(Interval, MergeKernelShardsOrdersByStartDepthCpu) {
+  auto iv = [](TimeNs start, std::uint16_t depth, CpuId cpu) {
+    Interval i;
+    i.kind = ActivityKind::kTimerIrq;
+    i.cpu = cpu;
+    i.start = start;
+    i.end = start + 10;
+    i.depth = depth;
+    return i;
+  };
+  // Same-start ticks on every CPU (the common case: the periodic timer
+  // fires on all CPUs at the same tick timestamp) order by cpu.
+  std::vector<std::vector<Interval>> shards = {
+      {iv(100, 0, 0), iv(100, 1, 0), iv(500, 0, 0)},
+      {iv(100, 0, 1), iv(300, 0, 1)},
+      {},
+      {iv(50, 0, 3)},
+  };
+  const std::vector<Interval> merged = merge_kernel_shards(shards);
+  ASSERT_EQ(merged.size(), 6u);
+  EXPECT_TRUE(std::is_sorted(merged.begin(), merged.end(), interval_before));
+  EXPECT_EQ(merged[0].cpu, 3u);
+  EXPECT_EQ(merged[1].cpu, 0u);   // (100, depth 0, cpu 0)
+  EXPECT_EQ(merged[2].cpu, 1u);   // (100, depth 0, cpu 1)
+  EXPECT_EQ(merged[3].depth, 1u);  // (100, depth 1, cpu 0)
+  EXPECT_EQ(merged[4].start, 300u);
+  EXPECT_EQ(merged[5].start, 500u);
 }
 
 }  // namespace

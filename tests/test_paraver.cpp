@@ -36,6 +36,29 @@ TEST(Paraver, HeaderDeclaresGeometry) {
   EXPECT_NE(files.prv.find(":20000_ns:1(2):1:2("), std::string::npos);
 }
 
+TEST(Paraver, HeaderDateComesFromTraceMetaNotWallClock) {
+  // start_ns = 0 (every simulated trace) stamps the fixed epoch — exports
+  // are byte-reproducible across machines and days.
+  const auto files = export_paraver(make_analysis());
+  EXPECT_EQ(files.prv.substr(0, 31), "#Paraver (01/01/00 at 00:00):20");
+
+  // A nonzero trace start derives a later deterministic date: 400 days +
+  // 1 h + 2 min past the epoch lands in year 1 (day 400 - 366 = 34 ->
+  // 04/02/01), never today's date.
+  TraceBuilder b(1);
+  b.task(1, "rank0", true);
+  const TimeNs start = (400 * 24 * 60 + 62) * 60 * kNsPerSec;
+  b.ev(0, start + 100, 1, EventType::kIrqEntry, 0);
+  b.ev(0, start + 200, 1, EventType::kIrqExit, 0);
+  auto model = b.build(start + 1'000);
+  trace::TraceMeta meta = model.meta();
+  meta.start_ns = start;
+  auto shifted = trace::TraceModel(meta, {model.cpu_events(0)}, model.tasks());
+  noise::NoiseAnalysis analysis(shifted);
+  const auto late = export_paraver(analysis);
+  EXPECT_EQ(late.prv.substr(0, 29), "#Paraver (04/02/01 at 01:02):");
+}
+
 TEST(Paraver, StateRecordsForNoiseIntervals) {
   const auto files = export_paraver(make_analysis());
   // Timer irq on cpu 1 (1-based), task 1: state 20 + kTimerIrq(0).

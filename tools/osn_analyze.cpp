@@ -115,7 +115,10 @@ int usage() {
       "              --json FILE)\n"
       "  osn-analyze diff <a.osnt> <b.osnt>\n"
       "  osn-analyze scalability <trace.osnt> [--granularity-us N]\n"
-      "              [--ranks N,N,...]\n");
+      "              [--ranks N,N,...]\n\n"
+      "Analysis commands accept --jobs N: worker threads for the sharded\n"
+      "per-CPU pipeline (default: all hardware threads; --jobs 1 runs the\n"
+      "serial reference path — both produce byte-identical output).\n");
   return 2;
 }
 
@@ -131,6 +134,9 @@ noise::AnalysisOptions analysis_options(const Args& args) {
   noise::AnalysisOptions opts;
   opts.runnable_filter = !args.has("no-runnable-filter");
   opts.resolve_nesting = !args.has("no-nesting");
+  // 0 = auto (hardware_concurrency); --jobs 1 keeps the serial path for
+  // bisection. Results are byte-identical either way.
+  opts.jobs = static_cast<std::size_t>(args.get_u64("jobs", 0));
   return opts;
 }
 
