@@ -1,0 +1,96 @@
+// Trace decode throughput: v2 whole-stream decode vs the v3 chunk-indexed
+// reader at 1/2/8 decode workers, plus the windowed-read win (decode only the
+// chunks overlapping a 10% time slice instead of the whole file).
+//
+// The v3 claim being measured: per-chunk delta reset makes chunks
+// independently decodable, so read_all parallelizes across the pool with
+// bit-identical output, and read_window touches O(window) of the file. The
+// input is a synthetic 8-CPU merged stream of ~1.6M records with the same
+// varint-width mix a real workload trace produces.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/thread_pool.hpp"
+#include "trace/osnt_reader.hpp"
+#include "trace/trace_io.hpp"
+
+namespace {
+
+using namespace osn;
+
+constexpr std::uint16_t kCpus = 8;
+constexpr std::uint64_t kSteps = 200'000;  // records = kSteps * kCpus
+
+trace::TraceMeta bench_meta() {
+  trace::TraceMeta meta;
+  meta.n_cpus = kCpus;
+  meta.tick_period_ns = 10 * kNsPerMs;
+  meta.workload = "micro_decode";
+  meta.start_ns = 0;
+  meta.end_ns = kSteps * 1'000 + 1;
+  return meta;
+}
+
+/// Writes the synthetic stream in the requested layout and returns the path.
+const std::string& bench_file(trace::OsntStreamWriter::Format format) {
+  static std::string v2_path, v3_path;
+  std::string& path = format == trace::OsntStreamWriter::Format::kV2 ? v2_path : v3_path;
+  if (!path.empty()) return path;
+  path = format == trace::OsntStreamWriter::Format::kV2 ? "/tmp/osn_micro_decode_v2.osnt"
+                                                        : "/tmp/osn_micro_decode_v3.osnt";
+  trace::OsntStreamWriter writer(path, 8192, format);
+  for (std::uint64_t step = 0; step < kSteps; ++step) {
+    for (std::uint16_t cpu = 0; cpu < kCpus; ++cpu) {
+      tracebuf::EventRecord rec;
+      // Varied gaps exercise 1-3 byte timestamp deltas like a real trace.
+      rec.timestamp = step * 1'000 + cpu * 7 + (step % 13) * 11;
+      rec.cpu = cpu;
+      rec.pid = 1 + cpu;
+      rec.event = static_cast<std::uint16_t>(1 + step % 12);
+      rec.arg = step % 5;
+      writer.append(rec);
+    }
+  }
+  writer.finish(bench_meta(), {});
+  return path;
+}
+
+void BM_DecodeV2Full(benchmark::State& state) {
+  const std::string& path = bench_file(trace::OsntStreamWriter::Format::kV2);
+  for (auto _ : state) benchmark::DoNotOptimize(trace::read_trace_file(path));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kSteps * kCpus));
+}
+BENCHMARK(BM_DecodeV2Full)->Unit(benchmark::kMillisecond);
+
+void BM_DecodeV3Parallel(benchmark::State& state) {
+  const std::string& path = bench_file(trace::OsntStreamWriter::Format::kV3);
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  ThreadPool pool(jobs);
+  for (auto _ : state) {
+    trace::OsntReader reader(path);
+    benchmark::DoNotOptimize(reader.read_all(jobs > 1 ? &pool : nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kSteps * kCpus));
+}
+BENCHMARK(BM_DecodeV3Parallel)->Arg(1)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// A 10% time window: the index prunes ~90% of the chunks before any decode.
+void BM_DecodeV3Window10Pct(benchmark::State& state) {
+  const std::string& path = bench_file(trace::OsntStreamWriter::Format::kV3);
+  const TimeNs end = bench_meta().end_ns;
+  for (auto _ : state) {
+    trace::OsntReader reader(path);
+    benchmark::DoNotOptimize(reader.read_window(end / 2, end / 2 + end / 10));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kSteps * kCpus / 10));
+}
+BENCHMARK(BM_DecodeV3Window10Pct)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "trace/event_source.hpp"
 
 namespace osn::noise {
 
@@ -37,7 +38,22 @@ NoiseAnalysis::NoiseAnalysis(const trace::TraceModel& model, AnalysisOptions opt
     : model_(&model), options_(options) {
   const std::size_t jobs = ThreadPool::resolve_jobs(options_.jobs);
   if (jobs > 1) pool_ = std::make_unique<ThreadPool>(jobs);
-  intervals_ = build_intervals(model, pool_.get());
+  run_pipeline();
+}
+
+NoiseAnalysis::NoiseAnalysis(trace::EventSource& source, AnalysisOptions options)
+    : options_(options) {
+  const std::size_t jobs = ThreadPool::resolve_jobs(options_.jobs);
+  if (jobs > 1) pool_ = std::make_unique<ThreadPool>(jobs);
+  // The decode shares the analysis pool: a chunk-indexed file feeds the
+  // sharded pipeline without a serial ingestion bottleneck.
+  owned_model_ = std::make_unique<trace::TraceModel>(source.to_model(pool_.get()));
+  model_ = owned_model_.get();
+  run_pipeline();
+}
+
+void NoiseAnalysis::run_pipeline() {
+  intervals_ = build_intervals(*model_, pool_.get());
   for (const CommWindow& w : intervals_.comm) comm_by_task_[w.task].push_back(w);
   for (auto& [pid, windows] : comm_by_task_)
     std::sort(windows.begin(), windows.end(),

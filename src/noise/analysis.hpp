@@ -31,6 +31,10 @@
 #include "stats/summary.hpp"
 #include "trace/trace_model.hpp"
 
+namespace osn::trace {
+class EventSource;
+}
+
 namespace osn::noise {
 
 struct AnalysisOptions {
@@ -93,6 +97,11 @@ class NoiseAnalysis {
   explicit NoiseAnalysis(const trace::TraceModel& model, AnalysisOptions options = {});
   /// The analysis keeps a reference to the model; a temporary would dangle.
   explicit NoiseAnalysis(trace::TraceModel&& model, AnalysisOptions options = {}) = delete;
+  /// Materializes the trace from an EventSource (file, in-memory model, or
+  /// live drain) and analyzes it. The worker pool implied by options.jobs is
+  /// shared with the decode, so a v3 file decodes its chunks in parallel;
+  /// the analysis owns the materialized model.
+  explicit NoiseAnalysis(trace::EventSource& source, AnalysisOptions options = {});
 
   const trace::TraceModel& model() const { return *model_; }
   const AnalysisOptions& options() const { return options_; }
@@ -131,9 +140,13 @@ class NoiseAnalysis {
   bool in_comm_window(Pid task, TimeNs t) const;
 
  private:
+  void run_pipeline();
   void build_noise_list();
   void build_kind_stats();
 
+  /// Set when constructed from an EventSource (the caller has no model to
+  /// keep alive); model_ then points here.
+  std::unique_ptr<trace::TraceModel> owned_model_;
   const trace::TraceModel* model_;
   AnalysisOptions options_;
   /// Present when options_.jobs resolves to > 1; shared by every phase

@@ -20,6 +20,10 @@
 #include "noise/interval.hpp"
 #include "tracebuf/record.hpp"
 
+namespace osn::trace {
+class EventSource;
+}
+
 namespace osn::noise {
 
 class StreamingStats {
@@ -28,6 +32,10 @@ class StreamingStats {
   /// time-ordered with balanced entry/exit pairs (the tracer guarantees
   /// both). Point events are counted but open no interval.
   void consume(const tracebuf::EventRecord& rec);
+
+  /// Drains an entire EventSource through consume() in merged order —
+  /// chunk-at-a-time for v3 files, so the trace is never materialized.
+  void consume(trace::EventSource& source);
 
   /// Self-time statistics for one activity, matching
   /// NoiseAnalysis::activity_stats under default options once the stream is

@@ -1,0 +1,639 @@
+#include "trace/osnt_reader.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+
+#include "common/crc32.hpp"
+#include "trace/osnt_layout.hpp"
+#include "trace/schema.hpp"
+#include "trace/trace_io.hpp"
+
+namespace osn::trace {
+
+namespace {
+
+/// Largest cpu id any layout accepts (matches the v2 reader's bound).
+constexpr std::uint64_t kMaxCpus = 65536;
+
+/// Decodes one v3 chunk payload into records in stored (merged) order.
+/// `file_offset` is the payload's position in the file, for error reporting.
+std::vector<tracebuf::EventRecord> decode_payload(const std::uint8_t* data,
+                                                  std::size_t len,
+                                                  std::uint64_t n_records,
+                                                  std::uint64_t file_offset,
+                                                  std::int64_t chunk_id) {
+  if (n_records > len / 5 + 1)
+    throw TraceReadError("implausible chunk record count", file_offset, chunk_id);
+  std::vector<tracebuf::EventRecord> out;
+  out.reserve(static_cast<std::size_t>(n_records));
+  std::vector<TimeNs> prev_ts;
+  std::vector<bool> seen;
+  std::size_t pos = 0;
+  try {
+    for (std::uint64_t i = 0; i < n_records; ++i) {
+      const std::uint64_t cpu = get_varint(data, len, pos);
+      if (cpu >= kMaxCpus)
+        throw TraceReadError("chunk record cpu out of range", file_offset + pos, chunk_id);
+      if (cpu >= prev_ts.size()) {
+        prev_ts.resize(static_cast<std::size_t>(cpu) + 1, 0);
+        seen.resize(static_cast<std::size_t>(cpu) + 1, false);
+      }
+      tracebuf::EventRecord rec;
+      const std::uint64_t delta = get_varint(data, len, pos);
+      // First record of a cpu in a chunk carries the absolute timestamp.
+      rec.timestamp = seen[static_cast<std::size_t>(cpu)]
+                          ? prev_ts[static_cast<std::size_t>(cpu)] + delta
+                          : delta;
+      prev_ts[static_cast<std::size_t>(cpu)] = rec.timestamp;
+      seen[static_cast<std::size_t>(cpu)] = true;
+      rec.cpu = static_cast<std::uint16_t>(cpu);
+      rec.pid = static_cast<std::uint32_t>(get_varint(data, len, pos));
+      rec.event = static_cast<std::uint16_t>(get_varint(data, len, pos));
+      rec.arg = get_varint(data, len, pos);
+      out.push_back(rec);
+    }
+  } catch (const TraceReadError& e) {
+    if (e.chunk_id() != TraceReadError::kNoChunk) throw;
+    // Re-anchor varint-level errors to the file offset and chunk.
+    throw TraceReadError(e.what(), file_offset + pos, chunk_id);
+  }
+  if (pos != len)
+    throw TraceReadError("chunk payload length mismatch", file_offset + pos, chunk_id);
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Construction / indexing
+// ---------------------------------------------------------------------------
+
+OsntReader::OsntReader(const std::string& path) : file_(std::fopen(path.c_str(), "rb")) {
+  if (file_ == nullptr) throw TraceReadError("cannot open trace file: " + path, 0);
+  std::fseek(file_, 0, SEEK_END);
+  const long end = std::ftell(file_);
+  if (end < 0) throw TraceReadError("cannot size trace file: " + path, 0);
+  size_ = static_cast<std::uint64_t>(end);
+  open_and_index();
+}
+
+OsntReader::OsntReader(std::vector<std::uint8_t> bytes)
+    : bytes_(std::move(bytes)), size_(bytes_.size()) {
+  open_and_index();
+}
+
+OsntReader::~OsntReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+std::vector<std::uint8_t> OsntReader::read_at(std::uint64_t offset, std::uint64_t len) const {
+  if (offset > size_ || len > size_ - offset)
+    throw TraceReadError("read beyond end of trace", offset);
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(len));
+  if (file_ == nullptr) {
+    std::memcpy(out.data(), bytes_.data() + offset, static_cast<std::size_t>(len));
+    return out;
+  }
+  // pread: thread-safe positioned reads — parallel chunk decode shares the
+  // one descriptor without seeking.
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const ssize_t n = ::pread(fileno(file_), out.data() + done, out.size() - done,
+                              static_cast<off_t>(offset + done));
+    if (n <= 0) throw TraceReadError("trace file read failed", offset + done);
+    done += static_cast<std::size_t>(n);
+  }
+  return out;
+}
+
+void OsntReader::open_and_index() {
+  const auto head = read_at(0, std::min<std::uint64_t>(size_, 20));
+  std::size_t pos = 0;
+  if (get_varint(head, pos) != osnt::kMagic)
+    throw TraceReadError("bad magic: not an OSNT trace", 0);
+  const std::uint64_t version = get_varint(head, pos);
+  data_begin_ = pos;
+  if (version != osnt::kVersionWhole && version != osnt::kVersionStream &&
+      version != osnt::kVersionChunked)
+    throw TraceReadError("unsupported OSNT version", pos);
+  version_ = static_cast<std::uint32_t>(version);
+
+  if (version_ != osnt::kVersionChunked) {
+    // v1/v2 compatibility shim: whole-file decode caches the model and the
+    // footer metadata.
+    ensure_legacy_model();
+    return;
+  }
+  if (!parse_trailer_and_index()) {
+    chunks_.clear();
+    index_recovered_ = true;
+    recover_by_scan();
+  }
+}
+
+bool OsntReader::parse_trailer_and_index() {
+  if (size_ < data_begin_ + osnt::kTrailerSize) return false;
+  const auto trailer = read_at(size_ - osnt::kTrailerSize, osnt::kTrailerSize);
+  std::size_t tpos = 0;
+  const std::uint64_t index_offset = osnt::get_u64le(trailer.data(), trailer.size(), tpos);
+  const std::uint64_t footer_offset = osnt::get_u64le(trailer.data(), trailer.size(), tpos);
+  const std::uint32_t flags = osnt::get_u32le(trailer.data(), trailer.size(), tpos);
+  if (osnt::get_u32le(trailer.data(), trailer.size(), tpos) != osnt::kTrailerMagic)
+    return false;
+
+  const std::uint64_t index_end = size_ - osnt::kTrailerSize;
+  if (index_offset < data_begin_ || index_offset + 5 > index_end) return false;
+  const auto idx = read_at(index_offset, index_end - index_offset);
+  std::size_t ipos = 0;
+  std::uint32_t stored_crc;
+  {
+    std::size_t cpos = idx.size() - 4;
+    stored_crc = osnt::get_u32le(idx.data(), idx.size(), cpos);
+  }
+  if (crc32(idx.data(), idx.size() - 4) != stored_crc) return false;
+
+  try {
+    const std::uint64_t n_chunks = get_varint(idx.data(), idx.size(), ipos);
+    if (n_chunks > idx.size() / 6 + 1) return false;
+    std::uint64_t prev_end = data_begin_;
+    chunks_.reserve(static_cast<std::size_t>(n_chunks));
+    for (std::uint64_t i = 0; i < n_chunks; ++i) {
+      ChunkInfo c;
+      c.offset = get_varint(idx.data(), idx.size(), ipos);
+      c.records = get_varint(idx.data(), idx.size(), ipos);
+      c.payload_len = get_varint(idx.data(), idx.size(), ipos);
+      c.t_first = get_varint(idx.data(), idx.size(), ipos);
+      c.t_last = c.t_first + get_varint(idx.data(), idx.size(), ipos);
+      c.cpu_mask = get_varint(idx.data(), idx.size(), ipos);
+      if (c.records == 0 || c.offset < prev_end || c.payload_len > index_offset ||
+          c.offset + c.payload_len > index_offset)
+        return false;
+      prev_end = c.offset;  // offsets strictly increase chunk to chunk
+      chunks_.push_back(c);
+    }
+    if (ipos != idx.size() - 4) return false;
+  } catch (const TraceReadError&) {
+    return false;
+  }
+
+  truncated_ = (flags & osnt::kFlagTruncated) != 0;
+  if (truncated_) {
+    synthesize_truncated_meta();
+    return true;
+  }
+  if (footer_offset < data_begin_ || footer_offset >= index_offset) return false;
+  try {
+    parse_footer(footer_offset, index_offset);
+  } catch (const TraceReadError& e) {
+    // Index intact but footer rotted: salvage the records, surface the
+    // problem through verify()/truncated() instead of refusing the file.
+    open_issues_.push_back(
+        ChunkIssue{TraceReadError::kNoChunk, e.byte_offset(), e.what()});
+    truncated_ = true;
+    tasks_.clear();
+    synthesize_truncated_meta();
+  }
+  return true;
+}
+
+void OsntReader::parse_footer(std::uint64_t footer_offset, std::uint64_t end) {
+  const auto footer = read_at(footer_offset, end - footer_offset);
+  std::size_t pos = 0;
+  TraceMeta meta;
+  std::map<Pid, TaskInfo> tasks;
+  try {
+    osnt::get_meta_and_tasks(footer.data(), footer.size(), pos, meta, tasks);
+    osnt::get_drain(footer.data(), footer.size(), pos, meta.drain);
+  } catch (const TraceReadError& e) {
+    throw TraceReadError(e.what(), footer_offset + e.byte_offset());
+  }
+  if (pos != footer.size())
+    throw TraceReadError("trailing bytes after trace footer", footer_offset + pos);
+  if (meta.n_cpus > kMaxCpus)
+    throw TraceReadError("footer n_cpus out of range", footer_offset);
+  meta_ = std::move(meta);
+  tasks_ = std::move(tasks);
+}
+
+void OsntReader::recover_by_scan() {
+  // The trailer or index is unusable (killed writer, torn tail, bit rot in
+  // the index). Walk the chunk stream from the front, CRC-checking each
+  // chunk, and keep everything up to the first corrupt byte.
+  std::uint64_t pos = data_begin_;
+  bool footer_ok = false;
+  for (;;) {
+    if (pos >= size_) {
+      truncated_ = true;
+      break;
+    }
+    std::uint64_t count = 0, payload_len = 0;
+    std::uint64_t header_len = 0;
+    try {
+      const auto head = read_at(pos, std::min<std::uint64_t>(size_ - pos, 20));
+      std::size_t hpos = 0;
+      count = get_varint(head.data(), head.size(), hpos);
+      if (count != 0) payload_len = get_varint(head.data(), head.size(), hpos);
+      header_len = hpos;
+    } catch (const TraceReadError& e) {
+      truncated_ = true;
+      open_issues_.push_back(ChunkIssue{static_cast<std::int64_t>(chunks_.size()),
+                                        e.byte_offset(), e.what()});
+      break;
+    }
+    if (count == 0) {
+      // Terminator: a footer should follow (the index after it is what
+      // failed to parse — ignore it, we just rebuilt it).
+      try {
+        parse_footer(pos + header_len, size_);
+        footer_ok = true;
+      } catch (const TraceReadError&) {
+        // Footer region may legitimately be followed by the damaged index,
+        // so "trailing bytes" is not decisive — reparse leniently: accept a
+        // footer that parses, whatever follows it.
+        try {
+          const auto tail = read_at(pos + header_len, size_ - pos - header_len);
+          std::size_t fpos = 0;
+          TraceMeta meta;
+          std::map<Pid, TaskInfo> tasks;
+          osnt::get_meta_and_tasks(tail.data(), tail.size(), fpos, meta, tasks);
+          osnt::get_drain(tail.data(), tail.size(), fpos, meta.drain);
+          meta_ = std::move(meta);
+          tasks_ = std::move(tasks);
+          footer_ok = true;
+        } catch (const TraceReadError& e) {
+          truncated_ = true;
+          open_issues_.push_back(
+              ChunkIssue{TraceReadError::kNoChunk, e.byte_offset(), e.what()});
+        }
+      }
+      break;
+    }
+    ChunkInfo c;
+    c.offset = pos;
+    c.records = count;
+    c.payload_len = payload_len;
+    std::vector<tracebuf::EventRecord> records;
+    try {
+      if (payload_len > size_ - pos - header_len ||
+          4 > size_ - pos - header_len - payload_len)
+        throw TraceReadError("chunk extends past end of trace", pos,
+                             static_cast<std::int64_t>(chunks_.size()));
+      const auto body = read_at(pos + header_len, payload_len + 4);
+      std::size_t cpos = static_cast<std::size_t>(payload_len);
+      const std::uint32_t stored = osnt::get_u32le(body.data(), body.size(), cpos);
+      if (crc32(body.data(), static_cast<std::size_t>(payload_len)) != stored)
+        throw TraceReadError("chunk CRC mismatch", pos + header_len,
+                             static_cast<std::int64_t>(chunks_.size()));
+      records = decode_payload(body.data(), static_cast<std::size_t>(payload_len), count,
+                               pos + header_len, static_cast<std::int64_t>(chunks_.size()));
+    } catch (const TraceReadError& e) {
+      truncated_ = true;
+      open_issues_.push_back(ChunkIssue{static_cast<std::int64_t>(chunks_.size()),
+                                        e.byte_offset(), e.what()});
+      break;
+    }
+    c.t_first = records.front().timestamp;
+    c.t_last = records.back().timestamp;
+    for (const auto& rec : records)
+      c.cpu_mask |= 1ULL << std::min<std::uint32_t>(rec.cpu, 63);
+    chunks_.push_back(c);
+    pos += header_len + payload_len + 4;
+  }
+  if (!footer_ok && meta_.n_cpus == 0) synthesize_truncated_meta();
+}
+
+void OsntReader::synthesize_truncated_meta() {
+  meta_ = TraceMeta{};
+  meta_.workload = "(truncated)";
+  std::uint64_t mask = 0;
+  for (const ChunkInfo& c : chunks_) mask |= c.cpu_mask;
+  std::uint16_t n_cpus = 0;
+  for (std::uint16_t bit = 0; bit < 64; ++bit)
+    if ((mask >> bit) & 1) n_cpus = static_cast<std::uint16_t>(bit + 1);
+  meta_.n_cpus = n_cpus;
+  meta_.start_ns = 0;
+  meta_.end_ns = chunks_.empty() ? 0 : chunks_.back().t_last + 1;
+}
+
+void OsntReader::ensure_legacy_model() {
+  if (legacy_.has_value()) return;
+  const auto all = read_at(0, size_);
+  legacy_ = deserialize_trace(all);
+  meta_ = legacy_->meta();
+  tasks_ = legacy_->tasks();
+}
+
+std::uint64_t OsntReader::indexed_records() const {
+  std::uint64_t n = 0;
+  for (const ChunkInfo& c : chunks_) n += c.records;
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+std::vector<tracebuf::EventRecord> OsntReader::decode_chunk(std::size_t i) const {
+  const ChunkInfo& c = chunks_[i];
+  const auto head = read_at(c.offset, std::min<std::uint64_t>(size_ - c.offset, 20));
+  std::size_t hpos = 0;
+  const std::uint64_t count = get_varint(head.data(), head.size(), hpos);
+  const std::uint64_t payload_len = get_varint(head.data(), head.size(), hpos);
+  if (count != c.records || payload_len != c.payload_len)
+    throw TraceReadError("chunk header disagrees with index", c.offset,
+                         static_cast<std::int64_t>(i));
+  const std::uint64_t payload_off = c.offset + hpos;
+  const auto body = read_at(payload_off, c.payload_len + 4);
+  std::size_t cpos = static_cast<std::size_t>(c.payload_len);
+  const std::uint32_t stored = osnt::get_u32le(body.data(), body.size(), cpos);
+  if (crc32(body.data(), static_cast<std::size_t>(c.payload_len)) != stored)
+    throw TraceReadError("chunk CRC mismatch", payload_off, static_cast<std::int64_t>(i));
+  return decode_payload(body.data(), static_cast<std::size_t>(c.payload_len), count,
+                        payload_off, static_cast<std::int64_t>(i));
+}
+
+namespace {
+
+/// Decode a set of chunks, optionally in parallel. Exceptions are captured
+/// per chunk and the lowest-index failure is rethrown — deterministic
+/// regardless of worker scheduling.
+std::vector<std::vector<tracebuf::EventRecord>> decode_chunks(
+    const std::vector<std::size_t>& ids, ThreadPool* pool,
+    const std::function<std::vector<tracebuf::EventRecord>(std::size_t)>& decode) {
+  std::vector<std::vector<tracebuf::EventRecord>> out(ids.size());
+  if (pool == nullptr || ids.size() < 2) {
+    for (std::size_t i = 0; i < ids.size(); ++i) out[i] = decode(ids[i]);
+    return out;
+  }
+  std::vector<std::exception_ptr> errors(ids.size());
+  pool->parallel_for(ids.size(), [&](std::size_t i) {
+    try {
+      out[i] = decode(ids[i]);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  });
+  for (const auto& err : errors)
+    if (err) std::rethrow_exception(err);
+  return out;
+}
+
+}  // namespace
+
+TraceModel OsntReader::assemble(std::vector<std::vector<tracebuf::EventRecord>> chunk_records,
+                                const std::vector<std::size_t>& chunk_ids,
+                                ThreadPool* pool) {
+  const std::size_t n_chunks = chunk_records.size();
+
+  // Pass 1, parallel over chunks: split each chunk's merged stream into
+  // per-CPU buckets, so the concatenation pass below only ever touches its
+  // own CPU's records instead of rescanning the whole stream per CPU.
+  std::vector<std::vector<std::vector<tracebuf::EventRecord>>> buckets(n_chunks);
+  auto bucket_chunk = [&](std::size_t k) {
+    auto& out = buckets[k];
+    for (const auto& rec : chunk_records[k]) {
+      if (rec.cpu >= out.size()) out.resize(rec.cpu + 1u);
+      out[rec.cpu].push_back(rec);
+    }
+    chunk_records[k].clear();
+    chunk_records[k].shrink_to_fit();
+  };
+  if (pool != nullptr && n_chunks > 1) {
+    pool->parallel_for(n_chunks, bucket_chunk);
+  } else {
+    for (std::size_t k = 0; k < n_chunks; ++k) bucket_chunk(k);
+  }
+
+  // CPU-range check and per-CPU totals — serial but only O(chunks * cpus).
+  std::size_t n_cpus = meta_.n_cpus;
+  for (std::size_t k = 0; k < n_chunks; ++k) {
+    if (buckets[k].size() > n_cpus) {
+      if (!truncated_)
+        throw TraceReadError("chunk record cpu >= n_cpus", chunks_[chunk_ids[k]].offset,
+                             static_cast<std::int64_t>(chunk_ids[k]));
+      n_cpus = buckets[k].size();
+    }
+  }
+  std::vector<std::size_t> totals(n_cpus, 0);
+  for (const auto& chunk : buckets)
+    for (std::size_t cpu = 0; cpu < chunk.size(); ++cpu) totals[cpu] += chunk[cpu].size();
+
+  // Pass 2, parallel over CPUs: concatenate each CPU's buckets in chunk
+  // order with an exact reserve, checking that CPU's monotonicity across
+  // chunk boundaries. Errors are captured and the lowest-cpu one is
+  // rethrown — deterministic at any worker count.
+  std::vector<std::vector<tracebuf::EventRecord>> per_cpu(n_cpus);
+  std::vector<std::exception_ptr> errors(n_cpus);
+  auto gather_cpu = [&](std::size_t cpu) {
+    try {
+      auto& dst = per_cpu[cpu];
+      dst.reserve(totals[cpu]);
+      TimeNs last_ts = 0;
+      for (std::size_t k = 0; k < n_chunks; ++k) {
+        if (cpu >= buckets[k].size()) continue;
+        for (const auto& rec : buckets[k][cpu]) {
+          if (rec.timestamp < last_ts)
+            throw TraceReadError("stream not time-ordered across chunks",
+                                 chunks_[chunk_ids[k]].offset,
+                                 static_cast<std::int64_t>(chunk_ids[k]));
+          last_ts = rec.timestamp;
+          dst.push_back(rec);
+        }
+      }
+    } catch (...) {
+      errors[cpu] = std::current_exception();
+    }
+  };
+  if (pool != nullptr && n_cpus > 1) {
+    pool->parallel_for(n_cpus, gather_cpu);
+  } else {
+    for (std::size_t cpu = 0; cpu < n_cpus; ++cpu) gather_cpu(cpu);
+  }
+  for (const auto& err : errors)
+    if (err) std::rethrow_exception(err);
+
+  TraceMeta meta = meta_;
+  if (truncated_) {
+    TimeNs last_seen = 0;
+    for (const auto& stream : per_cpu)
+      if (!stream.empty()) last_seen = std::max(last_seen, stream.back().timestamp);
+    meta.n_cpus = static_cast<std::uint16_t>(n_cpus);
+    meta.end_ns = std::max(meta.end_ns, last_seen + 1);
+    meta_ = meta;
+  }
+  return TraceModel(std::move(meta), std::move(per_cpu), tasks_);
+}
+
+TraceModel OsntReader::read_all(ThreadPool* pool) {
+  if (version_ != osnt::kVersionChunked) {
+    ensure_legacy_model();
+    TraceModel model = std::move(*legacy_);
+    legacy_.reset();
+    return model;
+  }
+  std::vector<std::size_t> ids(chunks_.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  auto decoded =
+      decode_chunks(ids, pool, [this](std::size_t i) { return decode_chunk(i); });
+  return assemble(std::move(decoded), ids, pool);
+}
+
+TraceModel OsntReader::read_window(TimeNs t0, TimeNs t1, ThreadPool* pool) {
+  if (version_ != osnt::kVersionChunked) {
+    ensure_legacy_model();
+    return window_of(*legacy_, t0, t1);
+  }
+  // Chunks slice the global merged stream, so their time ranges are sorted:
+  // binary-search the first chunk that can reach t0, walk to the last whose
+  // t_first is below t1.
+  std::vector<std::size_t> ids;
+  if (t1 > t0 && !chunks_.empty()) {
+    const auto first = std::partition_point(
+        chunks_.begin(), chunks_.end(),
+        [t0](const ChunkInfo& c) { return c.t_last < t0; });
+    for (auto it = first; it != chunks_.end() && it->t_first < t1; ++it)
+      ids.push_back(static_cast<std::size_t>(it - chunks_.begin()));
+  }
+  auto decoded =
+      decode_chunks(ids, pool, [this](std::size_t i) { return decode_chunk(i); });
+  TraceModel full = assemble(std::move(decoded), ids, pool);
+  return window_of(full, t0, t1);
+}
+
+void OsntReader::for_each(const std::function<void(const tracebuf::EventRecord&)>& fn) {
+  if (version_ != osnt::kVersionChunked) {
+    ensure_legacy_model();
+    for (const auto& rec : legacy_->merged()) fn(rec);
+    return;
+  }
+  std::vector<TimeNs> last_ts;
+  for (std::size_t i = 0; i < chunks_.size(); ++i) {
+    const auto records = decode_chunk(i);
+    for (const auto& rec : records) {
+      if (rec.cpu >= last_ts.size()) last_ts.resize(rec.cpu + 1u, 0);
+      if (rec.timestamp < last_ts[rec.cpu])
+        throw TraceReadError("stream not time-ordered across chunks", chunks_[i].offset,
+                             static_cast<std::int64_t>(i));
+      last_ts[rec.cpu] = rec.timestamp;
+      fn(rec);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Verification
+// ---------------------------------------------------------------------------
+
+VerifyReport OsntReader::verify() {
+  VerifyReport report;
+  report.version = version_;
+  report.truncated = truncated_;
+  report.index_recovered = index_recovered_;
+  report.issues = open_issues_;
+  report.chunks = chunks_.size();
+
+  if (version_ != osnt::kVersionChunked) {
+    try {
+      ensure_legacy_model();
+      report.records = legacy_->total_events();
+      const std::string problem = legacy_->validate();
+      if (!problem.empty())
+        report.issues.push_back(ChunkIssue{TraceReadError::kNoChunk, 0, problem});
+    } catch (const TraceReadError& e) {
+      report.issues.push_back(
+          ChunkIssue{TraceReadError::kNoChunk, e.byte_offset(), e.what()});
+    }
+    return report;
+  }
+
+  std::vector<TimeNs> last_ts;
+  for (std::size_t i = 0; i < chunks_.size(); ++i) {
+    const ChunkInfo& c = chunks_[i];
+    try {
+      const auto records = decode_chunk(i);
+      if (records.front().timestamp != c.t_first || records.back().timestamp != c.t_last)
+        report.issues.push_back(ChunkIssue{static_cast<std::int64_t>(i), c.offset,
+                                           "chunk time range disagrees with index"});
+      std::uint64_t mask = 0;
+      for (const auto& rec : records) {
+        mask |= 1ULL << std::min<std::uint32_t>(rec.cpu, 63);
+        if (rec.cpu >= last_ts.size()) last_ts.resize(rec.cpu + 1u, 0);
+        if (rec.timestamp < last_ts[rec.cpu]) {
+          report.issues.push_back(ChunkIssue{static_cast<std::int64_t>(i), c.offset,
+                                             "stream not time-ordered across chunks"});
+          break;
+        }
+        last_ts[rec.cpu] = rec.timestamp;
+      }
+      if (mask != c.cpu_mask)
+        report.issues.push_back(ChunkIssue{static_cast<std::int64_t>(i), c.offset,
+                                           "chunk cpu mask disagrees with index"});
+      report.records += records.size();
+    } catch (const TraceReadError& e) {
+      report.issues.push_back(
+          ChunkIssue{static_cast<std::int64_t>(i), e.byte_offset(), e.what()});
+    }
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Window clipping (shared with the generic EventSource fallback)
+// ---------------------------------------------------------------------------
+
+std::vector<std::vector<tracebuf::EventRecord>> clip_to_window(
+    const std::vector<std::vector<tracebuf::EventRecord>>& per_cpu, TimeNs t0, TimeNs t1) {
+  std::vector<std::vector<tracebuf::EventRecord>> out(per_cpu.size());
+  for (std::size_t cpu = 0; cpu < per_cpu.size(); ++cpu) {
+    const auto& stream = per_cpu[cpu];
+    // The window slice of this cpu's (time-sorted) stream.
+    const auto lo = std::partition_point(
+        stream.begin(), stream.end(),
+        [t0](const tracebuf::EventRecord& r) { return r.timestamp < t0; });
+    const auto hi = std::partition_point(
+        lo, stream.end(), [t1](const tracebuf::EventRecord& r) { return r.timestamp < t1; });
+    std::vector<tracebuf::EventRecord> kept(lo, hi);
+
+    // Frame repair: drop exits whose entry predates the window, and entries
+    // whose exit postdates it, so pairing stays balanced. Nesting is proper
+    // per CPU, so removing an unmatched frame never unbalances another.
+    std::vector<bool> drop(kept.size(), false);
+    std::vector<std::size_t> stack;
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      const auto type = static_cast<EventType>(kept[i].event);
+      if (is_entry(type)) {
+        stack.push_back(i);
+      } else if (is_exit(type)) {
+        if (stack.empty()) {
+          drop[i] = true;  // entry happened before t0
+        } else {
+          stack.pop_back();
+        }
+      }
+    }
+    for (const std::size_t i : stack) drop[i] = true;  // exit happens after t1
+
+    auto& dst = out[cpu];
+    dst.reserve(kept.size());
+    for (std::size_t i = 0; i < kept.size(); ++i)
+      if (!drop[i]) dst.push_back(kept[i]);
+  }
+  return out;
+}
+
+TraceModel window_of(const TraceModel& model, TimeNs t0, TimeNs t1) {
+  std::vector<std::vector<tracebuf::EventRecord>> per_cpu;
+  per_cpu.reserve(model.cpu_count());
+  for (CpuId c = 0; c < model.cpu_count(); ++c) per_cpu.push_back(model.cpu_events(c));
+  auto clipped = clip_to_window(per_cpu, t0, t1);
+  TraceMeta meta = model.meta();
+  meta.start_ns = std::max(meta.start_ns, t0);
+  meta.end_ns = std::min(meta.end_ns, t1);
+  if (meta.end_ns < meta.start_ns) meta.end_ns = meta.start_ns;
+  return TraceModel(std::move(meta), std::move(clipped), model.tasks());
+}
+
+}  // namespace osn::trace

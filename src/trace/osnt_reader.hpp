@@ -1,0 +1,166 @@
+// Chunk-indexed OSNT reader: random access, windowed and parallel decode,
+// per-chunk integrity verification.
+//
+// The offline half of the paper's pipeline must scale past toy traces: a
+// long-term monitoring run produces files far larger than RAM, analyses often
+// want a time slice rather than the whole run, and cold storage rots. The v3
+// layout (trace_io.hpp) makes all three cheap, and OsntReader is the
+// consumer:
+//  * the footer index is located from the fixed trailer at EOF, so opening a
+//    file costs O(index), not O(trace);
+//  * read_window() binary-searches the index and decodes only the chunks
+//    overlapping the window;
+//  * read_all() decodes chunks in parallel on a common::ThreadPool — chunks
+//    are independently decodable by construction (per-chunk delta reset) and
+//    concatenate per CPU in chunk order, so the result is bit-identical to a
+//    serial decode at any worker count;
+//  * verify() checks every chunk's CRC-32 and structure without building a
+//    model, and reports truncation (writer died before finish()) and index
+//    damage (trailer/index unreadable -> index rebuilt by a forward scan,
+//    salvaging every chunk up to the first corrupt byte).
+//
+// v1/v2 files are served through a compatibility shim (whole-file decode via
+// deserialize_trace) with identical results — callers never dispatch on the
+// version themselves. All input errors throw trace::TraceReadError.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "trace/trace_error.hpp"
+#include "trace/trace_model.hpp"
+
+namespace osn::trace {
+
+/// One entry of the v3 footer index.
+struct ChunkInfo {
+  std::uint64_t offset = 0;       ///< file offset of the chunk's count varint
+  std::uint64_t records = 0;      ///< records in the chunk (> 0)
+  std::uint64_t payload_len = 0;  ///< payload bytes (between header varints and CRC)
+  TimeNs t_first = 0;             ///< timestamp of the first record
+  TimeNs t_last = 0;              ///< timestamp of the last record
+  std::uint64_t cpu_mask = 0;     ///< bit c: cpu c present (c < 63); bit 63: any cpu >= 63
+};
+
+struct ChunkIssue {
+  std::int64_t chunk = TraceReadError::kNoChunk;  ///< kNoChunk for file-level issues
+  std::uint64_t offset = 0;
+  std::string problem;
+};
+
+/// Result of verify(): structural + integrity findings, no model built.
+struct VerifyReport {
+  std::uint32_t version = 0;
+  bool truncated = false;        ///< truncation sentinel (writer died before finish())
+  bool index_recovered = false;  ///< trailer/index damaged; rebuilt by forward scan
+  std::size_t chunks = 0;        ///< chunks checked
+  std::uint64_t records = 0;     ///< records covered by intact chunks
+  std::vector<ChunkIssue> issues;
+
+  /// No corruption found. Truncation/recovery are reported separately: a
+  /// cleanly-truncated file is readable, just incomplete.
+  bool intact() const { return issues.empty(); }
+  bool clean() const { return intact() && !truncated && !index_recovered; }
+};
+
+class OsntReader {
+ public:
+  /// Opens and indexes a trace file (any OSNT version). Throws
+  /// TraceReadError when the file cannot be opened or the header/index is
+  /// unusable.
+  explicit OsntReader(const std::string& path);
+  /// In-memory variant over a serialized buffer (tests, network payloads).
+  explicit OsntReader(std::vector<std::uint8_t> bytes);
+  ~OsntReader();
+
+  OsntReader(const OsntReader&) = delete;
+  OsntReader& operator=(const OsntReader&) = delete;
+
+  std::uint32_t version() const { return version_; }
+  bool truncated() const { return truncated_; }
+  bool index_recovered() const { return index_recovered_; }
+  /// v3 chunk index (rebuilt by scan when damaged); empty for v1/v2.
+  const std::vector<ChunkInfo>& chunks() const { return chunks_; }
+  std::uint64_t indexed_records() const;
+
+  /// Trace metadata/tasks from the footer. For truncated v3 files the footer
+  /// is missing: meta is synthesized best-effort from the chunk index
+  /// (workload "(truncated)", window covering the flushed records) and the
+  /// task table is empty.
+  const TraceMeta& meta() const { return meta_; }
+  const std::map<Pid, TaskInfo>& tasks() const { return tasks_; }
+
+  /// Decodes the whole trace. With a pool, v3 chunks decode in parallel;
+  /// the result is bit-identical at any worker count.
+  TraceModel read_all(ThreadPool* pool = nullptr);
+
+  /// Decodes only the records with t0 <= timestamp < t1. For v3 this touches
+  /// only the chunks whose index time range overlaps the window (binary
+  /// search on t_first); v1/v2 fall back to a full decode + filter. Kernel
+  /// entry/exit frames cut by the window edges are repaired (unmatched exits
+  /// at the head and unclosed entries at the tail are dropped) so the model
+  /// keeps the analyzer's pairing invariants; meta start/end are clamped to
+  /// the window.
+  TraceModel read_window(TimeNs t0, TimeNs t1, ThreadPool* pool = nullptr);
+
+  /// Streams every record in global merged order, chunk at a time — O(chunk)
+  /// memory for v3 files (the compatibility shim for v1/v2 materializes the
+  /// model first).
+  void for_each(const std::function<void(const tracebuf::EventRecord&)>& fn);
+
+  /// Integrity check: per-chunk CRC + structural decode + cross-chunk
+  /// ordering, footer parse. Never throws for in-file corruption — findings
+  /// land in the report.
+  VerifyReport verify();
+
+ private:
+  void open_and_index();
+  bool parse_trailer_and_index();
+  void parse_footer(std::uint64_t footer_offset, std::uint64_t end);
+  void recover_by_scan();
+  void synthesize_truncated_meta();
+  void ensure_legacy_model();
+  /// Reads [offset, offset+len) of the underlying storage (thread-safe).
+  std::vector<std::uint8_t> read_at(std::uint64_t offset, std::uint64_t len) const;
+  /// Decodes chunk `i` (CRC-verified) into records in stored (merged) order.
+  std::vector<tracebuf::EventRecord> decode_chunk(std::size_t i) const;
+  TraceModel assemble(std::vector<std::vector<tracebuf::EventRecord>> chunk_records,
+                      const std::vector<std::size_t>& chunk_ids, ThreadPool* pool);
+
+  std::FILE* file_ = nullptr;            ///< file-backed mode
+  std::vector<std::uint8_t> bytes_;      ///< in-memory mode
+  std::uint64_t size_ = 0;
+  std::uint64_t data_begin_ = 0;         ///< first byte after the header varints
+
+  std::uint32_t version_ = 0;
+  bool truncated_ = false;
+  bool index_recovered_ = false;
+  /// Problems found while opening (index recovery, footer damage); prepended
+  /// to every verify() report.
+  std::vector<ChunkIssue> open_issues_;
+  std::vector<ChunkInfo> chunks_;
+  TraceMeta meta_;
+  std::map<Pid, TaskInfo> tasks_;
+  /// v1/v2 compatibility shim: whole-file decode, built on first use and
+  /// moved out by read_all() (re-parsed if needed again).
+  std::optional<TraceModel> legacy_;
+};
+
+/// Clips per-CPU streams to [t0, t1) and repairs kernel entry/exit frames cut
+/// by the edges: exits whose entry predates the window and entries whose exit
+/// postdates it are dropped (point events and sched/app marks are kept), so
+/// the result satisfies TraceModel's pairing validation. Shared by
+/// OsntReader::read_window and the generic EventSource window fallback.
+std::vector<std::vector<tracebuf::EventRecord>> clip_to_window(
+    const std::vector<std::vector<tracebuf::EventRecord>>& per_cpu, TimeNs t0, TimeNs t1);
+
+/// Windowed copy of a model: clip_to_window + clamped meta.
+TraceModel window_of(const TraceModel& model, TimeNs t0, TimeNs t1);
+
+}  // namespace osn::trace

@@ -1,27 +1,62 @@
 #include "trace/trace_io.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 
 #include "common/assert.hpp"
+#include "common/crc32.hpp"
+#include "trace/osnt_layout.hpp"
+#include "trace/osnt_reader.hpp"
 
 namespace osn::trace {
 
-namespace {
-constexpr std::uint32_t kMagic = 0x544e534f;  // "OSNT" little-endian
-constexpr std::uint32_t kVersion = 1;          // whole-trace layout
-constexpr std::uint32_t kVersionStream = 2;    // chunked layout with footer
+// ---------------------------------------------------------------------------
+// Varints
+// ---------------------------------------------------------------------------
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t get_varint(const std::uint8_t* data, std::size_t size, std::size_t& pos) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (pos >= size) throw TraceReadError("truncated varint", pos);
+    const std::uint8_t byte = data[pos++];
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    if (shift >= 64) throw TraceReadError("varint too long", pos);
+  }
+  return v;
+}
+
+std::uint64_t get_varint(const std::vector<std::uint8_t>& buf, std::size_t& pos) {
+  return get_varint(buf.data(), buf.size(), pos);
+}
+
+// ---------------------------------------------------------------------------
+// Shared layout codecs (osnt_layout.hpp)
+// ---------------------------------------------------------------------------
+
+namespace osnt {
 
 void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
   put_varint(out, s.size());
   out.insert(out.end(), s.begin(), s.end());
 }
 
-std::string get_string(const std::vector<std::uint8_t>& buf, std::size_t& pos) {
-  const std::uint64_t len = get_varint(buf, pos);
-  OSN_ASSERT_MSG(pos + len <= buf.size(), "truncated string");
-  std::string s(reinterpret_cast<const char*>(buf.data() + pos), len);
-  pos += len;
+std::string get_string(const std::uint8_t* buf, std::size_t size, std::size_t& pos) {
+  const std::uint64_t len = get_varint(buf, size, pos);
+  if (len > size - pos) throw TraceReadError("truncated string", pos);
+  std::string s(reinterpret_cast<const char*>(buf + pos), static_cast<std::size_t>(len));
+  pos += static_cast<std::size_t>(len);
   return s;
 }
 
@@ -41,39 +76,89 @@ void put_meta_and_tasks(std::vector<std::uint8_t>& out, const TraceMeta& meta,
                         (static_cast<std::uint64_t>(info.is_kernel_thread ? 1 : 0) << 1));
   }
 }
-}  // namespace
 
-void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  while (v >= 0x80) {
-    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
-    v >>= 7;
+void get_meta_and_tasks(const std::uint8_t* buf, std::size_t size, std::size_t& pos,
+                        TraceMeta& meta, std::map<Pid, TaskInfo>& tasks) {
+  meta.n_cpus = static_cast<std::uint16_t>(get_varint(buf, size, pos));
+  meta.tick_period_ns = get_varint(buf, size, pos);
+  meta.start_ns = get_varint(buf, size, pos);
+  meta.end_ns = get_varint(buf, size, pos);
+  meta.workload = get_string(buf, size, pos);
+
+  const std::uint64_t n_tasks = get_varint(buf, size, pos);
+  // Each task consumes >= 3 bytes, so a count beyond that is corrupt — check
+  // before the loop rather than allocating on attacker-controlled sizes.
+  if (n_tasks > (size - pos) / 3 + 1)
+    throw TraceReadError("implausible task count", pos);
+  for (std::uint64_t i = 0; i < n_tasks; ++i) {
+    TaskInfo info;
+    info.pid = static_cast<Pid>(get_varint(buf, size, pos));
+    info.name = get_string(buf, size, pos);
+    const std::uint64_t flags = get_varint(buf, size, pos);
+    info.is_app = (flags & 1) != 0;
+    info.is_kernel_thread = (flags & 2) != 0;
+    tasks.emplace(info.pid, std::move(info));
   }
-  out.push_back(static_cast<std::uint8_t>(v));
 }
 
-std::uint64_t get_varint(const std::vector<std::uint8_t>& buf, std::size_t& pos) {
-  std::uint64_t v = 0;
-  int shift = 0;
-  while (true) {
-    OSN_ASSERT_MSG(pos < buf.size(), "truncated varint");
-    const std::uint8_t byte = buf[pos++];
-    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
-    if ((byte & 0x80) == 0) break;
-    shift += 7;
-    OSN_ASSERT_MSG(shift < 64, "varint too long");
-  }
+void put_drain(std::vector<std::uint8_t>& out, const DrainStats& drain) {
+  put_varint(out, drain.records);
+  put_varint(out, drain.batches);
+  put_varint(out, drain.max_batch);
+  put_varint(out, drain.lost);
+  put_varint(out, drain.overwritten);
+  put_varint(out, drain.producer_stalls);
+}
+
+void get_drain(const std::uint8_t* buf, std::size_t size, std::size_t& pos,
+               DrainStats& drain) {
+  drain.records = get_varint(buf, size, pos);
+  drain.batches = get_varint(buf, size, pos);
+  drain.max_batch = get_varint(buf, size, pos);
+  drain.lost = get_varint(buf, size, pos);
+  drain.overwritten = get_varint(buf, size, pos);
+  drain.producer_stalls = get_varint(buf, size, pos);
+}
+
+void put_u32le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64le(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32le(const std::uint8_t* buf, std::size_t size, std::size_t& pos) {
+  if (size - pos < 4) throw TraceReadError("truncated u32 field", pos);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf[pos + static_cast<std::size_t>(i)]) << (8 * i);
+  pos += 4;
   return v;
 }
+
+std::uint64_t get_u64le(const std::uint8_t* buf, std::size_t size, std::size_t& pos) {
+  if (size - pos < 8) throw TraceReadError("truncated u64 field", pos);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf[pos + static_cast<std::size_t>(i)]) << (8 * i);
+  pos += 8;
+  return v;
+}
+
+}  // namespace osnt
+
+// ---------------------------------------------------------------------------
+// v1 whole-trace serialization
+// ---------------------------------------------------------------------------
 
 std::vector<std::uint8_t> serialize_trace(const TraceModel& model) {
   std::vector<std::uint8_t> out;
   out.reserve(model.total_events() * 8 + 256);
 
-  put_varint(out, kMagic);
-  put_varint(out, kVersion);
+  put_varint(out, osnt::kMagic);
+  put_varint(out, osnt::kVersionWhole);
 
   const TraceMeta& meta = model.meta();
-  put_meta_and_tasks(out, meta, model.tasks());
+  osnt::put_meta_and_tasks(out, meta, model.tasks());
 
   for (CpuId c = 0; c < meta.n_cpus; ++c) {
     const auto& stream = model.cpu_events(c);
@@ -93,26 +178,33 @@ std::vector<std::uint8_t> serialize_trace(const TraceModel& model) {
 
 namespace {
 
-/// Shared footer/header fields of both layouts: node metadata + task table.
-/// v2 additionally appends the drain counters.
-void get_meta_and_tasks(const std::vector<std::uint8_t>& buf, std::size_t& pos,
-                        TraceMeta& meta, std::map<Pid, TaskInfo>& tasks) {
-  meta.n_cpus = static_cast<std::uint16_t>(get_varint(buf, pos));
-  meta.tick_period_ns = get_varint(buf, pos);
-  meta.start_ns = get_varint(buf, pos);
-  meta.end_ns = get_varint(buf, pos);
-  meta.workload = get_string(buf, pos);
+/// v1: per-CPU streams with up-front counts, after the shared header fields.
+TraceModel deserialize_whole(const std::vector<std::uint8_t>& buf, std::size_t pos) {
+  TraceMeta meta;
+  std::map<Pid, TaskInfo> tasks;
+  osnt::get_meta_and_tasks(buf.data(), buf.size(), pos, meta, tasks);
 
-  const std::uint64_t n_tasks = get_varint(buf, pos);
-  for (std::uint64_t i = 0; i < n_tasks; ++i) {
-    TaskInfo info;
-    info.pid = static_cast<Pid>(get_varint(buf, pos));
-    info.name = get_string(buf, pos);
-    const std::uint64_t flags = get_varint(buf, pos);
-    info.is_app = (flags & 1) != 0;
-    info.is_kernel_thread = (flags & 2) != 0;
-    tasks.emplace(info.pid, std::move(info));
+  std::vector<std::vector<tracebuf::EventRecord>> per_cpu(meta.n_cpus);
+  for (CpuId c = 0; c < meta.n_cpus; ++c) {
+    const std::uint64_t n = get_varint(buf, pos);
+    // A record encodes to >= 4 bytes; a larger count cannot be honest.
+    if (n > (buf.size() - pos) / 4 + 1)
+      throw TraceReadError("implausible record count", pos);
+    per_cpu[c].reserve(static_cast<std::size_t>(n));
+    TimeNs ts = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      tracebuf::EventRecord rec;
+      ts += get_varint(buf, pos);
+      rec.timestamp = ts;
+      rec.pid = static_cast<std::uint32_t>(get_varint(buf, pos));
+      rec.cpu = c;
+      rec.event = static_cast<std::uint16_t>(get_varint(buf, pos));
+      rec.arg = get_varint(buf, pos);
+      per_cpu[c].push_back(rec);
+    }
   }
+  if (pos != buf.size()) throw TraceReadError("trailing bytes after trace", pos);
+  return TraceModel(std::move(meta), std::move(per_cpu), std::move(tasks));
 }
 
 /// v2: chunks of cpu-tagged records in merged order, 0-count terminator,
@@ -123,9 +215,11 @@ TraceModel deserialize_stream(const std::vector<std::uint8_t>& buf, std::size_t 
   for (;;) {
     const std::uint64_t n = get_varint(buf, pos);
     if (n == 0) break;  // terminator chunk
+    if (n > (buf.size() - pos) / 5 + 1)
+      throw TraceReadError("implausible chunk record count", pos);
     for (std::uint64_t i = 0; i < n; ++i) {
       const auto cpu = static_cast<std::size_t>(get_varint(buf, pos));
-      OSN_ASSERT_MSG(cpu < 65536, "stream chunk cpu out of range");
+      if (cpu >= 65536) throw TraceReadError("stream chunk cpu out of range", pos);
       if (cpu >= per_cpu.size()) {
         per_cpu.resize(cpu + 1);
         prev_ts.resize(cpu + 1, 0);
@@ -143,15 +237,11 @@ TraceModel deserialize_stream(const std::vector<std::uint8_t>& buf, std::size_t 
 
   TraceMeta meta;
   std::map<Pid, TaskInfo> tasks;
-  get_meta_and_tasks(buf, pos, meta, tasks);
-  meta.drain.records = get_varint(buf, pos);
-  meta.drain.batches = get_varint(buf, pos);
-  meta.drain.max_batch = get_varint(buf, pos);
-  meta.drain.lost = get_varint(buf, pos);
-  meta.drain.overwritten = get_varint(buf, pos);
-  meta.drain.producer_stalls = get_varint(buf, pos);
-  OSN_ASSERT_MSG(pos == buf.size(), "trailing bytes after trace");
-  OSN_ASSERT_MSG(per_cpu.size() <= meta.n_cpus, "stream chunk cpu >= n_cpus");
+  osnt::get_meta_and_tasks(buf.data(), buf.size(), pos, meta, tasks);
+  osnt::get_drain(buf.data(), buf.size(), pos, meta.drain);
+  if (pos != buf.size()) throw TraceReadError("trailing bytes after trace", pos);
+  if (per_cpu.size() > meta.n_cpus)
+    throw TraceReadError("stream chunk cpu >= n_cpus", pos);
   per_cpu.resize(meta.n_cpus);
   return TraceModel(std::move(meta), std::move(per_cpu), std::move(tasks));
 }
@@ -160,34 +250,16 @@ TraceModel deserialize_stream(const std::vector<std::uint8_t>& buf, std::size_t 
 
 TraceModel deserialize_trace(const std::vector<std::uint8_t>& buf) {
   std::size_t pos = 0;
-  OSN_ASSERT_MSG(get_varint(buf, pos) == kMagic, "bad magic: not an OSNT trace");
+  if (get_varint(buf, pos) != osnt::kMagic)
+    throw TraceReadError("bad magic: not an OSNT trace", 0);
   const std::uint64_t version = get_varint(buf, pos);
-  OSN_ASSERT_MSG(version == kVersion || version == kVersionStream,
-                 "unsupported OSNT version");
-  if (version == kVersionStream) return deserialize_stream(buf, pos);
-
-  TraceMeta meta;
-  std::map<Pid, TaskInfo> tasks;
-  get_meta_and_tasks(buf, pos, meta, tasks);
-
-  std::vector<std::vector<tracebuf::EventRecord>> per_cpu(meta.n_cpus);
-  for (CpuId c = 0; c < meta.n_cpus; ++c) {
-    const std::uint64_t n = get_varint(buf, pos);
-    per_cpu[c].reserve(n);
-    TimeNs ts = 0;
-    for (std::uint64_t i = 0; i < n; ++i) {
-      tracebuf::EventRecord rec;
-      ts += get_varint(buf, pos);
-      rec.timestamp = ts;
-      rec.pid = static_cast<std::uint32_t>(get_varint(buf, pos));
-      rec.cpu = c;
-      rec.event = static_cast<std::uint16_t>(get_varint(buf, pos));
-      rec.arg = get_varint(buf, pos);
-      per_cpu[c].push_back(rec);
-    }
+  if (version == osnt::kVersionWhole) return deserialize_whole(buf, pos);
+  if (version == osnt::kVersionStream) return deserialize_stream(buf, pos);
+  if (version == osnt::kVersionChunked) {
+    OsntReader reader(buf);
+    return reader.read_all();
   }
-  OSN_ASSERT_MSG(pos == buf.size(), "trailing bytes after trace");
-  return TraceModel(std::move(meta), std::move(per_cpu), std::move(tasks));
+  throw TraceReadError("unsupported OSNT version", pos);
 }
 
 bool write_trace_file(const TraceModel& model, const std::string& path) {
@@ -198,34 +270,75 @@ bool write_trace_file(const TraceModel& model, const std::string& path) {
   return std::fwrite(bytes.data(), 1, bytes.size(), f.get()) == bytes.size();
 }
 
+TraceModel read_trace_file(const std::string& path) {
+  OsntReader reader(path);
+  return reader.read_all();
+}
+
 // ---------------------------------------------------------------------------
-// OsntStreamWriter — the v2 chunked layout, written incrementally.
+// OsntStreamWriter — the chunked layouts (v2, and the indexed v3 default),
+// written incrementally.
 // ---------------------------------------------------------------------------
 
-OsntStreamWriter::OsntStreamWriter(const std::string& path, std::size_t chunk_records)
-    : file_(std::fopen(path.c_str(), "wb")), chunk_records_(chunk_records) {
+OsntStreamWriter::OsntStreamWriter(const std::string& path, std::size_t chunk_records,
+                                   Format format)
+    : file_(std::fopen(path.c_str(), "wb")), format_(format), chunk_records_(chunk_records) {
   OSN_ASSERT_MSG(chunk_records_ >= 1, "chunk must hold at least one record");
   if (file_ == nullptr) {
     failed_ = true;
     return;
   }
   std::vector<std::uint8_t> header;
-  put_varint(header, kMagic);
-  put_varint(header, kVersionStream);
-  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size())
-    failed_ = true;
+  put_varint(header, osnt::kMagic);
+  put_varint(header, format_ == Format::kV3 ? osnt::kVersionChunked : osnt::kVersionStream);
+  write_bytes(header.data(), header.size());
 }
 
 OsntStreamWriter::~OsntStreamWriter() {
-  if (file_ != nullptr) std::fclose(file_);
+  if (file_ == nullptr) return;
+  if (!finished_ && format_ == Format::kV3) {
+    // Best-effort truncation sentinel: flush what we have and mark the file
+    // so the reader reports "truncated" instead of failing to parse. The
+    // metadata footer is unavailable (finish() never ran), so footer_offset
+    // is written as 0 and the truncated flag is set.
+    flush_chunk();
+    std::vector<std::uint8_t> term;
+    put_varint(term, 0);
+    write_bytes(term.data(), term.size());
+    write_index_and_trailer(/*footer_offset=*/0);
+  }
+  std::fclose(file_);
+}
+
+void OsntStreamWriter::write_bytes(const void* data, std::size_t n) {
+  if (file_ == nullptr || n == 0) return;
+  if (std::fwrite(data, 1, n, file_) != n) failed_ = true;
+  file_pos_ += n;
 }
 
 void OsntStreamWriter::append(const tracebuf::EventRecord& rec) {
   OSN_ASSERT_MSG(!finished_, "append after finish");
-  if (rec.cpu >= prev_ts_.size()) prev_ts_.resize(rec.cpu + 1u, 0);
+  if (rec.cpu >= prev_ts_.size()) {
+    prev_ts_.resize(rec.cpu + 1u, 0);
+    chunk_prev_ts_.resize(rec.cpu + 1u, 0);
+    chunk_seen_.resize(rec.cpu + 1u, false);
+  }
   OSN_ASSERT_MSG(rec.timestamp >= prev_ts_[rec.cpu], "stream not time-ordered");
   put_varint(chunk_buf_, rec.cpu);
-  put_varint(chunk_buf_, rec.timestamp - prev_ts_[rec.cpu]);
+  if (format_ == Format::kV3) {
+    // Per-chunk delta reset: a CPU's first record in a chunk carries its
+    // absolute timestamp, so every chunk decodes independently (the basis
+    // of parallel decode and windowed reads).
+    const TimeNs base = chunk_seen_[rec.cpu] ? chunk_prev_ts_[rec.cpu] : 0;
+    put_varint(chunk_buf_, rec.timestamp - base);
+    chunk_prev_ts_[rec.cpu] = rec.timestamp;
+    chunk_seen_[rec.cpu] = true;
+    if (in_chunk_ == 0) cur_.t_first = rec.timestamp;
+    cur_.t_last = rec.timestamp;
+    cur_.cpu_mask |= 1ULL << std::min<std::uint32_t>(rec.cpu, 63);
+  } else {
+    put_varint(chunk_buf_, rec.timestamp - prev_ts_[rec.cpu]);
+  }
   prev_ts_[rec.cpu] = rec.timestamp;
   put_varint(chunk_buf_, rec.pid);
   put_varint(chunk_buf_, rec.event);
@@ -237,13 +350,48 @@ void OsntStreamWriter::append(const tracebuf::EventRecord& rec) {
 
 void OsntStreamWriter::flush_chunk() {
   if (in_chunk_ == 0 || file_ == nullptr) return;
-  std::vector<std::uint8_t> count;
-  put_varint(count, in_chunk_);
-  if (std::fwrite(count.data(), 1, count.size(), file_) != count.size() ||
-      std::fwrite(chunk_buf_.data(), 1, chunk_buf_.size(), file_) != chunk_buf_.size())
-    failed_ = true;
+  cur_.offset = file_pos_;
+  cur_.records = in_chunk_;
+  cur_.payload_len = chunk_buf_.size();
+
+  std::vector<std::uint8_t> header;
+  put_varint(header, in_chunk_);
+  if (format_ == Format::kV3) put_varint(header, chunk_buf_.size());
+  write_bytes(header.data(), header.size());
+  write_bytes(chunk_buf_.data(), chunk_buf_.size());
+  if (format_ == Format::kV3) {
+    std::vector<std::uint8_t> crc;
+    osnt::put_u32le(crc, crc32(chunk_buf_.data(), chunk_buf_.size()));
+    write_bytes(crc.data(), crc.size());
+    index_.push_back(cur_);
+    cur_ = ChunkEntry{};
+    std::fill(chunk_seen_.begin(), chunk_seen_.end(), false);
+  }
   chunk_buf_.clear();
   in_chunk_ = 0;
+}
+
+void OsntStreamWriter::write_index_and_trailer(std::uint64_t footer_offset) {
+  const std::uint64_t index_offset = file_pos_;
+  std::vector<std::uint8_t> idx;
+  put_varint(idx, index_.size());
+  for (const ChunkEntry& e : index_) {
+    put_varint(idx, e.offset);
+    put_varint(idx, e.records);
+    put_varint(idx, e.payload_len);
+    put_varint(idx, e.t_first);
+    put_varint(idx, e.t_last - e.t_first);
+    put_varint(idx, e.cpu_mask);
+  }
+  osnt::put_u32le(idx, crc32(idx.data(), idx.size()));
+  write_bytes(idx.data(), idx.size());
+
+  std::vector<std::uint8_t> trailer;
+  osnt::put_u64le(trailer, index_offset);
+  osnt::put_u64le(trailer, footer_offset);
+  osnt::put_u32le(trailer, footer_offset == 0 ? osnt::kFlagTruncated : 0);
+  osnt::put_u32le(trailer, osnt::kTrailerMagic);
+  write_bytes(trailer.data(), trailer.size());
 }
 
 bool OsntStreamWriter::finish(const TraceMeta& meta, const std::map<Pid, TaskInfo>& tasks) {
@@ -253,30 +401,14 @@ bool OsntStreamWriter::finish(const TraceMeta& meta, const std::map<Pid, TaskInf
   flush_chunk();
   std::vector<std::uint8_t> footer;
   put_varint(footer, 0);  // chunk terminator
-  put_meta_and_tasks(footer, meta, tasks);
-  put_varint(footer, meta.drain.records);
-  put_varint(footer, meta.drain.batches);
-  put_varint(footer, meta.drain.max_batch);
-  put_varint(footer, meta.drain.lost);
-  put_varint(footer, meta.drain.overwritten);
-  put_varint(footer, meta.drain.producer_stalls);
-  if (std::fwrite(footer.data(), 1, footer.size(), file_) != footer.size())
-    failed_ = true;
+  const std::uint64_t footer_offset = file_pos_ + footer.size();
+  osnt::put_meta_and_tasks(footer, meta, tasks);
+  osnt::put_drain(footer, meta.drain);
+  write_bytes(footer.data(), footer.size());
+  if (format_ == Format::kV3) write_index_and_trailer(footer_offset);
   if (std::fclose(file_) != 0) failed_ = true;
   file_ = nullptr;
   return !failed_;
-}
-
-TraceModel read_trace_file(const std::string& path) {
-  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(std::fopen(path.c_str(), "rb"),
-                                                    &std::fclose);
-  OSN_ASSERT_MSG(f != nullptr, "cannot open trace file");
-  std::vector<std::uint8_t> bytes;
-  std::uint8_t chunk[65536];
-  std::size_t n;
-  while ((n = std::fread(chunk, 1, sizeof(chunk), f.get())) > 0)
-    bytes.insert(bytes.end(), chunk, chunk + n);
-  return deserialize_trace(bytes);
 }
 
 }  // namespace osn::trace

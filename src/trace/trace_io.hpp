@@ -7,14 +7,43 @@
 // pre-processing split the paper describes (instrument statically, analyze
 // offline).
 //
-// Two layouts share the magic:
+// Three layouts share the magic:
 //  * v1 (serialize_trace) — whole-trace: per-CPU streams with up-front
 //    counts. Requires the complete trace in memory before writing.
-//  * v2 (OsntStreamWriter) — streamed: a sequence of record chunks in global
-//    merged order, each record tagged with its cpu, followed by a metadata
-//    footer (the counts are not known until the run ends). This is what the
-//    live consumer-daemon pipeline writes: bounded memory, chunk-at-a-time
-//    I/O. deserialize_trace reads both and yields identical TraceModels.
+//  * v2 — streamed: a sequence of record chunks in global merged order, each
+//    record tagged with its cpu, followed by a metadata footer (the counts
+//    are not known until the run ends). Bounded memory, chunk-at-a-time I/O.
+//  * v3 (OsntStreamWriter default) — chunk-indexed: like v2, but every chunk
+//    is independently decodable (per-CPU timestamp deltas reset at each
+//    chunk boundary), carries a CRC-32 of its payload, and the file ends
+//    with a footer index (file offset, record count, time range, cpu mask
+//    per chunk) plus a fixed-width trailer locating it. The index lets the
+//    reader decode chunks in parallel, serve time-window queries without
+//    decoding the whole file, and verify integrity chunk by chunk; the
+//    trailer's truncation flag marks files whose writer died before
+//    finish() (best-effort sentinel written by the destructor).
+//
+//    v3 byte layout:
+//      varint magic 'OSNT', varint version=3
+//      chunk*:  varint record_count (>0), varint payload_len,
+//               payload = record_count x [cpu, ts_delta, pid, event, arg]
+//               varints (ts_delta per CPU, reset each chunk: a CPU's first
+//               record in a chunk carries its absolute timestamp),
+//               u32le crc32(payload)
+//      varint 0 (terminator)
+//      footer:  meta + task table + drain counters  (absent when truncated)
+//      index:   varint n_chunks, then per chunk [offset, record_count,
+//               payload_len, t_first, t_last - t_first, cpu_mask] varints,
+//               u32le crc32(index bytes)
+//      trailer: u64le index_offset, u64le footer_offset (0 when truncated),
+//               u32le flags (bit 0 = truncated), u32le magic 'OSN3'
+//
+// deserialize_trace / read_trace_file read all three and yield identical
+// TraceModels. Malformed input throws trace::TraceReadError (see
+// trace_error.hpp) — corrupt storage is an input condition, not a
+// programming error. OsntReader (osnt_reader.hpp) is the random-access,
+// windowed, parallel v3 reader; EventSource (event_source.hpp) is the
+// uniform ingestion interface over all of it.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +52,7 @@
 #include <string>
 #include <vector>
 
+#include "trace/trace_error.hpp"
 #include "trace/trace_model.hpp"
 
 namespace osn::trace {
@@ -30,31 +60,41 @@ namespace osn::trace {
 /// Appends a LEB128 varint to `out`.
 void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v);
 
-/// Reads a LEB128 varint at `pos`, advancing it. Asserts on truncation.
+/// Reads a LEB128 varint at `pos`, advancing it. Throws TraceReadError on
+/// truncation or an over-long encoding.
+std::uint64_t get_varint(const std::uint8_t* data, std::size_t size, std::size_t& pos);
 std::uint64_t get_varint(const std::vector<std::uint8_t>& buf, std::size_t& pos);
 
-/// Serializes a trace to the OSNT binary format.
+/// Serializes a trace to the OSNT v1 (whole-trace) binary layout.
 std::vector<std::uint8_t> serialize_trace(const TraceModel& model);
 
-/// Parses an OSNT buffer back into a TraceModel. Asserts on malformed input
-/// via OSN_ASSERT (corrupted traces are a programming/storage error here).
+/// Parses an OSNT buffer (any version) back into a TraceModel. Throws
+/// TraceReadError on malformed input.
 TraceModel deserialize_trace(const std::vector<std::uint8_t>& buf);
 
-/// File convenience wrappers; return false / abort on I/O failure.
+/// File convenience wrappers. write_trace_file returns false on I/O failure;
+/// read_trace_file throws TraceReadError on open/parse failure.
 bool write_trace_file(const TraceModel& model, const std::string& path);
 TraceModel read_trace_file(const std::string& path);
 
-/// Incremental writer for the streamed (v2) OSNT layout.
+/// Incremental writer for the streamed OSNT layouts (v3 by default).
 ///
 /// Feed records in global merged order via append() — per-CPU subsequences
 /// must stay time-ordered (the consumer daemon's emit order satisfies both).
 /// Records are buffered into chunks of `chunk_records` and flushed to disk as
 /// each chunk fills, so memory stays O(chunk) regardless of trace length.
-/// finish() writes the terminator and metadata footer; a writer that is
-/// destroyed without finish() leaves an unreadable file.
+/// finish() writes the terminator, metadata footer and (v3) chunk index.
+/// A v3 writer destroyed without finish() flushes the open chunk and writes
+/// a best-effort index + trailer flagged "truncated", so the reader can
+/// still recover every flushed record and report the truncation instead of
+/// choking on an unreadable file. (A v2 writer destroyed without finish()
+/// leaves an unreadable file — one of the reasons v3 exists.)
 class OsntStreamWriter {
  public:
-  explicit OsntStreamWriter(const std::string& path, std::size_t chunk_records = 8192);
+  enum class Format { kV2, kV3 };
+
+  explicit OsntStreamWriter(const std::string& path, std::size_t chunk_records = 8192,
+                            Format format = Format::kV3);
   ~OsntStreamWriter();
 
   OsntStreamWriter(const OsntStreamWriter&) = delete;
@@ -65,23 +105,41 @@ class OsntStreamWriter {
 
   void append(const tracebuf::EventRecord& rec);
 
-  /// Flushes the final chunk, writes the footer and closes the file.
-  /// Returns ok(). Idempotent.
+  /// Flushes the final chunk, writes footer/index/trailer and closes the
+  /// file. Returns ok(). Idempotent.
   bool finish(const TraceMeta& meta, const std::map<Pid, TaskInfo>& tasks);
 
   std::uint64_t records_written() const { return records_; }
 
  private:
+  /// Per-chunk index bookkeeping (mirrors trace::ChunkInfo on disk).
+  struct ChunkEntry {
+    std::uint64_t offset = 0;
+    std::uint64_t records = 0;
+    std::uint64_t payload_len = 0;
+    TimeNs t_first = 0;
+    TimeNs t_last = 0;
+    std::uint64_t cpu_mask = 0;
+  };
+
+  void write_bytes(const void* data, std::size_t n);
   void flush_chunk();
+  void write_index_and_trailer(std::uint64_t footer_offset);
 
   std::FILE* file_ = nullptr;
+  Format format_;
   bool failed_ = false;
   bool finished_ = false;
   std::size_t chunk_records_;
   std::size_t in_chunk_ = 0;
   std::uint64_t records_ = 0;
+  std::uint64_t file_pos_ = 0;
   std::vector<std::uint8_t> chunk_buf_;
-  std::vector<TimeNs> prev_ts_;  ///< per-cpu previous timestamp (delta base)
+  std::vector<TimeNs> prev_ts_;  ///< per-cpu previous timestamp (order check; v2 delta base)
+  std::vector<TimeNs> chunk_prev_ts_;  ///< v3: per-cpu delta base within the open chunk
+  std::vector<bool> chunk_seen_;       ///< v3: cpu has appeared in the open chunk
+  ChunkEntry cur_;                     ///< v3: stats of the open chunk
+  std::vector<ChunkEntry> index_;      ///< v3: flushed chunks
 };
 
 }  // namespace osn::trace

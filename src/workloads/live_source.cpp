@@ -1,0 +1,46 @@
+#include "workloads/live_source.hpp"
+
+namespace osn::workloads {
+
+LiveRunSource::LiveRunSource(Workload& workload, std::uint64_t seed, LiveOptions options)
+    : workload_(&workload), seed_(seed), options_(std::move(options)) {
+  options_.on_record = nullptr;
+}
+
+void LiveRunSource::ensure_ran() {
+  if (ran_) return;
+  LiveOptions opts = options_;
+  opts.on_record = [this](const tracebuf::EventRecord& rec) { records_.push_back(rec); };
+  LiveRunResult result = run_workload_live(*workload_, seed_, opts);
+  meta_ = std::move(result.meta);
+  tasks_ = std::move(result.tasks);
+  ran_ = true;
+}
+
+const trace::TraceMeta& LiveRunSource::meta() {
+  ensure_ran();
+  return meta_;
+}
+
+const std::map<Pid, trace::TaskInfo>& LiveRunSource::tasks() {
+  ensure_ran();
+  return tasks_;
+}
+
+void LiveRunSource::for_each(const std::function<void(const tracebuf::EventRecord&)>& fn) {
+  ensure_ran();
+  for (const auto& rec : records_) fn(rec);
+}
+
+trace::TraceModel LiveRunSource::to_model(ThreadPool* /*pool*/) {
+  ensure_ran();
+  std::vector<std::vector<tracebuf::EventRecord>> per_cpu(meta_.n_cpus);
+  for (const auto& rec : records_) {
+    if (rec.cpu >= per_cpu.size()) per_cpu.resize(rec.cpu + 1u);
+    per_cpu[rec.cpu].push_back(rec);
+  }
+  per_cpu.resize(meta_.n_cpus);
+  return trace::TraceModel(meta_, std::move(per_cpu), tasks_);
+}
+
+}  // namespace osn::workloads

@@ -1,0 +1,54 @@
+// LiveRunSource — the live consumer-daemon pipeline as an EventSource.
+//
+// The third ingestion path next to ModelEventSource and FileEventSource: the
+// records come from running a workload under the concurrent consumer drain
+// (run_workload_live), not from memory or disk. The workload runs exactly
+// once — a Workload object is single-use — on first access; the drained
+// merged record sequence is cached so for_each/to_model can replay it any
+// number of times, and it matches the offline run_workload trace for the
+// same seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/event_source.hpp"
+#include "workloads/workload.hpp"
+
+namespace osn::workloads {
+
+class LiveRunSource final : public trace::EventSource {
+ public:
+  /// The workload must outlive the source. `options.on_record` is ignored —
+  /// the drain sink is supplied internally.
+  LiveRunSource(Workload& workload, std::uint64_t seed, LiveOptions options = {});
+
+  /// Metadata/tasks of the run (drain counters filled in). Triggers the
+  /// one-time live run if the source has not been streamed yet.
+  const trace::TraceMeta& meta() override;
+  const std::map<Pid, trace::TaskInfo>& tasks() override;
+
+  /// Delivers every drained record in global merged order. The first call
+  /// performs the live run; later calls replay the cached sequence.
+  void for_each(const std::function<void(const tracebuf::EventRecord&)>& fn) override;
+
+  /// Materializes the live run as a TraceModel (equal to run_workload's
+  /// trace for the same seed, plus drain counters).
+  trace::TraceModel to_model(ThreadPool* pool = nullptr) override;
+
+  /// Drain counters of the run.
+  const trace::DrainStats& drain() const { return meta_.drain; }
+
+ private:
+  void ensure_ran();
+
+  Workload* workload_;
+  std::uint64_t seed_;
+  LiveOptions options_;
+  bool ran_ = false;
+  trace::TraceMeta meta_;
+  std::map<Pid, trace::TaskInfo> tasks_;
+  std::vector<tracebuf::EventRecord> records_;  ///< drained merged order
+};
+
+}  // namespace osn::workloads

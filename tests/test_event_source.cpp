@@ -1,0 +1,196 @@
+// EventSource contract tests: every ingestion path (in-memory model, OSNT
+// file v1/v2/v3) must deliver the identical trace — same model, same merged
+// order, same windows — and the v3 parallel/indexed fast paths must be
+// bit-identical to the generic ones at any worker count.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "noise/streaming.hpp"
+#include "trace/event_source.hpp"
+#include "trace/osnt_reader.hpp"
+#include "trace/trace_io.hpp"
+#include "trace_builder.hpp"
+
+namespace osn::trace {
+namespace {
+
+using osn::testing::TraceBuilder;
+
+TraceModel sample_trace() {
+  TraceBuilder b(4);
+  b.task(1, "rank0", true).task(2, "rank1", true).task(9, "events/0", false, true);
+  TimeNs t = 100;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const CpuId cpu = static_cast<CpuId>(i % 4);
+    const Pid pid = static_cast<Pid>(1 + i % 2);
+    b.pair(cpu, t, t + 300, pid, EventType::kIrqEntry, 0);
+    b.pair(cpu, t + 400, t + 650, pid, EventType::kSoftirqEntry, 1);
+    if (i % 7 == 0) b.ev(cpu, t + 700, 9, EventType::kSchedWakeup, 1);
+    t += 900 + 11 * (i % 5);
+  }
+  return b.build(t + 500);
+}
+
+std::string write_temp(const TraceModel& model, OsntStreamWriter::Format format,
+                       const std::string& name, std::size_t chunk_records = 32) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  OsntStreamWriter writer(path, chunk_records, format);
+  for (const auto& rec : model.merged()) writer.append(rec);
+  EXPECT_TRUE(writer.finish(model.meta(), model.tasks()));
+  return path;
+}
+
+// Model source, v1 file, v2 file and v3 file all materialize the same trace.
+TEST(EventSource, AllSourcesYieldIdenticalModels) {
+  const TraceModel original = sample_trace();
+
+  const std::string v1 = ::testing::TempDir() + "/es_v1.osnt";
+  ASSERT_TRUE(write_trace_file(original, v1));
+  const std::string v2 = write_temp(original, OsntStreamWriter::Format::kV2, "es_v2.osnt");
+  const std::string v3 = write_temp(original, OsntStreamWriter::Format::kV3, "es_v3.osnt");
+
+  auto from_model = wrap_model(original);
+  EXPECT_EQ(from_model->to_model(), original);
+  for (const std::string& path : {v1, v2, v3}) {
+    auto source = open_trace_source(path);
+    EXPECT_EQ(source->to_model(), original) << path;
+    EXPECT_EQ(source->meta(), original.meta()) << path;
+    EXPECT_EQ(source->tasks(), original.tasks()) << path;
+  }
+  std::remove(v1.c_str());
+  std::remove(v2.c_str());
+  std::remove(v3.c_str());
+}
+
+// for_each delivers the global merged order on every source.
+TEST(EventSource, ForEachDeliversMergedOrder) {
+  const TraceModel original = sample_trace();
+  const auto merged = original.merged();
+  const std::string v3 = write_temp(original, OsntStreamWriter::Format::kV3, "es_fe.osnt");
+
+  auto collect = [](EventSource& s) {
+    std::vector<tracebuf::EventRecord> out;
+    s.for_each([&out](const tracebuf::EventRecord& r) { out.push_back(r); });
+    return out;
+  };
+  ModelEventSource model_source(original);
+  EXPECT_EQ(collect(model_source), merged);
+  FileEventSource file_source(v3);
+  EXPECT_EQ(collect(file_source), merged);
+  std::remove(v3.c_str());
+}
+
+// The v3 parallel decode is bit-identical to the serial one at any jobs
+// count — the reader-side half of the determinism contract.
+TEST(EventSource, ParallelDecodeIsDeterministic) {
+  const TraceModel original = sample_trace();
+  const std::string v3 =
+      write_temp(original, OsntStreamWriter::Format::kV3, "es_par.osnt", /*chunk_records=*/8);
+
+  FileEventSource serial(v3);
+  const TraceModel reference = serial.to_model(nullptr);
+  EXPECT_EQ(reference, original);
+  for (const std::size_t jobs : {2u, 8u}) {
+    ThreadPool pool(jobs);
+    FileEventSource source(v3);
+    EXPECT_EQ(source.to_model(&pool), reference) << jobs << " jobs";
+  }
+  std::remove(v3.c_str());
+}
+
+// Windowed reads: the v3 index path (decode only overlapping chunks) equals
+// the generic fallback (full decode + clip), serial and parallel, and the
+// window edges repair cut entry/exit frames so the model still validates.
+TEST(EventSource, WindowedReadMatchesGenericClip) {
+  const TraceModel original = sample_trace();
+  const std::string v3 =
+      write_temp(original, OsntStreamWriter::Format::kV3, "es_win.osnt", /*chunk_records=*/8);
+
+  const TimeNs mid = original.meta().end_ns / 2;
+  const std::vector<std::pair<TimeNs, TimeNs>> windows = {
+      {0, original.meta().end_ns},       // everything
+      {mid / 2, mid},                    // interior slice
+      {305, 60'000},                     // cuts through open frames
+      {original.meta().end_ns, original.meta().end_ns + 1000},  // past the end
+  };
+  for (const auto& [t0, t1] : windows) {
+    const TraceModel expected = window_of(original, t0, t1);
+    EXPECT_EQ(expected.validate(), "") << t0 << ":" << t1;
+
+    FileEventSource file_source(v3);
+    EXPECT_EQ(file_source.to_model_window(t0, t1), expected) << t0 << ":" << t1;
+
+    ThreadPool pool(4);
+    FileEventSource par_source(v3);
+    EXPECT_EQ(par_source.to_model_window(t0, t1, &pool), expected) << t0 << ":" << t1;
+
+    // Generic fallback (ModelEventSource has no index).
+    ModelEventSource model_source(original);
+    EXPECT_EQ(model_source.to_model_window(t0, t1), expected) << t0 << ":" << t1;
+  }
+  std::remove(v3.c_str());
+}
+
+// A window cutting through nested frames keeps pairing balanced: unmatched
+// exits at the head and unclosed entries at the tail are dropped.
+TEST(EventSource, WindowRepairsCutFrames) {
+  TraceBuilder b(1);
+  b.task(1, "rank0", true);
+  // Events in per-CPU time order: a syscall spanning the window start, an
+  // irq pair nested fully inside it, and a syscall spanning the window end.
+  b.ev(0, 100, 1, EventType::kSyscallEntry, 0);
+  b.ev(0, 2'000, 1, EventType::kIrqEntry, 0);
+  b.ev(0, 3'000, 1, EventType::kIrqExit, 0);
+  b.ev(0, 10'000, 1, EventType::kSyscallExit, 0);
+  b.ev(0, 12'000, 1, EventType::kSyscallEntry, 1);
+  b.ev(0, 30'000, 1, EventType::kSyscallExit, 1);
+  const TraceModel model = b.build(40'000);
+
+  const TraceModel window = window_of(model, 1'500, 15'000);
+  EXPECT_EQ(window.validate(), "");
+  // Kept: the inner irq pair + the syscall exit's partner was cut -> dropped;
+  // the second syscall's entry is unclosed -> dropped.
+  ASSERT_EQ(window.total_events(), 2u);
+  EXPECT_EQ(window.cpu_events(0)[0].timestamp, 2'000u);
+  EXPECT_EQ(window.cpu_events(0)[1].timestamp, 3'000u);
+  EXPECT_EQ(window.meta().start_ns, 1'500u);
+  EXPECT_EQ(window.meta().end_ns, 15'000u);
+}
+
+// The streaming analyzer accepts any EventSource and produces the same
+// accumulators whichever source fed it.
+TEST(EventSource, StreamingStatsConsumesAnySource) {
+  const TraceModel original = sample_trace();
+  const std::string v3 = write_temp(original, OsntStreamWriter::Format::kV3, "es_ss.osnt");
+
+  noise::StreamingStats from_model;
+  ModelEventSource model_source(original);
+  from_model.consume(model_source);
+
+  noise::StreamingStats from_file;
+  FileEventSource file_source(v3);
+  from_file.consume(file_source);
+
+  EXPECT_EQ(from_model.consumed(), original.total_events());
+  EXPECT_EQ(from_file.consumed(), original.total_events());
+  EXPECT_EQ(from_model.open_frames(), 0u);
+  EXPECT_EQ(from_file.open_frames(), 0u);
+  const DurNs dur = original.duration();
+  for (int k = 0; k < static_cast<int>(noise::ActivityKind::kMaxKind); ++k) {
+    const auto kind = static_cast<noise::ActivityKind>(k);
+    const auto a = from_model.activity_stats(kind, dur, original.cpu_count());
+    const auto b = from_file.activity_stats(kind, dur, original.cpu_count());
+    EXPECT_EQ(a.count, b.count);
+    EXPECT_EQ(a.avg_ns, b.avg_ns);
+    EXPECT_EQ(a.max_ns, b.max_ns);
+    EXPECT_EQ(a.min_ns, b.min_ns);
+  }
+  std::remove(v3.c_str());
+}
+
+}  // namespace
+}  // namespace osn::trace

@@ -1,0 +1,123 @@
+// Cross-format equivalence (the compat-shim contract): the same synthetic
+// 8-CPU trace stored as OSNT v1, v2 and v3 must produce the identical
+// TraceModel and *byte-identical* analysis artifacts — intervals CSV, summary
+// JSON, Paraver export — whichever format, ingestion path (direct model vs
+// EventSource) and worker count produced them.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "export/csv.hpp"
+#include "export/json.hpp"
+#include "export/paraver.hpp"
+#include "noise/analysis.hpp"
+#include "trace/event_source.hpp"
+#include "trace/trace_io.hpp"
+#include "trace_builder.hpp"
+
+namespace osn::trace {
+namespace {
+
+using osn::testing::TraceBuilder;
+
+/// A synthetic 8-CPU trace with app ranks, a kernel daemon, kernel activity
+/// of several kinds, barrier windows and preemption-ish scheduling churn.
+TraceModel synthetic_trace() {
+  TraceBuilder b(8);
+  for (Pid r = 1; r <= 8; ++r) b.task(r, "rank" + std::to_string(r - 1), true);
+  b.task(20, "rpciod", false, true);
+  for (CpuId cpu = 0; cpu < 8; ++cpu) {
+    const Pid rank = static_cast<Pid>(cpu + 1);
+    TimeNs t = 1'000 + static_cast<TimeNs>(cpu) * 37;
+    b.ev(cpu, t, rank, EventType::kAppMark,
+         static_cast<std::uint64_t>(AppMark::kComputeBegin));
+    for (std::uint64_t i = 0; i < 60; ++i) {
+      b.pair(cpu, t + 200, t + 200 + 2'000 + 70 * (i % 9), rank, EventType::kIrqEntry, 0);
+      if (i % 3 == 0)
+        b.pair(cpu, t + 3'000, t + 3'600, rank, EventType::kSoftirqEntry,
+               static_cast<std::uint64_t>(SoftirqNr::kTimer));
+      if (i % 5 == 0)
+        b.pair(cpu, t + 4'000, t + 6'500, rank, EventType::kPageFaultEntry,
+               static_cast<std::uint64_t>(PageFaultKind::kMinorAnon));
+      if (i % 11 == 0) {
+        b.ev(cpu, t + 7'000, rank, EventType::kAppMark,
+             static_cast<std::uint64_t>(AppMark::kBarrierEnter));
+        b.ev(cpu, t + 8'500, rank, EventType::kAppMark,
+             static_cast<std::uint64_t>(AppMark::kBarrierExit));
+      }
+      t += 10'000 + 13 * (i % 7) + cpu;  // cpu is unsigned; keeps streams distinct
+    }
+    b.ev(cpu, t, rank, EventType::kAppMark,
+         static_cast<std::uint64_t>(AppMark::kComputeEnd));
+  }
+  return b.build(650'000);
+}
+
+struct Artifacts {
+  std::string csv;
+  std::string json;
+  exporter::ParaverFiles paraver;
+};
+
+Artifacts artifacts_of(const noise::NoiseAnalysis& analysis) {
+  return {exporter::intervals_csv(analysis), exporter::summary_json(analysis),
+          exporter::export_paraver(analysis)};
+}
+
+TEST(FormatEquivalence, V1V2V3ProduceByteIdenticalAnalysis) {
+  const TraceModel original = synthetic_trace();
+  ASSERT_EQ(original.validate(), "");
+
+  // Store the identical trace in all three layouts.
+  const std::string v1 = ::testing::TempDir() + "/fmt_v1.osnt";
+  ASSERT_TRUE(write_trace_file(original, v1));
+  const std::string v2 = ::testing::TempDir() + "/fmt_v2.osnt";
+  const std::string v3 = ::testing::TempDir() + "/fmt_v3.osnt";
+  {
+    OsntStreamWriter w2(v2, 64, OsntStreamWriter::Format::kV2);
+    OsntStreamWriter w3(v3, 64, OsntStreamWriter::Format::kV3);
+    for (const auto& rec : original.merged()) {
+      w2.append(rec);
+      w3.append(rec);
+    }
+    ASSERT_TRUE(w2.finish(original.meta(), original.tasks()));
+    ASSERT_TRUE(w3.finish(original.meta(), original.tasks()));
+  }
+
+  // Reference: analysis straight off the in-memory model, serial.
+  noise::AnalysisOptions serial;
+  serial.jobs = 1;
+  const noise::NoiseAnalysis reference(original, serial);
+  const Artifacts expected = artifacts_of(reference);
+  EXPECT_FALSE(expected.csv.empty());
+  EXPECT_FALSE(expected.json.empty());
+  EXPECT_FALSE(expected.paraver.prv.empty());
+
+  for (const std::string& path : {v1, v2, v3}) {
+    auto source = open_trace_source(path);
+    const TraceModel decoded = source->to_model();
+    EXPECT_EQ(decoded, original) << path;
+
+    // Through the EventSource ctor, serial and parallel.
+    for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+      auto src = open_trace_source(path);
+      noise::AnalysisOptions opts;
+      opts.jobs = jobs;
+      const noise::NoiseAnalysis analysis(*src, opts);
+      const Artifacts got = artifacts_of(analysis);
+      EXPECT_EQ(got.csv, expected.csv) << path << " jobs=" << jobs;
+      EXPECT_EQ(got.json, expected.json) << path << " jobs=" << jobs;
+      EXPECT_EQ(got.paraver.prv, expected.paraver.prv) << path << " jobs=" << jobs;
+      EXPECT_EQ(got.paraver.pcf, expected.paraver.pcf) << path << " jobs=" << jobs;
+      EXPECT_EQ(got.paraver.row, expected.paraver.row) << path << " jobs=" << jobs;
+    }
+  }
+  std::remove(v1.c_str());
+  std::remove(v2.c_str());
+  std::remove(v3.c_str());
+}
+
+}  // namespace
+}  // namespace osn::trace

@@ -14,6 +14,7 @@
 #include "noise/streaming.hpp"
 #include "trace/trace_io.hpp"
 #include "workloads/ftq.hpp"
+#include "workloads/live_source.hpp"
 #include "workloads/workload.hpp"
 
 namespace osn::workloads {
@@ -105,6 +106,42 @@ TEST(LivePipeline, TinyBuffersStillLoseNothing) {
 
   EXPECT_EQ(live.drain.lost, 0u);
   EXPECT_EQ(streamed, offline.trace.total_events());
+}
+
+// LiveRunSource is the third EventSource: the records come from a live
+// consumer-daemon run, and the materialized model equals the offline trace
+// (drain counters aside) — so any EventSource consumer can ingest a live
+// run without special-casing it.
+TEST(LivePipeline, LiveRunSourceMatchesOfflineTrace) {
+  constexpr std::uint64_t kSeed = 42;
+  FtqWorkload offline_wl = small_ftq();
+  const RunResult offline = run_workload(offline_wl, kSeed);
+
+  FtqWorkload live_wl = small_ftq();
+  LiveOptions opts;
+  opts.per_cpu_capacity = 1u << 10;
+  opts.batch_size = 64;
+  LiveRunSource source(live_wl, kSeed, opts);
+
+  const trace::TraceModel model = source.to_model();
+  ASSERT_EQ(model.cpu_count(), offline.trace.cpu_count());
+  for (CpuId c = 0; c < model.cpu_count(); ++c)
+    EXPECT_EQ(model.cpu_events(c), offline.trace.cpu_events(c)) << "cpu " << c;
+  EXPECT_EQ(model.tasks(), offline.trace.tasks());
+  EXPECT_GT(source.drain().records, 0u);
+  EXPECT_EQ(source.drain().lost, 0u);
+
+  // An analysis fed from the live source equals the offline one.
+  const noise::NoiseAnalysis offline_analysis(offline.trace);
+  noise::NoiseAnalysis live_analysis(source);
+  for (int k = 0; k < static_cast<int>(noise::ActivityKind::kMaxKind); ++k) {
+    const auto kind = static_cast<noise::ActivityKind>(k);
+    const noise::EventStats a = offline_analysis.activity_stats(kind);
+    const noise::EventStats b = live_analysis.activity_stats(kind);
+    EXPECT_EQ(a.count, b.count);
+    EXPECT_EQ(a.max_ns, b.max_ns);
+    EXPECT_EQ(a.min_ns, b.min_ns);
+  }
 }
 
 }  // namespace

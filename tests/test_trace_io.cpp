@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "trace/osnt_reader.hpp"
 #include "trace/trace_io.hpp"
 #include "trace_builder.hpp"
 
@@ -43,10 +44,24 @@ TEST(Varint, SequencesConcatenate) {
   EXPECT_EQ(pos, buf.size());
 }
 
-TEST(Varint, TruncatedInputDies) {
+// Malformed input is an input condition, not a programming error: the reader
+// throws a structured TraceReadError (with the byte offset) instead of
+// asserting, so tools can fail cleanly.
+TEST(Varint, TruncatedInputThrows) {
   std::vector<std::uint8_t> buf{0x80};  // continuation bit set, no next byte
   std::size_t pos = 0;
-  EXPECT_DEATH(get_varint(buf, pos), "truncated");
+  EXPECT_THROW(get_varint(buf, pos), TraceReadError);
+}
+
+TEST(Varint, OverlongEncodingThrows) {
+  std::vector<std::uint8_t> buf(11, 0x80);  // 11 continuation bytes > 64 bits
+  std::size_t pos = 0;
+  try {
+    get_varint(buf, pos);
+    FAIL() << "expected TraceReadError";
+  } catch (const TraceReadError& e) {
+    EXPECT_NE(std::string(e.what()).find("varint"), std::string::npos);
+  }
 }
 
 TraceModel sample_trace() {
@@ -80,15 +95,25 @@ TEST(TraceIo, DeltaEncodingIsCompact) {
   EXPECT_LT(bytes.size(), 1000u * 8u);
 }
 
-TEST(TraceIo, BadMagicDies) {
+TEST(TraceIo, BadMagicThrows) {
   std::vector<std::uint8_t> junk{1, 2, 3, 4, 5, 6, 7, 8};
-  EXPECT_DEATH(deserialize_trace(junk), "magic");
+  try {
+    deserialize_trace(junk);
+    FAIL() << "expected TraceReadError";
+  } catch (const TraceReadError& e) {
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos);
+  }
 }
 
-TEST(TraceIo, TrailingBytesDie) {
+TEST(TraceIo, TrailingBytesThrow) {
   auto bytes = serialize_trace(sample_trace());
   bytes.push_back(0);
-  EXPECT_DEATH(deserialize_trace(bytes), "trailing");
+  try {
+    deserialize_trace(bytes);
+    FAIL() << "expected TraceReadError";
+  } catch (const TraceReadError& e) {
+    EXPECT_NE(std::string(e.what()).find("trailing"), std::string::npos);
+  }
 }
 
 TEST(TraceIo, FileRoundTrip) {
@@ -100,8 +125,13 @@ TEST(TraceIo, FileRoundTrip) {
   std::remove(path.c_str());
 }
 
-TEST(TraceIo, UnreadableFileDies) {
-  EXPECT_DEATH(read_trace_file("/nonexistent/dir/file.osnt"), "cannot open");
+TEST(TraceIo, UnreadableFileThrows) {
+  try {
+    read_trace_file("/nonexistent/dir/file.osnt");
+    FAIL() << "expected TraceReadError";
+  } catch (const TraceReadError& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot open"), std::string::npos);
+  }
 }
 
 // Streaming the merged record sequence through the v2 chunked writer must
@@ -148,6 +178,97 @@ TEST(TraceIo, StreamWriterEmptyTrace) {
   ASSERT_TRUE(writer.ok());
   ASSERT_TRUE(writer.finish(original.meta(), original.tasks()));
   EXPECT_EQ(read_trace_file(path), original);
+  std::remove(path.c_str());
+}
+
+// The default (v3) stream writer produces a chunk-indexed file: every chunk
+// is in the footer index with its time range, and the indexed record count
+// matches what was written.
+TEST(TraceIo, StreamWriterV3WritesChunkIndex) {
+  const TraceModel original = sample_trace();
+  const std::string path = ::testing::TempDir() + "/osn_io_v3_index.osnt";
+  {
+    OsntStreamWriter writer(path, /*chunk_records=*/2);
+    for (const auto& rec : original.merged()) writer.append(rec);
+    ASSERT_TRUE(writer.finish(original.meta(), original.tasks()));
+  }
+  OsntReader reader(path);
+  EXPECT_EQ(reader.version(), 3u);
+  EXPECT_FALSE(reader.truncated());
+  EXPECT_FALSE(reader.index_recovered());
+  ASSERT_EQ(reader.chunks().size(), (original.total_events() + 1) / 2);
+  EXPECT_EQ(reader.indexed_records(), original.total_events());
+  TimeNs prev_last = 0;
+  for (const ChunkInfo& c : reader.chunks()) {
+    EXPECT_GE(c.t_first, prev_last);  // chunks slice the merged order
+    EXPECT_LE(c.t_first, c.t_last);
+    EXPECT_GT(c.records, 0u);
+    prev_last = c.t_last;
+  }
+  EXPECT_EQ(reader.read_all(), original);
+  std::remove(path.c_str());
+}
+
+// The v2 layout stays writable for compatibility tooling, and round-trips
+// through the same reader.
+TEST(TraceIo, StreamWriterV2FormatOptionRoundTrips) {
+  const TraceModel original = sample_trace();
+  const std::string path = ::testing::TempDir() + "/osn_io_v2_opt.osnt";
+  {
+    OsntStreamWriter writer(path, 4, OsntStreamWriter::Format::kV2);
+    for (const auto& rec : original.merged()) writer.append(rec);
+    ASSERT_TRUE(writer.finish(original.meta(), original.tasks()));
+  }
+  OsntReader reader(path);
+  EXPECT_EQ(reader.version(), 2u);
+  EXPECT_EQ(reader.read_all(), original);
+  EXPECT_EQ(read_trace_file(path), original);
+  std::remove(path.c_str());
+}
+
+// Regression (writer crash-consistency): a v3 writer destroyed without
+// finish() — consumer daemon killed mid-run — must leave a file the reader
+// opens, flags as truncated, and salvages every appended record from,
+// including the partially filled final chunk.
+TEST(TraceIo, StreamWriterDestructorWritesTruncationSentinel) {
+  const TraceModel original = sample_trace();
+  const auto merged = original.merged();
+  const std::string path = ::testing::TempDir() + "/osn_io_trunc.osnt";
+  {
+    OsntStreamWriter writer(path, /*chunk_records=*/4);
+    for (const auto& rec : merged) writer.append(rec);
+    // No finish(): the destructor flushes the open chunk and writes a
+    // best-effort index + "truncated" trailer.
+  }
+  OsntReader reader(path);
+  EXPECT_EQ(reader.version(), 3u);
+  EXPECT_TRUE(reader.truncated());
+  EXPECT_FALSE(reader.index_recovered());
+  EXPECT_EQ(reader.indexed_records(), merged.size());
+  EXPECT_EQ(reader.meta().workload, "(truncated)");  // no footer to read
+  EXPECT_EQ(reader.meta().n_cpus, 2u);               // recovered from cpu masks
+
+  const TraceModel salvaged = reader.read_all();
+  EXPECT_EQ(salvaged.merged(), merged);  // every record recovered
+  EXPECT_TRUE(salvaged.tasks().empty());
+
+  // verify() reports the truncation but no corruption.
+  OsntReader verifier(path);
+  const VerifyReport report = verifier.verify();
+  EXPECT_TRUE(report.truncated);
+  EXPECT_TRUE(report.intact());
+  EXPECT_FALSE(report.clean());
+  std::remove(path.c_str());
+}
+
+// An empty truncated file (killed before any chunk flushed) is still valid.
+TEST(TraceIo, StreamWriterDestructorEmptyTruncated) {
+  const std::string path = ::testing::TempDir() + "/osn_io_trunc_empty.osnt";
+  { OsntStreamWriter writer(path); }
+  OsntReader reader(path);
+  EXPECT_TRUE(reader.truncated());
+  EXPECT_EQ(reader.indexed_records(), 0u);
+  EXPECT_EQ(reader.read_all().total_events(), 0u);
   std::remove(path.c_str());
 }
 

@@ -42,6 +42,8 @@
 #include "noise/disambiguate.hpp"
 #include "noise/scalability.hpp"
 #include "noise/streaming.hpp"
+#include "trace/event_source.hpp"
+#include "trace/osnt_reader.hpp"
 #include "trace/trace_io.hpp"
 #include "workloads/ftq.hpp"
 #include "workloads/sequoia.hpp"
@@ -102,6 +104,7 @@ int usage() {
       "              [--seconds N] [--seed S] [--offline]\n"
       "              [--buf-capacity N] [--batch N]\n"
       "  osn-analyze info <trace.osnt>\n"
+      "  osn-analyze verify <trace.osnt>\n"
       "  osn-analyze stats <trace.osnt>\n"
       "  osn-analyze breakdown <trace.osnt> [--per-rank] [--no-runnable-filter]\n"
       "              [--no-nesting]\n"
@@ -117,17 +120,55 @@ int usage() {
       "  osn-analyze scalability <trace.osnt> [--granularity-us N]\n"
       "              [--ranks N,N,...]\n\n"
       "Analysis commands accept --jobs N: worker threads for the sharded\n"
-      "per-CPU pipeline (default: all hardware threads; --jobs 1 runs the\n"
-      "serial reference path — both produce byte-identical output).\n");
+      "per-CPU pipeline and the chunk-parallel v3 decode (default: all\n"
+      "hardware threads; --jobs 1 runs the serial reference path — both\n"
+      "produce byte-identical output). They also accept --window A:B\n"
+      "(milliseconds): analyze only that time slice — for chunk-indexed v3\n"
+      "traces only the overlapping chunks are read from disk.\n");
   return 2;
 }
 
-trace::TraceModel load(const Args& args) {
+const std::string& trace_path(const Args& args) {
   if (args.positionals().empty()) {
     std::fprintf(stderr, "error: missing trace file\n");
     std::exit(usage());
   }
-  return trace::read_trace_file(args.positionals()[0]);
+  return args.positionals()[0];
+}
+
+/// Worker pool shared by the v3 chunk decode and the sharded analysis
+/// (nullptr when --jobs resolves to 1).
+std::unique_ptr<ThreadPool> decode_pool(const Args& args) {
+  const std::size_t jobs =
+      ThreadPool::resolve_jobs(static_cast<std::size_t>(args.get_u64("jobs", 0)));
+  return jobs > 1 ? std::make_unique<ThreadPool>(jobs) : nullptr;
+}
+
+/// Parses --window A:B (milliseconds, fractional allowed) into [t0, t1) ns.
+bool parse_window(const Args& args, TimeNs& t0, TimeNs& t1) {
+  if (!args.has("window")) return false;
+  const std::string w = args.get("window");
+  const std::size_t colon = w.find(':');
+  double a = 0, b = 0;
+  if (colon != std::string::npos) {
+    a = std::strtod(w.substr(0, colon).c_str(), nullptr);
+    b = std::strtod(w.substr(colon + 1).c_str(), nullptr);
+  }
+  if (colon == std::string::npos || b <= a || a < 0) {
+    std::fprintf(stderr, "error: --window expects A:B in milliseconds (B > A)\n");
+    std::exit(2);
+  }
+  t0 = static_cast<TimeNs>(a * static_cast<double>(kNsPerMs));
+  t1 = static_cast<TimeNs>(b * static_cast<double>(kNsPerMs));
+  return true;
+}
+
+trace::TraceModel load(const Args& args) {
+  auto source = trace::open_trace_source(trace_path(args));
+  const auto pool = decode_pool(args);
+  TimeNs t0 = 0, t1 = 0;
+  if (parse_window(args, t0, t1)) return source->to_model_window(t0, t1, pool.get());
+  return source->to_model(pool.get());
 }
 
 noise::AnalysisOptions analysis_options(const Args& args) {
@@ -267,7 +308,16 @@ int cmd_run(const Args& args) {
 }
 
 int cmd_info(const Args& args) {
-  const trace::TraceModel model = load(args);
+  trace::FileEventSource source(trace_path(args));
+  const auto pool = decode_pool(args);
+  const trace::TraceModel model = source.to_model(pool.get());
+  const trace::OsntReader& reader = source.reader();
+  std::printf("format:    OSNT v%u%s%s\n", reader.version(),
+              reader.truncated() ? " (TRUNCATED — writer did not finish)" : "",
+              reader.index_recovered() ? " (index recovered by scan)" : "");
+  if (reader.version() == 3)
+    std::printf("chunks:    %zu (%llu records indexed)\n", reader.chunks().size(),
+                static_cast<unsigned long long>(reader.indexed_records()));
   std::printf("workload:  %s\n", model.meta().workload.c_str());
   std::printf("duration:  %s\n", fmt_duration(model.duration()).c_str());
   std::printf("cpus:      %u (tick %s)\n", model.cpu_count(),
@@ -291,6 +341,34 @@ int cmd_info(const Args& args) {
     std::printf("  %6u  %-16s %s\n", pid, info.name.c_str(),
                 info.is_app ? "application" : (info.is_kernel_thread ? "kthread" : "user"));
   return 0;
+}
+
+int cmd_verify(const Args& args) {
+  trace::OsntReader reader(trace_path(args));
+  const trace::VerifyReport report = reader.verify();
+  std::printf("format:    OSNT v%u\n", report.version);
+  if (report.version == 3)
+    std::printf("chunks:    %zu\n", report.chunks);
+  std::printf("records:   %llu\n", static_cast<unsigned long long>(report.records));
+  if (report.truncated)
+    std::printf("truncated: yes — writer did not finish; flushed chunks salvaged\n");
+  if (report.index_recovered)
+    std::printf("index:     damaged — rebuilt by forward scan\n");
+  for (const trace::ChunkIssue& issue : report.issues) {
+    if (issue.chunk == trace::TraceReadError::kNoChunk)
+      std::printf("ISSUE @ byte %llu: %s\n",
+                  static_cast<unsigned long long>(issue.offset), issue.problem.c_str());
+    else
+      std::printf("ISSUE chunk %lld @ byte %llu: %s\n",
+                  static_cast<long long>(issue.chunk),
+                  static_cast<unsigned long long>(issue.offset), issue.problem.c_str());
+  }
+  if (report.intact()) {
+    std::printf("verify:    OK%s\n", report.clean() ? "" : " (incomplete but consistent)");
+    return 0;
+  }
+  std::printf("verify:    %zu issue(s) found\n", report.issues.size());
+  return 1;
 }
 
 int cmd_stats(const Args& args) {
@@ -518,16 +596,24 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   const Args args(argc, argv);
-  if (cmd == "run") return cmd_run(args);
-  if (cmd == "info") return cmd_info(args);
-  if (cmd == "stats") return cmd_stats(args);
-  if (cmd == "breakdown") return cmd_breakdown(args);
-  if (cmd == "chart") return cmd_chart(args);
-  if (cmd == "timeline") return cmd_timeline(args);
-  if (cmd == "interruptions") return cmd_interruptions(args);
-  if (cmd == "lookalikes") return cmd_lookalikes(args);
-  if (cmd == "export") return cmd_export(args);
-  if (cmd == "diff") return cmd_diff(args);
-  if (cmd == "scalability") return cmd_scalability(args);
+  // Malformed or corrupt trace input is an expected condition, not a crash:
+  // every reader path throws trace::TraceReadError with the byte offset.
+  try {
+    if (cmd == "run") return cmd_run(args);
+    if (cmd == "info") return cmd_info(args);
+    if (cmd == "verify") return cmd_verify(args);
+    if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "breakdown") return cmd_breakdown(args);
+    if (cmd == "chart") return cmd_chart(args);
+    if (cmd == "timeline") return cmd_timeline(args);
+    if (cmd == "interruptions") return cmd_interruptions(args);
+    if (cmd == "lookalikes") return cmd_lookalikes(args);
+    if (cmd == "export") return cmd_export(args);
+    if (cmd == "diff") return cmd_diff(args);
+    if (cmd == "scalability") return cmd_scalability(args);
+  } catch (const trace::TraceReadError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
   return usage();
 }
