@@ -1,0 +1,220 @@
+// Instrumented atomics and plain storage for the model checker, plus the
+// atomics policies the tracebuf templates are parameterized on.
+//
+// check::Atomic<T> mirrors the std::atomic<T> surface the tracebuf hot path
+// uses (load/store/exchange/fetch_add with explicit memory orders). Under an
+// active check::explore run every operation is a scheduling point, advances
+// the thread's logical clock, and applies the happens-before semantics the
+// *declared* memory order earns:
+//
+//   * release store      — publishes the thread's vector clock on the object
+//   * relaxed store      — clears it (it replaces the release sequence)
+//   * acquire load       — joins the object's published clock into the thread
+//   * RMW (any order)    — continues the object's release sequence: a release
+//                          RMW joins the thread clock in, a relaxed RMW
+//                          leaves the published clock intact
+//
+// check::Cell<T> is instrumented *plain* storage (the ring's record slots):
+// reads and writes are checked against the happens-before clocks, so an
+// access ordered only by the explored interleaving — not by a real
+// acquire/release edge — fails the run as a data race. Outside a run both
+// types degrade to plain operations.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "check/checker.hpp"
+
+namespace osn::check {
+
+namespace detail {
+
+template <class T>
+std::uint64_t value_bits(const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "checker instrumentation requires trivially copyable values");
+  if constexpr (sizeof(T) <= sizeof(std::uint64_t)) {
+    std::uint64_t out = 0;
+    std::memcpy(&out, &v, sizeof(T));
+    return out;
+  } else {
+    const auto* p = reinterpret_cast<const unsigned char*>(&v);
+    std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+    for (std::size_t i = 0; i < sizeof(T); ++i) h = (h ^ p[i]) * 1099511628211ull;
+    return h;
+  }
+}
+
+inline std::uint64_t clock_bits(const VectorClock& c) {
+  std::uint64_t h = 0x45d9f3b3335b369ull;
+  for (std::size_t i = 0; i < kMaxThreads; ++i)
+    h = (h ^ (c[i] + 0x9e3779b9u + (h << 6) + (h >> 2))) * 0x100000001b3ull;
+  return h;
+}
+
+constexpr bool order_acquires(std::memory_order mo) {
+  return mo == std::memory_order_acquire || mo == std::memory_order_acq_rel ||
+         mo == std::memory_order_seq_cst || mo == std::memory_order_consume;
+}
+
+constexpr bool order_releases(std::memory_order mo) {
+  return mo == std::memory_order_release || mo == std::memory_order_acq_rel ||
+         mo == std::memory_order_seq_cst;
+}
+
+/// Registers with the active run (if any) so the object's state feeds the
+/// seen-state fingerprint; unregisters on destruction.
+class RegisteredObj : public ObjBase {
+ protected:
+  RegisteredObj() : run_(current_run()) {
+    if (run_ != nullptr) id_ = run_->register_object(this);
+  }
+  ~RegisteredObj() override {
+    if (run_ != nullptr) run_->unregister_object(id_);
+  }
+  RegisteredObj(const RegisteredObj&) = delete;
+  RegisteredObj& operator=(const RegisteredObj&) = delete;
+
+  Run* run_;
+  int id_ = -1;
+};
+
+}  // namespace detail
+
+template <class T>
+class Atomic : public detail::RegisteredObj {
+ public:
+  Atomic() : Atomic(T{}) {}
+  Atomic(T v) : value_(v) {}  // NOLINT(google-explicit-constructor) — mirrors std::atomic
+
+  T load(std::memory_order mo = std::memory_order_seq_cst) const {
+    detail::Run* run = detail::current_run();
+    if (run == nullptr) return value_;
+    VectorClock& clock = run->pre_op();
+    if (detail::order_acquires(mo)) clock.join(sync_clock_);
+    run->mix_local(tag(0x11) ^ detail::value_bits(value_));
+    return value_;
+  }
+
+  void store(T v, std::memory_order mo = std::memory_order_seq_cst) {
+    detail::Run* run = detail::current_run();
+    if (run == nullptr) {
+      value_ = v;
+      return;
+    }
+    VectorClock& clock = run->pre_op();
+    if (detail::order_releases(mo)) {
+      sync_clock_ = clock;
+    } else {
+      // A plain store replaces the release sequence: a later acquire load
+      // that reads it synchronizes with nothing.
+      sync_clock_.clear();
+    }
+    value_ = v;
+    run->mix_local(tag(0x22) ^ detail::value_bits(v));
+  }
+
+  T exchange(T v, std::memory_order mo = std::memory_order_seq_cst) {
+    detail::Run* run = detail::current_run();
+    if (run == nullptr) {
+      T old = value_;
+      value_ = v;
+      return old;
+    }
+    VectorClock& clock = run->pre_op();
+    if (detail::order_acquires(mo)) clock.join(sync_clock_);
+    const T old = value_;
+    value_ = v;
+    if (detail::order_releases(mo)) sync_clock_.join(clock);  // RMW: sequence continues
+    run->mix_local(tag(0x33) ^ detail::value_bits(old));
+    return old;
+  }
+
+  T fetch_add(T d, std::memory_order mo = std::memory_order_seq_cst) {
+    static_assert(std::is_integral_v<T>, "fetch_add on a non-integral Atomic");
+    detail::Run* run = detail::current_run();
+    if (run == nullptr) {
+      T old = value_;
+      value_ = static_cast<T>(value_ + d);
+      return old;
+    }
+    VectorClock& clock = run->pre_op();
+    if (detail::order_acquires(mo)) clock.join(sync_clock_);
+    const T old = value_;
+    value_ = static_cast<T>(old + d);
+    if (detail::order_releases(mo)) sync_clock_.join(clock);
+    run->mix_local(tag(0x44) ^ detail::value_bits(old));
+    return old;
+  }
+
+  std::uint64_t state_hash() const override {
+    return detail::value_bits(value_) ^ detail::clock_bits(sync_clock_);
+  }
+
+ private:
+  std::uint64_t tag(std::uint64_t op) const {
+    return (static_cast<std::uint64_t>(static_cast<unsigned>(id_)) << 8) | op;
+  }
+
+  T value_;
+  VectorClock sync_clock_;  ///< clock published by the release sequence
+};
+
+/// Instrumented plain (non-atomic) storage with vector-clock race detection.
+template <class T>
+class Cell : public detail::RegisteredObj {
+ public:
+  Cell() = default;
+  explicit Cell(const T& v) : value_(v) {}
+
+  T load() const {
+    detail::Run* run = detail::current_run();
+    if (run == nullptr) return value_;
+    run->plain_read(write_clock_, read_join_);
+    run->mix_local(detail::value_bits(value_));
+    return value_;
+  }
+
+  void store(const T& v) {
+    detail::Run* run = detail::current_run();
+    if (run == nullptr) {
+      value_ = v;
+      return;
+    }
+    run->plain_write(write_clock_, read_join_);
+    value_ = v;
+  }
+
+  std::uint64_t state_hash() const override {
+    return detail::value_bits(value_) ^ detail::clock_bits(write_clock_) ^
+           (detail::clock_bits(read_join_) << 1);
+  }
+
+ private:
+  T value_{};
+  VectorClock write_clock_;          ///< clock of the last write
+  mutable VectorClock read_join_;    ///< join of all reads since that write
+};
+
+/// Atomics policy instantiating the tracebuf templates under the checker.
+struct CheckedPolicy {
+  template <class T>
+  using Atomic = ::osn::check::Atomic<T>;
+  template <class T>
+  using Cell = ::osn::check::Cell<T>;
+  /// Compile the OSN_ASSERT contracts into the hot path.
+  static constexpr bool kCheckContracts = true;
+};
+
+/// CheckedPolicy with the hot-path contracts compiled OUT — the mutation
+/// harness: litmus tests instantiate the production algorithm minus its
+/// guards (e.g. the PR 1 overwrite-reclaim-vs-consumer assert) and prove the
+/// checker catches the resulting corruption with a replayable schedule.
+struct CheckedPolicyNoContracts : CheckedPolicy {
+  static constexpr bool kCheckContracts = false;
+};
+
+}  // namespace osn::check

@@ -1,0 +1,414 @@
+#include "check/checker.hpp"
+
+#include <atomic>
+#include <exception>
+
+#include "common/assert.hpp"
+
+namespace osn::check {
+namespace detail {
+
+namespace {
+
+/// Internal unwind token: thrown through checker threads to end a run early
+/// (failure, seen-state prune, or abort broadcast). Never escapes explore().
+struct RunAbort {};
+
+thread_local Run* t_run = nullptr;
+thread_local int t_tid = -1;
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  // splitmix64 finalizer over the running hash xor the new value.
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  return h ^ (h >> 31);
+}
+
+/// OSN_ASSERT on a checker thread: convert the contract violation into a
+/// replayable run failure instead of aborting the whole test process.
+[[noreturn]] void checker_assert_handler(const char* expr, const char* file, int line,
+                                         const char* msg) {
+  Run* run = t_run;
+  OSN_ASSERT_MSG(run != nullptr, "checker assert handler on a non-checker thread");
+  std::string m = std::string("contract violated: ") + expr;
+  if (msg != nullptr && *msg != '\0') m += std::string(" — ") + msg;
+  m += std::string(" at ") + file + ":" + std::to_string(line);
+  run->fail_run(m);
+}
+
+}  // namespace
+
+Run* current_run() { return t_run; }
+
+Run::Run(ExploreState& ex) : ex_(ex) {
+  // Reserve up front: ThreadRecs are referenced without the lock by their
+  // own (active) thread, so the vector must never reallocate.
+  threads_.reserve(kMaxThreads);
+  threads_.emplace_back();  // tid 0: the explore() caller running the body
+  objects_.reserve(64);
+}
+
+Run::~Run() = default;
+
+void Run::check_abort() const {
+  if (aborted_.load(std::memory_order_relaxed)) throw RunAbort{};
+}
+
+void Run::record_abort(AbortKind kind, const std::string& message) {
+  // Caller holds mu_. First abort wins; later ones (other threads unwinding)
+  // keep the original failure and schedule.
+  if (abort_kind_ == AbortKind::kNone) {
+    abort_kind_ = kind;
+    failure_ = message;
+    failure_schedule_ = schedule_;
+    aborted_.store(true, std::memory_order_relaxed);
+  }
+  cv_.notify_all();
+}
+
+[[noreturn]] void Run::abort_run(AbortKind kind, const std::string& message) {
+  record_abort(kind, message);
+  throw RunAbort{};
+}
+
+void Run::fail_run(const std::string& message) {
+  std::unique_lock<std::mutex> lk(mu_);
+  abort_run(AbortKind::kFailure, message);
+}
+
+std::uint64_t Run::state_fingerprint(int self) const {
+  std::uint64_t fp = mix(0x0f0e0d0c0b0a0908ull, static_cast<std::uint64_t>(self));
+  fp = mix(fp, static_cast<std::uint64_t>(preemptions_used_));
+  for (std::size_t t = 0; t < threads_.size(); ++t) {
+    const ThreadRec& tr = threads_[t];
+    fp = mix(fp, static_cast<std::uint64_t>(tr.state));
+    fp = mix(fp, tr.local_hash);
+    for (std::size_t i = 0; i < kMaxThreads; ++i) fp = mix(fp, tr.clock[i]);
+  }
+  for (std::size_t i = 0; i < objects_.size(); ++i) {
+    fp = mix(fp, i);
+    fp = mix(fp, objects_[i] != nullptr ? objects_[i]->state_hash() : 0);
+  }
+  return fp;
+}
+
+void Run::wait_for_control(std::unique_lock<std::mutex>& lk, int self) {
+  cv_.wait(lk, [&] {
+    return aborted_.load(std::memory_order_relaxed) ||
+           (active_tid_ == self && threads_[static_cast<std::size_t>(self)].state ==
+                                       ThreadState::kRunnable);
+  });
+  if (aborted_.load(std::memory_order_relaxed)) throw RunAbort{};
+}
+
+void Run::schedule_next(std::unique_lock<std::mutex>&, int self, bool self_runnable) {
+  std::vector<std::uint8_t> enabled;
+  for (std::size_t t = 0; t < threads_.size(); ++t)
+    if (threads_[t].state == ThreadState::kRunnable)
+      enabled.push_back(static_cast<std::uint8_t>(t));
+
+  if (enabled.empty()) {
+    // Everyone else is finished or blocked. The only blocking primitive is
+    // thread 0's join_all, so either the run is over or thread 0 resumes.
+    bool all_finished = true;
+    for (std::size_t t = 1; t < threads_.size(); ++t)
+      if (threads_[t].state != ThreadState::kFinished) all_finished = false;
+    if (threads_[0].state == ThreadState::kBlockedJoin && all_finished) {
+      threads_[0].state = ThreadState::kRunnable;
+      active_tid_ = 0;
+      cv_.notify_all();
+      return;
+    }
+    if (threads_[0].state == ThreadState::kFinished && all_finished) return;
+    abort_run(AbortKind::kFailure, "deadlock: no runnable thread");
+  }
+
+  // Continuing the running thread is free; switching away from it costs one
+  // preemption. Handoffs from a finished/blocked thread are always free.
+  std::vector<std::uint8_t> allowed;
+  if (self_runnable) {
+    allowed.push_back(static_cast<std::uint8_t>(self));
+    if (preemptions_used_ < ex_.options->max_preemptions)
+      for (const std::uint8_t t : enabled)
+        if (t != self) allowed.push_back(t);
+  } else {
+    allowed = enabled;
+  }
+
+  int chosen;
+  if (allowed.size() == 1) {
+    chosen = allowed[0];
+  } else {
+    const std::size_t depth = trace_.size();
+    const bool replaying = !ex_.options->replay.empty();
+    if (!replaying && ex_.options->state_hashing && depth >= ex_.forced.size()) {
+      // This node is new territory: if an equivalent state (same values,
+      // same happens-before clocks, same read histories, same remaining
+      // budget) was already expanded, its whole subtree is known.
+      if (!ex_.seen.insert(state_fingerprint(self)).second)
+        abort_run(AbortKind::kPrune, "");
+    }
+    std::size_t idx = 0;
+    if (depth < ex_.forced.size()) {
+      const std::uint8_t want = ex_.forced[depth];
+      idx = allowed.size();
+      for (std::size_t i = 0; i < allowed.size(); ++i)
+        if (allowed[i] == want) idx = i;
+      if (idx == allowed.size())
+        abort_run(AbortKind::kFailure,
+                  "schedule does not apply: thread " + std::to_string(want) +
+                      " not runnable at decision " + std::to_string(depth) +
+                      " (body changed since the seed was recorded?)");
+    }
+    trace_.push_back(Decision{allowed, idx});
+    schedule_.push_back(allowed[idx]);
+    ++ex_.result.decisions;
+    chosen = allowed[idx];
+  }
+
+  if (self_runnable && chosen != self) ++preemptions_used_;
+  active_tid_ = chosen;
+  if (chosen != self) cv_.notify_all();
+}
+
+void Run::sched_point() {
+  // Instrumented ops can run from destructors while a RunAbort (or a litmus
+  // exception) unwinds the stack — RAII cleanup like a consumer's stop().
+  // Scheduling or throwing there would std::terminate, so those ops execute
+  // free-running; the brief lock still orders them after every prior
+  // critical section for the benefit of TSan and the memory model.
+  if (std::uncaught_exceptions() > 0) {
+    const std::lock_guard<std::mutex> lk(mu_);
+    return;
+  }
+  check_abort();
+  std::unique_lock<std::mutex> lk(mu_);
+  const int self = t_tid;
+  schedule_next(lk, self, /*self_runnable=*/true);
+  if (active_tid_ != self) wait_for_control(lk, self);
+}
+
+VectorClock& Run::pre_op() {
+  sched_point();
+  ThreadRec& t = threads_[static_cast<std::size_t>(t_tid)];
+  ++t.ticks;
+  t.clock[static_cast<std::size_t>(t_tid)] = t.ticks;
+  return t.clock;
+}
+
+VectorClock& Run::pre_plain_op() {
+  // Plain (non-atomic) accesses are not scheduling points — the race check
+  // below is order-insensitive, so shrinking the decision space is safe —
+  // but they still advance the thread's logical clock.
+  if (std::uncaught_exceptions() == 0) check_abort();
+  ThreadRec& t = threads_[static_cast<std::size_t>(t_tid)];
+  ++t.ticks;
+  t.clock[static_cast<std::size_t>(t_tid)] = t.ticks;
+  return t.clock;
+}
+
+void Run::mix_local(std::uint64_t v) {
+  ThreadRec& t = threads_[static_cast<std::size_t>(t_tid)];
+  t.local_hash = mix(t.local_hash, v);
+}
+
+void Run::plain_read(const VectorClock& write_clock, VectorClock& read_join) {
+  VectorClock& clock = pre_plain_op();
+  // Accesses made from unwinding destructors cannot throw; skip the check
+  // (the run is already failing or pruned).
+  if (std::uncaught_exceptions() == 0 && !write_clock.leq(clock))
+    fail_run("data race: plain read is not ordered after the last write "
+             "(torn-write visibility)");
+  read_join.join(clock);
+}
+
+void Run::plain_write(VectorClock& write_clock, VectorClock& read_join) {
+  VectorClock& clock = pre_plain_op();
+  if (std::uncaught_exceptions() == 0) {
+    if (!write_clock.leq(clock))
+      fail_run("data race: plain write is not ordered after the previous write");
+    if (!read_join.leq(clock))
+      fail_run("data race: plain write is not ordered after a prior read");
+  }
+  write_clock = clock;
+  read_join.clear();
+}
+
+int Run::register_object(ObjBase* o) {
+  objects_.push_back(o);
+  return static_cast<int>(objects_.size() - 1);
+}
+
+void Run::unregister_object(int id) {
+  objects_[static_cast<std::size_t>(id)] = nullptr;
+}
+
+void Run::spawn_thread(std::function<void()> fn) {
+  check_abort();
+  std::unique_lock<std::mutex> lk(mu_);
+  OSN_ASSERT_MSG(threads_.size() < kMaxThreads, "too many checker threads");
+  const int tid = static_cast<int>(threads_.size());
+  threads_.emplace_back();
+  ThreadRec& rec = threads_[static_cast<std::size_t>(tid)];
+  rec.state = ThreadState::kRunnable;
+  // Spawn happens-before everything the child does.
+  rec.clock = threads_[static_cast<std::size_t>(t_tid)].clock;
+  Run* run = this;
+  rec.th = std::thread([run, tid, f = std::move(fn)] {
+    t_run = run;
+    t_tid = tid;
+    const AssertHandler prev = set_assert_handler(&checker_assert_handler);
+    try {
+      {
+        std::unique_lock<std::mutex> lk2(run->mu_);
+        run->wait_for_control(lk2, tid);  // parked until first scheduled
+      }
+      f();
+    } catch (const RunAbort&) {
+    } catch (const std::exception& e) {
+      std::unique_lock<std::mutex> lk2(run->mu_);
+      run->record_abort(AbortKind::kFailure,
+                        std::string("uncaught exception in checker thread: ") + e.what());
+    }
+    try {
+      run->on_thread_finished(tid);
+    } catch (const RunAbort&) {
+    }
+    set_assert_handler(prev);
+    t_run = nullptr;
+    t_tid = -1;
+  });
+  // The child only parks until scheduled; the spawner stays active and
+  // continues to its own next scheduling point.
+}
+
+void Run::on_thread_finished(int tid) {
+  std::unique_lock<std::mutex> lk(mu_);
+  threads_[static_cast<std::size_t>(tid)].state = ThreadState::kFinished;
+  if (aborted_.load(std::memory_order_relaxed)) {
+    cv_.notify_all();
+    return;
+  }
+  schedule_next(lk, tid, /*self_runnable=*/false);
+}
+
+void Run::join_all_from_body() {
+  check_abort();
+  std::unique_lock<std::mutex> lk(mu_);
+  bool all_finished = true;
+  for (std::size_t t = 1; t < threads_.size(); ++t)
+    if (threads_[t].state != ThreadState::kFinished) all_finished = false;
+  if (all_finished) return;
+  threads_[0].state = ThreadState::kBlockedJoin;
+  schedule_next(lk, 0, /*self_runnable=*/false);
+  wait_for_control(lk, 0);
+}
+
+void Run::execute(const std::function<void()>& body) {
+  t_run = this;
+  t_tid = 0;
+  const AssertHandler prev = set_assert_handler(&checker_assert_handler);
+  try {
+    body();
+    join_all_from_body();  // implicit join at body end
+  } catch (const RunAbort&) {
+  } catch (const std::exception& e) {
+    std::unique_lock<std::mutex> lk(mu_);
+    record_abort(AbortKind::kFailure,
+                 std::string("uncaught exception in litmus body: ") + e.what());
+  }
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    threads_[0].state = ThreadState::kFinished;
+    // On an abort, parked threads wake on `aborted_` and unwind; on a clean
+    // finish join_all_from_body already saw everyone finish.
+    cv_.notify_all();
+  }
+  for (auto& t : threads_)
+    if (t.th.joinable()) t.th.join();
+  set_assert_handler(prev);
+  t_run = nullptr;
+  t_tid = -1;
+}
+
+}  // namespace detail
+
+bool active() { return detail::current_run() != nullptr; }
+
+void spawn(std::function<void()> fn) {
+  detail::Run* run = detail::current_run();
+  OSN_ASSERT_MSG(run != nullptr, "check::spawn outside an explore body");
+  run->spawn_thread(std::move(fn));
+}
+
+void join_all() {
+  detail::Run* run = detail::current_run();
+  OSN_ASSERT_MSG(run != nullptr, "check::join_all outside an explore body");
+  OSN_ASSERT_MSG(detail::t_tid == 0, "check::join_all from a spawned thread");
+  run->join_all_from_body();
+}
+
+void fail(const std::string& message) {
+  detail::Run* run = detail::current_run();
+  if (run != nullptr) run->fail_run(message);
+  assert_fail("check::fail", __FILE__, __LINE__, message.c_str());
+}
+
+void yield_point() {
+  detail::Run* run = detail::current_run();
+  if (run != nullptr) run->sched_point();
+}
+
+Result explore(const Options& options, const std::function<void()>& body) {
+  OSN_ASSERT_MSG(detail::current_run() == nullptr, "nested check::explore");
+  OSN_ASSERT_MSG(options.max_preemptions >= 0, "negative preemption budget");
+  detail::Run::ExploreState ex;
+  ex.options = &options;
+  const bool replay_mode = !options.replay.empty();
+  if (replay_mode) ex.forced = schedule_from_string(options.replay);
+
+  while (true) {
+    detail::Run run(ex);
+    run.execute(body);
+    ++ex.result.runs;
+    if (run.abort_kind_ == detail::Run::AbortKind::kFailure)
+      throw CheckFailure(run.failure_, schedule_to_string(run.failure_schedule_));
+    if (run.abort_kind_ == detail::Run::AbortKind::kPrune) ++ex.result.pruned;
+    if (replay_mode) {
+      ex.result.exhausted = true;
+      break;
+    }
+
+    // DFS advance: deepest decision with an unexplored alternative.
+    auto& trace = run.trace_;
+    bool advanced = false;
+    while (!trace.empty()) {
+      detail::Run::Decision& d = trace.back();
+      if (d.chosen + 1 < d.allowed.size()) {
+        ++d.chosen;
+        advanced = true;
+        break;
+      }
+      trace.pop_back();
+    }
+    if (!advanced) {
+      ex.result.exhausted = true;
+      break;
+    }
+    ex.forced.clear();
+    for (const detail::Run::Decision& d : trace) ex.forced.push_back(d.allowed[d.chosen]);
+
+    if (ex.result.runs >= options.max_runs) {
+      if (options.require_exhaustive)
+        throw CheckFailure("schedule space not exhausted within max_runs (" +
+                               std::to_string(options.max_runs) +
+                               " runs); raise max_runs or shrink the litmus",
+                           "-");
+      break;
+    }
+  }
+  return ex.result;
+}
+
+}  // namespace osn::check

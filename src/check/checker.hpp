@@ -1,0 +1,229 @@
+// Deterministic concurrency model checker for the tracebuf hot path.
+//
+// Loom-style stateless exploration: a litmus body is executed over and over,
+// each run following one schedule of thread interleavings, until every
+// schedule within a bounded-preemption budget has been seen. Scheduling
+// points sit before every instrumented atomic operation (check::Atomic);
+// at each point with more than one allowed continuation the scheduler takes
+// a DFS decision, and backtracking enumerates the alternatives.
+//
+//  * Bounded preemption (Options::max_preemptions): continuing the running
+//    thread is always free; switching away from a still-runnable thread
+//    costs one unit. Most concurrency bugs need very few forced preemptions
+//    (CHESS heuristic), so a budget of 2-3 keeps litmus state spaces small
+//    while catching everything the unbounded search would at those depths.
+//
+//  * Seen-state hashing: at every decision point the checker fingerprints
+//    (atomic values + happens-before clocks + per-thread read histories +
+//    remaining budget); a branch whose fingerprint was already explored is
+//    pruned — commuting operations collapse to one subtree.
+//
+//  * Race detection: instrumented plain storage (check::Cell) carries
+//    vector clocks built from the *declared* memory orders of surrounding
+//    atomics, so a plain access ordered only by the explored interleaving —
+//    not by an acquire/release edge — fails the run as a data race (the
+//    torn-write-visibility class of bug), even though a sequentially
+//    consistent execution happens to serialize it.
+//
+//  * Replay: every failure (litmus OSN_CHECK, OSN_ASSERT contract hit, data
+//    race, deadlock) carries the decision schedule as a printable seed
+//    ("0.1.1.2"); Options::replay re-executes exactly that interleaving.
+//
+// The body must be deterministic (no wall clock, no rng seeded from time)
+// and bounded (no unbounded spin loops — poll a fixed number of times).
+// OSN_ASSERT failures on checker threads are converted into replayable
+// CheckFailures via the thread-local assert handler in common/assert.hpp.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "check/schedule.hpp"
+#include "check/vector_clock.hpp"
+
+namespace osn::check {
+
+struct Options {
+  /// Max forced switches away from a runnable thread per run.
+  int max_preemptions = 2;
+  /// Safety valve on the number of executions.
+  std::uint64_t max_runs = 1'000'000;
+  /// Fail (instead of silently returning) when max_runs cuts the DFS short.
+  bool require_exhaustive = true;
+  /// Prune decision nodes whose state fingerprint was already explored.
+  bool state_hashing = true;
+  /// When non-empty: run the body once under exactly this schedule.
+  std::string replay;
+};
+
+struct Result {
+  std::uint64_t runs = 0;       ///< executions performed (incl. pruned)
+  std::uint64_t decisions = 0;  ///< decision points taken across all runs
+  std::uint64_t pruned = 0;     ///< runs cut short by seen-state hashing
+  bool exhausted = false;       ///< DFS completed within max_runs
+};
+
+/// A litmus invariant (or contract, or race) failed under some schedule.
+/// `schedule()` is the replay seed; feed it to Options::replay.
+class CheckFailure : public std::runtime_error {
+ public:
+  CheckFailure(const std::string& message, std::string schedule)
+      : std::runtime_error(message + " [schedule " + schedule + "]"),
+        schedule_(std::move(schedule)) {}
+
+  const std::string& schedule() const { return schedule_; }
+
+ private:
+  std::string schedule_;
+};
+
+/// Explores every bounded-preemption interleaving of `body`. Throws
+/// CheckFailure on the first failing schedule. `body` runs as checker
+/// thread 0 and may check::spawn() up to kMaxThreads-1 workers.
+Result explore(const Options& options, const std::function<void()>& body);
+
+/// Spawns a checker-controlled thread. Only valid inside an explore body.
+void spawn(std::function<void()> fn);
+
+/// Blocks the body (thread 0) until every spawned thread finished. A body
+/// whose spawned threads capture its locals by reference MUST call this
+/// before those locals go out of scope — the implicit join at body return
+/// runs after the body's destructors. Also the place to run single-threaded
+/// post-condition checks.
+void join_all();
+
+/// True when the calling thread is executing under the model checker.
+bool active();
+
+/// Fails the current run (throws through the calling thread; the failure
+/// surfaces as CheckFailure from explore()). Aborts if no run is active.
+[[noreturn]] void fail(const std::string& message);
+
+/// Explicit scheduling point for code with no instrumented op of its own.
+void yield_point();
+
+// ---------------------------------------------------------------------------
+// Internals shared with check::Atomic / check::Cell (atomic.hpp)
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+/// Every instrumented object registers here so run state can be
+/// fingerprinted for seen-state pruning.
+class ObjBase {
+ public:
+  virtual ~ObjBase() = default;
+  virtual std::uint64_t state_hash() const = 0;
+};
+
+class Run;
+
+/// The run executing on this thread, or nullptr outside the checker.
+Run* current_run();
+
+class Run {
+ public:
+  // Called by instrumented operations (always on the active thread):
+  /// Scheduling point + logical clock tick; returns the thread's HB clock.
+  VectorClock& pre_op();
+  /// Like pre_op without a scheduling point (plain-memory accesses).
+  VectorClock& pre_plain_op();
+  /// Mixes a value read/written into the thread's local state hash.
+  void mix_local(std::uint64_t v);
+  /// Race check bookkeeping for plain storage; fails the run on a race.
+  void plain_read(const VectorClock& write_clock, VectorClock& read_join);
+  void plain_write(VectorClock& write_clock, VectorClock& read_join);
+
+  int register_object(ObjBase* o);
+  void unregister_object(int id);
+
+  [[noreturn]] void fail_run(const std::string& message);
+
+  // Everything below is internal to explore()/spawn()/join_all()/
+  // yield_point() and the instrumented types; the whole class sits in
+  // detail:: and is not a stable API.
+
+  enum class ThreadState { kRunnable, kBlockedJoin, kFinished };
+  enum class AbortKind { kNone, kFailure, kPrune };
+
+  struct ThreadRec {
+    std::thread th;  ///< empty for thread 0 (the explore caller)
+    ThreadState state = ThreadState::kRunnable;
+    VectorClock clock;
+    std::uint64_t local_hash = 0x9e3779b97f4a7c15ull;
+    std::uint32_t ticks = 0;
+  };
+
+  /// One DFS decision point: the continuations that were allowed under the
+  /// budget, and which one this run took.
+  struct Decision {
+    std::vector<std::uint8_t> allowed;
+    std::size_t chosen = 0;
+  };
+
+  struct ExploreState {
+    const Options* options = nullptr;
+    Schedule forced;  ///< decision prefix the next run must follow
+    std::unordered_set<std::uint64_t> seen;
+    Result result;
+  };
+
+  explicit Run(ExploreState& ex);
+  ~Run();
+
+  void execute(const std::function<void()>& body);
+  void spawn_thread(std::function<void()> fn);
+  void join_all_from_body();
+  void sched_point();
+  void on_thread_finished(int tid);
+  /// Records the first abort (failure/prune) and wakes all threads; no throw.
+  void record_abort(AbortKind kind, const std::string& message);
+  /// Picks the next thread under the DFS + budget rules and hands control
+  /// over. `self_runnable` distinguishes a scheduling point (the caller may
+  /// keep running) from a finish/join handoff.
+  void schedule_next(std::unique_lock<std::mutex>& lk, int self, bool self_runnable);
+  void wait_for_control(std::unique_lock<std::mutex>& lk, int self);
+  std::uint64_t state_fingerprint(int self) const;
+  [[noreturn]] void abort_run(AbortKind kind, const std::string& message);
+  void check_abort() const;
+
+  ExploreState& ex_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<ThreadRec> threads_;
+  int active_tid_ = 0;
+  int preemptions_used_ = 0;
+  std::vector<Decision> trace_;
+  Schedule schedule_;  ///< chosen tid per decision, the replay seed
+  std::atomic<bool> aborted_{false};
+  AbortKind abort_kind_ = AbortKind::kNone;
+  std::string failure_;
+  Schedule failure_schedule_;
+  std::vector<ObjBase*> objects_;
+  bool finished_threads_joined_ = false;
+};
+
+}  // namespace detail
+}  // namespace osn::check
+
+/// Litmus invariant check: fails the current model-checker run with a
+/// replayable schedule (or aborts when used outside the checker).
+#define OSN_CHECK(expr)                                                     \
+  do {                                                                      \
+    if (!(expr)) ::osn::check::fail("litmus invariant failed: " #expr);     \
+  } while (false)
+
+#define OSN_CHECK_MSG(expr, msg)                                            \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::osn::check::fail(std::string("litmus invariant failed: " #expr) +   \
+                         " — " + (msg));                                    \
+  } while (false)

@@ -1,0 +1,53 @@
+// Printable, replayable schedules for the model checker.
+//
+// A schedule is the sequence of thread choices the scheduler made at each
+// decision point (points with >= 2 allowed continuations). Together with the
+// deterministic test body it fully determines a run, so a failing schedule
+// printed as "0.1.1.2" is a *seed*: feeding it back via Options::replay
+// re-executes exactly the failing interleaving.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace osn::check {
+
+using Schedule = std::vector<std::uint8_t>;
+
+inline std::string schedule_to_string(const Schedule& s) {
+  if (s.empty()) return "-";
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i > 0) out += '.';
+    out += std::to_string(s[i]);
+  }
+  return out;
+}
+
+inline Schedule schedule_from_string(const std::string& text) {
+  Schedule out;
+  if (text.empty() || text == "-") return out;
+  std::uint32_t cur = 0;
+  bool have_digit = false;
+  for (const char ch : text) {
+    if (ch == '.') {
+      OSN_ASSERT_MSG(have_digit, "malformed schedule string");
+      out.push_back(static_cast<std::uint8_t>(cur));
+      cur = 0;
+      have_digit = false;
+    } else {
+      OSN_ASSERT_MSG(ch >= '0' && ch <= '9', "malformed schedule string");
+      cur = cur * 10 + static_cast<std::uint32_t>(ch - '0');
+      OSN_ASSERT_MSG(cur < 256, "schedule thread id out of range");
+      have_digit = true;
+    }
+  }
+  OSN_ASSERT_MSG(have_digit, "malformed schedule string");
+  out.push_back(static_cast<std::uint8_t>(cur));
+  return out;
+}
+
+}  // namespace osn::check

@@ -1,0 +1,47 @@
+// Fixed-size vector clocks for the model checker's happens-before tracking.
+//
+// The checker explores sequentially consistent interleavings, but the code
+// under test declares C++ memory orders; the clocks track the happens-before
+// relation those orders actually establish, so a plain (non-atomic) access
+// that is only ordered by the *interleaving* — not by acquire/release edges —
+// is reported as a data race (torn-write visibility bug) even though the
+// explored execution happened to serialize it.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstddef>
+
+namespace osn::check {
+
+/// Hard cap on threads per checker run; litmus tests use 2-4.
+inline constexpr std::size_t kMaxThreads = 8;
+
+class VectorClock {
+ public:
+  std::uint32_t& operator[](std::size_t t) { return c_[t]; }
+  std::uint32_t operator[](std::size_t t) const { return c_[t]; }
+
+  /// Component-wise maximum (join in the happens-before lattice).
+  void join(const VectorClock& o) {
+    for (std::size_t i = 0; i < kMaxThreads; ++i) c_[i] = std::max(c_[i], o.c_[i]);
+  }
+
+  /// True when every component of *this is <= the matching one of `o`:
+  /// everything this clock has seen happened-before `o`'s point of view.
+  bool leq(const VectorClock& o) const {
+    for (std::size_t i = 0; i < kMaxThreads; ++i)
+      if (c_[i] > o.c_[i]) return false;
+    return true;
+  }
+
+  void clear() { c_.fill(0); }
+
+  friend bool operator==(const VectorClock&, const VectorClock&) = default;
+
+ private:
+  std::array<std::uint32_t, kMaxThreads> c_{};
+};
+
+}  // namespace osn::check

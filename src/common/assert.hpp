@@ -1,9 +1,26 @@
 // Lightweight contract checking used across the library.
 //
-// OSN_ASSERT is compiled in all build types: the simulator's correctness
-// depends on invariants (event ordering, frame-stack discipline, interval
-// nesting) whose violation would silently corrupt the statistics the paper's
-// methodology is built on, so we prefer a loud abort over a wrong table.
+// Two tiers:
+//
+//  * OSN_ASSERT / OSN_ASSERT_MSG — compiled in ALL build types: the
+//    simulator's correctness depends on invariants (event ordering,
+//    frame-stack discipline, interval nesting) whose violation would silently
+//    corrupt the statistics the paper's methodology is built on, so we prefer
+//    a loud abort over a wrong table.
+//
+//  * OSN_DASSERT / OSN_DASSERT_MSG — per-record hot-path contracts (ring
+//    buffer reclaim discipline, emit bounds, writer monotonicity). Enabled in
+//    debug and sanitizer builds and by default everywhere else
+//    (OSN_ENABLE_DASSERT=1, set by CMake); a production/benchmark build
+//    configured with -DOSN_HOT_ASSERTS=OFF compiles them to a plain no-op —
+//    not __builtin_unreachable, which would let the optimizer assume the
+//    condition and miscompile the failure path the check was guarding.
+//
+// Failure handler: a thread-local hook lets the concurrency model checker
+// (src/check) turn a contract violation into a replayable CheckFailure
+// instead of a process abort. Outside the checker the hook is null and
+// assert_fail aborts as before. The hook must not return; if it does,
+// assert_fail still aborts so [[noreturn]] holds.
 #pragma once
 
 #include <cstdio>
@@ -11,8 +28,26 @@
 
 namespace osn {
 
+/// Invoked on contract violation when installed (thread-local). Must not
+/// return — the expected implementation throws.
+using AssertHandler = void (*)(const char* expr, const char* file, int line,
+                               const char* msg);
+
+namespace detail {
+inline thread_local AssertHandler t_assert_handler = nullptr;
+}  // namespace detail
+
+/// Installs `handler` for the current thread; returns the previous handler.
+inline AssertHandler set_assert_handler(AssertHandler handler) {
+  AssertHandler prev = detail::t_assert_handler;
+  detail::t_assert_handler = handler;
+  return prev;
+}
+
 [[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
                                      const char* msg) {
+  if (detail::t_assert_handler != nullptr)
+    detail::t_assert_handler(expr, file, line, msg);
   std::fprintf(stderr, "osn: assertion failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
                msg != nullptr ? msg : "");
   std::abort();
@@ -29,3 +64,23 @@ namespace osn {
   do {                                                                \
     if (!(expr)) ::osn::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
   } while (false)
+
+#if !defined(OSN_ENABLE_DASSERT)
+#define OSN_ENABLE_DASSERT 1
+#endif
+
+#if OSN_ENABLE_DASSERT
+#define OSN_DASSERT(expr) OSN_ASSERT(expr)
+#define OSN_DASSERT_MSG(expr, msg) OSN_ASSERT_MSG(expr, msg)
+#else
+// The condition stays type-checked (unevaluated operand) but emits no code.
+#define OSN_DASSERT(expr) \
+  do {                    \
+    (void)sizeof((expr)); \
+  } while (false)
+#define OSN_DASSERT_MSG(expr, msg) \
+  do {                             \
+    (void)sizeof((expr));          \
+    (void)sizeof((msg));           \
+  } while (false)
+#endif

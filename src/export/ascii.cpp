@@ -117,8 +117,12 @@ std::string render_breakdown_row(
   out += "|";
   for (std::size_t c = 0; c < breakdown.size(); ++c) {
     if (c == static_cast<std::size_t>(noise::NoiseCategory::kRequestedService)) continue;
-    out += " " + std::string(category_name(static_cast<noise::NoiseCategory>(c))) + "=" +
-           fmt_percent(static_cast<double>(breakdown[c]) / static_cast<double>(total));
+    // Appended piecewise: gcc 12's -O3 -Wrestrict pass false-positives on
+    // the temporary chain "literal" + std::string + ... (PR 105651).
+    out += ' ';
+    out += category_name(static_cast<noise::NoiseCategory>(c));
+    out += '=';
+    out += fmt_percent(static_cast<double>(breakdown[c]) / static_cast<double>(total));
   }
   return out + "\n";
 }

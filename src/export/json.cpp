@@ -74,8 +74,12 @@ std::string summary_json(const noise::NoiseAnalysis& analysis) {
         continue;
       if (!first_cat) out += ", ";
       first_cat = false;
-      out += "\"" + std::string(noise::category_name(cat)) + "\": " +
-             std::to_string(bd[c]);
+      // Appended piecewise: gcc 12's -O3 -Wrestrict pass false-positives on
+      // the temporary chain "literal" + std::string + ... (PR 105651).
+      out += '"';
+      out += noise::category_name(cat);
+      out += "\": ";
+      out += std::to_string(bd[c]);
     }
     out += "}}";
     out += i + 1 < apps.size() ? ",\n" : "\n";

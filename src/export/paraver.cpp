@@ -45,7 +45,9 @@ std::string prv_date(const trace::TraceMeta& meta) {
     if (days < in_month) break;
     days -= in_month;
   }
-  char buf[32];
+  // 64 bytes: gcc's -Wformat-truncation range analysis cannot prove the
+  // five %02llu fields stay at two digits each.
+  char buf[64];
   std::snprintf(buf, sizeof(buf), "%02llu/%02llu/%02llu at %02llu:%02llu",
                 static_cast<unsigned long long>(days + 1),
                 static_cast<unsigned long long>(month + 1),

@@ -50,8 +50,8 @@ std::vector<tracebuf::EventRecord> decode_payload(const std::uint8_t* data,
       prev_ts[static_cast<std::size_t>(cpu)] = rec.timestamp;
       seen[static_cast<std::size_t>(cpu)] = true;
       rec.cpu = static_cast<std::uint16_t>(cpu);
-      rec.pid = static_cast<std::uint32_t>(get_varint(data, len, pos));
-      rec.event = static_cast<std::uint16_t>(get_varint(data, len, pos));
+      rec.pid = narrow<std::uint32_t>(get_varint(data, len, pos), "pid", pos);
+      rec.event = narrow<std::uint16_t>(get_varint(data, len, pos), "event", pos);
       rec.arg = get_varint(data, len, pos);
       out.push_back(rec);
     }
@@ -93,6 +93,7 @@ std::vector<std::uint8_t> OsntReader::read_at(std::uint64_t offset, std::uint64_
   if (offset > size_ || len > size_ - offset)
     throw TraceReadError("read beyond end of trace", offset);
   std::vector<std::uint8_t> out(static_cast<std::size_t>(len));
+  if (out.empty()) return out;  // memcpy/pread with a null out.data() is UB
   if (file_ == nullptr) {
     std::memcpy(out.data(), bytes_.data() + offset, static_cast<std::size_t>(len));
     return out;

@@ -79,7 +79,7 @@ void put_meta_and_tasks(std::vector<std::uint8_t>& out, const TraceMeta& meta,
 
 void get_meta_and_tasks(const std::uint8_t* buf, std::size_t size, std::size_t& pos,
                         TraceMeta& meta, std::map<Pid, TaskInfo>& tasks) {
-  meta.n_cpus = static_cast<std::uint16_t>(get_varint(buf, size, pos));
+  meta.n_cpus = narrow<std::uint16_t>(get_varint(buf, size, pos), "n_cpus", pos);
   meta.tick_period_ns = get_varint(buf, size, pos);
   meta.start_ns = get_varint(buf, size, pos);
   meta.end_ns = get_varint(buf, size, pos);
@@ -92,7 +92,7 @@ void get_meta_and_tasks(const std::uint8_t* buf, std::size_t size, std::size_t& 
     throw TraceReadError("implausible task count", pos);
   for (std::uint64_t i = 0; i < n_tasks; ++i) {
     TaskInfo info;
-    info.pid = static_cast<Pid>(get_varint(buf, size, pos));
+    info.pid = narrow<Pid>(get_varint(buf, size, pos), "task pid", pos);
     info.name = get_string(buf, size, pos);
     const std::uint64_t flags = get_varint(buf, size, pos);
     info.is_app = (flags & 1) != 0;
@@ -165,7 +165,7 @@ std::vector<std::uint8_t> serialize_trace(const TraceModel& model) {
     put_varint(out, stream.size());
     TimeNs prev_ts = 0;
     for (const auto& rec : stream) {
-      OSN_ASSERT_MSG(rec.timestamp >= prev_ts, "stream not time-ordered");
+      OSN_DASSERT_MSG(rec.timestamp >= prev_ts, "stream not time-ordered");
       put_varint(out, rec.timestamp - prev_ts);
       prev_ts = rec.timestamp;
       put_varint(out, rec.pid);
@@ -196,9 +196,9 @@ TraceModel deserialize_whole(const std::vector<std::uint8_t>& buf, std::size_t p
       tracebuf::EventRecord rec;
       ts += get_varint(buf, pos);
       rec.timestamp = ts;
-      rec.pid = static_cast<std::uint32_t>(get_varint(buf, pos));
+      rec.pid = narrow<std::uint32_t>(get_varint(buf, pos), "pid", pos);
       rec.cpu = c;
-      rec.event = static_cast<std::uint16_t>(get_varint(buf, pos));
+      rec.event = narrow<std::uint16_t>(get_varint(buf, pos), "event", pos);
       rec.arg = get_varint(buf, pos);
       per_cpu[c].push_back(rec);
     }
@@ -227,9 +227,9 @@ TraceModel deserialize_stream(const std::vector<std::uint8_t>& buf, std::size_t 
       tracebuf::EventRecord rec;
       prev_ts[cpu] += get_varint(buf, pos);
       rec.timestamp = prev_ts[cpu];
-      rec.pid = static_cast<std::uint32_t>(get_varint(buf, pos));
+      rec.pid = narrow<std::uint32_t>(get_varint(buf, pos), "pid", pos);
       rec.cpu = static_cast<std::uint16_t>(cpu);
-      rec.event = static_cast<std::uint16_t>(get_varint(buf, pos));
+      rec.event = narrow<std::uint16_t>(get_varint(buf, pos), "event", pos);
       rec.arg = get_varint(buf, pos);
       per_cpu[cpu].push_back(rec);
     }
@@ -283,7 +283,9 @@ TraceModel read_trace_file(const std::string& path) {
 OsntStreamWriter::OsntStreamWriter(const std::string& path, std::size_t chunk_records,
                                    Format format)
     : file_(std::fopen(path.c_str(), "wb")), format_(format), chunk_records_(chunk_records) {
-  OSN_ASSERT_MSG(chunk_records_ >= 1, "chunk must hold at least one record");
+  // Caller API precondition, not decoded input — assert is the right tier.
+  OSN_ASSERT_MSG(  // osn-lint: allow(decode-throw)
+      chunk_records_ >= 1, "chunk must hold at least one record");
   if (file_ == nullptr) {
     failed_ = true;
     return;
@@ -317,13 +319,13 @@ void OsntStreamWriter::write_bytes(const void* data, std::size_t n) {
 }
 
 void OsntStreamWriter::append(const tracebuf::EventRecord& rec) {
-  OSN_ASSERT_MSG(!finished_, "append after finish");
+  OSN_DASSERT_MSG(!finished_, "append after finish");
   if (rec.cpu >= prev_ts_.size()) {
     prev_ts_.resize(rec.cpu + 1u, 0);
     chunk_prev_ts_.resize(rec.cpu + 1u, 0);
     chunk_seen_.resize(rec.cpu + 1u, false);
   }
-  OSN_ASSERT_MSG(rec.timestamp >= prev_ts_[rec.cpu], "stream not time-ordered");
+  OSN_DASSERT_MSG(rec.timestamp >= prev_ts_[rec.cpu], "stream not time-ordered");
   put_varint(chunk_buf_, rec.cpu);
   if (format_ == Format::kV3) {
     // Per-chunk delta reset: a CPU's first record in a chunk carries its

@@ -48,8 +48,10 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <limits>
 #include <map>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "trace/trace_error.hpp"
@@ -64,6 +66,17 @@ void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v);
 /// truncation or an over-long encoding.
 std::uint64_t get_varint(const std::uint8_t* data, std::size_t size, std::size_t& pos);
 std::uint64_t get_varint(const std::vector<std::uint8_t>& buf, std::size_t& pos);
+
+/// Checked narrowing for decoded fields: a varint that does not fit its
+/// destination type is malformed input, so this throws TraceReadError (with
+/// the current decode position) instead of silently truncating.
+template <class T>
+T narrow(std::uint64_t v, const char* field, std::size_t pos) {
+  static_assert(std::is_unsigned_v<T> && sizeof(T) <= sizeof(std::uint64_t));
+  if (v > std::numeric_limits<T>::max())
+    throw TraceReadError(std::string(field) + " does not fit its field", pos);
+  return static_cast<T>(v);
+}
 
 /// Serializes a trace to the OSNT v1 (whole-trace) binary layout.
 std::vector<std::uint8_t> serialize_trace(const TraceModel& model);

@@ -1,66 +1,9 @@
 #include "tracebuf/channel_set.hpp"
 
-#include <algorithm>
-#include <queue>
-
 namespace osn::tracebuf {
 
-ChannelSet::ChannelSet(std::size_t n_cpus, std::size_t per_cpu_capacity_pow2,
-                       FullPolicy policy) {
-  OSN_ASSERT_MSG(n_cpus >= 1, "need at least one CPU channel");
-  channels_.reserve(n_cpus);
-  for (std::size_t i = 0; i < n_cpus; ++i)
-    channels_.push_back(std::make_unique<RingBuffer>(per_cpu_capacity_pow2, policy));
-}
-
-std::uint64_t ChannelSet::total_lost() const {
-  std::uint64_t total = 0;
-  for (const auto& ch : channels_) total += ch->lost();
-  return total;
-}
-
-std::vector<std::vector<EventRecord>> ChannelSet::drain_per_cpu() {
-  std::vector<std::vector<EventRecord>> out(channels_.size());
-  for (std::size_t c = 0; c < channels_.size(); ++c) {
-    out[c].reserve(channels_[c]->size());
-    channels_[c]->drain(out[c]);
-  }
-  return out;
-}
-
-std::vector<EventRecord> ChannelSet::drain_merged() {
-  auto per_cpu = drain_per_cpu();
-
-  // K-way merge by (timestamp, cpu); each per-CPU stream is already sorted.
-  struct Cursor {
-    const std::vector<EventRecord>* stream;
-    std::size_t pos;
-    std::uint16_t cpu;
-  };
-  auto later = [](const Cursor& a, const Cursor& b) {
-    const EventRecord& ra = (*a.stream)[a.pos];
-    const EventRecord& rb = (*b.stream)[b.pos];
-    if (ra.timestamp != rb.timestamp) return ra.timestamp > rb.timestamp;
-    return a.cpu > b.cpu;
-  };
-  std::priority_queue<Cursor, std::vector<Cursor>, decltype(later)> heap(later);
-
-  std::size_t total = 0;
-  for (std::size_t c = 0; c < per_cpu.size(); ++c) {
-    total += per_cpu[c].size();
-    if (!per_cpu[c].empty())
-      heap.push(Cursor{&per_cpu[c], 0, static_cast<std::uint16_t>(c)});
-  }
-
-  std::vector<EventRecord> merged;
-  merged.reserve(total);
-  while (!heap.empty()) {
-    Cursor cur = heap.top();
-    heap.pop();
-    merged.push_back((*cur.stream)[cur.pos]);
-    if (++cur.pos < cur.stream->size()) heap.push(cur);
-  }
-  return merged;
-}
+// Production instantiation; other policies (the model checker's) instantiate
+// implicitly in their own translation units.
+template class BasicChannelSet<StdAtomicsPolicy>;
 
 }  // namespace osn::tracebuf

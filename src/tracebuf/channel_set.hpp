@@ -3,10 +3,16 @@
 // Mirrors an LTTng tracing session: one ring buffer per CPU, a consumer that
 // merges the per-CPU streams back into global timestamp order, and loss
 // accounting across the whole set.
+//
+// Templated on the atomics policy (atomics_policy.hpp) so litmus tests can
+// instantiate the exact production merge logic under the model checker;
+// ChannelSet is the production instantiation (compiled in channel_set.cpp).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <memory>
+#include <queue>
 #include <vector>
 
 #include "common/types.hpp"
@@ -14,35 +20,92 @@
 
 namespace osn::tracebuf {
 
-class ChannelSet {
+template <class Policy>
+class BasicChannelSet {
  public:
-  ChannelSet(std::size_t n_cpus, std::size_t per_cpu_capacity_pow2,
-             FullPolicy policy = FullPolicy::kDiscard);
+  BasicChannelSet(std::size_t n_cpus, std::size_t per_cpu_capacity_pow2,
+                  FullPolicy policy = FullPolicy::kDiscard) {
+    OSN_ASSERT_MSG(n_cpus >= 1, "need at least one CPU channel");
+    channels_.reserve(n_cpus);
+    for (std::size_t i = 0; i < n_cpus; ++i)
+      channels_.push_back(
+          std::make_unique<BasicRingBuffer<Policy>>(per_cpu_capacity_pow2, policy));
+  }
 
   /// Hot path: record an event on `cpu`'s channel. Returns false on discard.
   /// An out-of-range cpu is a contract violation, not silent UB.
   bool emit(CpuId cpu, const EventRecord& rec) {
-    OSN_ASSERT_MSG(cpu < channels_.size(), "emit: cpu out of channel range");
+    if constexpr (Policy::kCheckContracts) {
+      OSN_DASSERT_MSG(cpu < channels_.size(), "emit: cpu out of channel range");
+    }
     return channels_[cpu]->try_push(rec);
   }
 
   std::size_t cpu_count() const { return channels_.size(); }
-  RingBuffer& channel(CpuId cpu) { return *channels_[cpu]; }
-  const RingBuffer& channel(CpuId cpu) const { return *channels_[cpu]; }
+  BasicRingBuffer<Policy>& channel(CpuId cpu) { return *channels_[cpu]; }
+  const BasicRingBuffer<Policy>& channel(CpuId cpu) const { return *channels_[cpu]; }
 
   /// Total records discarded across all channels.
-  std::uint64_t total_lost() const;
+  std::uint64_t total_lost() const {
+    std::uint64_t total = 0;
+    for (const auto& ch : channels_) total += ch->lost();
+    return total;
+  }
+
+  /// Drains each channel into its own vector (index = cpu).
+  std::vector<std::vector<EventRecord>> drain_per_cpu() {
+    std::vector<std::vector<EventRecord>> out(channels_.size());
+    for (std::size_t c = 0; c < channels_.size(); ++c) {
+      out[c].reserve(channels_[c]->size());
+      channels_[c]->drain(out[c]);
+    }
+    return out;
+  }
 
   /// Drains every channel and merges the streams into a single vector sorted
   /// by (timestamp, cpu). Per-CPU streams are individually time-ordered (each
   /// CPU's clock is monotonic), so this is a k-way merge.
-  std::vector<EventRecord> drain_merged();
+  std::vector<EventRecord> drain_merged() {
+    auto per_cpu = drain_per_cpu();
 
-  /// Drains each channel into its own vector (index = cpu).
-  std::vector<std::vector<EventRecord>> drain_per_cpu();
+    // K-way merge by (timestamp, cpu); each per-CPU stream is already sorted.
+    struct Cursor {
+      const std::vector<EventRecord>* stream;
+      std::size_t pos;
+      std::uint16_t cpu;
+    };
+    auto later = [](const Cursor& a, const Cursor& b) {
+      const EventRecord& ra = (*a.stream)[a.pos];
+      const EventRecord& rb = (*b.stream)[b.pos];
+      if (ra.timestamp != rb.timestamp) return ra.timestamp > rb.timestamp;
+      return a.cpu > b.cpu;
+    };
+    std::priority_queue<Cursor, std::vector<Cursor>, decltype(later)> heap(later);
+
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < per_cpu.size(); ++c) {
+      total += per_cpu[c].size();
+      if (!per_cpu[c].empty())
+        heap.push(Cursor{&per_cpu[c], 0, static_cast<std::uint16_t>(c)});
+    }
+
+    std::vector<EventRecord> merged;
+    merged.reserve(total);
+    while (!heap.empty()) {
+      Cursor cur = heap.top();
+      heap.pop();
+      merged.push_back((*cur.stream)[cur.pos]);
+      if (++cur.pos < cur.stream->size()) heap.push(cur);
+    }
+    return merged;
+  }
 
  private:
-  std::vector<std::unique_ptr<RingBuffer>> channels_;
+  std::vector<std::unique_ptr<BasicRingBuffer<Policy>>> channels_;
 };
+
+using ChannelSet = BasicChannelSet<StdAtomicsPolicy>;
+
+extern template class BasicChannelSet<StdAtomicsPolicy>;
 
 }  // namespace osn::tracebuf

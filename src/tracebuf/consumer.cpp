@@ -1,166 +1,9 @@
 #include "tracebuf/consumer.hpp"
 
-#include <algorithm>
-
-#include "common/assert.hpp"
-
 namespace osn::tracebuf {
 
-Consumer::Consumer(ChannelSet& channels, Emit emit, Options options)
-    : channels_(channels), emit_(std::move(emit)), options_(options) {
-  OSN_ASSERT_MSG(emit_ != nullptr, "consumer needs an emit callback");
-  OSN_ASSERT_MSG(options_.batch_size >= 1, "batch size must be >= 1");
-  const std::size_t k = channels_.cpu_count();
-  staging_.resize(k);
-  staging_head_.assign(k, 0);
-  floor_.assign(k, 0);
-  seen_.assign(k, false);
-  scratch_.resize(options_.batch_size);
-  stats_.channels.resize(k);
-  for (std::size_t c = 0; c < k; ++c)
-    channels_.channel(static_cast<CpuId>(c)).attach_consumer();
-  attached_ = true;
-}
-
-Consumer::~Consumer() {
-  stop();
-  if (attached_) {
-    for (std::size_t c = 0; c < channels_.cpu_count(); ++c)
-      channels_.channel(static_cast<CpuId>(c)).detach_consumer();
-    attached_ = false;
-  }
-}
-
-void Consumer::start() {
-  if (running_.exchange(true, std::memory_order_acq_rel)) return;
-  thread_ = std::thread([this] { drain_loop(); });
-}
-
-void Consumer::stop() {
-  if (running_.exchange(false, std::memory_order_acq_rel)) {
-    if (thread_.joinable()) thread_.join();
-  }
-  // Producers are quiescent by contract now: drain every channel dry, then
-  // flush the merge unconditionally (no channel can contribute again).
-  while (poll_once() > 0) {
-  }
-  flush(true);
-  refresh_channel_counters();
-}
-
-void Consumer::drain_loop() {
-  while (running_.load(std::memory_order_acquire)) {
-    const std::size_t popped = poll_once();
-    flush(false);
-    if (popped == 0) std::this_thread::yield();
-  }
-}
-
-std::size_t Consumer::poll_once() {
-  std::size_t total = 0;
-  for (std::size_t c = 0; c < staging_.size(); ++c) {
-    const std::size_t n =
-        channels_.channel(static_cast<CpuId>(c)).try_pop_batch(scratch_);
-    if (n == 0) continue;
-    auto& queue = staging_[c];
-    std::size_t& head = staging_head_[c];
-    // Reclaim the consumed prefix before growing the queue further.
-    if (head > 0 && head * 2 >= queue.size()) {
-      queue.erase(queue.begin(),
-                  queue.begin() + static_cast<std::ptrdiff_t>(head));
-      head = 0;
-    }
-    queue.insert(queue.end(), scratch_.begin(),
-                 scratch_.begin() + static_cast<std::ptrdiff_t>(n));
-    floor_[c] = queue.back().timestamp;
-    seen_[c] = true;
-
-    ChannelDrainStats& cs = stats_.channels[c];
-    cs.records += n;
-    cs.batches += 1;
-    cs.max_batch = std::max<std::uint64_t>(cs.max_batch, n);
-    stats_.batches += 1;
-    stats_.max_batch = std::max<std::uint64_t>(stats_.max_batch, n);
-    total += n;
-  }
-  return total;
-}
-
-void Consumer::flush(bool final) {
-  const std::size_t k = staging_.size();
-  while (true) {
-    // The channel whose staged front is the global (timestamp, cpu) minimum.
-    // Scanning in ascending cpu order with a strict < makes the lowest cpu
-    // win ties — the same tie-break as the offline k-way merge.
-    std::size_t best = k;
-    TimeNs best_ts = 0;
-    for (std::size_t c = 0; c < k; ++c) {
-      if (staging_head_[c] >= staging_[c].size()) continue;
-      const TimeNs ts = staging_[c][staging_head_[c]].timestamp;
-      if (best == k || ts < best_ts) {
-        best = c;
-        best_ts = ts;
-      }
-    }
-    if (best == k) return;
-
-    // The earliest (timestamp, cpu) pair any *other* channel could still
-    // contribute: its staged front, or — when staging is empty — the floor of
-    // its future records. A channel that has produced nothing has an unknown
-    // floor and holds the merge back until stop().
-    bool bounded = false;
-    TimeNs bound_ts = 0;
-    std::size_t bound_cpu = 0;
-    for (std::size_t d = 0; d < k; ++d) {
-      if (d == best) continue;
-      TimeNs ts;
-      if (staging_head_[d] < staging_[d].size()) {
-        ts = staging_[d][staging_head_[d]].timestamp;
-      } else if (final) {
-        continue;  // exhausted for good
-      } else {
-        ts = seen_[d] ? floor_[d] : 0;
-      }
-      if (!bounded || ts < bound_ts || (ts == bound_ts && d < bound_cpu)) {
-        bounded = true;
-        bound_ts = ts;
-        bound_cpu = d;
-      }
-    }
-
-    // Emit the run of records from `best` that stay strictly below the
-    // bound; run emission amortizes the scans above over bursty streams.
-    auto& queue = staging_[best];
-    std::size_t& head = staging_head_[best];
-    bool emitted = false;
-    while (head < queue.size()) {
-      const EventRecord& rec = queue[head];
-      if (bounded && !(rec.timestamp < bound_ts ||
-                       (rec.timestamp == bound_ts && best < bound_cpu)))
-        break;
-      emit_(rec);
-      ++head;
-      ++stats_.records;
-      emitted = true;
-    }
-    if (head == queue.size()) {
-      queue.clear();
-      head = 0;
-    }
-    if (!emitted) return;  // watermark reached: wait for more input
-  }
-}
-
-void Consumer::refresh_channel_counters() {
-  stats_.lost = 0;
-  stats_.overwritten = 0;
-  for (std::size_t c = 0; c < stats_.channels.size(); ++c) {
-    const RingBuffer& ch = channels_.channel(static_cast<CpuId>(c));
-    stats_.channels[c].lost = ch.lost();
-    stats_.channels[c].overwritten = ch.overwritten();
-    stats_.lost += ch.lost();
-    stats_.overwritten += ch.overwritten();
-  }
-}
+// Production instantiation; other policies (the model checker's) instantiate
+// implicitly in their own translation units.
+template class BasicConsumer<StdAtomicsPolicy>;
 
 }  // namespace osn::tracebuf

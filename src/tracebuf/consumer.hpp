@@ -26,14 +26,22 @@
 // floor is unknown); everything is flushed unconditionally at stop(), when
 // producers are quiescent. Ties are broken by cpu id, matching the offline
 // k-way merge exactly — the live path is byte-for-byte deterministic.
+//
+// Templated on the atomics policy (atomics_policy.hpp): the model checker
+// drives BasicConsumer<CheckedPolicy> step by step via run_once() on a
+// checker-controlled thread (no daemon thread), exploring every interleaving
+// of the watermark-gated merge against live producers. Consumer is the
+// production instantiation (compiled in consumer.cpp).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <thread>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "tracebuf/channel_set.hpp"
 
 namespace osn::tracebuf {
@@ -56,7 +64,8 @@ struct ConsumerStats {
   std::uint64_t overwritten = 0;
 };
 
-class Consumer {
+template <class Policy>
+class BasicConsumer {
  public:
   /// Called on the consumer thread, in global (timestamp, cpu) order.
   using Emit = std::function<void(const EventRecord&)>;
@@ -67,21 +76,67 @@ class Consumer {
 
   /// Attaches to every channel of `channels` (asserting it is the only
   /// consumer). `emit` receives the merged stream.
-  Consumer(ChannelSet& channels, Emit emit, Options options);
-  Consumer(ChannelSet& channels, Emit emit)
-      : Consumer(channels, std::move(emit), Options{}) {}
-  ~Consumer();
+  BasicConsumer(BasicChannelSet<Policy>& channels, Emit emit, Options options)
+      : channels_(channels), emit_(std::move(emit)), options_(options) {
+    OSN_ASSERT_MSG(emit_ != nullptr, "consumer needs an emit callback");
+    OSN_ASSERT_MSG(options_.batch_size >= 1, "batch size must be >= 1");
+    const std::size_t k = channels_.cpu_count();
+    staging_.resize(k);
+    staging_head_.assign(k, 0);
+    floor_.assign(k, 0);
+    seen_.assign(k, false);
+    scratch_.resize(options_.batch_size);
+    stats_.channels.resize(k);
+    for (std::size_t c = 0; c < k; ++c)
+      channels_.channel(static_cast<CpuId>(c)).attach_consumer();
+    attached_ = true;
+  }
+  BasicConsumer(BasicChannelSet<Policy>& channels, Emit emit)
+      : BasicConsumer(channels, std::move(emit), Options{}) {}
 
-  Consumer(const Consumer&) = delete;
-  Consumer& operator=(const Consumer&) = delete;
+  ~BasicConsumer() {
+    stop();
+    if (attached_) {
+      for (std::size_t c = 0; c < channels_.cpu_count(); ++c)
+        channels_.channel(static_cast<CpuId>(c)).detach_consumer();
+      attached_ = false;
+    }
+  }
+
+  BasicConsumer(const BasicConsumer&) = delete;
+  BasicConsumer& operator=(const BasicConsumer&) = delete;
 
   /// Starts the daemon thread. Producers may push concurrently from then on.
-  void start();
+  void start() {
+    if (running_.exchange(true, std::memory_order_acq_rel)) return;
+    thread_ = std::thread([this] { drain_loop(); });
+  }
 
   /// Stops the daemon (joining the thread if running), then drains and emits
   /// all residual records. Producers must be quiescent by the time stop() is
   /// called. Idempotent; also usable without start() for an inline drain.
-  void stop();
+  void stop() {
+    if (running_.exchange(false, std::memory_order_acq_rel)) {
+      if (thread_.joinable()) thread_.join();
+    }
+    // Producers are quiescent by contract now: drain every channel dry, then
+    // flush the merge unconditionally (no channel can contribute again).
+    while (poll_once() > 0) {
+    }
+    flush(true);
+    refresh_channel_counters();
+  }
+
+  /// One daemon iteration on the caller's thread: poll a batch from every
+  /// channel, emit whatever the watermark rule allows. Returns the number of
+  /// records popped. This is the step function the model checker drives in
+  /// place of the daemon thread; also usable for cooperative single-threaded
+  /// draining. Never call concurrently with a running daemon.
+  std::size_t run_once() {
+    const std::size_t popped = poll_once();
+    flush(false);
+    return popped;
+  }
 
   bool running() const { return running_.load(std::memory_order_acquire); }
 
@@ -90,15 +145,125 @@ class Consumer {
   const ConsumerStats& stats() const { return stats_; }
 
  private:
-  void drain_loop();
+  void drain_loop() {
+    while (running_.load(std::memory_order_acquire)) {
+      const std::size_t popped = poll_once();
+      flush(false);
+      if (popped == 0) std::this_thread::yield();
+    }
+  }
+
   /// Pops one batch from every channel into staging; returns records popped.
-  std::size_t poll_once();
+  std::size_t poll_once() {
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < staging_.size(); ++c) {
+      const std::size_t n =
+          channels_.channel(static_cast<CpuId>(c)).try_pop_batch(scratch_);
+      if (n == 0) continue;
+      auto& queue = staging_[c];
+      std::size_t& head = staging_head_[c];
+      // Reclaim the consumed prefix before growing the queue further.
+      if (head > 0 && head * 2 >= queue.size()) {
+        queue.erase(queue.begin(),
+                    queue.begin() + static_cast<std::ptrdiff_t>(head));
+        head = 0;
+      }
+      queue.insert(queue.end(), scratch_.begin(),
+                   scratch_.begin() + static_cast<std::ptrdiff_t>(n));
+      floor_[c] = queue.back().timestamp;
+      seen_[c] = true;
+
+      ChannelDrainStats& cs = stats_.channels[c];
+      cs.records += n;
+      cs.batches += 1;
+      cs.max_batch = std::max<std::uint64_t>(cs.max_batch, n);
+      stats_.batches += 1;
+      stats_.max_batch = std::max<std::uint64_t>(stats_.max_batch, n);
+      total += n;
+    }
+    return total;
+  }
+
   /// Emits staged records that are safe under the watermark rule; `final`
   /// additionally treats empty channels as exhausted (end-of-trace flush).
-  void flush(bool final);
-  void refresh_channel_counters();
+  void flush(bool final) {
+    const std::size_t k = staging_.size();
+    while (true) {
+      // The channel whose staged front is the global (timestamp, cpu) minimum.
+      // Scanning in ascending cpu order with a strict < makes the lowest cpu
+      // win ties — the same tie-break as the offline k-way merge.
+      std::size_t best = k;
+      TimeNs best_ts = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        if (staging_head_[c] >= staging_[c].size()) continue;
+        const TimeNs ts = staging_[c][staging_head_[c]].timestamp;
+        if (best == k || ts < best_ts) {
+          best = c;
+          best_ts = ts;
+        }
+      }
+      if (best == k) return;
 
-  ChannelSet& channels_;
+      // The earliest (timestamp, cpu) pair any *other* channel could still
+      // contribute: its staged front, or — when staging is empty — the floor of
+      // its future records. A channel that has produced nothing has an unknown
+      // floor and holds the merge back until stop().
+      bool bounded = false;
+      TimeNs bound_ts = 0;
+      std::size_t bound_cpu = 0;
+      for (std::size_t d = 0; d < k; ++d) {
+        if (d == best) continue;
+        TimeNs ts;
+        if (staging_head_[d] < staging_[d].size()) {
+          ts = staging_[d][staging_head_[d]].timestamp;
+        } else if (final) {
+          continue;  // exhausted for good
+        } else {
+          ts = seen_[d] ? floor_[d] : 0;
+        }
+        if (!bounded || ts < bound_ts || (ts == bound_ts && d < bound_cpu)) {
+          bounded = true;
+          bound_ts = ts;
+          bound_cpu = d;
+        }
+      }
+
+      // Emit the run of records from `best` that stay strictly below the
+      // bound; run emission amortizes the scans above over bursty streams.
+      auto& queue = staging_[best];
+      std::size_t& head = staging_head_[best];
+      bool emitted = false;
+      while (head < queue.size()) {
+        const EventRecord& rec = queue[head];
+        if (bounded && !(rec.timestamp < bound_ts ||
+                         (rec.timestamp == bound_ts && best < bound_cpu)))
+          break;
+        emit_(rec);
+        ++head;
+        ++stats_.records;
+        emitted = true;
+      }
+      if (head == queue.size()) {
+        queue.clear();
+        head = 0;
+      }
+      if (!emitted) return;  // watermark reached: wait for more input
+    }
+  }
+
+  void refresh_channel_counters() {
+    stats_.lost = 0;
+    stats_.overwritten = 0;
+    for (std::size_t c = 0; c < stats_.channels.size(); ++c) {
+      const auto& ch = channels_.channel(static_cast<CpuId>(c));
+      stats_.channels[c].lost = ch.lost();
+      stats_.channels[c].overwritten = ch.overwritten();
+      stats_.lost += ch.lost();
+      stats_.overwritten += ch.overwritten();
+    }
+  }
+
+  BasicChannelSet<Policy>& channels_;
   Emit emit_;
   Options options_;
 
@@ -111,8 +276,14 @@ class Consumer {
 
   ConsumerStats stats_;
   std::thread thread_;
+  // Daemon control plane, not part of the algorithm under test: always a real
+  // std::atomic (the checker drives run_once() directly, never start/stop).
   std::atomic<bool> running_{false};
   bool attached_ = false;
 };
+
+using Consumer = BasicConsumer<StdAtomicsPolicy>;
+
+extern template class BasicConsumer<StdAtomicsPolicy>;
 
 }  // namespace osn::tracebuf

@@ -9,7 +9,8 @@
 // Memory ordering: the producer publishes a record with a release store of
 // `head_`; the consumer acquires `head_` before reading slots, and releases
 // `tail_` after consuming so the producer can reuse slots. Capacity is a
-// power of two so index masking is a single AND.
+// power of two so index masking is a single AND. (DESIGN.md spells out the
+// full ordering contract; the model checker in src/check/ enforces it.)
 //
 // Two full-buffer policies mirror LTTng's channel modes:
 //  * kDiscard   — drop the *new* record and count it (default; losses are
@@ -19,6 +20,10 @@
 //                 (trace first, drain afterwards), which is how the offline
 //                 analysis in this repo uses it; this matches LTTng's
 //                 "snapshot" usage.
+//
+// BasicRingBuffer is templated on an atomics policy (atomics_policy.hpp) so
+// the identical algorithm also runs under the model checker's instrumented
+// atomics; RingBuffer is the production std::atomic instantiation.
 #pragma once
 
 #include <algorithm>
@@ -31,27 +36,30 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "tracebuf/atomics_policy.hpp"
 #include "tracebuf/record.hpp"
 
 namespace osn::tracebuf {
 
 enum class FullPolicy { kDiscard, kOverwrite };
 
-class RingBuffer {
+template <class Policy>
+class BasicRingBuffer {
  public:
   // 64 bytes covers x86-64 and most aarch64; a fixed value avoids the ABI
   // instability gcc warns about for hardware_destructive_interference_size.
   static constexpr std::size_t kCacheLine = 64;
 
-  explicit RingBuffer(std::size_t capacity_pow2, FullPolicy policy = FullPolicy::kDiscard)
+  explicit BasicRingBuffer(std::size_t capacity_pow2,
+                           FullPolicy policy = FullPolicy::kDiscard)
       : capacity_(capacity_pow2), mask_(capacity_pow2 - 1), policy_(policy),
-        slots_(std::make_unique<EventRecord[]>(capacity_pow2)) {
+        slots_(std::make_unique<Slot[]>(capacity_pow2)) {
     OSN_ASSERT_MSG(capacity_pow2 >= 2 && (capacity_pow2 & mask_) == 0,
                    "capacity must be a power of two >= 2");
   }
 
-  RingBuffer(const RingBuffer&) = delete;
-  RingBuffer& operator=(const RingBuffer&) = delete;
+  BasicRingBuffer(const BasicRingBuffer&) = delete;
+  BasicRingBuffer& operator=(const BasicRingBuffer&) = delete;
 
   /// Producer side. Returns false when the record was discarded (kDiscard
   /// policy, buffer full). Wait-free.
@@ -65,12 +73,14 @@ class RingBuffer {
       }
       // Overwrite: reclaim the oldest slot. Safe only without a concurrent
       // consumer (see file comment); the producer owns both indices then.
-      OSN_ASSERT_MSG(!consumer_attached_.load(std::memory_order_relaxed),
-                     "overwrite reclaim with a consumer attached");
+      if constexpr (Policy::kCheckContracts) {
+        OSN_DASSERT_MSG(!consumer_attached_.load(std::memory_order_relaxed),
+                        "overwrite reclaim with a consumer attached");
+      }
       tail_.store(tail + 1, std::memory_order_relaxed);
       overwritten_.fetch_add(1, std::memory_order_relaxed);
     }
-    slots_[head & mask_] = rec;
+    slots_[head & mask_].store(rec);
     head_.store(head + 1, std::memory_order_release);
     return true;
   }
@@ -80,7 +90,7 @@ class RingBuffer {
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
     const std::uint64_t head = head_.load(std::memory_order_acquire);
     if (tail == head) return std::nullopt;
-    EventRecord rec = slots_[tail & mask_];
+    EventRecord rec = slots_[tail & mask_].load();
     tail_.store(tail + 1, std::memory_order_release);
     return rec;
   }
@@ -95,7 +105,7 @@ class RingBuffer {
     const std::uint64_t avail = head - tail;
     if (avail == 0 || out.empty()) return 0;
     const std::size_t n = std::min<std::size_t>(out.size(), static_cast<std::size_t>(avail));
-    for (std::size_t i = 0; i < n; ++i) out[i] = slots_[(tail + i) & mask_];
+    for (std::size_t i = 0; i < n; ++i) out[i] = slots_[(tail + i) & mask_].load();
     tail_.store(tail + n, std::memory_order_release);
     return n;
   }
@@ -138,16 +148,22 @@ class RingBuffer {
   FullPolicy policy() const { return policy_; }
 
  private:
+  template <class T>
+  using Atomic = typename Policy::template Atomic<T>;
+  using Slot = typename Policy::template Cell<EventRecord>;
+
   const std::size_t capacity_;
   const std::size_t mask_;
   const FullPolicy policy_;
-  std::unique_ptr<EventRecord[]> slots_;
+  std::unique_ptr<Slot[]> slots_;
 
-  alignas(kCacheLine) std::atomic<std::uint64_t> head_{0};  // producer-owned
-  alignas(kCacheLine) std::atomic<std::uint64_t> tail_{0};  // consumer-owned
-  alignas(kCacheLine) std::atomic<std::uint64_t> lost_{0};
-  std::atomic<std::uint64_t> overwritten_{0};
-  std::atomic<bool> consumer_attached_{false};
+  alignas(kCacheLine) Atomic<std::uint64_t> head_{0};  // producer-owned
+  alignas(kCacheLine) Atomic<std::uint64_t> tail_{0};  // consumer-owned
+  alignas(kCacheLine) Atomic<std::uint64_t> lost_{0};
+  Atomic<std::uint64_t> overwritten_{0};
+  Atomic<bool> consumer_attached_{false};
 };
+
+using RingBuffer = BasicRingBuffer<StdAtomicsPolicy>;
 
 }  // namespace osn::tracebuf

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "tracebuf/channel_set.hpp"
 
 namespace osn::tracebuf {
@@ -102,6 +105,45 @@ TEST(ChannelSet, MergeOrdersEqualTimestampsByCpuAcrossRuns) {
   EXPECT_EQ(merged[0].cpu, 0u);
   EXPECT_EQ(merged[1].cpu, 0u);
   EXPECT_EQ(merged[2].cpu, 1u);
+}
+
+// Real-thread twin of the LitmusTracebuf.ThreeProducerEmitWithOverwriteReclaim
+// model-checker litmus: three producers hammer their own overwrite-mode
+// channels (heavy reclaim traffic, no consumer attached), which the tsan
+// preset then vets for data races at native interleavings.
+TEST(ChannelSetStress, ThreeProducerOverwriteReclaim) {
+  constexpr std::size_t kProducers = 3;
+  constexpr std::size_t kPerProducer = 20000;
+  constexpr std::size_t kCapacity = 8;
+  ChannelSet cs(kProducers, kCapacity, FullPolicy::kOverwrite);
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&cs, p] {
+      const auto cpu = static_cast<std::uint16_t>(p);
+      for (std::size_t i = 1; i <= kPerProducer; ++i)
+        ASSERT_TRUE(cs.emit(cpu, rec(i, cpu)));  // overwrite never rejects
+    });
+  }
+  for (auto& t : producers) t.join();
+
+  EXPECT_EQ(cs.total_lost(), 0u);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(cs.channel(static_cast<CpuId>(p)).overwritten(),
+              kPerProducer - kCapacity);
+    EXPECT_EQ(cs.channel(static_cast<CpuId>(p)).size(), kCapacity);
+  }
+  const auto merged = cs.drain_merged();
+  ASSERT_EQ(merged.size(), kProducers * kCapacity);
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    const auto& a = merged[i - 1];
+    const auto& b = merged[i];
+    ASSERT_TRUE(a.timestamp < b.timestamp ||
+                (a.timestamp == b.timestamp && a.cpu < b.cpu));
+  }
+  // Flight-recorder semantics: each channel retained its newest kCapacity.
+  for (const auto& r : merged) EXPECT_GT(r.timestamp, kPerProducer - kCapacity);
 }
 
 }  // namespace

@@ -1,0 +1,262 @@
+// Self-tests for the concurrency model checker (src/check): exhaustiveness
+// of the SC interleaving exploration, happens-before race detection from
+// declared memory orders, deterministic replay of failing schedules, and the
+// bounded-preemption / seen-state-pruning machinery.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "check/atomic.hpp"
+#include "check/checker.hpp"
+#include "common/assert.hpp"
+
+namespace {
+
+using osn::check::Atomic;
+using osn::check::Cell;
+using osn::check::CheckFailure;
+using osn::check::explore;
+using osn::check::Options;
+using osn::check::Result;
+using osn::check::schedule_from_string;
+using osn::check::schedule_to_string;
+using osn::check::Schedule;
+
+TEST(CheckEngine, ActiveOnlyInsideExplore) {
+  EXPECT_FALSE(osn::check::active());
+  osn::check::yield_point();  // no-op outside the checker
+  bool was_active = false;
+  explore(Options{}, [&] { was_active = osn::check::active(); });
+  EXPECT_TRUE(was_active);
+  EXPECT_FALSE(osn::check::active());
+}
+
+TEST(CheckEngine, ScheduleStringRoundTrip) {
+  EXPECT_EQ(schedule_to_string(Schedule{}), "-");
+  EXPECT_EQ(schedule_to_string(Schedule{0, 1, 1, 2}), "0.1.1.2");
+  EXPECT_EQ(schedule_from_string("0.1.1.2"), (Schedule{0, 1, 1, 2}));
+  EXPECT_EQ(schedule_from_string("-"), Schedule{});
+  EXPECT_EQ(schedule_from_string(""), Schedule{});
+  EXPECT_EQ(schedule_from_string("7"), Schedule{7});
+}
+
+// Dekker's store-buffer litmus. Under the checker's sequentially consistent
+// exploration exactly three outcomes exist; (0,0) would need real store
+// buffering, which interleaving semantics cannot produce.
+TEST(CheckEngine, StoreBufferExploresAllScOutcomes) {
+  std::set<std::pair<int, int>> outcomes;
+  Options opt;
+  opt.max_preemptions = 2;
+  const Result res = explore(opt, [&] {
+    Atomic<int> x{0};
+    Atomic<int> y{0};
+    int r1 = -1;
+    int r2 = -1;
+    osn::check::spawn([&] {
+      x.store(1);
+      r1 = y.load();
+    });
+    osn::check::spawn([&] {
+      y.store(1);
+      r2 = x.load();
+    });
+    osn::check::join_all();
+    outcomes.insert({r1, r2});
+  });
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_GE(res.runs, 3u);
+  const std::set<std::pair<int, int>> want{{0, 1}, {1, 0}, {1, 1}};
+  EXPECT_EQ(outcomes, want);
+}
+
+// With a zero preemption budget only the serial schedules remain: the body
+// spawns two threads and joins, so the lone decision is which runs first.
+TEST(CheckEngine, ZeroBudgetRunsSerialSchedulesOnly) {
+  std::set<std::pair<int, int>> outcomes;
+  Options opt;
+  opt.max_preemptions = 0;
+  const Result res = explore(opt, [&] {
+    Atomic<int> x{0};
+    Atomic<int> y{0};
+    int r1 = -1;
+    int r2 = -1;
+    osn::check::spawn([&] {
+      x.store(1);
+      r1 = y.load();
+    });
+    osn::check::spawn([&] {
+      y.store(1);
+      r2 = x.load();
+    });
+    osn::check::join_all();
+    outcomes.insert({r1, r2});
+  });
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_EQ(res.runs, 2u);
+  const std::set<std::pair<int, int>> want{{0, 1}, {1, 0}};
+  EXPECT_EQ(outcomes, want);
+}
+
+// Seen-state pruning collapses commuting interleavings: same final states,
+// strictly fewer executed runs than the unpruned search. Relaxed constant
+// stores to disjoint atomics make different orders converge to identical
+// fingerprints (e.g. A·BB·AA and AA·BB·A meet with equal op counts and two
+// preemptions spent); the budget must leave such met states a real decision,
+// hence three preemptions.
+TEST(CheckEngine, StateHashingPrunesWithoutChangingOutcomes) {
+  auto run_with = [](bool hashing, std::set<std::pair<int, int>>& outcomes) {
+    Options opt;
+    opt.max_preemptions = 3;
+    opt.state_hashing = hashing;
+    return explore(opt, [&] {
+      Atomic<int> x{0};
+      Atomic<int> y{0};
+      osn::check::spawn([&] {
+        for (int i = 0; i < 4; ++i) x.store(7, std::memory_order_relaxed);
+      });
+      osn::check::spawn([&] {
+        for (int i = 0; i < 4; ++i) y.store(9, std::memory_order_relaxed);
+      });
+      osn::check::join_all();
+      outcomes.insert({x.load(), y.load()});
+    });
+  };
+  std::set<std::pair<int, int>> with_hash;
+  std::set<std::pair<int, int>> without_hash;
+  const Result pruned = run_with(true, with_hash);
+  const Result full = run_with(false, without_hash);
+  EXPECT_TRUE(pruned.exhausted);
+  EXPECT_TRUE(full.exhausted);
+  EXPECT_EQ(with_hash, without_hash);
+  EXPECT_EQ(with_hash, (std::set<std::pair<int, int>>{{7, 9}}));
+  EXPECT_LT(pruned.runs, full.runs);
+  EXPECT_GT(pruned.pruned, 0u);
+}
+
+// A racy read-modify-write (plain load + store instead of fetch_add) loses
+// updates under some interleaving; the litmus invariant catches it and the
+// reported schedule replays to the identical failure.
+TEST(CheckEngine, LostUpdateIsFoundAndReplays) {
+  auto body = [] {
+    Atomic<int> x{0};
+    auto bump = [&] {
+      const int v = x.load(std::memory_order_relaxed);
+      x.store(v + 1, std::memory_order_relaxed);
+    };
+    osn::check::spawn(bump);
+    osn::check::spawn(bump);
+    osn::check::join_all();
+    OSN_CHECK(x.load() == 2);
+  };
+
+  std::string schedule;
+  std::string message;
+  try {
+    explore(Options{}, body);
+    FAIL() << "checker missed the lost update";
+  } catch (const CheckFailure& f) {
+    schedule = f.schedule();
+    message = f.what();
+  }
+  EXPECT_NE(message.find("litmus invariant failed"), std::string::npos);
+  EXPECT_NE(schedule, "-");
+
+  Options replay;
+  replay.replay = schedule;
+  try {
+    explore(replay, body);
+    FAIL() << "replay did not reproduce the failure";
+  } catch (const CheckFailure& f) {
+    EXPECT_EQ(std::string(f.what()), message);
+    EXPECT_EQ(f.schedule(), schedule);
+  }
+}
+
+// Publishing plain data with a relaxed flag store is a torn-write-visibility
+// bug: the reader's acquire load synchronizes with nothing, so its plain read
+// races the writer even in an SC interleaving. The vector clocks catch it.
+TEST(CheckEngine, RelaxedPublishIsReportedAsRace) {
+  auto body = [](std::memory_order publish_order) {
+    return [publish_order] {
+      Cell<int> data{0};
+      Atomic<int> flag{0};
+      osn::check::spawn([&] {
+        data.store(42);
+        flag.store(1, publish_order);
+      });
+      osn::check::spawn([&] {
+        if (flag.load(std::memory_order_acquire) == 1) OSN_CHECK(data.load() == 42);
+      });
+      osn::check::join_all();
+    };
+  };
+
+  try {
+    explore(Options{}, body(std::memory_order_relaxed));
+    FAIL() << "checker missed the torn-write race";
+  } catch (const CheckFailure& f) {
+    EXPECT_NE(std::string(f.what()).find("data race"), std::string::npos);
+    // The race replays deterministically too.
+    Options replay;
+    replay.replay = f.schedule();
+    EXPECT_THROW(explore(replay, body(std::memory_order_relaxed)), CheckFailure);
+  }
+
+  // The exact same body with a release publish is clean — and exhaustively so.
+  const Result res = explore(Options{}, body(std::memory_order_release));
+  EXPECT_TRUE(res.exhausted);
+}
+
+// OSN_ASSERT contract violations on checker threads surface as replayable
+// CheckFailures (via the thread-local assert handler), not process aborts.
+TEST(CheckEngine, ContractViolationBecomesCheckFailure) {
+  auto body = [] {
+    Atomic<int> x{0};
+    osn::check::spawn([&] {
+      x.store(1);
+      OSN_ASSERT_MSG(x.load() == 0, "deliberate contract violation");
+    });
+    osn::check::join_all();
+  };
+  try {
+    explore(Options{}, body);
+    FAIL() << "contract violation did not fail the run";
+  } catch (const CheckFailure& f) {
+    const std::string what = f.what();
+    EXPECT_NE(what.find("contract violated"), std::string::npos);
+    EXPECT_NE(what.find("deliberate contract violation"), std::string::npos);
+  }
+}
+
+// The max_runs safety valve reports an explicit failure (rather than a
+// silent partial result) unless exhaustiveness is waived.
+TEST(CheckEngine, MaxRunsGuard) {
+  auto body = [] {
+    Atomic<int> x{0};
+    Atomic<int> y{0};
+    osn::check::spawn([&] {
+      x.store(1);
+      (void)y.load();
+    });
+    osn::check::spawn([&] {
+      y.store(1);
+      (void)x.load();
+    });
+    osn::check::join_all();
+  };
+  Options strict;
+  strict.max_runs = 2;
+  EXPECT_THROW(explore(strict, body), CheckFailure);
+
+  Options lax;
+  lax.max_runs = 2;
+  lax.require_exhaustive = false;
+  const Result res = explore(lax, body);
+  EXPECT_FALSE(res.exhausted);
+  EXPECT_LE(res.runs, 2u);
+}
+
+}  // namespace

@@ -84,9 +84,13 @@ TEST_P(P2Accuracy, TracksExactQuantile) {
 std::string p2_case_name(const ::testing::TestParamInfo<std::tuple<double, int>>& info) {
   static const char* const kShapeNames[] = {"uniform", "lognormal", "exponential",
                                             "normal"};
-  return std::string("q") +
-         std::to_string(static_cast<int>(std::get<0>(info.param) * 100)) + "_" +
-         kShapeNames[std::get<1>(info.param)];
+  // Built piecewise: gcc 12's -O3 -Wrestrict pass false-positives on the
+  // temporary chain std::string + ... + "literal" (PR 105651).
+  std::string name = "q";
+  name += std::to_string(static_cast<int>(std::get<0>(info.param) * 100));
+  name += '_';
+  name += kShapeNames[std::get<1>(info.param)];
+  return name;
 }
 
 INSTANTIATE_TEST_SUITE_P(QuantilesAndShapes, P2Accuracy,

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Project lint for the OS-noise repo's hot and decode paths.
+
+Fast, dependency-free checks that clang-tidy cannot express (or that must
+run in containers without clang). Wired into ctest as `StaticLint` and into
+the `check-static` target, so regressions fail the default test suite.
+
+Rules
+-----
+bare-assert       No `assert(...)` / `abort()` in src/: contracts use the
+                  OSN_ASSERT / OSN_DASSERT tiers (common/assert.hpp) so they
+                  print a message, honor the checker's assert handler, and
+                  can be compiled out per tier.
+decode-throw      Trace-decode paths (src/trace/trace_io.*, osnt_reader.*)
+                  treat malformed input as an input condition: OSN_ASSERT on
+                  decoded values is forbidden there — throw TraceReadError.
+                  (Writer-side ordering contracts are OSN_DASSERT, allowed.)
+unchecked-narrow  Decode paths must not `static_cast` a freshly decoded
+                  varint into a narrower field — use trace::narrow<T>(),
+                  which throws TraceReadError when the value does not fit.
+wallclock         Hot paths (src/tracebuf/) must not read wall-clock time
+                  (std::system_clock, gettimeofday, time(NULL)): timestamps
+                  come from the monotonic clock plumbed through the engine.
+
+Suppress a finding by appending `// osn-lint: allow(<rule>)` to the line.
+
+Usage: osn_lint.py [--root DIR]   (exit 0 = clean, 1 = findings)
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+DECODE_PATHS = (
+    "src/trace/trace_io.cpp",
+    "src/trace/trace_io.hpp",
+    "src/trace/osnt_reader.cpp",
+    "src/trace/osnt_reader.hpp",
+)
+
+HOT_PATHS_PREFIX = "src/tracebuf/"
+
+ALLOW_RE = re.compile(r"//\s*osn-lint:\s*allow\(([a-z-]+)\)")
+
+BARE_ASSERT_RE = re.compile(r"(?<![_A-Za-z])assert\s*\(")
+ABORT_RE = re.compile(r"(?<![_A-Za-z:.>])abort\s*\(")
+OSN_ASSERT_RE = re.compile(r"\bOSN_ASSERT(?:_MSG)?\s*\(")
+NARROW_CAST_RE = re.compile(
+    r"static_cast<\s*(?:std::)?u?int(?:8|16|32)_t\s*>\s*\(\s*get_varint")
+WALLCLOCK_RE = re.compile(
+    r"std::chrono::system_clock|\bgettimeofday\s*\(|(?<![_A-Za-z])time\s*\(\s*(?:NULL|nullptr|0)\s*\)")
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Crude single-line scrub: drop string/char literals and // comments so
+    the patterns do not fire on prose. Block comments are handled per-file."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    line = re.sub(r"'(?:[^'\\]|\\.)*'", "''", line)
+    idx = line.find("//")
+    if idx >= 0:
+        line = line[:idx]
+    return line
+
+
+def file_lines_code(text: str):
+    """Yields (lineno, code, raw) with block comments blanked out."""
+    # Blank /* ... */ spans, preserving newlines so line numbers stay true.
+    def blank(m: re.Match) -> str:
+        return re.sub(r"[^\n]", " ", m.group(0))
+
+    text = re.sub(r"/\*.*?\*/", blank, text, flags=re.S)
+    for i, raw in enumerate(text.splitlines(), start=1):
+        yield i, strip_comments_and_strings(raw), raw
+
+
+def lint_file(root: pathlib.Path, rel: str) -> list[str]:
+    path = root / rel
+    findings = []
+    is_decode = rel in DECODE_PATHS
+    is_hot = rel.startswith(HOT_PATHS_PREFIX)
+    text = path.read_text(encoding="utf-8", errors="replace")
+
+    for lineno, code, raw in file_lines_code(text):
+        allowed = set(ALLOW_RE.findall(raw))
+
+        def report(rule: str, msg: str) -> None:
+            if rule not in allowed:
+                findings.append(f"{rel}:{lineno}: [{rule}] {msg}")
+
+        if BARE_ASSERT_RE.search(code):
+            report("bare-assert",
+                   "bare assert(); use OSN_ASSERT/OSN_DASSERT or throw")
+        if ABORT_RE.search(code) and rel != "src/common/assert.cpp":
+            report("bare-assert",
+                   "direct abort(); route through OSN_ASSERT so handlers run")
+        if is_decode and OSN_ASSERT_RE.search(code):
+            report("decode-throw",
+                   "OSN_ASSERT in a decode path; malformed input must throw "
+                   "TraceReadError (writer-side contracts use OSN_DASSERT)")
+        if is_decode and NARROW_CAST_RE.search(code):
+            report("unchecked-narrow",
+                   "unchecked narrowing of a decoded varint; use "
+                   "trace::narrow<T>()")
+        if is_hot and WALLCLOCK_RE.search(code):
+            report("wallclock",
+                   "wall-clock read in a hot path; use the monotonic "
+                   "timestamp source")
+    return findings
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=".", help="repo root (default: cwd)")
+    args = ap.parse_args()
+    root = pathlib.Path(args.root).resolve()
+
+    files = sorted(
+        str(p.relative_to(root))
+        for p in (root / "src").rglob("*")
+        if p.suffix in (".cpp", ".hpp") and p.is_file())
+    if not files:
+        print(f"osn_lint: no sources under {root}/src", file=sys.stderr)
+        return 1
+
+    findings: list[str] = []
+    for rel in files:
+        findings.extend(lint_file(root, rel))
+
+    for f in findings:
+        print(f)
+    print(f"osn_lint: {len(files)} files, {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
