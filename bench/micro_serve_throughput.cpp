@@ -1,0 +1,149 @@
+// Query-server throughput: requests/sec through the full in-process stack
+// (TCP loopback, line protocol, catalog lease, caches, analysis).
+//
+// Three regimes bracket the serving cost:
+//  * ping           — pure transport + dispatch floor
+//  * summary cold   — decode + full NoiseAnalysis every request (cache off)
+//  * summary cached — the steady state a dashboard sees (result-cache hit)
+// The cached/cold gap is the ResultCache's earned speedup; the ping/cached
+// gap is what the protocol itself costs.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "export/json.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "trace/trace_io.hpp"
+
+namespace {
+
+using namespace osn;
+
+constexpr std::uint16_t kCpus = 4;
+constexpr std::uint64_t kSteps = 20'000;
+
+/// Writes a synthetic analyzable trace into a private catalog dir once.
+const std::string& catalog_dir() {
+  static std::string dir;
+  if (!dir.empty()) return dir;
+  dir = "/tmp/osn_micro_serve";
+  std::filesystem::create_directories(dir);
+  trace::OsntStreamWriter writer(dir + "/bench.osnt", 8192);
+  for (std::uint64_t step = 0; step < kSteps; ++step) {
+    for (std::uint16_t cpu = 0; cpu < kCpus; ++cpu) {
+      tracebuf::EventRecord entry;
+      entry.timestamp = step * 2'000 + cpu * 17;
+      entry.cpu = cpu;
+      entry.pid = 1 + cpu;
+      entry.event = static_cast<std::uint16_t>(trace::EventType::kIrqEntry);
+      entry.arg = 0;
+      writer.append(entry);
+      tracebuf::EventRecord exit = entry;
+      exit.timestamp += 300 + (step % 7) * 50;
+      exit.event = static_cast<std::uint16_t>(trace::EventType::kIrqExit);
+      writer.append(exit);
+    }
+  }
+  trace::TraceMeta meta;
+  meta.n_cpus = kCpus;
+  meta.tick_period_ns = 10 * kNsPerMs;
+  meta.workload = "micro_serve";
+  meta.start_ns = 0;
+  meta.end_ns = kSteps * 2'000 + 10'000;
+  std::map<Pid, trace::TaskInfo> tasks;
+  for (std::uint16_t cpu = 0; cpu < kCpus; ++cpu) {
+    trace::TaskInfo info;
+    info.pid = 1 + cpu;
+    info.name = "rank" + std::to_string(cpu);
+    info.is_app = true;
+    tasks[info.pid] = info;
+  }
+  writer.finish(meta, tasks);
+  return dir;
+}
+
+std::unique_ptr<serve::Server> start_server(std::uint64_t result_cache_bytes) {
+  serve::ServerOptions options;
+  options.dir = catalog_dir();
+  options.port = 0;
+  options.workers = 4;
+  options.result_cache_bytes = result_cache_bytes;
+  auto server = std::make_unique<serve::Server>(options);
+  if (!server->start()) {
+    std::fprintf(stderr, "cannot start bench server\n");
+    std::exit(1);
+  }
+  return server;
+}
+
+void run_loop(benchmark::State& state, serve::Server& server, const serve::Request& req) {
+  serve::Client client("127.0.0.1", server.port(), Deadline::after(sec(10)));
+  std::uint64_t requests = 0;
+  for (auto _ : state) {
+    const serve::Response resp = client.call(req, Deadline::after(sec(60)));
+    if (!resp.ok) state.SkipWithError(("query failed: " + resp.message).c_str());
+    benchmark::DoNotOptimize(resp.payload.data());
+    ++requests;
+  }
+  state.counters["req/s"] =
+      benchmark::Counter(static_cast<double>(requests), benchmark::Counter::kIsRate);
+}
+
+void BM_ServePing(benchmark::State& state) {
+  auto server = start_server(64 << 20);
+  serve::Request req;
+  req.id = 1;
+  req.op = serve::Op::kPing;
+  run_loop(state, *server, req);
+  server->stop();
+}
+BENCHMARK(BM_ServePing)->Unit(benchmark::kMicrosecond);
+
+void BM_ServeSummaryCold(benchmark::State& state) {
+  // A zero-byte result cache forces the full decode + analysis every time
+  // (the model cache is also disabled so the decode cost is included).
+  serve::ServerOptions options;
+  options.dir = catalog_dir();
+  options.port = 0;
+  options.workers = 4;
+  options.result_cache_bytes = 0;
+  options.model_cache_bytes = 0;
+  serve::Server server(options);
+  if (!server.start()) {
+    std::fprintf(stderr, "cannot start bench server\n");
+    std::exit(1);
+  }
+  serve::Request req;
+  req.id = 1;
+  req.op = serve::Op::kSummary;
+  req.trace = "bench";
+  run_loop(state, server, req);
+  server.stop();
+}
+BENCHMARK(BM_ServeSummaryCold)->Unit(benchmark::kMillisecond);
+
+void BM_ServeSummaryCached(benchmark::State& state) {
+  auto server = start_server(64 << 20);
+  serve::Request req;
+  req.id = 1;
+  req.op = serve::Op::kSummary;
+  req.trace = "bench";
+  // Warm the cache outside the timed loop.
+  {
+    serve::Client warm("127.0.0.1", server->port(), Deadline::after(sec(10)));
+    warm.call(req, Deadline::after(sec(60)));
+  }
+  run_loop(state, *server, req);
+  server->stop();
+}
+BENCHMARK(BM_ServeSummaryCached)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

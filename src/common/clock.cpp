@@ -1,0 +1,38 @@
+#include "common/clock.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace osn {
+
+TimeNs monotonic_now_ns() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<TimeNs>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+}
+
+Deadline Deadline::after(DurNs budget) {
+  const TimeNs now = monotonic_now_ns();
+  return budget > kTimeInfinity - now ? never() : at(now + budget);
+}
+
+bool Deadline::expired() const {
+  return at_ != kTimeInfinity && monotonic_now_ns() >= at_;
+}
+
+DurNs Deadline::remaining() const {
+  if (at_ == kTimeInfinity) return kTimeInfinity;
+  return sat_sub(at_, monotonic_now_ns());
+}
+
+void Deadline::sleep_remaining(DurNs cap) const {
+  const DurNs left = remaining();
+  if (left == 0) return;
+  const DurNs slice = left < cap ? left : cap;
+  // An uncapped sleep on never() would hang forever; treat it as a bug-proof
+  // no-op instead (callers polling a flag always pass a cap).
+  if (slice == kTimeInfinity) return;
+  std::this_thread::sleep_for(std::chrono::nanoseconds(slice));
+}
+
+}  // namespace osn

@@ -1,0 +1,59 @@
+// Monotonic time and deadlines.
+//
+// Every timeout in the system — the consumer daemon's idle backoff, the
+// query server's per-request budgets, socket poll slices — needs the same
+// two primitives: "what time is it on a clock that never goes backwards"
+// and "how long until this budget runs out". Deadline wraps both so callers
+// never hand-roll steady_clock arithmetic (and never accidentally reach for
+// the wall clock, which jumps under NTP).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace osn {
+
+/// Nanoseconds on the process-wide monotonic (steady) clock. The origin is
+/// unspecified; only differences are meaningful.
+TimeNs monotonic_now_ns();
+
+/// A point on the monotonic clock by which some work must finish.
+///
+/// Value type, trivially copyable; a default-constructed Deadline never
+/// expires, so "no timeout" needs no sentinel flag at call sites.
+class Deadline {
+ public:
+  /// Never expires.
+  constexpr Deadline() = default;
+
+  /// Expires `budget` nanoseconds from now (saturating).
+  static Deadline after(DurNs budget);
+  /// Expires at monotonic time `t`.
+  static constexpr Deadline at(TimeNs t) { return Deadline(t); }
+  static constexpr Deadline never() { return Deadline(); }
+
+  constexpr bool never_expires() const { return at_ == kTimeInfinity; }
+  constexpr TimeNs at_ns() const { return at_; }
+
+  bool expired() const;
+  /// Nanoseconds left; 0 once expired, kTimeInfinity for never().
+  DurNs remaining() const;
+
+  /// Sleeps until the deadline (bounded by `cap` when given) or returns
+  /// immediately if already expired. A capped sleep is the polling building
+  /// block: sleep a slice, recheck a flag, repeat.
+  void sleep_remaining(DurNs cap = kTimeInfinity) const;
+
+  /// The earlier of two deadlines (never() is the identity).
+  constexpr Deadline min(Deadline other) const {
+    return at_ < other.at_ ? *this : other;
+  }
+
+  friend constexpr bool operator==(Deadline, Deadline) = default;
+
+ private:
+  explicit constexpr Deadline(TimeNs at) : at_(at) {}
+
+  TimeNs at_ = kTimeInfinity;
+};
+
+}  // namespace osn

@@ -1,0 +1,231 @@
+#include "common/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace osn {
+
+namespace {
+
+/// Longest single poll slice: short enough that cancel flags and deadline
+/// expiry are noticed promptly, long enough to stay off the scheduler's back.
+constexpr DurNs kPollSliceNs = 100 * kNsPerMs;
+
+void set_error(std::string* error, const char* what) {
+  if (error != nullptr) *error = std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Waits for `events` on fd, bounded by the deadline and sliced so `cancel`
+/// is honored. Returns the poll revents (0 on timeout/cancel, < 0 on error).
+int poll_fd(int fd, short events, Deadline deadline,
+            const std::atomic<bool>* cancel = nullptr) {
+  for (;;) {
+    if (cancel != nullptr && cancel->load(std::memory_order_acquire)) return 0;
+    const DurNs left = deadline.remaining();
+    if (left == 0) return 0;
+    const DurNs slice = left < kPollSliceNs ? left : kPollSliceNs;
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, static_cast<int>(slice / kNsPerMs) + 1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (rc > 0) return pfd.revents;
+  }
+}
+
+bool parse_addr(const std::string& host, std::uint16_t port, sockaddr_in& addr) {
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  return ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TcpStream
+// ---------------------------------------------------------------------------
+
+TcpStream::~TcpStream() { close(); }
+
+TcpStream::TcpStream(TcpStream&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+TcpStream& TcpStream::operator=(TcpStream&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+void TcpStream::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+TcpStream TcpStream::connect(const std::string& host, std::uint16_t port,
+                             Deadline deadline, std::string* error) {
+  sockaddr_in addr;
+  if (!parse_addr(host, port, addr)) {
+    if (error != nullptr) *error = "bad IPv4 address: " + host;
+    return TcpStream();
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    set_error(error, "socket");
+    return TcpStream();
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    set_error(error, "connect");
+    ::close(fd);
+    return TcpStream();
+  }
+  // The protocol is one small request line per round trip; Nagle only adds
+  // latency here.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  (void)deadline;  // connect on loopback is immediate; deadline kept for shape
+  return TcpStream(fd);
+}
+
+bool TcpStream::send_all(const std::string& data, Deadline deadline) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const int revents = poll_fd(fd_, POLLOUT, deadline);
+    if (revents <= 0 || (revents & (POLLERR | POLLHUP)) != 0) {
+      close();
+      return false;
+    }
+    const ssize_t n =
+        ::send(fd_, data.data() + done, data.size() - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      close();
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<std::string> TcpStream::recv_line(Deadline deadline,
+                                                const std::atomic<bool>* cancel,
+                                                std::size_t max_len) {
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return line;
+    }
+    if (buffer_.size() > max_len) {
+      close();
+      return std::nullopt;  // unframed garbage; protect the server's memory
+    }
+    if (cancel != nullptr && cancel->load(std::memory_order_acquire))
+      return std::nullopt;
+    if (deadline.expired()) return std::nullopt;
+    const int revents = poll_fd(fd_, POLLIN, deadline, cancel);
+    if (revents < 0) {
+      close();
+      return std::nullopt;
+    }
+    if (revents == 0) continue;  // slice timeout: recheck cancel/deadline
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) return std::nullopt;  // orderly EOF
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      close();
+      return std::nullopt;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TcpListener
+// ---------------------------------------------------------------------------
+
+TcpListener::~TcpListener() { close(); }
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), port_(std::exchange(other.port_, 0)) {}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+  }
+  return *this;
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  port_ = 0;
+}
+
+TcpListener TcpListener::listen(const std::string& host, std::uint16_t port,
+                                int backlog, std::string* error) {
+  sockaddr_in addr;
+  if (!parse_addr(host, port, addr)) {
+    if (error != nullptr) *error = "bad IPv4 address: " + host;
+    return TcpListener();
+  }
+  TcpListener out;
+  out.fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (out.fd_ < 0) {
+    set_error(error, "socket");
+    return TcpListener();
+  }
+  const int one = 1;
+  ::setsockopt(out.fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(out.fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    set_error(error, "bind");
+    out.close();
+    return TcpListener();
+  }
+  if (::listen(out.fd_, backlog) != 0) {
+    set_error(error, "listen");
+    out.close();
+    return TcpListener();
+  }
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(out.fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0)
+    out.port_ = ntohs(bound.sin_port);
+  return out;
+}
+
+std::optional<TcpStream> TcpListener::accept(Deadline deadline) {
+  const int revents = poll_fd(fd_, POLLIN, deadline);
+  if (revents <= 0) return std::nullopt;
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) return std::nullopt;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpStream(fd);
+}
+
+}  // namespace osn

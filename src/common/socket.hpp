@@ -1,0 +1,89 @@
+// Minimal TCP building blocks for the trace-query service.
+//
+// The serve layer speaks a line-delimited protocol over loopback TCP, so all
+// it needs from the OS is: bind-listen-accept with a poll timeout (the accept
+// loop must notice shutdown), and deadline-bounded send/receive-line on a
+// connected stream. These wrappers cover exactly that — blocking sockets
+// driven by poll(2), every wait bounded by a common::Deadline — and nothing
+// else. IPv4 only; the daemon binds loopback by default.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/clock.hpp"
+
+namespace osn {
+
+/// A connected TCP stream (move-only RAII over the file descriptor).
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(int fd) : fd_(fd) {}
+  ~TcpStream();
+
+  TcpStream(TcpStream&& other) noexcept;
+  TcpStream& operator=(TcpStream&& other) noexcept;
+  TcpStream(const TcpStream&) = delete;
+  TcpStream& operator=(const TcpStream&) = delete;
+
+  /// Connects to host:port. Returns a closed stream (!ok()) on failure;
+  /// the reason lands in `error` when provided.
+  static TcpStream connect(const std::string& host, std::uint16_t port,
+                           Deadline deadline = Deadline::never(),
+                           std::string* error = nullptr);
+
+  bool ok() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// Writes all of `data`, waiting (poll) up to the deadline. False on
+  /// error/deadline; the stream is closed on failure.
+  bool send_all(const std::string& data, Deadline deadline = Deadline::never());
+
+  /// Reads up to and including the next '\n', waiting up to the deadline.
+  /// Polls in short slices so a set `cancel` flag aborts promptly (graceful
+  /// drain). Returns the line without the trailing '\n'; nullopt on EOF,
+  /// error, deadline, cancellation, or a line exceeding `max_len`.
+  std::optional<std::string> recv_line(Deadline deadline = Deadline::never(),
+                                       const std::atomic<bool>* cancel = nullptr,
+                                       std::size_t max_len = 1 << 20);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes received past the last returned line
+};
+
+/// A listening TCP socket.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds and listens on host:port (port 0 = kernel-assigned). Returns a
+  /// closed listener (!ok()) on failure; reason in `error` when provided.
+  static TcpListener listen(const std::string& host, std::uint16_t port,
+                            int backlog = 64, std::string* error = nullptr);
+
+  bool ok() const { return fd_ >= 0; }
+  /// The bound port (resolved after listen, so port 0 reports the real one).
+  std::uint16_t port() const { return port_; }
+  void close();
+
+  /// Waits up to the deadline for one connection. nullopt on timeout or
+  /// error; the caller distinguishes via ok().
+  std::optional<TcpStream> accept(Deadline deadline);
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace osn

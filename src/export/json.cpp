@@ -6,24 +6,93 @@
 
 namespace osn::exporter {
 
+namespace {
+
+/// Length of the well-formed UTF-8 sequence starting at s[i], or 0 when the
+/// bytes are not valid UTF-8 (truncated, overlong, surrogate, > U+10FFFF).
+/// Table-driven per RFC 3629's grammar: the lead byte constrains the first
+/// continuation byte's range, not just its 10xxxxxx shape.
+std::size_t utf8_sequence_len(const std::string& s, std::size_t i) {
+  const auto b = [&](std::size_t k) -> unsigned {
+    return static_cast<unsigned char>(s[i + k]);
+  };
+  const unsigned b0 = b(0);
+  std::size_t len;
+  unsigned lo1 = 0x80, hi1 = 0xBF;  // allowed range of the first continuation
+  if (b0 <= 0x7F) return 1;
+  if (b0 >= 0xC2 && b0 <= 0xDF) {
+    len = 2;
+  } else if (b0 == 0xE0) {
+    len = 3;
+    lo1 = 0xA0;  // excludes overlong encodings of < U+0800
+  } else if (b0 == 0xED) {
+    len = 3;
+    hi1 = 0x9F;  // excludes the UTF-16 surrogate range U+D800..DFFF
+  } else if (b0 >= 0xE1 && b0 <= 0xEF) {
+    len = 3;
+  } else if (b0 == 0xF0) {
+    len = 4;
+    lo1 = 0x90;  // excludes overlong encodings of < U+10000
+  } else if (b0 >= 0xF1 && b0 <= 0xF3) {
+    len = 4;
+  } else if (b0 == 0xF4) {
+    len = 4;
+    hi1 = 0x8F;  // excludes code points > U+10FFFF
+  } else {
+    return 0;  // lone continuation byte, or 0xC0/0xC1/0xF5..0xFF
+  }
+  if (i + len > s.size()) return 0;
+  if (b(1) < lo1 || b(1) > hi1) return 0;
+  for (std::size_t k = 2; k < len; ++k)
+    if (b(k) < 0x80 || b(k) > 0xBF) return 0;
+  return len;
+}
+
+}  // namespace
+
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 8);
-  for (const char ch : s) {
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const char ch = s[i];
     switch (ch) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(ch) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
-          out += buf;
-        } else {
-          out += ch;
-        }
+      case '"': out += "\\\""; ++i; continue;
+      case '\\': out += "\\\\"; ++i; continue;
+      case '\b': out += "\\b"; ++i; continue;
+      case '\f': out += "\\f"; ++i; continue;
+      case '\n': out += "\\n"; ++i; continue;
+      case '\r': out += "\\r"; ++i; continue;
+      case '\t': out += "\\t"; ++i; continue;
+      default: break;
+    }
+    const auto byte = static_cast<unsigned char>(ch);
+    if (byte < 0x20) {
+      // RFC 8259 §7: control characters MUST be escaped.
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", byte);
+      out += buf;
+      ++i;
+      continue;
+    }
+    if (byte < 0x80) {
+      out += ch;
+      ++i;
+      continue;
+    }
+    // Non-ASCII: pass well-formed UTF-8 through verbatim; anything else
+    // (hostile task/file names are arbitrary bytes) would make the whole
+    // document invalid JSON, so escape each bad byte as \u00xx — valid
+    // output that still shows the exact byte value.
+    const std::size_t len = utf8_sequence_len(s, i);
+    if (len > 0) {
+      out.append(s, i, len);
+      i += len;
+    } else {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", byte);
+      out += buf;
+      ++i;
     }
   }
   return out;
@@ -83,6 +152,34 @@ std::string summary_json(const noise::NoiseAnalysis& analysis) {
     }
     out += "}}";
     out += i + 1 < apps.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string chart_json(const noise::SyntheticChart& chart, const std::string& task) {
+  std::string out = "{\n";
+  out += "  \"task\": \"" + json_escape(task) + "\",\n";
+  out += "  \"origin_ns\": " + std::to_string(chart.origin) + ",\n";
+  out += "  \"quantum_ns\": " + std::to_string(chart.quantum) + ",\n";
+  out += "  \"quanta\": [\n";
+  for (std::size_t i = 0; i < chart.quanta.size(); ++i) {
+    const noise::QuantumNoise& q = chart.quanta[i];
+    out += "    {\"start_ns\": " + std::to_string(q.start);
+    out += ", \"total_ns\": " + std::to_string(q.total);
+    out += ", \"components\": [";
+    for (std::size_t c = 0; c < q.components.size(); ++c) {
+      const noise::ChartComponent& comp = q.components[c];
+      if (c > 0) out += ", ";
+      out += '{';
+      out += "\"activity\": \"";
+      out += noise::activity_name(comp.kind);
+      out += "\", \"duration_ns\": ";
+      out += std::to_string(comp.duration);
+      out += '}';
+    }
+    out += "]}";
+    out += i + 1 < chart.quanta.size() ? ",\n" : "\n";
   }
   out += "  ]\n}\n";
   return out;

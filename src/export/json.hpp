@@ -6,13 +6,20 @@
 #include <string>
 
 #include "noise/analysis.hpp"
+#include "noise/chart.hpp"
 
 namespace osn::exporter {
 
 /// Serializes the analysis summary as a self-contained JSON document.
 std::string summary_json(const noise::NoiseAnalysis& analysis);
 
-/// Minimal JSON string escaping (quotes, backslashes, control chars).
+/// Serializes a synthetic noise chart (per-quantum totals and their activity
+/// composition) as a JSON document; `task` names the charted rank.
+std::string chart_json(const noise::SyntheticChart& chart, const std::string& task);
+
+/// RFC 8259 string escaping: quotes, backslashes and control characters are
+/// escaped, well-formed UTF-8 passes through verbatim, and ill-formed bytes
+/// (hostile names) are escaped as \u00xx so the document stays valid JSON.
 std::string json_escape(const std::string& s);
 
 }  // namespace osn::exporter

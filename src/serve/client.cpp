@@ -1,0 +1,29 @@
+#include "serve/client.hpp"
+
+namespace osn::serve {
+
+Client::Client(const std::string& host, std::uint16_t port, Deadline deadline) {
+  stream_ = TcpStream::connect(host, port, deadline, &connect_error_);
+}
+
+Response Client::call(const Request& req, Deadline deadline) {
+  return call_line(req.to_line(), req.id, deadline);
+}
+
+Response Client::call_line(const std::string& line, std::uint64_t id,
+                           Deadline deadline) {
+  if (!stream_.ok())
+    return Response::failure(id, kTransportError,
+                             connect_error_.empty() ? "not connected" : connect_error_);
+  if (!stream_.send_all(line + "\n", deadline))
+    return Response::failure(id, kTransportError, "send failed");
+  std::optional<std::string> reply = stream_.recv_line(deadline);
+  if (!reply)
+    return Response::failure(id, kTransportError, "connection closed before response");
+  std::optional<Response> resp = parse_response(*reply);
+  if (!resp)
+    return Response::failure(id, kTransportError, "unparseable response line");
+  return *resp;
+}
+
+}  // namespace osn::serve

@@ -1,0 +1,41 @@
+// Client side of the osn-served protocol: connect, send one request line,
+// read one response line. Transport failures are surfaced as synthetic
+// failed Responses (error "transport") so callers handle one shape.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.hpp"
+#include "common/socket.hpp"
+#include "serve/protocol.hpp"
+
+namespace osn::serve {
+
+class Client {
+ public:
+  /// Connects to an osn-served instance. Check ok() before calling.
+  Client(const std::string& host, std::uint16_t port,
+         Deadline deadline = Deadline::never());
+
+  bool ok() const { return stream_.ok(); }
+  const std::string& connect_error() const { return connect_error_; }
+
+  /// One round-trip. Any transport problem (send failure, EOF, unparseable
+  /// response) comes back as a failed Response with error "transport".
+  Response call(const Request& req, Deadline deadline = Deadline::never());
+
+  /// Raw-line variant (tests exercising protocol errors directly).
+  Response call_line(const std::string& line, std::uint64_t id,
+                     Deadline deadline = Deadline::never());
+
+ private:
+  TcpStream stream_;
+  std::string connect_error_;
+};
+
+/// errc-style code for client-side transport failures (never sent on the
+/// wire by a server).
+inline constexpr const char* kTransportError = "transport";
+
+}  // namespace osn::serve

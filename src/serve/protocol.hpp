@@ -1,0 +1,127 @@
+// The osn-served wire protocol: line-delimited JSON over TCP.
+//
+// One request per line, one response per line. Every request is a JSON
+// object naming an `op`; responses carry either a `payload` — a complete
+// JSON *document* transported as an escaped string, so multi-line documents
+// (the same bytes `osn-analyze export --json` writes) survive line framing
+// byte-for-byte — or a structured error code.
+//
+//   -> {"id":1,"op":"summary","trace":"ftq"}
+//   <- {"id":1,"ok":true,"payload":"{\n  \"workload\": ...\n}\n"}
+//   -> {"id":2,"op":"window","trace":"ftq","window":[100,900]}
+//   <- {"id":2,"ok":false,"error":"deadline_exceeded","message":"..."}
+//
+// Ops: list, info, summary, chart, window, metrics, ping. This header also
+// contains the small recursive-descent JSON reader the server uses to parse
+// requests (hostile input is an expected condition: any parse problem turns
+// into a bad_request response, never a crash).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace osn::serve {
+
+// ---------------------------------------------------------------------------
+// JSON values (parser side; writing stays string-composition like export/)
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers are doubles (the protocol's numeric fields
+/// all fit); objects preserve only the last value of a repeated key.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+};
+
+/// Parses one JSON document. Returns nullopt on any syntax error, trailing
+/// garbage, or nesting deeper than a small sanity bound.
+std::optional<JsonValue> parse_json(const std::string& text);
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+enum class Op : std::uint8_t {
+  kList,     ///< catalog contents
+  kInfo,     ///< one trace's metadata/tasks/chunks
+  kSummary,  ///< full-trace analysis summary (== osn-analyze export --json)
+  kChart,    ///< synthetic noise chart for one task
+  kWindow,   ///< summary of a [t0,t1) time slice (chunk-index driven)
+  kMetrics,  ///< server counters, cache stats, latency quantiles
+  kPing,     ///< liveness; optional stall_ms busy-wait for drain/load tests
+};
+
+const char* op_name(Op op);
+
+struct Request {
+  std::uint64_t id = 0;  ///< echoed in the response; 0 when absent
+  Op op = Op::kPing;
+  std::string trace;               ///< catalog name (ops that take a trace)
+  bool has_window = false;
+  double window_from_ms = 0.0;     ///< --window A:B semantics, milliseconds
+  double window_to_ms = 0.0;
+  std::optional<Pid> task;         ///< chart: rank pid (default: first app)
+  std::uint64_t quantum_us = 1000; ///< chart quantum
+  std::optional<DurNs> deadline;   ///< per-request budget (from deadline_ms)
+  DurNs stall = 0;                 ///< ping: server-side stall (from stall_ms)
+
+  /// Serializes to one request line (no trailing newline).
+  std::string to_line() const;
+};
+
+/// Parses a request line. On failure returns nullopt and sets `error` to a
+/// human-readable reason (the server wraps it in a bad_request response).
+std::optional<Request> parse_request(const std::string& line, std::string& error);
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// Stable error codes (the `error` field of a failed response).
+namespace errc {
+inline constexpr const char* kBadRequest = "bad_request";
+inline constexpr const char* kUnknownTrace = "unknown_trace";
+inline constexpr const char* kTraceError = "trace_error";
+inline constexpr const char* kDeadlineExceeded = "deadline_exceeded";
+inline constexpr const char* kOverloaded = "overloaded";
+inline constexpr const char* kShuttingDown = "shutting_down";
+inline constexpr const char* kInternal = "internal";
+}  // namespace errc
+
+struct Response {
+  std::uint64_t id = 0;
+  bool ok = false;
+  std::string payload;  ///< JSON document (ok); transported escaped
+  std::string error;    ///< errc code (!ok)
+  std::string message;  ///< human-readable detail (!ok)
+
+  static Response success(std::uint64_t id, std::string payload);
+  static Response failure(std::uint64_t id, std::string error, std::string message);
+
+  /// Serializes to one response line (no trailing newline).
+  std::string to_line() const;
+};
+
+/// Parses a response line (client side). Nullopt on malformed input.
+std::optional<Response> parse_response(const std::string& line);
+
+}  // namespace osn::serve

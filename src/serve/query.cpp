@@ -1,0 +1,267 @@
+#include "serve/query.hpp"
+
+#include <cstdio>
+#include <exception>
+#include <memory>
+#include <utility>
+
+#include "export/json.hpp"
+#include "noise/analysis.hpp"
+#include "noise/chart.hpp"
+
+namespace osn::serve {
+
+namespace {
+
+/// Shortest round-trippable rendering of a double (cache keys only; payload
+/// numbers are integers).
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void append_field(std::string& out, const char* key, const std::string& value,
+                  bool comma = true) {
+  out += "      \"";
+  out += key;
+  out += "\": \"";
+  out += exporter::json_escape(value);
+  out += comma ? "\",\n" : "\"\n";
+}
+
+void append_field(std::string& out, const char* key, std::uint64_t value,
+                  bool comma = true) {
+  out += "      \"";
+  out += key;
+  out += "\": ";
+  out += std::to_string(value);
+  out += comma ? ",\n" : "\n";
+}
+
+std::string list_payload(const QueryContext& ctx) {
+  ctx.catalog->refresh();
+  const std::vector<TraceEntry> entries = ctx.catalog->list();
+  std::string out = "{\n  \"dir\": \"";
+  out += exporter::json_escape(ctx.catalog->dir());
+  out += "\",\n  \"traces\": [";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const TraceEntry& e = entries[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\n";
+    append_field(out, "name", e.name);
+    out += "      \"usable\": ";
+    out += e.usable() ? "true" : "false";
+    out += ",\n";
+    if (!e.usable()) {
+      append_field(out, "error", e.error);
+    } else {
+      append_field(out, "version", e.version);
+      out += "      \"truncated\": ";
+      out += e.truncated ? "true" : "false";
+      out += ",\n";
+      append_field(out, "records", e.records);
+      append_field(out, "chunks", e.chunks);
+      append_field(out, "workload", e.workload);
+      append_field(out, "duration_ns", sat_sub(e.end_ns, e.start_ns));
+      append_field(out, "n_cpus", e.n_cpus);
+    }
+    append_field(out, "bytes", e.size, /*comma=*/false);
+    out += "    }";
+  }
+  out += entries.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+std::string info_payload(const Lease& lease) {
+  const trace::OsntReader& reader = *lease.reader;
+  const trace::TraceMeta& meta = reader.meta();
+  std::string out = "{\n";
+  out += "  \"name\": \"";
+  out += exporter::json_escape(lease.entry.name);
+  out += "\",\n  \"version\": ";
+  out += std::to_string(reader.version());
+  out += ",\n  \"truncated\": ";
+  out += reader.truncated() ? "true" : "false";
+  out += ",\n  \"index_recovered\": ";
+  out += reader.index_recovered() ? "true" : "false";
+  out += ",\n  \"chunks\": ";
+  out += std::to_string(reader.chunks().size());
+  out += ",\n  \"indexed_records\": ";
+  out += std::to_string(reader.indexed_records());
+  out += ",\n  \"workload\": \"";
+  out += exporter::json_escape(meta.workload);
+  out += "\",\n  \"start_ns\": ";
+  out += std::to_string(meta.start_ns);
+  out += ",\n  \"end_ns\": ";
+  out += std::to_string(meta.end_ns);
+  out += ",\n  \"duration_ns\": ";
+  out += std::to_string(sat_sub(meta.end_ns, meta.start_ns));
+  out += ",\n  \"n_cpus\": ";
+  out += std::to_string(meta.n_cpus);
+  out += ",\n  \"tick_period_ns\": ";
+  out += std::to_string(meta.tick_period_ns);
+  out += ",\n  \"tasks\": [";
+  std::size_t i = 0;
+  for (const auto& [pid, info] : reader.tasks()) {
+    out += i++ == 0 ? "\n" : ",\n";
+    out += "    {\n";
+    append_field(out, "pid", pid);
+    append_field(out, "name", info.name);
+    append_field(out, "kind",
+                 info.is_app ? "application" : (info.is_kernel_thread ? "kthread" : "user"),
+                 /*comma=*/false);
+    out += "    }";
+  }
+  out += reader.tasks().empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+/// Full-trace model through the model cache. The byte estimate charges the
+/// dominant cost (24 bytes per stored record) plus task-table slack.
+std::shared_ptr<const trace::TraceModel> model_for(const QueryContext& ctx,
+                                                   const Lease& lease) {
+  const std::string key = lease.entry.id() + "|model";
+  if (auto cached = ctx.models->get(key)) return cached;
+  auto model = std::make_shared<const trace::TraceModel>(lease.reader->read_all(nullptr));
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(model->total_events()) * sizeof(tracebuf::EventRecord) +
+      4096;
+  ctx.models->put(key, model, bytes);
+  return model;
+}
+
+Response deadline_failure(const QueryContext& ctx, const Request& req,
+                          const char* stage) {
+  ctx.metrics->count_deadline_exceeded();
+  return Response::failure(req.id, errc::kDeadlineExceeded,
+                           std::string("deadline exceeded ") + stage);
+}
+
+Response run_query(const QueryContext& ctx, const Request& req, Deadline deadline) {
+  // Uncached control-plane ops first.
+  if (req.op == Op::kPing) {
+    const Deadline stall_end = Deadline::after(req.stall);
+    while (!stall_end.expired()) {
+      if (deadline.expired()) return deadline_failure(ctx, req, "during stall");
+      if (ctx.draining != nullptr && ctx.draining->load(std::memory_order_acquire))
+        break;  // drain cuts the stall short; the response still completes
+      stall_end.min(deadline).sleep_remaining(10 * kNsPerMs);
+    }
+    return Response::success(req.id, "{\n  \"pong\": true\n}\n");
+  }
+  if (req.op == Op::kMetrics) {
+    return Response::success(
+        req.id, ctx.metrics->to_json(ctx.results->stats(), ctx.models->stats()));
+  }
+  if (req.op == Op::kList) return Response::success(req.id, list_payload(ctx));
+
+  // Data-plane ops: lease the trace, consult the result cache.
+  if (deadline.expired()) return deadline_failure(ctx, req, "before lease");
+  Lease lease = ctx.catalog->open(req.trace);
+  if (!lease.reader) {
+    const bool unknown = lease.error.rfind("unknown trace", 0) == 0;
+    return Response::failure(req.id, unknown ? errc::kUnknownTrace : errc::kTraceError,
+                             lease.error);
+  }
+
+  const std::string key = result_cache_key(lease.entry.id(), req);
+  if (auto cached = ctx.results->get(key)) return Response::success(req.id, *cached);
+  if (deadline.expired()) return deadline_failure(ctx, req, "before decode");
+
+  std::string payload;
+  switch (req.op) {
+    case Op::kInfo:
+      payload = info_payload(lease);
+      break;
+    case Op::kSummary: {
+      const auto model = model_for(ctx, lease);
+      if (deadline.expired()) return deadline_failure(ctx, req, "before analysis");
+      const noise::NoiseAnalysis analysis(*model);
+      payload = exporter::summary_json(analysis);
+      break;
+    }
+    case Op::kWindow: {
+      // Same ns conversion as the CLI's --window A:B parse, so a served
+      // window is byte-identical to the offline one.
+      const auto t0 = static_cast<TimeNs>(req.window_from_ms * static_cast<double>(kNsPerMs));
+      const auto t1 = static_cast<TimeNs>(req.window_to_ms * static_cast<double>(kNsPerMs));
+      const trace::TraceModel model = lease.reader->read_window(t0, t1, nullptr);
+      if (deadline.expired()) return deadline_failure(ctx, req, "before analysis");
+      const noise::NoiseAnalysis analysis(model);
+      payload = exporter::summary_json(analysis);
+      break;
+    }
+    case Op::kChart: {
+      const auto model = model_for(ctx, lease);
+      if (deadline.expired()) return deadline_failure(ctx, req, "before analysis");
+      const auto apps = model->app_pids();
+      if (apps.empty())
+        return Response::failure(req.id, errc::kTraceError,
+                                 "trace has no application tasks");
+      const Pid pid = req.task.value_or(apps.front());
+      if (!model->is_app(pid))
+        return Response::failure(req.id, errc::kBadRequest,
+                                 "pid " + std::to_string(pid) +
+                                     " is not an application task");
+      const noise::NoiseAnalysis analysis(*model);
+      const DurNs quantum = req.quantum_us * kNsPerUs;
+      const auto n = static_cast<std::size_t>(model->duration() / quantum);
+      const noise::SyntheticChart chart =
+          noise::build_chart(analysis, pid, 0, quantum, std::max<std::size_t>(n, 1));
+      payload = exporter::chart_json(chart, model->task_name(pid));
+      break;
+    }
+    default:
+      return Response::failure(req.id, errc::kBadRequest, "unhandled op");
+  }
+
+  if (deadline.expired()) return deadline_failure(ctx, req, "after analysis");
+  ctx.results->put(key, std::make_shared<const std::string>(payload), payload.size());
+  return Response::success(req.id, std::move(payload));
+}
+
+}  // namespace
+
+std::string result_cache_key(const std::string& trace_id, const Request& req) {
+  std::string key = trace_id;
+  key += '|';
+  key += op_name(req.op);
+  switch (req.op) {
+    case Op::kWindow:
+      key += '|';
+      key += fmt_double(req.window_from_ms);
+      key += ':';
+      key += fmt_double(req.window_to_ms);
+      break;
+    case Op::kChart:
+      key += "|task=";
+      key += req.task ? std::to_string(*req.task) : "auto";
+      key += "|quantum_us=";
+      key += std::to_string(req.quantum_us);
+      break;
+    default:
+      break;
+  }
+  return key;
+}
+
+Response execute_query(const QueryContext& ctx, const Request& req, Deadline deadline) {
+  ctx.metrics->count_request(static_cast<std::size_t>(req.op));
+  Response resp;
+  try {
+    resp = run_query(ctx, req, deadline);
+  } catch (const trace::TraceReadError& e) {
+    resp = Response::failure(req.id, errc::kTraceError, e.what());
+  } catch (const std::exception& e) {
+    resp = Response::failure(req.id, errc::kInternal, e.what());
+  }
+  if (resp.ok) {
+    ctx.metrics->count_ok();
+  } else {
+    ctx.metrics->count_error();
+  }
+  return resp;
+}
+
+}  // namespace osn::serve

@@ -1,0 +1,55 @@
+// Query execution: one Request in, one Response out.
+//
+// This is the server's data plane, deliberately independent of sockets and
+// threads so tests can drive it directly. Every op funnels through the same
+// shape: lease the trace from the catalog, check the result cache (keyed by
+// the file's identity stamp + the canonical query parameters), on a miss
+// obtain the decoded TraceModel (model cache, same stamp), run the analysis,
+// render the same bytes the offline CLI writes, and populate both caches on
+// the way out.
+//
+// Deadlines are checked at stage boundaries (after lease, after decode,
+// after analysis) — the stages themselves are not interruptible, so a
+// deadline bounds *queueing + staleness*, not a hard wall; an expired
+// deadline yields errc::kDeadlineExceeded rather than a late answer.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "common/clock.hpp"
+#include "serve/catalog.hpp"
+#include "serve/metrics.hpp"
+#include "serve/protocol.hpp"
+#include "serve/result_cache.hpp"
+#include "trace/trace_model.hpp"
+
+namespace osn::serve {
+
+/// Rendered response payloads, keyed by trace stamp + canonical query.
+using ResultCache = ShardedLruCache<std::string>;
+/// Decoded full-trace models, keyed by trace stamp.
+using ModelCache = ShardedLruCache<trace::TraceModel>;
+
+/// Everything execute_query needs; owned by the Server, shared by workers.
+struct QueryContext {
+  TraceCatalog* catalog = nullptr;
+  ResultCache* results = nullptr;
+  ModelCache* models = nullptr;
+  ServerMetrics* metrics = nullptr;
+  /// Optional drain flag: a set flag cuts ping stalls short so graceful
+  /// shutdown is not held hostage by load-test requests.
+  const std::atomic<bool>* draining = nullptr;
+};
+
+/// Executes one request. Never throws: trace problems become trace_error
+/// responses, unknown names unknown_trace, expired deadlines
+/// deadline_exceeded. Updates cache + outcome counters (but not latency —
+/// the server observes that around the whole request).
+Response execute_query(const QueryContext& ctx, const Request& req, Deadline deadline);
+
+/// Canonical result-cache key for a request against a trace stamp (exposed
+/// for tests asserting hit/miss behaviour).
+std::string result_cache_key(const std::string& trace_id, const Request& req);
+
+}  // namespace osn::serve

@@ -1,0 +1,163 @@
+// Sharded LRU cache with a byte budget — the server's memoization layer.
+//
+// A query server re-answers the same questions: the same dashboards ask for
+// the same summaries, windows cluster around recent time ranges, and every
+// query against an unchanged file re-derives the same bytes. The cache holds
+// two kinds of values behind one template: decoded TraceModels (the
+// expensive chunk decode) and rendered response payloads (the analysis).
+// Keys embed the file's identity *and* its mtime/size stamp, so a rewritten
+// trace can never serve stale results — invalidation is structural, not
+// timed.
+//
+// Sharding: the key hash picks one of N independent LRU shards, each with
+// its own mutex and bytes/N of the budget, so concurrent workers do not
+// serialize on one lock. Values are shared_ptr<const V>: a hit pins the
+// value for the caller while eviction stays O(1) and never invalidates
+// in-flight readers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace osn::serve {
+
+/// Aggregated cache counters (surfaced by the metrics endpoint).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;   ///< entries pushed out by the byte budget
+  std::uint64_t oversize = 0;    ///< values too large to cache at all
+  std::uint64_t entries = 0;     ///< current
+  std::uint64_t bytes = 0;       ///< current
+
+  CacheStats& operator+=(const CacheStats& other) {
+    hits += other.hits;
+    misses += other.misses;
+    insertions += other.insertions;
+    evictions += other.evictions;
+    oversize += other.oversize;
+    entries += other.entries;
+    bytes += other.bytes;
+    return *this;
+  }
+};
+
+template <class V>
+class ShardedLruCache {
+ public:
+  /// `byte_budget` is split evenly across `shards` (>= 1) independent LRUs.
+  explicit ShardedLruCache(std::uint64_t byte_budget, std::size_t shards = 8)
+      : shards_(std::max<std::size_t>(shards, 1)) {
+    const std::uint64_t per_shard = byte_budget / shards_.size();
+    for (Shard& s : shards_) s.budget = per_shard;
+  }
+
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+
+  /// Returns the cached value (promoting it to most-recently-used) or
+  /// nullptr on a miss.
+  std::shared_ptr<const V> get(const std::string& key) {
+    Shard& s = shard_of(key);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    const auto it = s.index.find(key);
+    if (it == s.index.end()) {
+      ++s.stats.misses;
+      return nullptr;
+    }
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    ++s.stats.hits;
+    return it->second->value;
+  }
+
+  /// Inserts (or replaces) `key`, charging `bytes` against the shard budget
+  /// and evicting least-recently-used entries until it fits. Values larger
+  /// than a whole shard are not cached (counted as oversize).
+  void put(const std::string& key, std::shared_ptr<const V> value,
+           std::uint64_t bytes) {
+    Shard& s = shard_of(key);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (bytes > s.budget) {
+      ++s.stats.oversize;
+      return;
+    }
+    const auto it = s.index.find(key);
+    if (it != s.index.end()) {
+      s.bytes -= it->second->bytes;
+      s.lru.erase(it->second);
+      s.index.erase(it);
+      --s.stats.entries;
+    }
+    s.lru.push_front(Entry{key, std::move(value), bytes});
+    s.index[key] = s.lru.begin();
+    s.bytes += bytes;
+    ++s.stats.insertions;
+    ++s.stats.entries;
+    while (s.bytes > s.budget) {
+      const Entry& victim = s.lru.back();
+      s.bytes -= victim.bytes;
+      s.index.erase(victim.key);
+      s.lru.pop_back();
+      ++s.stats.evictions;
+      --s.stats.entries;
+    }
+    s.stats.bytes = s.bytes;
+  }
+
+  /// Counters summed over all shards (a consistent-enough snapshot; each
+  /// shard is read under its own lock).
+  CacheStats stats() const {
+    CacheStats total;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mutex);
+      CacheStats snap = s.stats;
+      snap.bytes = s.bytes;
+      total += snap;
+    }
+    return total;
+  }
+
+  void clear() {
+    for (Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mutex);
+      s.lru.clear();
+      s.index.clear();
+      s.bytes = 0;
+      s.stats.entries = 0;
+      s.stats.bytes = 0;
+    }
+  }
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const V> value;
+    std::uint64_t bytes = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<std::string, typename std::list<Entry>::iterator> index;
+    std::uint64_t budget = 0;
+    std::uint64_t bytes = 0;
+    CacheStats stats;
+  };
+
+  Shard& shard_of(const std::string& key) {
+    return shards_[std::hash<std::string>{}(key) % shards_.size()];
+  }
+
+  std::vector<Shard> shards_;
+};
+
+}  // namespace osn::serve

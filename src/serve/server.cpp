@@ -1,0 +1,113 @@
+#include "serve/server.hpp"
+
+#include <utility>
+
+namespace osn::serve {
+
+namespace {
+/// How long the accept loop waits per poll before rechecking the drain flag.
+constexpr DurNs kAcceptSliceNs = 100 * kNsPerMs;
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      catalog_(std::make_unique<TraceCatalog>(options_.dir)),
+      results_(options_.result_cache_bytes),
+      models_(options_.model_cache_bytes) {
+  ctx_.catalog = catalog_.get();
+  ctx_.results = &results_;
+  ctx_.models = &models_;
+  ctx_.metrics = &metrics_;
+  ctx_.draining = &draining_;
+}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* error) {
+  listener_ = TcpListener::listen(options_.host, options_.port,
+                                  /*backlog=*/64, error);
+  if (!listener_.ok()) return false;
+  pool_ = std::make_unique<ThreadPool>(std::max<std::size_t>(options_.workers, 1));
+  running_.store(true, std::memory_order_release);
+  draining_.store(false, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void Server::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  draining_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // The pool destructor drains the queue and joins: every connection task
+  // already submitted runs to completion (its recv_line waits abort on the
+  // draining flag, so completion is prompt).
+  pool_.reset();
+  listener_.close();
+}
+
+void Server::accept_loop() {
+  while (!draining_.load(std::memory_order_acquire)) {
+    std::optional<TcpStream> conn = listener_.accept(Deadline::after(kAcceptSliceNs));
+    if (!conn) continue;  // poll timeout or transient error; recheck the flag
+    metrics_.count_connection();
+
+    if (inflight_.load(std::memory_order_acquire) >= options_.max_inflight) {
+      // Shed at the door: an explicit error beats an invisible queue.
+      metrics_.count_shed();
+      TcpStream shed = std::move(*conn);
+      shed.send_all(
+          Response::failure(0, errc::kOverloaded, "server at capacity").to_line() + "\n",
+          Deadline::after(kAcceptSliceNs));
+      continue;
+    }
+
+    inflight_.fetch_add(1, std::memory_order_acq_rel);
+    auto stream = std::make_shared<TcpStream>(std::move(*conn));
+    pool_->submit([this, stream] {
+      handle_connection(std::move(*stream));
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    });
+  }
+}
+
+void Server::handle_connection(TcpStream stream) {
+  while (true) {
+    std::optional<std::string> line = stream.recv_line(Deadline::never(), &draining_);
+    if (!line) {
+      // EOF, error, or drain cancellation. On drain, tell a still-connected
+      // client why instead of silently closing.
+      if (draining_.load(std::memory_order_acquire)) {
+        stream.send_all(
+            Response::failure(0, errc::kShuttingDown, "server draining").to_line() + "\n",
+            Deadline::after(kAcceptSliceNs));
+      }
+      return;
+    }
+    if (line->empty()) continue;
+
+    const TimeNs t_start = monotonic_now_ns();
+    std::string parse_error;
+    std::optional<Request> req = parse_request(*line, parse_error);
+    Response resp;
+    if (!req) {
+      metrics_.count_bad_line();
+      metrics_.count_error();
+      resp = Response::failure(0, errc::kBadRequest, parse_error);
+    } else {
+      // An explicit client deadline is always honoured — deadline_ms:0 means
+      // "already expired", which is how clients probe the deadline machinery.
+      // Only when the request carries none does the server default apply,
+      // where 0 means "no deadline".
+      const Deadline deadline =
+          req->deadline.has_value() ? Deadline::after(*req->deadline)
+          : options_.default_deadline > 0
+              ? Deadline::after(options_.default_deadline)
+              : Deadline::never();
+      resp = execute_query(ctx_, *req, deadline);
+    }
+    metrics_.observe_latency(sat_sub(monotonic_now_ns(), t_start));
+    if (!stream.send_all(resp.to_line() + "\n", Deadline::after(30 * kNsPerSec))) return;
+  }
+}
+
+}  // namespace osn::serve

@@ -1,0 +1,89 @@
+// osn-served: the trace-query daemon.
+//
+// Threading model: one accept thread + a common::ThreadPool of workers. A
+// connection is handled wholly inside one pool task — requests on a
+// connection are sequential (the protocol is strictly request/response),
+// concurrency comes from concurrent connections. Admission control happens
+// at accept: when `max_inflight` connections are already being served, the
+// server does not queue the newcomer behind an invisible backlog — it sends
+// an explicit `overloaded` response and closes, so clients can back off or
+// retry elsewhere. That bounded-queue-with-shedding is the same discipline
+// the tracebuf layer applies to lossy ring buffers: under overload, fail
+// visibly and cheaply instead of degrading everyone invisibly.
+//
+// Shutdown is a graceful drain: stop() flips the draining flag (which both
+// wakes the accept loop and cancels idle recv_line waits), waits for
+// in-flight requests to finish, then joins. In-flight work completes;
+// blocked reads abort promptly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/clock.hpp"
+#include "common/socket.hpp"
+#include "common/thread_pool.hpp"
+#include "serve/catalog.hpp"
+#include "serve/metrics.hpp"
+#include "serve/query.hpp"
+
+namespace osn::serve {
+
+struct ServerOptions {
+  std::string dir;                ///< catalog directory of .osnt files
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;         ///< 0 = kernel-assigned (see Server::port())
+  std::size_t workers = 4;
+  std::size_t max_inflight = 32;  ///< connections served concurrently before shedding
+  std::uint64_t result_cache_bytes = 64ull << 20;
+  std::uint64_t model_cache_bytes = 256ull << 20;
+  /// Per-request budget when the request carries no deadline_ms (0 = none).
+  DurNs default_deadline = 0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();  ///< stops if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and starts the accept loop. False (with the reason in
+  /// `error`) when the address cannot be bound.
+  bool start(std::string* error = nullptr);
+
+  /// Graceful drain: stop accepting, cancel idle reads, wait for in-flight
+  /// requests, join all threads. Idempotent.
+  void stop();
+
+  /// The bound port (valid after start(); resolves port 0).
+  std::uint16_t port() const { return listener_.port(); }
+
+  ServerMetrics& metrics() { return metrics_; }
+  TraceCatalog& catalog() { return *catalog_; }
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  void accept_loop();
+  void handle_connection(TcpStream stream);
+
+  ServerOptions options_;
+  std::unique_ptr<TraceCatalog> catalog_;
+  ResultCache results_;
+  ModelCache models_;
+  ServerMetrics metrics_;
+  QueryContext ctx_;
+
+  TcpListener listener_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<std::size_t> inflight_{0};
+};
+
+}  // namespace osn::serve

@@ -319,6 +319,7 @@ void OsntReader::synthesize_truncated_meta() {
   meta_.end_ns = chunks_.empty() ? 0 : chunks_.back().t_last + 1;
 }
 
+// Caller holds mutex_ (except during single-threaded construction).
 void OsntReader::ensure_legacy_model() {
   if (legacy_.has_value()) return;
   const auto all = read_at(0, size_);
@@ -409,7 +410,12 @@ TraceModel OsntReader::assemble(std::vector<std::vector<tracebuf::EventRecord>> 
   }
 
   // CPU-range check and per-CPU totals — serial but only O(chunks * cpus).
-  std::size_t n_cpus = meta_.n_cpus;
+  TraceMeta meta;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    meta = meta_;
+  }
+  std::size_t n_cpus = meta.n_cpus;
   for (std::size_t k = 0; k < n_chunks; ++k) {
     if (buckets[k].size() > n_cpus) {
       if (!truncated_)
@@ -456,13 +462,13 @@ TraceModel OsntReader::assemble(std::vector<std::vector<tracebuf::EventRecord>> 
   for (const auto& err : errors)
     if (err) std::rethrow_exception(err);
 
-  TraceMeta meta = meta_;
   if (truncated_) {
     TimeNs last_seen = 0;
     for (const auto& stream : per_cpu)
       if (!stream.empty()) last_seen = std::max(last_seen, stream.back().timestamp);
     meta.n_cpus = static_cast<std::uint16_t>(n_cpus);
     meta.end_ns = std::max(meta.end_ns, last_seen + 1);
+    std::lock_guard<std::mutex> lock(mutex_);
     meta_ = meta;
   }
   return TraceModel(std::move(meta), std::move(per_cpu), tasks_);
@@ -470,6 +476,7 @@ TraceModel OsntReader::assemble(std::vector<std::vector<tracebuf::EventRecord>> 
 
 TraceModel OsntReader::read_all(ThreadPool* pool) {
   if (version_ != osnt::kVersionChunked) {
+    std::lock_guard<std::mutex> lock(mutex_);
     ensure_legacy_model();
     TraceModel model = std::move(*legacy_);
     legacy_.reset();
@@ -484,6 +491,7 @@ TraceModel OsntReader::read_all(ThreadPool* pool) {
 
 TraceModel OsntReader::read_window(TimeNs t0, TimeNs t1, ThreadPool* pool) {
   if (version_ != osnt::kVersionChunked) {
+    std::lock_guard<std::mutex> lock(mutex_);
     ensure_legacy_model();
     return window_of(*legacy_, t0, t1);
   }
@@ -506,6 +514,9 @@ TraceModel OsntReader::read_window(TimeNs t0, TimeNs t1, ThreadPool* pool) {
 
 void OsntReader::for_each(const std::function<void(const tracebuf::EventRecord&)>& fn) {
   if (version_ != osnt::kVersionChunked) {
+    // The callback runs under the lock: cheap, and it keeps a concurrent
+    // read_all from moving the model out from under the iteration.
+    std::lock_guard<std::mutex> lock(mutex_);
     ensure_legacy_model();
     for (const auto& rec : legacy_->merged()) fn(rec);
     return;
@@ -537,6 +548,7 @@ VerifyReport OsntReader::verify() {
   report.chunks = chunks_.size();
 
   if (version_ != osnt::kVersionChunked) {
+    std::lock_guard<std::mutex> lock(mutex_);
     try {
       ensure_legacy_model();
       report.records = legacy_->total_events();

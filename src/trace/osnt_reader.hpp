@@ -22,12 +22,20 @@
 // v1/v2 files are served through a compatibility shim (whole-file decode via
 // deserialize_trace) with identical results — callers never dispatch on the
 // version themselves. All input errors throw trace::TraceReadError.
+//
+// Thread safety: after construction, read_all / read_window / for_each /
+// verify may be called concurrently from multiple threads on one reader (the
+// query server's workers share a reader per catalog entry). v3 decoding is
+// naturally concurrent — chunks are read with pread and all index state is
+// immutable after open — while the v1/v2 shim and the truncated-file
+// metadata refinement serialize on an internal mutex.
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -147,6 +155,10 @@ class OsntReader {
   std::vector<ChunkInfo> chunks_;
   TraceMeta meta_;
   std::map<Pid, TaskInfo> tasks_;
+  /// Serializes the mutable post-open state: the legacy shim below and the
+  /// truncated-file meta_ refinement in assemble(). The v3 hot path (chunk
+  /// index, pread) takes this lock only to snapshot meta_.
+  mutable std::mutex mutex_;
   /// v1/v2 compatibility shim: whole-file decode, built on first use and
   /// moved out by read_all() (re-parsed if needed again).
   std::optional<TraceModel> legacy_;

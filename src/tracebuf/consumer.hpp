@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/clock.hpp"
 #include "tracebuf/channel_set.hpp"
 
 namespace osn::tracebuf {
@@ -72,6 +73,11 @@ class BasicConsumer {
 
   struct Options {
     std::size_t batch_size = 256;  ///< records per try_pop_batch call
+    /// Longest idle sleep of the daemon. When every channel polls empty the
+    /// daemon backs off exponentially (yield, then 1 us doubling up to this
+    /// cap) on a Deadline so an idle pipeline costs no CPU; any non-empty
+    /// poll resets the backoff to the hot spin. 0 = always spin/yield.
+    DurNs max_idle_sleep_ns = 50 * kNsPerUs;
   };
 
   /// Attaches to every channel of `channels` (asserting it is the only
@@ -146,10 +152,23 @@ class BasicConsumer {
 
  private:
   void drain_loop() {
+    DurNs backoff = 0;  // 0 = hot: yield once before the first timed sleep
     while (running_.load(std::memory_order_acquire)) {
       const std::size_t popped = poll_once();
       flush(false);
-      if (popped == 0) std::this_thread::yield();
+      if (popped != 0) {
+        backoff = 0;
+        continue;
+      }
+      if (backoff == 0 || options_.max_idle_sleep_ns == 0) {
+        std::this_thread::yield();
+        backoff = kNsPerUs;
+        continue;
+      }
+      // Timed backoff via the shared monotonic-deadline helper; capped so
+      // stop() latency stays bounded by max_idle_sleep_ns.
+      Deadline::after(backoff).sleep_remaining(options_.max_idle_sleep_ns);
+      backoff = std::min<DurNs>(backoff * 2, options_.max_idle_sleep_ns);
     }
   }
 

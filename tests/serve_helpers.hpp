@@ -1,0 +1,61 @@
+// Test helpers for the serve layer: temp catalog directories populated with
+// small but analyzable v3 traces.
+#pragma once
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include "trace/trace_io.hpp"
+#include "trace_builder.hpp"
+
+namespace osn::serve::testing {
+
+/// A throwaway directory under the gtest temp root; removed on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const char* tag) {
+    std::string tmpl = ::testing::TempDir() + "osn_serve_" + tag + "_XXXXXX";
+    path_ = ::mkdtemp(tmpl.data());
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// A small two-rank trace with enough kernel activity for a non-trivial
+/// analysis (irq + page-fault pairs on two CPUs over ~2 ms).
+inline trace::TraceModel make_model(int scale = 200) {
+  osn::testing::TraceBuilder b(2);
+  b.task(1, "rank0", true).task(2, "rank1", true).task(9, "events/0", false, true);
+  for (int i = 0; i < scale; ++i) {
+    const TimeNs base = static_cast<TimeNs>(i) * 10'000;
+    b.pair(0, base + 1'000, base + 1'700, 1, trace::EventType::kIrqEntry, 0);
+    b.pair(1, base + 4'000, base + 4'900, 2, trace::EventType::kPageFaultEntry, 0);
+  }
+  return b.build(static_cast<TimeNs>(scale) * 10'000 + 1);
+}
+
+/// Writes `model` as a chunked v3 file `<dir>/<name>.osnt`. Published by
+/// rename, never by truncating in place: OsntReader keeps the inode open, so
+/// an in-place rewrite would corrupt reads through outstanding catalog leases.
+inline void write_trace(const trace::TraceModel& model, const std::string& dir,
+                        const std::string& name) {
+  const std::string final_path = dir + "/" + name + ".osnt";
+  const std::string tmp_path = final_path + ".tmp";
+  {
+    trace::OsntStreamWriter writer(tmp_path, /*chunk_records=*/128);
+    for (const auto& rec : model.merged()) writer.append(rec);
+    ASSERT_TRUE(writer.finish(model.meta(), model.tasks()));
+  }
+  std::filesystem::rename(tmp_path, final_path);
+}
+
+}  // namespace osn::serve::testing

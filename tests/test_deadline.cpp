@@ -1,0 +1,92 @@
+// common::Deadline — monotonic-clock budget arithmetic.
+#include <gtest/gtest.h>
+
+#include "common/clock.hpp"
+
+namespace osn {
+namespace {
+
+TEST(Deadline, DefaultNeverExpires) {
+  const Deadline d;
+  EXPECT_TRUE(d.never_expires());
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.remaining(), kTimeInfinity);
+  EXPECT_EQ(d, Deadline::never());
+}
+
+TEST(Deadline, AfterZeroIsAlreadyExpired) {
+  const Deadline d = Deadline::after(0);
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining(), 0u);
+}
+
+TEST(Deadline, AfterBudgetCountsDown) {
+  const Deadline d = Deadline::after(sec(60));
+  EXPECT_FALSE(d.expired());
+  const DurNs rem = d.remaining();
+  EXPECT_GT(rem, sec(59));
+  EXPECT_LE(rem, sec(60));
+}
+
+TEST(Deadline, AfterSaturatesToNever) {
+  // A budget that would overflow the clock saturates to "no deadline"
+  // rather than wrapping around into the past.
+  const Deadline d = Deadline::after(kTimeInfinity - 1);
+  EXPECT_FALSE(d.expired());
+  EXPECT_TRUE(d.never_expires());
+}
+
+TEST(Deadline, MinPicksEarlierAndNeverIsIdentity) {
+  const Deadline soon = Deadline::after(ms(1));
+  const Deadline late = Deadline::after(sec(60));
+  EXPECT_EQ(soon.min(late), soon);
+  EXPECT_EQ(late.min(soon), soon);
+  EXPECT_EQ(soon.min(Deadline::never()), soon);
+  EXPECT_EQ(Deadline::never().min(soon), soon);
+}
+
+TEST(Deadline, SleepRemainingWakesAtDeadline) {
+  const TimeNs t0 = monotonic_now_ns();
+  const Deadline d = Deadline::after(2 * kNsPerMs);
+  d.sleep_remaining();
+  EXPECT_TRUE(d.expired());
+  EXPECT_GE(monotonic_now_ns() - t0, 2 * kNsPerMs);
+}
+
+TEST(Deadline, SleepRemainingHonorsCap) {
+  const Deadline d = Deadline::after(sec(60));
+  const TimeNs t0 = monotonic_now_ns();
+  d.sleep_remaining(/*cap=*/kNsPerMs);
+  // Slept roughly the cap, nowhere near the full budget.
+  EXPECT_LT(monotonic_now_ns() - t0, sec(10));
+  EXPECT_FALSE(d.expired());
+}
+
+TEST(Deadline, SleepRemainingOnExpiredReturnsImmediately) {
+  const Deadline d = Deadline::after(0);
+  const TimeNs t0 = monotonic_now_ns();
+  d.sleep_remaining();
+  EXPECT_LT(monotonic_now_ns() - t0, sec(1));
+}
+
+TEST(Deadline, NeverUncappedIsNoOp) {
+  // An uncapped sleep on never() would hang forever; it must return
+  // immediately instead. (With a finite cap it sleeps the cap — that is the
+  // polling building block.)
+  const TimeNs t0 = monotonic_now_ns();
+  Deadline::never().sleep_remaining();
+  EXPECT_LT(monotonic_now_ns() - t0, sec(1));
+
+  const TimeNs t1 = monotonic_now_ns();
+  Deadline::never().sleep_remaining(/*cap=*/kNsPerMs);
+  EXPECT_GE(monotonic_now_ns() - t1, kNsPerMs);
+}
+
+TEST(Deadline, MonotonicNowAdvances) {
+  const TimeNs a = monotonic_now_ns();
+  const TimeNs b = monotonic_now_ns();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace osn

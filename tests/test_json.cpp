@@ -18,6 +18,38 @@ TEST(JsonEscape, EscapesSpecials) {
   EXPECT_EQ(json_escape(std::string("a\x01z")), "a\\u0001z");
 }
 
+TEST(JsonEscape, EscapesAllControlCharacters) {
+  // RFC 8259: every code point below 0x20 must be escaped — the short forms
+  // where they exist, \u00xx otherwise.
+  EXPECT_EQ(json_escape("a\bb"), "a\\bb");
+  EXPECT_EQ(json_escape("a\fb"), "a\\fb");
+  EXPECT_EQ(json_escape("a\rb"), "a\\rb");
+  EXPECT_EQ(json_escape(std::string(1, '\x00')), "\\u0000");
+  EXPECT_EQ(json_escape("\x1f"), "\\u001f");
+  // DEL (0x7f) is not a JSON control character; it passes through.
+  EXPECT_EQ(json_escape("\x7f"), "\x7f");
+}
+
+TEST(JsonEscape, WellFormedUtf8PassesVerbatim) {
+  EXPECT_EQ(json_escape("caf\xC3\xA9"), "caf\xC3\xA9");            // 2-byte é
+  EXPECT_EQ(json_escape("\xE2\x82\xAC"), "\xE2\x82\xAC");          // 3-byte €
+  EXPECT_EQ(json_escape("\xF0\x9F\x98\x80"), "\xF0\x9F\x98\x80");  // 4-byte emoji
+}
+
+TEST(JsonEscape, IllFormedBytesAreEscaped) {
+  // A hostile task name must never produce an invalid JSON document: every
+  // ill-formed byte is escaped individually as \u00xx.
+  EXPECT_EQ(json_escape("\xFF"), "\\u00ff");              // never valid in UTF-8
+  EXPECT_EQ(json_escape("\xC3 x"), "\\u00c3 x");          // truncated 2-byte seq
+  EXPECT_EQ(json_escape("\xC0\xAF"), "\\u00c0\\u00af");   // overlong encoding
+  EXPECT_EQ(json_escape("\xE0\x80\x80"), "\\u00e0\\u0080\\u0080");  // overlong
+  EXPECT_EQ(json_escape("\xED\xA0\x80"), "\\u00ed\\u00a0\\u0080");  // surrogate
+  EXPECT_EQ(json_escape("\xF5\x80\x80\x80"),
+            "\\u00f5\\u0080\\u0080\\u0080");  // > U+10FFFF
+  // A valid sequence right after an invalid byte still passes through.
+  EXPECT_EQ(json_escape("\x80\xC3\xA9"), "\\u0080\xC3\xA9");
+}
+
 TEST(SummaryJson, ContainsMetadataAndActivities) {
   TraceBuilder b(2);
   b.task(1, "rank0", true).task(9, "rpciod", false, true);

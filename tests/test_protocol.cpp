@@ -1,0 +1,164 @@
+// serve wire protocol: JSON parsing, request validation, response framing.
+#include <gtest/gtest.h>
+
+#include "serve/protocol.hpp"
+
+namespace osn::serve {
+namespace {
+
+// --------------------------------------------------------------------------
+// JSON parser
+// --------------------------------------------------------------------------
+
+TEST(JsonParse, Scalars) {
+  EXPECT_EQ(parse_json("null")->kind, JsonValue::Kind::kNull);
+  EXPECT_TRUE(parse_json("true")->boolean);
+  EXPECT_FALSE(parse_json("false")->boolean);
+  EXPECT_DOUBLE_EQ(parse_json("42")->number, 42.0);
+  EXPECT_DOUBLE_EQ(parse_json("-1.5e3")->number, -1500.0);
+  EXPECT_EQ(parse_json("\"hi\"")->string, "hi");
+}
+
+TEST(JsonParse, NestedStructures) {
+  const auto v = parse_json(R"({"a":[1,2,{"b":"c"}],"d":{"e":null}})");
+  ASSERT_TRUE(v.has_value());
+  const JsonValue* a = v->find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_EQ(a->array[2].find("b")->string, "c");
+  EXPECT_EQ(v->find("d")->find("e")->kind, JsonValue::Kind::kNull);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\nb\t\"\\A")")->string, "a\nb\t\"\\A");
+  // Surrogate pair -> 4-byte UTF-8.
+  EXPECT_EQ(parse_json(R"("😀")")->string, "\xF0\x9F\x98\x80");
+  // Lone surrogates are invalid.
+  EXPECT_FALSE(parse_json(R"("\ud83d")").has_value());
+  EXPECT_FALSE(parse_json(R"("\ude00")").has_value());
+}
+
+TEST(JsonParse, RejectsMalformed) {
+  EXPECT_FALSE(parse_json("").has_value());
+  EXPECT_FALSE(parse_json("{").has_value());
+  EXPECT_FALSE(parse_json("{\"a\":1,}").has_value());
+  EXPECT_FALSE(parse_json("[1 2]").has_value());
+  EXPECT_FALSE(parse_json("\"unterminated").has_value());
+  EXPECT_FALSE(parse_json("tru").has_value());
+  EXPECT_FALSE(parse_json("1e").has_value());
+  EXPECT_FALSE(parse_json("{} trailing").has_value());
+  EXPECT_FALSE(parse_json("\"raw\ncontrol\"").has_value());
+}
+
+TEST(JsonParse, DepthBounded) {
+  // Hostile deeply-nested input must fail cleanly, not blow the stack.
+  std::string deep;
+  for (int i = 0; i < 2000; ++i) deep += '[';
+  for (int i = 0; i < 2000; ++i) deep += ']';
+  EXPECT_FALSE(parse_json(deep).has_value());
+}
+
+// --------------------------------------------------------------------------
+// Requests
+// --------------------------------------------------------------------------
+
+TEST(RequestParse, MinimalAndRoundTrip) {
+  std::string error;
+  const auto ping = parse_request(R"({"op":"ping"})", error);
+  ASSERT_TRUE(ping.has_value()) << error;
+  EXPECT_EQ(ping->op, Op::kPing);
+  EXPECT_EQ(ping->id, 0u);
+
+  Request req;
+  req.id = 7;
+  req.op = Op::kWindow;
+  req.trace = "ftq";
+  req.has_window = true;
+  req.window_from_ms = 100.5;
+  req.window_to_ms = 900;
+  req.task = 3;
+  req.quantum_us = 500;
+  req.deadline = 250 * kNsPerMs;
+  const auto back = parse_request(req.to_line(), error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->id, 7u);
+  EXPECT_EQ(back->op, Op::kWindow);
+  EXPECT_EQ(back->trace, "ftq");
+  EXPECT_TRUE(back->has_window);
+  EXPECT_DOUBLE_EQ(back->window_from_ms, 100.5);
+  EXPECT_DOUBLE_EQ(back->window_to_ms, 900.0);
+  ASSERT_TRUE(back->task.has_value());
+  EXPECT_EQ(*back->task, 3u);
+  EXPECT_EQ(back->quantum_us, 500u);
+  ASSERT_TRUE(back->deadline.has_value());
+  EXPECT_EQ(*back->deadline, 250 * kNsPerMs);
+}
+
+TEST(RequestParse, Validation) {
+  std::string error;
+  EXPECT_FALSE(parse_request("not json", error).has_value());
+  EXPECT_FALSE(parse_request("[1,2]", error).has_value());
+  EXPECT_FALSE(parse_request(R"({"id":1})", error).has_value());  // no op
+  EXPECT_FALSE(parse_request(R"({"op":"explode"})", error).has_value());
+  // Trace-addressed ops require a trace name.
+  EXPECT_FALSE(parse_request(R"({"op":"summary"})", error).has_value());
+  // The window op requires a window, and windows must be ordered.
+  EXPECT_FALSE(parse_request(R"({"op":"window","trace":"t"})", error).has_value());
+  EXPECT_FALSE(
+      parse_request(R"({"op":"window","trace":"t","window":[900,100]})", error)
+          .has_value());
+  EXPECT_FALSE(
+      parse_request(R"({"op":"window","trace":"t","window":[-5,100]})", error)
+          .has_value());
+  EXPECT_FALSE(
+      parse_request(R"({"op":"window","trace":"t","window":[100]})", error).has_value());
+  // Numeric fields must be non-negative integers.
+  EXPECT_FALSE(parse_request(R"({"op":"ping","id":-1})", error).has_value());
+  EXPECT_FALSE(parse_request(R"({"op":"ping","id":1.5})", error).has_value());
+  EXPECT_FALSE(
+      parse_request(R"({"op":"chart","trace":"t","quantum_us":0})", error).has_value());
+}
+
+TEST(RequestParse, StallIsCapped) {
+  std::string error;
+  const auto req = parse_request(R"({"op":"ping","stall_ms":999999})", error);
+  ASSERT_TRUE(req.has_value()) << error;
+  EXPECT_EQ(req->stall, 10'000 * kNsPerMs);  // capped at 10 s
+}
+
+// --------------------------------------------------------------------------
+// Responses
+// --------------------------------------------------------------------------
+
+TEST(Response, MultiLinePayloadSurvivesFraming) {
+  // Payloads are whole JSON documents with newlines; the response line must
+  // carry them byte-exactly without breaking the one-line-per-message frame.
+  const std::string doc = "{\n  \"workload\": \"ftq \\ é\",\n  \"n\": 3\n}\n";
+  const Response out = Response::success(9, doc);
+  const std::string line = out.to_line();
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  const auto back = parse_response(line);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->ok);
+  EXPECT_EQ(back->id, 9u);
+  EXPECT_EQ(back->payload, doc);
+}
+
+TEST(Response, FailureRoundTrip) {
+  const Response out = Response::failure(4, errc::kDeadlineExceeded, "too slow");
+  const auto back = parse_response(out.to_line());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_FALSE(back->ok);
+  EXPECT_EQ(back->error, errc::kDeadlineExceeded);
+  EXPECT_EQ(back->message, "too slow");
+}
+
+TEST(Response, ParseRejectsMalformed) {
+  EXPECT_FALSE(parse_response("garbage").has_value());
+  EXPECT_FALSE(parse_response(R"({"id":1})").has_value());                 // no ok
+  EXPECT_FALSE(parse_response(R"({"id":1,"ok":true})").has_value());      // no payload
+  EXPECT_FALSE(parse_response(R"({"id":1,"ok":false})").has_value());     // no error
+}
+
+}  // namespace
+}  // namespace osn::serve

@@ -1,0 +1,124 @@
+// Concurrent OsntReader access: many threads, one reader, one file.
+//
+// The query server shares one OsntReader per catalog entry across all its
+// workers, so read_all / read_window / verify must be callable concurrently
+// and return exactly what a single-threaded caller would get. v3 decoding is
+// lock-free (pread + immutable index); the v1/v2 shim serializes internally
+// — both contracts are exercised here, with results compared byte-for-byte
+// via serialize_trace.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "trace/osnt_reader.hpp"
+#include "trace/trace_io.hpp"
+#include "trace_builder.hpp"
+
+namespace osn::trace {
+namespace {
+
+using osn::testing::TraceBuilder;
+
+TraceModel interesting_model() {
+  TraceBuilder b(2);
+  b.task(1, "rank0", true).task(2, "rank1", true).task(7, "events/0", false, true);
+  for (TimeNs t = 0; t < 400; ++t) {
+    b.pair(0, 1'000 + t * 5'000, 1'800 + t * 5'000, 1, EventType::kIrqEntry, 0);
+    b.pair(1, 3'000 + t * 5'000, 3'600 + t * 5'000, 2, EventType::kPageFaultEntry, 0);
+  }
+  return b.build(ms(3));
+}
+
+std::string temp_path(const char* tag) {
+  return ::testing::TempDir() + "osnt_concurrent_" + tag + "_" +
+         std::to_string(::getpid()) + ".osnt";
+}
+
+void write_v3(const TraceModel& model, const std::string& path) {
+  OsntStreamWriter writer(path, /*chunk_records=*/64);
+  for (const auto& rec : model.merged()) writer.append(rec);
+  ASSERT_TRUE(writer.finish(model.meta(), model.tasks()));
+}
+
+TEST(ReaderConcurrent, ParallelReadAllMatchesSerial) {
+  const TraceModel original = interesting_model();
+  const std::string path = temp_path("v3_all");
+  write_v3(original, path);
+
+  OsntReader reader(path);
+  const std::vector<std::uint8_t> expected = serialize_trace(reader.read_all());
+
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::vector<std::uint8_t>> got(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t i = 0; i < kThreads; ++i)
+    threads.emplace_back([&, i] { got[i] = serialize_trace(reader.read_all()); });
+  for (auto& t : threads) t.join();
+  for (std::size_t i = 0; i < kThreads; ++i) EXPECT_EQ(got[i], expected) << "thread " << i;
+  std::remove(path.c_str());
+}
+
+TEST(ReaderConcurrent, MixedWindowAndFullReads) {
+  const TraceModel original = interesting_model();
+  const std::string path = temp_path("v3_mixed");
+  write_v3(original, path);
+
+  OsntReader reader(path);
+  const std::vector<std::uint8_t> expect_all = serialize_trace(reader.read_all());
+  const std::vector<std::uint8_t> expect_win =
+      serialize_trace(reader.read_window(ms(1), ms(2)));
+
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::vector<std::uint8_t>> got(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      // Even threads decode the full trace, odd threads a window; both also
+      // run verify() to stress the shared index paths.
+      if (i % 2 == 0) {
+        got[i] = serialize_trace(reader.read_all());
+      } else {
+        got[i] = serialize_trace(reader.read_window(ms(1), ms(2)));
+      }
+      EXPECT_TRUE(reader.verify().intact());
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (std::size_t i = 0; i < kThreads; ++i)
+    EXPECT_EQ(got[i], i % 2 == 0 ? expect_all : expect_win) << "thread " << i;
+  std::remove(path.c_str());
+}
+
+TEST(ReaderConcurrent, LegacyShimSerializesSafely) {
+  // v1 files run through the whole-file compatibility shim, whose lazily
+  // built model is guarded by the reader's internal mutex.
+  const TraceModel original = interesting_model();
+  const std::string path = temp_path("v1");
+  ASSERT_TRUE(write_trace_file(original, path));
+
+  OsntReader reader(path);
+  const std::vector<std::uint8_t> expected = serialize_trace(original);
+
+  constexpr std::size_t kThreads = 6;
+  std::vector<std::vector<std::uint8_t>> got(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      got[i] = serialize_trace(i % 2 == 0 ? reader.read_all()
+                                          : reader.read_window(0, kTimeInfinity));
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (std::size_t i = 0; i < kThreads; ++i) EXPECT_EQ(got[i], expected) << "thread " << i;
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace osn::trace

@@ -1,0 +1,108 @@
+// ShardedLruCache: LRU semantics, byte budget, stats, concurrency.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/result_cache.hpp"
+
+namespace osn::serve {
+namespace {
+
+std::shared_ptr<const std::string> val(const std::string& s) {
+  return std::make_shared<const std::string>(s);
+}
+
+TEST(ResultCache, HitAndMiss) {
+  ShardedLruCache<std::string> cache(1 << 20, /*shards=*/1);
+  EXPECT_EQ(cache.get("a"), nullptr);
+  cache.put("a", val("A"), 1);
+  const auto hit = cache.get("a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "A");
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.bytes, 1u);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsed) {
+  ShardedLruCache<std::string> cache(/*byte_budget=*/3, /*shards=*/1);
+  cache.put("a", val("A"), 1);
+  cache.put("b", val("B"), 1);
+  cache.put("c", val("C"), 1);
+  // Touch "a" so "b" is now the LRU victim.
+  EXPECT_NE(cache.get("a"), nullptr);
+  cache.put("d", val("D"), 1);
+  EXPECT_EQ(cache.get("b"), nullptr);
+  EXPECT_NE(cache.get("a"), nullptr);
+  EXPECT_NE(cache.get("c"), nullptr);
+  EXPECT_NE(cache.get("d"), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ResultCache, ReplaceUpdatesBytes) {
+  ShardedLruCache<std::string> cache(10, 1);
+  cache.put("a", val("small"), 2);
+  cache.put("a", val("bigger"), 5);
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.bytes, 5u);
+  EXPECT_EQ(*cache.get("a"), "bigger");
+}
+
+TEST(ResultCache, OversizeValuesAreNotCached) {
+  ShardedLruCache<std::string> cache(/*byte_budget=*/8, /*shards=*/2);  // 4 per shard
+  cache.put("huge", val("x"), 100);
+  EXPECT_EQ(cache.get("huge"), nullptr);
+  EXPECT_EQ(cache.stats().oversize, 1u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ResultCache, PinnedValueSurvivesEviction) {
+  ShardedLruCache<std::string> cache(2, 1);
+  cache.put("a", val("alive"), 2);
+  const auto pinned = cache.get("a");
+  cache.put("b", val("B"), 2);  // evicts "a" from the cache
+  EXPECT_EQ(cache.get("a"), nullptr);
+  EXPECT_EQ(*pinned, "alive");  // the in-flight reader still holds it
+}
+
+TEST(ResultCache, ClearEmptiesEveryShard) {
+  ShardedLruCache<std::string> cache(1 << 20, 4);
+  for (int i = 0; i < 64; ++i) cache.put("k" + std::to_string(i), val("v"), 1);
+  cache.clear();
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.bytes, 0u);
+  EXPECT_EQ(cache.get("k0"), nullptr);
+}
+
+TEST(ResultCache, ConcurrentMixedLoad) {
+  ShardedLruCache<std::string> cache(/*byte_budget=*/4096, /*shards=*/8);
+  constexpr int kThreads = 8, kOpsPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::string key = "k" + std::to_string((t * 7 + i) % 97);
+        if (i % 3 == 0) {
+          cache.put(key, val(key), 8);
+        } else if (const auto v = cache.get(key)) {
+          EXPECT_EQ(*v, key);  // values never tear or cross keys
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses + s.insertions,
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_LE(s.bytes, 4096u);
+}
+
+}  // namespace
+}  // namespace osn::serve

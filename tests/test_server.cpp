@@ -1,0 +1,281 @@
+// End-to-end server tests: concurrent clients, byte-identity with the
+// offline exporter, cache behaviour, deadlines, load shedding, drain.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "export/json.hpp"
+#include "noise/analysis.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve_helpers.hpp"
+
+namespace osn::serve {
+namespace {
+
+using serve::testing::TempDir;
+using serve::testing::make_model;
+using serve::testing::write_trace;
+
+ServerOptions options_for(const std::string& dir) {
+  ServerOptions o;
+  o.dir = dir;
+  o.port = 0;  // kernel-assigned; no port races between parallel tests
+  o.workers = 4;
+  return o;
+}
+
+Request summary_request(std::uint64_t id) {
+  Request req;
+  req.id = id;
+  req.op = Op::kSummary;
+  req.trace = "t";
+  return req;
+}
+
+Request window_request(std::uint64_t id, double from_ms, double to_ms) {
+  Request req;
+  req.id = id;
+  req.op = Op::kWindow;
+  req.trace = "t";
+  req.has_window = true;
+  req.window_from_ms = from_ms;
+  req.window_to_ms = to_ms;
+  return req;
+}
+
+TEST(Server, ConcurrentClientsMatchOfflineAnalysis) {
+  TempDir dir("server_e2e");
+  const trace::TraceModel model = make_model();
+  write_trace(model, dir.path(), "t");
+
+  // The offline truth, computed exactly as `osn-analyze export --json` and
+  // `--window 0.5:1.5` would.
+  const std::string offline_summary =
+      exporter::summary_json(noise::NoiseAnalysis(model));
+  trace::OsntReader reader(dir.path() + "/t.osnt");
+  const auto t0 = static_cast<TimeNs>(0.5 * static_cast<double>(kNsPerMs));
+  const auto t1 = static_cast<TimeNs>(1.5 * static_cast<double>(kNsPerMs));
+  const trace::TraceModel window_model = reader.read_window(t0, t1);
+  const std::string offline_window =
+      exporter::summary_json(noise::NoiseAnalysis(window_model));
+
+  Server server(options_for(dir.path()));
+  ASSERT_TRUE(server.start());
+
+  constexpr std::size_t kThreads = 6;  // >= 4 concurrent clients, mixed query types
+  std::vector<std::string> payloads(kThreads);
+  std::vector<std::string> errors(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      Client client("127.0.0.1", server.port(), Deadline::after(sec(10)));
+      const Request req = i % 2 == 0 ? summary_request(static_cast<std::uint64_t>(i + 1))
+                                     : window_request(static_cast<std::uint64_t>(i + 1),
+                                                      0.5, 1.5);
+      const Response resp = client.call(req, Deadline::after(sec(60)));
+      if (resp.ok) {
+        payloads[i] = resp.payload;
+      } else {
+        errors[i] = resp.error + ": " + resp.message;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    ASSERT_TRUE(errors[i].empty()) << "client " << i << ": " << errors[i];
+    EXPECT_EQ(payloads[i], i % 2 == 0 ? offline_summary : offline_window)
+        << "client " << i;
+  }
+
+  // Repeat queries must be result-cache hits; a fresh chart op reuses the
+  // decoded model from the model cache.
+  Client client("127.0.0.1", server.port(), Deadline::after(sec(10)));
+  ASSERT_TRUE(client.call(summary_request(100), Deadline::after(sec(60))).ok);
+  Request chart;
+  chart.id = 102;
+  chart.op = Op::kChart;
+  chart.trace = "t";
+  ASSERT_TRUE(client.call(chart, Deadline::after(sec(60))).ok);
+  Request metrics_req;
+  metrics_req.id = 101;
+  metrics_req.op = Op::kMetrics;
+  const Response metrics = client.call(metrics_req, Deadline::after(sec(10)));
+  ASSERT_TRUE(metrics.ok) << metrics.message;
+  const auto doc = parse_json(metrics.payload);
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_NE(doc->find("result_cache"), nullptr);
+  ASSERT_NE(doc->find("model_cache"), nullptr);
+  EXPECT_GT(doc->find("result_cache")->find("hits")->number, 0.0);
+  EXPECT_GT(doc->find("model_cache")->find("hits")->number, 0.0);
+  EXPECT_GT(doc->find("requests")->number, 0.0);
+  EXPECT_GT(doc->find("latency")->find("samples")->number, 0.0);
+
+  server.stop();
+}
+
+TEST(Server, InfoChartAndListRoundTrip) {
+  TempDir dir("server_ops");
+  const trace::TraceModel model = make_model();
+  write_trace(model, dir.path(), "t");
+  Server server(options_for(dir.path()));
+  ASSERT_TRUE(server.start());
+  Client client("127.0.0.1", server.port(), Deadline::after(sec(10)));
+
+  Request list;
+  list.id = 1;
+  list.op = Op::kList;
+  const Response list_resp = client.call(list, Deadline::after(sec(10)));
+  ASSERT_TRUE(list_resp.ok) << list_resp.message;
+  EXPECT_NE(list_resp.payload.find("\"name\": \"t\""), std::string::npos);
+
+  Request info;
+  info.id = 2;
+  info.op = Op::kInfo;
+  info.trace = "t";
+  const Response info_resp = client.call(info, Deadline::after(sec(10)));
+  ASSERT_TRUE(info_resp.ok) << info_resp.message;
+  const auto info_doc = parse_json(info_resp.payload);
+  ASSERT_TRUE(info_doc.has_value());
+  EXPECT_EQ(info_doc->find("version")->number, 3.0);
+  EXPECT_EQ(info_doc->find("n_cpus")->number, 2.0);
+  EXPECT_EQ(static_cast<std::size_t>(info_doc->find("tasks")->array.size()), 3u);
+
+  Request chart;
+  chart.id = 3;
+  chart.op = Op::kChart;
+  chart.trace = "t";
+  chart.quantum_us = 100;
+  const Response chart_resp = client.call(chart, Deadline::after(sec(60)));
+  ASSERT_TRUE(chart_resp.ok) << chart_resp.message;
+  const auto chart_doc = parse_json(chart_resp.payload);
+  ASSERT_TRUE(chart_doc.has_value());
+  EXPECT_EQ(chart_doc->find("task")->string, "rank0");
+  EXPECT_GT(chart_doc->find("quanta")->array.size(), 0u);
+
+  // Error paths over the wire.
+  Request unknown = summary_request(4);
+  unknown.trace = "no_such_trace";
+  EXPECT_EQ(client.call(unknown, Deadline::after(sec(10))).error, errc::kUnknownTrace);
+  EXPECT_EQ(client.call_line("definitely not json", 5, Deadline::after(sec(10))).error,
+            errc::kBadRequest);
+
+  server.stop();
+}
+
+TEST(Server, DeadlineExceededIsReported) {
+  TempDir dir("server_deadline");
+  write_trace(make_model(), dir.path(), "t");
+  Server server(options_for(dir.path()));
+  ASSERT_TRUE(server.start());
+  Client client("127.0.0.1", server.port(), Deadline::after(sec(10)));
+
+  Request req = summary_request(1);
+  req.deadline = 0;  // already expired at the first stage boundary
+  const Response resp = client.call(req, Deadline::after(sec(10)));
+  ASSERT_FALSE(resp.ok);
+  EXPECT_EQ(resp.error, errc::kDeadlineExceeded);
+  EXPECT_GE(server.metrics().deadline_exceeded(), 1u);
+
+  // A ping stalling past its budget also dies by deadline.
+  Request ping;
+  ping.id = 2;
+  ping.op = Op::kPing;
+  ping.stall = sec(5);
+  ping.deadline = 50 * kNsPerMs;
+  const Response ping_resp = client.call(ping, Deadline::after(sec(10)));
+  ASSERT_FALSE(ping_resp.ok);
+  EXPECT_EQ(ping_resp.error, errc::kDeadlineExceeded);
+
+  server.stop();
+}
+
+TEST(Server, ShedsWhenAtCapacity) {
+  TempDir dir("server_shed");
+  write_trace(make_model(), dir.path(), "t");
+  ServerOptions opts = options_for(dir.path());
+  opts.workers = 2;
+  opts.max_inflight = 2;
+  Server server(opts);
+  ASSERT_TRUE(server.start());
+
+  // Two connections stall inside ping, filling both inflight slots.
+  std::vector<std::thread> stallers;
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 2; ++i) {
+    stallers.emplace_back([&, i] {
+      Client client("127.0.0.1", server.port(), Deadline::after(sec(10)));
+      Request ping;
+      ping.id = static_cast<std::uint64_t>(i + 1);
+      ping.op = Op::kPing;
+      ping.stall = sec(3);
+      const Response resp = client.call(ping, Deadline::after(sec(30)));
+      EXPECT_TRUE(resp.ok) << resp.message;
+      completed.fetch_add(1);
+    });
+  }
+  // Wait until both stalling requests are actually executing.
+  const Deadline setup = Deadline::after(sec(20));
+  while (server.metrics().requests() < 2 && !setup.expired())
+    Deadline::after(5 * kNsPerMs).sleep_remaining();
+  ASSERT_GE(server.metrics().requests(), 2u);
+
+  // The third connection must be shed with an explicit overloaded error.
+  Client extra("127.0.0.1", server.port(), Deadline::after(sec(10)));
+  Request ping;
+  ping.id = 9;
+  ping.op = Op::kPing;
+  const Response shed = extra.call(ping, Deadline::after(sec(30)));
+  ASSERT_FALSE(shed.ok);
+  EXPECT_EQ(shed.error, errc::kOverloaded);
+  EXPECT_GE(server.metrics().shed(), 1u);
+
+  for (auto& t : stallers) t.join();
+  EXPECT_EQ(completed.load(), 2);
+  server.stop();
+}
+
+TEST(Server, GracefulDrainFinishesInflightAndTellsIdleClients) {
+  TempDir dir("server_drain");
+  write_trace(make_model(), dir.path(), "t");
+  Server server(options_for(dir.path()));
+  ASSERT_TRUE(server.start());
+
+  // An idle client should be told the server is going away, not just see EOF.
+  TcpStream idle = TcpStream::connect("127.0.0.1", server.port(), Deadline::after(sec(10)));
+  ASSERT_TRUE(idle.ok());
+
+  // An in-flight stalled ping must still complete (the drain flag cuts the
+  // stall short rather than abandoning the request).
+  std::thread inflight([&] {
+    Client client("127.0.0.1", server.port(), Deadline::after(sec(10)));
+    Request ping;
+    ping.id = 1;
+    ping.op = Op::kPing;
+    ping.stall = sec(8);
+    const Response resp = client.call(ping, Deadline::after(sec(30)));
+    EXPECT_TRUE(resp.ok) << resp.error + ": " + resp.message;
+  });
+  const Deadline setup = Deadline::after(sec(20));
+  while (server.metrics().requests() < 1 && !setup.expired())
+    Deadline::after(5 * kNsPerMs).sleep_remaining();
+
+  const TimeNs stop_start = monotonic_now_ns();
+  server.stop();
+  // Drain must not wait out the full 8 s stall.
+  EXPECT_LT(monotonic_now_ns() - stop_start, sec(6));
+  inflight.join();
+
+  const auto line = idle.recv_line(Deadline::after(sec(5)));
+  ASSERT_TRUE(line.has_value());
+  const auto resp = parse_response(*line);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->error, errc::kShuttingDown);
+}
+
+}  // namespace
+}  // namespace osn::serve

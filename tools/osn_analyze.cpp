@@ -42,6 +42,7 @@
 #include "noise/disambiguate.hpp"
 #include "noise/scalability.hpp"
 #include "noise/streaming.hpp"
+#include "serve/client.hpp"
 #include "trace/event_source.hpp"
 #include "trace/osnt_reader.hpp"
 #include "trace/trace_io.hpp"
@@ -116,6 +117,9 @@ int usage() {
       "  osn-analyze lookalikes <trace.osnt> [--task PID] [--tolerance PCT]\n"
       "  osn-analyze export <trace.osnt> (--paraver BASE | --csv FILE |\n"
       "              --json FILE)\n"
+      "  osn-analyze query <list|info|summary|chart|window|metrics|ping> [trace]\n"
+      "              --port N [--host H] [--window A:B] [--task PID]\n"
+      "              [--quantum-us N] [--deadline-ms N] [--stall-ms N]\n"
       "  osn-analyze diff <a.osnt> <b.osnt>\n"
       "  osn-analyze scalability <trace.osnt> [--granularity-us N]\n"
       "              [--ranks N,N,...]\n\n"
@@ -518,6 +522,62 @@ int cmd_export(const Args& args) {
 }
 
 
+int cmd_query(const Args& args) {
+  if (args.positionals().empty()) return usage();
+  const std::string op_str = args.positionals()[0];
+  serve::Request req;
+  req.id = 1;
+  if (op_str == "list") req.op = serve::Op::kList;
+  else if (op_str == "info") req.op = serve::Op::kInfo;
+  else if (op_str == "summary") req.op = serve::Op::kSummary;
+  else if (op_str == "chart") req.op = serve::Op::kChart;
+  else if (op_str == "window") req.op = serve::Op::kWindow;
+  else if (op_str == "metrics") req.op = serve::Op::kMetrics;
+  else if (op_str == "ping") req.op = serve::Op::kPing;
+  else {
+    std::fprintf(stderr, "error: unknown query op '%s'\n", op_str.c_str());
+    return usage();
+  }
+  if (args.positionals().size() > 1) req.trace = args.positionals()[1];
+  if (args.has("window")) {
+    const std::string w = args.get("window");
+    const std::size_t colon = w.find(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "error: --window expects A:B in milliseconds\n");
+      return 2;
+    }
+    req.has_window = true;
+    req.window_from_ms = std::strtod(w.substr(0, colon).c_str(), nullptr);
+    req.window_to_ms = std::strtod(w.substr(colon + 1).c_str(), nullptr);
+  }
+  if (args.has("task")) req.task = static_cast<Pid>(args.get_u64("task", 0));
+  req.quantum_us = args.get_u64("quantum-us", 1000);
+  if (args.has("deadline-ms")) req.deadline = args.get_u64("deadline-ms", 0) * kNsPerMs;
+  req.stall = args.get_u64("stall-ms", 0) * kNsPerMs;
+
+  const std::string host = args.get("host", "127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(args.get_u64("port", 0));
+  if (port == 0) {
+    std::fprintf(stderr, "error: --port is required\n");
+    return 2;
+  }
+  serve::Client client(host, port, Deadline::after(5 * kNsPerSec));
+  if (!client.ok()) {
+    std::fprintf(stderr, "error: cannot connect to %s:%u: %s\n", host.c_str(), port,
+                 client.connect_error().c_str());
+    return 1;
+  }
+  const serve::Response resp = client.call(req, Deadline::after(60 * kNsPerSec));
+  if (!resp.ok) {
+    std::fprintf(stderr, "error: %s: %s\n", resp.error.c_str(), resp.message.c_str());
+    return 1;
+  }
+  // The payload is a complete JSON document — print it verbatim so output is
+  // byte-identical to the offline exporter's files.
+  std::fwrite(resp.payload.data(), 1, resp.payload.size(), stdout);
+  return 0;
+}
+
 int cmd_diff(const Args& args) {
   if (args.positionals().size() < 2) return usage();
   const trace::TraceModel a = trace::read_trace_file(args.positionals()[0]);
@@ -609,6 +669,7 @@ int main(int argc, char** argv) {
     if (cmd == "interruptions") return cmd_interruptions(args);
     if (cmd == "lookalikes") return cmd_lookalikes(args);
     if (cmd == "export") return cmd_export(args);
+    if (cmd == "query") return cmd_query(args);
     if (cmd == "diff") return cmd_diff(args);
     if (cmd == "scalability") return cmd_scalability(args);
   } catch (const trace::TraceReadError& e) {

@@ -1,0 +1,58 @@
+#!/bin/sh
+# Daemon <-> client smoke test, run as part of the default ctest suite.
+#
+# Produces a short trace, starts osn-served on a kernel-assigned port,
+# round-trips list/summary/window/metrics through `osn-analyze query`,
+# checks the served summary is byte-identical to the offline exporter's
+# file, then SIGTERMs the daemon and requires a clean exit.
+#
+# Usage: serve_smoke.sh <osn-analyze> <osn-served> <workdir>
+set -eu
+
+ANALYZE=$1
+SERVED=$2
+WORK=$3
+
+mkdir -p "$WORK/catalog"
+rm -f "$WORK/catalog/ftq.osnt" "$WORK/port" "$WORK/served.json" \
+      "$WORK/served_window.json" "$WORK/offline.json" "$WORK/offline_window.json"
+
+"$ANALYZE" run ftq --seconds 1 --seed 7 -o "$WORK/catalog/ftq.osnt" > /dev/null 2>&1
+
+"$SERVED" --dir "$WORK/catalog" --port 0 --port-file "$WORK/port" --workers 2 &
+SERVED_PID=$!
+trap 'kill "$SERVED_PID" 2>/dev/null || true' EXIT
+
+# The port file doubles as the readiness signal.
+tries=0
+while [ ! -s "$WORK/port" ]; do
+  tries=$((tries + 1))
+  if [ "$tries" -gt 100 ]; then
+    echo "FAIL: daemon never wrote the port file" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+PORT=$(cat "$WORK/port")
+
+"$ANALYZE" query list --port "$PORT" | grep -q '"name": "ftq"' || {
+  echo "FAIL: list does not mention the trace" >&2; exit 1; }
+
+"$ANALYZE" query summary ftq --port "$PORT" > "$WORK/served.json"
+"$ANALYZE" export "$WORK/catalog/ftq.osnt" --json "$WORK/offline.json" > /dev/null
+cmp "$WORK/served.json" "$WORK/offline.json" || {
+  echo "FAIL: served summary differs from offline export" >&2; exit 1; }
+
+"$ANALYZE" query window ftq --window 100:900 --port "$PORT" > "$WORK/served_window.json"
+"$ANALYZE" export "$WORK/catalog/ftq.osnt" --window 100:900 \
+  --json "$WORK/offline_window.json" > /dev/null
+cmp "$WORK/served_window.json" "$WORK/offline_window.json" || {
+  echo "FAIL: served window differs from offline export" >&2; exit 1; }
+
+"$ANALYZE" query metrics --port "$PORT" | grep -q '"requests"' || {
+  echo "FAIL: metrics payload missing counters" >&2; exit 1; }
+
+kill -TERM "$SERVED_PID"
+trap - EXIT
+wait "$SERVED_PID" || { echo "FAIL: daemon did not exit cleanly" >&2; exit 1; }
+echo "serve smoke OK"
