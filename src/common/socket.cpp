@@ -150,7 +150,10 @@ std::optional<std::string> TcpStream::recv_line(Deadline deadline,
     if (revents == 0) continue;  // slice timeout: recheck cancel/deadline
     char chunk[4096];
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-    if (n == 0) return std::nullopt;  // orderly EOF
+    if (n == 0) {  // orderly EOF: close so callers can tell it from a timeout
+      close();
+      return std::nullopt;
+    }
     if (n < 0) {
       if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       close();

@@ -46,10 +46,17 @@ class TcpStream {
   /// Reads up to and including the next '\n', waiting up to the deadline.
   /// Polls in short slices so a set `cancel` flag aborts promptly (graceful
   /// drain). Returns the line without the trailing '\n'; nullopt on EOF,
-  /// error, deadline, cancellation, or a line exceeding `max_len`.
+  /// error, deadline, cancellation, or a line exceeding `max_len`. On EOF,
+  /// error, or an overlong line the stream is closed, so after a nullopt
+  /// `ok()` distinguishes "no line yet" (still open) from "peer gone".
   std::optional<std::string> recv_line(Deadline deadline = Deadline::never(),
                                        const std::atomic<bool>* cancel = nullptr,
                                        std::size_t max_len = 1 << 20);
+
+  /// True when a complete received line is already buffered, i.e. the next
+  /// recv_line returns without touching the socket. Lets a readiness-driven
+  /// caller know poll(2) on the fd would under-report pending work.
+  bool has_buffered_line() const { return buffer_.find('\n') != std::string::npos; }
 
  private:
   int fd_ = -1;
@@ -73,6 +80,7 @@ class TcpListener {
                             int backlog = 64, std::string* error = nullptr);
 
   bool ok() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
   /// The bound port (resolved after listen, so port 0 reports the real one).
   std::uint16_t port() const { return port_; }
   void close();

@@ -305,8 +305,12 @@ bool get_u64_field(const JsonValue& root, const char* key, std::uint64_t& out,
                    std::string& error) {
   const JsonValue* v = root.find(key);
   if (v == nullptr) return true;
-  if (!v->is_number() || v->number < 0 || v->number != std::floor(v->number)) {
-    error = std::string(key) + " must be a non-negative integer";
+  // The upper bound matters: casting a double >= 2^64 to uint64_t is
+  // undefined behaviour, so hostile values like 1e300 must die here.
+  constexpr double kTwoPow64 = 18446744073709551616.0;
+  if (!v->is_number() || v->number < 0 || v->number != std::floor(v->number) ||
+      v->number >= kTwoPow64) {
+    error = std::string(key) + " must be a non-negative integer < 2^64";
     return false;
   }
   out = static_cast<std::uint64_t>(v->number);
@@ -373,15 +377,21 @@ std::optional<Request> parse_request(const std::string& line, std::string& error
   if (had_task) req.task = static_cast<Pid>(task);
 
   if (!get_u64_field(*root, "quantum_us", req.quantum_us, error)) return std::nullopt;
-  if (req.quantum_us == 0) {
-    error = "quantum_us must be positive";
+  // The bound keeps quantum_us * kNsPerUs from wrapping (a wrapped quantum
+  // of 0 would make the chart bucket division a SIGFPE).
+  if (req.quantum_us == 0 || req.quantum_us > kTimeInfinity / kNsPerUs) {
+    error = "quantum_us out of range";
     return std::nullopt;
   }
 
   std::uint64_t deadline_ms = 0;
   const bool had_deadline = root->find("deadline_ms") != nullptr;
   if (!get_u64_field(*root, "deadline_ms", deadline_ms, error)) return std::nullopt;
-  if (had_deadline) req.deadline = deadline_ms * kNsPerMs;
+  // Saturate rather than wrap: a huge requested deadline means "effectively
+  // never", the same convention Deadline::after applies to its addition.
+  if (had_deadline)
+    req.deadline = deadline_ms > kTimeInfinity / kNsPerMs ? kTimeInfinity
+                                                          : deadline_ms * kNsPerMs;
 
   std::uint64_t stall_ms = 0;
   if (!get_u64_field(*root, "stall_ms", stall_ms, error)) return std::nullopt;

@@ -204,6 +204,12 @@ Response run_query(const QueryContext& ctx, const Request& req, Deadline deadlin
         return Response::failure(req.id, errc::kBadRequest,
                                  "pid " + std::to_string(pid) +
                                      " is not an application task");
+      // parse_request bounds quantum_us, but execute_query is also reachable
+      // with an in-process Request; keep the division guarded here so no
+      // caller can wrap the product to 0 and SIGFPE the daemon.
+      if (req.quantum_us == 0 || req.quantum_us > kTimeInfinity / kNsPerUs)
+        return Response::failure(req.id, errc::kBadRequest,
+                                 "quantum_us out of range");
       const noise::NoiseAnalysis analysis(*model);
       const DurNs quantum = req.quantum_us * kNsPerUs;
       const auto n = static_cast<std::size_t>(model->duration() / quantum);

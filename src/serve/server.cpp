@@ -1,12 +1,24 @@
 #include "serve/server.hpp"
 
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 #include <utility>
 
 namespace osn::serve {
 
 namespace {
-/// How long the accept loop waits per poll before rechecking the drain flag.
-constexpr DurNs kAcceptSliceNs = 100 * kNsPerMs;
+/// How long one poll(2) pass waits before rechecking the drain flag.
+constexpr int kPollSliceMs = 100;
+/// Worker-side read budget per dispatch. The poller only hands over readable
+/// connections, so the common case returns immediately; the bound keeps a
+/// client that trickles bytes from pinning a worker between them.
+constexpr DurNs kReadySliceNs = 20 * kNsPerMs;
+/// How long control responses (shed, shutting-down) may take to write.
+constexpr DurNs kControlWriteNs = 100 * kNsPerMs;
 }  // namespace
 
 Server::Server(ServerOptions options)
@@ -27,61 +39,144 @@ bool Server::start(std::string* error) {
   listener_ = TcpListener::listen(options_.host, options_.port,
                                   /*backlog=*/64, error);
   if (!listener_.ok()) return false;
+  if (::pipe(wake_fds_) != 0) {
+    if (error != nullptr) *error = "pipe: " + std::string(std::strerror(errno));
+    listener_.close();
+    return false;
+  }
+  // Non-blocking read end: the event loop drains wake bytes opportunistically.
+  ::fcntl(wake_fds_[0], F_SETFL, O_NONBLOCK);
   pool_ = std::make_unique<ThreadPool>(std::max<std::size_t>(options_.workers, 1));
+  conns_.store(0, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   draining_.store(false, std::memory_order_release);
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  event_thread_ = std::thread([this] { event_loop(); });
   return true;
 }
 
 void Server::stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   draining_.store(true, std::memory_order_release);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  // The pool destructor drains the queue and joins: every connection task
-  // already submitted runs to completion (its recv_line waits abort on the
+  wake();  // pop the event loop out of its poll slice promptly
+  if (event_thread_.joinable()) event_thread_.join();
+  // The pool destructor drains the queue and joins: every request task
+  // already submitted runs to completion (in-request stalls watch the
   // draining flag, so completion is prompt).
   pool_.reset();
+  // Workers may have handed connections back after the event loop exited;
+  // those clients still deserve to hear why the server is going away.
+  {
+    std::lock_guard<std::mutex> lock(returned_mu_);
+    for (TcpStream& conn : returned_) notify_shutdown(conn);
+    returned_.clear();
+  }
   listener_.close();
-}
-
-void Server::accept_loop() {
-  while (!draining_.load(std::memory_order_acquire)) {
-    std::optional<TcpStream> conn = listener_.accept(Deadline::after(kAcceptSliceNs));
-    if (!conn) continue;  // poll timeout or transient error; recheck the flag
-    metrics_.count_connection();
-
-    if (inflight_.load(std::memory_order_acquire) >= options_.max_inflight) {
-      // Shed at the door: an explicit error beats an invisible queue.
-      metrics_.count_shed();
-      TcpStream shed = std::move(*conn);
-      shed.send_all(
-          Response::failure(0, errc::kOverloaded, "server at capacity").to_line() + "\n",
-          Deadline::after(kAcceptSliceNs));
-      continue;
-    }
-
-    inflight_.fetch_add(1, std::memory_order_acq_rel);
-    auto stream = std::make_shared<TcpStream>(std::move(*conn));
-    pool_->submit([this, stream] {
-      handle_connection(std::move(*stream));
-      inflight_.fetch_sub(1, std::memory_order_acq_rel);
-    });
+  for (int& fd : wake_fds_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
   }
 }
 
-void Server::handle_connection(TcpStream stream) {
-  while (true) {
-    std::optional<std::string> line = stream.recv_line(Deadline::never(), &draining_);
-    if (!line) {
-      // EOF, error, or drain cancellation. On drain, tell a still-connected
-      // client why instead of silently closing.
-      if (draining_.load(std::memory_order_acquire)) {
-        stream.send_all(
-            Response::failure(0, errc::kShuttingDown, "server draining").to_line() + "\n",
-            Deadline::after(kAcceptSliceNs));
+void Server::event_loop() {
+  std::vector<TcpStream> idle;  // connections waiting for their next request
+  while (!draining_.load(std::memory_order_acquire)) {
+    // Fold in connections the workers finished a request on.
+    {
+      std::lock_guard<std::mutex> lock(returned_mu_);
+      for (TcpStream& conn : returned_) idle.push_back(std::move(conn));
+      returned_.clear();
+    }
+
+    std::vector<pollfd> fds;
+    fds.reserve(idle.size() + 2);
+    fds.push_back({listener_.fd(), POLLIN, 0});
+    fds.push_back({wake_fds_[0], POLLIN, 0});
+    for (const TcpStream& conn : idle) fds.push_back({conn.fd(), POLLIN, 0});
+    const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), kPollSliceMs);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;  // poll itself failing is unrecoverable; drain handles cleanup
+    }
+    if (rc == 0) continue;  // slice timeout: recheck the drain flag
+
+    if ((fds[1].revents & POLLIN) != 0) {  // drain the self-pipe
+      char buf[64];
+      while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
       }
-      return;
+    }
+
+    // Readable (or hung-up) idle connections go to a worker, which also
+    // handles EOF/error teardown. Walk back-to-front so erasing is cheap.
+    for (std::size_t i = idle.size(); i-- > 0;) {
+      if (fds[i + 2].revents == 0) continue;
+      TcpStream ready = std::move(idle[i]);
+      idle.erase(idle.begin() + static_cast<std::ptrdiff_t>(i));
+      dispatch(std::move(ready));
+    }
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      // The listener is readable, so this accept returns immediately; the
+      // deadline only covers a lost race against a resetting client.
+      std::optional<TcpStream> conn = listener_.accept(Deadline::after(kNsPerMs));
+      if (conn) admit(std::move(*conn), idle);
+    }
+  }
+  // Drain: a still-connected idle client learns why instead of seeing EOF.
+  for (TcpStream& conn : idle) notify_shutdown(conn);
+}
+
+void Server::admit(TcpStream conn, std::vector<TcpStream>& idle) {
+  metrics_.count_connection();
+  if (conns_.load(std::memory_order_acquire) >= options_.max_inflight) {
+    // Shed at the door: an explicit error beats an invisible queue.
+    metrics_.count_shed();
+    conn.send_all(
+        Response::failure(0, errc::kOverloaded, "server at capacity").to_line() + "\n",
+        Deadline::after(kControlWriteNs));
+    return;
+  }
+  conns_.fetch_add(1, std::memory_order_acq_rel);
+  idle.push_back(std::move(conn));  // dispatched once its first request arrives
+}
+
+void Server::dispatch(TcpStream conn) {
+  auto stream = std::make_shared<TcpStream>(std::move(conn));
+  // The guard settles the connection on every exit path — including a worker
+  // throwing (say, bad_alloc mid-response): the slot is released and the
+  // stream closed by ~TcpStream instead of leaking an admission slot.
+  struct Settle {
+    Server* self;
+    std::shared_ptr<TcpStream> stream;
+    bool keep = false;
+    ~Settle() {
+      if (keep)
+        self->return_connection(std::move(*stream));
+      else
+        self->conns_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  };
+  try {
+    pool_->submit([this, stream] {
+      Settle settle{this, stream};
+      settle.keep = serve_ready(*stream);
+    });
+  } catch (...) {
+    // Couldn't even enqueue: drop the connection and free its slot.
+    conns_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+bool Server::serve_ready(TcpStream& stream) {
+  for (;;) {
+    std::optional<std::string> line =
+        stream.recv_line(Deadline::after(kReadySliceNs), &draining_);
+    if (!line) {
+      if (!stream.ok()) return false;  // EOF or transport error: recv_line closed it
+      if (draining_.load(std::memory_order_acquire)) {
+        notify_shutdown(stream);
+        return false;
+      }
+      return true;  // no complete line yet: back to the poller
     }
     if (line->empty()) continue;
 
@@ -106,8 +201,31 @@ void Server::handle_connection(TcpStream stream) {
       resp = execute_query(ctx_, *req, deadline);
     }
     metrics_.observe_latency(sat_sub(monotonic_now_ns(), t_start));
-    if (!stream.send_all(resp.to_line() + "\n", Deadline::after(30 * kNsPerSec))) return;
+    if (!stream.send_all(resp.to_line() + "\n", Deadline::after(30 * kNsPerSec)))
+      return false;
+    // A pipelined follow-up already in the buffer is served now — poll(2)
+    // cannot see buffered bytes, only socket ones.
+    if (!stream.has_buffered_line()) return true;
   }
+}
+
+void Server::return_connection(TcpStream conn) {
+  {
+    std::lock_guard<std::mutex> lock(returned_mu_);
+    returned_.push_back(std::move(conn));
+  }
+  wake();
+}
+
+void Server::notify_shutdown(TcpStream& stream) {
+  stream.send_all(
+      Response::failure(0, errc::kShuttingDown, "server draining").to_line() + "\n",
+      Deadline::after(kControlWriteNs));
+}
+
+void Server::wake() {
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
 }
 
 }  // namespace osn::serve

@@ -1,27 +1,37 @@
 // osn-served: the trace-query daemon.
 //
-// Threading model: one accept thread + a common::ThreadPool of workers. A
-// connection is handled wholly inside one pool task — requests on a
-// connection are sequential (the protocol is strictly request/response),
-// concurrency comes from concurrent connections. Admission control happens
-// at accept: when `max_inflight` connections are already being served, the
-// server does not queue the newcomer behind an invisible backlog — it sends
-// an explicit `overloaded` response and closes, so clients can back off or
-// retry elsewhere. That bounded-queue-with-shedding is the same discipline
-// the tracebuf layer applies to lossy ring buffers: under overload, fail
-// visibly and cheaply instead of degrading everyone invisibly.
+// Threading model: readiness-driven. One event-loop thread owns the
+// listening socket and every *idle* connection, multiplexing them through a
+// single poll(2); a common::ThreadPool of workers executes requests. When an
+// idle connection turns readable the event loop hands it to a pool task,
+// which serves every complete request line buffered on it and then returns
+// the connection to the poller (or closes it on EOF/error). Requests on a
+// connection stay sequential — the protocol is strictly request/response —
+// and concurrency comes from concurrent connections, but an idle connection
+// never pins a worker: a thousand quiet clients cost one poll entry each,
+// and workers are always free for whoever actually sends a request.
 //
-// Shutdown is a graceful drain: stop() flips the draining flag (which both
-// wakes the accept loop and cancels idle recv_line waits), waits for
-// in-flight requests to finish, then joins. In-flight work completes;
-// blocked reads abort promptly.
+// Admission control happens at accept: when `max_inflight` connections are
+// already open, the server does not queue the newcomer behind an invisible
+// backlog — it sends an explicit `overloaded` response and closes, so
+// clients can back off or retry elsewhere. That bounded-queue-with-shedding
+// is the same discipline the tracebuf layer applies to lossy ring buffers:
+// under overload, fail visibly and cheaply instead of degrading everyone
+// invisibly.
+//
+// Shutdown is a graceful drain: stop() flips the draining flag (which wakes
+// the event loop via a self-pipe and cuts short in-request stalls), tells
+// idle clients `shutting_down`, waits for in-flight requests to finish,
+// then joins.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/clock.hpp"
 #include "common/socket.hpp"
@@ -37,7 +47,10 @@ struct ServerOptions {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;         ///< 0 = kernel-assigned (see Server::port())
   std::size_t workers = 4;
-  std::size_t max_inflight = 32;  ///< connections served concurrently before shedding
+  /// Open connections (idle ones included) admitted before shedding. Also
+  /// bounds the pool's request backlog: a connection carries at most one
+  /// in-flight request.
+  std::size_t max_inflight = 32;
   std::uint64_t result_cache_bytes = 64ull << 20;
   std::uint64_t model_cache_bytes = 256ull << 20;
   /// Per-request budget when the request carries no deadline_ms (0 = none).
@@ -68,8 +81,19 @@ class Server {
   const ServerOptions& options() const { return options_; }
 
  private:
-  void accept_loop();
-  void handle_connection(TcpStream stream);
+  void event_loop();
+  /// Admits or sheds a freshly accepted connection (event-loop thread).
+  void admit(TcpStream conn, std::vector<TcpStream>& idle);
+  /// Hands a readable connection to a pool worker.
+  void dispatch(TcpStream conn);
+  /// Serves every complete request line on a readable connection. True when
+  /// the connection should return to the poller, false when it is finished.
+  bool serve_ready(TcpStream& stream);
+  /// Worker → event loop: the connection is idle again.
+  void return_connection(TcpStream conn);
+  /// One `shutting_down` response so a draining server never just vanishes.
+  void notify_shutdown(TcpStream& stream);
+  void wake();
 
   ServerOptions options_;
   std::unique_ptr<TraceCatalog> catalog_;
@@ -80,10 +104,16 @@ class Server {
 
   TcpListener listener_;
   std::unique_ptr<ThreadPool> pool_;
-  std::thread accept_thread_;
+  std::thread event_thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};
-  std::atomic<std::size_t> inflight_{0};
+  std::atomic<std::size_t> conns_{0};  ///< open connections (admission control)
+
+  /// Self-pipe: workers write a byte to pop the event loop out of poll(2)
+  /// when they return a connection or stop() flips the drain flag.
+  int wake_fds_[2] = {-1, -1};
+  std::mutex returned_mu_;
+  std::vector<TcpStream> returned_;  ///< connections handed back by workers
 };
 
 }  // namespace osn::serve

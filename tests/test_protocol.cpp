@@ -119,6 +119,40 @@ TEST(RequestParse, Validation) {
       parse_request(R"({"op":"chart","trace":"t","quantum_us":0})", error).has_value());
 }
 
+TEST(RequestParse, HostileNumericBoundsRejected) {
+  std::string error;
+  // Casting a double >= 2^64 to uint64_t is UB; such values must not reach
+  // the cast. 1e300 is an exact non-negative integer as a double.
+  EXPECT_FALSE(parse_request(R"({"op":"ping","id":1e300})", error).has_value());
+  EXPECT_FALSE(parse_request(R"({"op":"ping","id":18446744073709551616})", error)
+                   .has_value());
+  // 2^61 is exactly representable and passes the integer check, but
+  // quantum_us * 1000 would wrap to 0 and the chart bucket division would
+  // SIGFPE the daemon. Must be rejected at parse time.
+  EXPECT_FALSE(
+      parse_request(R"({"op":"chart","trace":"t","quantum_us":2305843009213693952})",
+                    error)
+          .has_value());
+  // A large but representable value stays in range for the field itself
+  // (id has no semantic bound; 2^53 - 1 is the largest exact odd integer).
+  EXPECT_TRUE(parse_request(R"({"op":"ping","id":9007199254740991})", error)
+                  .has_value())
+      << error;
+  EXPECT_EQ(parse_request(R"({"op":"ping","id":9007199254740991})", error)->id,
+            9007199254740991ull);
+}
+
+TEST(RequestParse, HugeDeadlineSaturatesInsteadOfWrapping) {
+  std::string error;
+  // deadline_ms * 1e6 would wrap for large values, spuriously turning a huge
+  // requested budget into a tiny one; it must saturate to "never" instead.
+  const auto req = parse_request(R"({"op":"ping","deadline_ms":1000000000000000})",
+                                 error);
+  ASSERT_TRUE(req.has_value()) << error;
+  ASSERT_TRUE(req->deadline.has_value());
+  EXPECT_EQ(*req->deadline, kTimeInfinity);
+}
+
 TEST(RequestParse, StallIsCapped) {
   std::string error;
   const auto req = parse_request(R"({"op":"ping","stall_ms":999999})", error);

@@ -163,6 +163,79 @@ TEST(Server, InfoChartAndListRoundTrip) {
   EXPECT_EQ(client.call(unknown, Deadline::after(sec(10))).error, errc::kUnknownTrace);
   EXPECT_EQ(client.call_line("definitely not json", 5, Deadline::after(sec(10))).error,
             errc::kBadRequest);
+  // Hostile numerics: 2^61 microseconds would wrap the ns conversion to 0
+  // and divide the daemon by zero; it must come back as a clean error.
+  EXPECT_EQ(client
+                .call_line(
+                    R"({"id":6,"op":"chart","trace":"t","quantum_us":2305843009213693952})",
+                    6, Deadline::after(sec(10)))
+                .error,
+            errc::kBadRequest);
+
+  server.stop();
+}
+
+TEST(Server, IdleConnectionsDoNotPinWorkers) {
+  TempDir dir("server_idle");
+  write_trace(make_model(), dir.path(), "t");
+  ServerOptions opts = options_for(dir.path());
+  opts.workers = 2;
+  opts.max_inflight = 16;
+  Server server(opts);
+  ASSERT_TRUE(server.start());
+
+  // More idle connections than workers. Under a connection-pins-worker model
+  // these would absorb every worker and later clients would hang unserved.
+  std::vector<TcpStream> idlers;
+  for (int i = 0; i < 6; ++i) {
+    TcpStream s =
+        TcpStream::connect("127.0.0.1", server.port(), Deadline::after(sec(10)));
+    ASSERT_TRUE(s.ok());
+    idlers.push_back(std::move(s));
+  }
+
+  Client client("127.0.0.1", server.port(), Deadline::after(sec(10)));
+  const Response resp = client.call(summary_request(1), Deadline::after(sec(10)));
+  EXPECT_TRUE(resp.ok) << resp.error + ": " + resp.message;
+
+  // The idle connections are still live, not shed or starved themselves.
+  Request ping;
+  ping.id = 2;
+  ping.op = Op::kPing;
+  ASSERT_TRUE(idlers[0].send_all(ping.to_line() + "\n", Deadline::after(sec(10))));
+  const auto line = idlers[0].recv_line(Deadline::after(sec(10)));
+  ASSERT_TRUE(line.has_value());
+  const auto pong = parse_response(*line);
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_TRUE(pong->ok) << pong->error + ": " + pong->message;
+
+  server.stop();
+}
+
+TEST(Server, PipelinedRequestsAreServedInOrder) {
+  TempDir dir("server_pipeline");
+  write_trace(make_model(), dir.path(), "t");
+  Server server(options_for(dir.path()));
+  ASSERT_TRUE(server.start());
+
+  // Two requests in one write: the second arrives buffered behind the first,
+  // where poll(2) cannot see it — the server must drain it anyway.
+  TcpStream s = TcpStream::connect("127.0.0.1", server.port(), Deadline::after(sec(10)));
+  ASSERT_TRUE(s.ok());
+  Request first;
+  first.id = 1;
+  first.op = Op::kPing;
+  Request second = summary_request(2);
+  ASSERT_TRUE(s.send_all(first.to_line() + "\n" + second.to_line() + "\n",
+                         Deadline::after(sec(10))));
+  for (std::uint64_t expect_id = 1; expect_id <= 2; ++expect_id) {
+    const auto line = s.recv_line(Deadline::after(sec(30)));
+    ASSERT_TRUE(line.has_value()) << "response " << expect_id;
+    const auto resp = parse_response(*line);
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_TRUE(resp->ok) << resp->error + ": " + resp->message;
+    EXPECT_EQ(resp->id, expect_id);
+  }
 
   server.stop();
 }
