@@ -1,6 +1,21 @@
 #include "common/crc32.hpp"
 
 #include <array>
+#include <bit>
+#include <cstring>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#define OSN_CRC32_CLMUL 1
+#endif
+#if defined(__aarch64__) && defined(__GNUC__)
+#include <arm_acle.h>
+#include <sys/auxv.h>
+#ifndef HWCAP_CRC32
+#define HWCAP_CRC32 (1 << 7)
+#endif
+#define OSN_CRC32_ARMV8 1
+#endif
 
 namespace osn {
 
@@ -8,26 +23,232 @@ namespace {
 
 constexpr std::uint32_t kPoly = 0xedb88320u;  // reflected IEEE 802.3
 
-constexpr std::array<std::uint32_t, 256> make_table() {
-  std::array<std::uint32_t, 256> table{};
+// Slicing tables: kTables[0] is the classic one-byte table; kTables[k][i]
+// advances a state whose low byte is i by k+1 zero bytes, so eight lookups
+// consume eight input bytes per step.
+constexpr std::array<std::array<std::uint32_t, 256>, 8> make_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int bit = 0; bit < 8; ++bit) c = (c & 1u) != 0 ? kPoly ^ (c >> 1) : c >> 1;
-    table[i] = c;
+    t[0][i] = c;
   }
-  return table;
+  for (std::size_t k = 1; k < 8; ++k)
+    for (std::uint32_t i = 0; i < 256; ++i)
+      t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xffu];
+  return t;
 }
 
-constexpr std::array<std::uint32_t, 256> kTable = make_table();
+constexpr std::array<std::array<std::uint32_t, 256>, 8> kTables = make_tables();
+
+// "Raw" helpers operate on the internal (pre/post inversion) CRC state; the
+// public functions wrap them with the ~crc conditioning so incremental
+// updates chain correctly.
+
+std::uint32_t bytewise_raw(std::uint32_t s, const std::uint8_t* p, std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i)
+    s = kTables[0][(s ^ p[i]) & 0xffu] ^ (s >> 8);
+  return s;
+}
+
+std::uint32_t slice8_raw(std::uint32_t s, const std::uint8_t* p, std::size_t len) {
+  if constexpr (std::endian::native == std::endian::little) {
+    while (len >= 8) {
+      std::uint32_t lo, hi;
+      std::memcpy(&lo, p, 4);
+      std::memcpy(&hi, p + 4, 4);
+      lo ^= s;
+      s = kTables[7][lo & 0xffu] ^ kTables[6][(lo >> 8) & 0xffu] ^
+          kTables[5][(lo >> 16) & 0xffu] ^ kTables[4][lo >> 24] ^
+          kTables[3][hi & 0xffu] ^ kTables[2][(hi >> 8) & 0xffu] ^
+          kTables[1][(hi >> 16) & 0xffu] ^ kTables[0][hi >> 24];
+      p += 8;
+      len -= 8;
+    }
+  }
+  return bytewise_raw(s, p, len);
+}
+
+#ifdef OSN_CRC32_CLMUL
+
+// PCLMULQDQ folding for the reflected IEEE polynomial, after Gopal et al.,
+// "Fast CRC Computation for Generic Polynomials Using PCLMULQDQ" (the same
+// constants and schedule zlib ships). Requires len >= 64 and len % 16 == 0;
+// the dispatcher routes head/tail bytes through slice8.
+__attribute__((target("pclmul,sse4.1"))) std::uint32_t clmul_raw_blocks(
+    std::uint32_t s, const std::uint8_t* buf, std::size_t len) {
+  alignas(16) static const std::uint64_t k1k2[2] = {0x0154442bd4, 0x01c6e41596};
+  alignas(16) static const std::uint64_t k3k4[2] = {0x01751997d0, 0x00ccaa009e};
+  alignas(16) static const std::uint64_t k5k0[2] = {0x0163cd6124, 0x0000000000};
+  alignas(16) static const std::uint64_t poly[2] = {0x01db710641, 0x01f7011641};
+  __m128i x0, x1, x2, x3, x4, x5, x6, x7, x8, y5, y6, y7, y8;
+
+  x1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x00));
+  x2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x10));
+  x3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x20));
+  x4 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x30));
+  x1 = _mm_xor_si128(x1, _mm_cvtsi32_si128(static_cast<int>(s)));
+  x0 = _mm_load_si128(reinterpret_cast<const __m128i*>(k1k2));
+  buf += 64;
+  len -= 64;
+
+  while (len >= 64) {  // fold 4 x 128 bits in parallel
+    x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+    x6 = _mm_clmulepi64_si128(x2, x0, 0x00);
+    x7 = _mm_clmulepi64_si128(x3, x0, 0x00);
+    x8 = _mm_clmulepi64_si128(x4, x0, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+    x2 = _mm_clmulepi64_si128(x2, x0, 0x11);
+    x3 = _mm_clmulepi64_si128(x3, x0, 0x11);
+    x4 = _mm_clmulepi64_si128(x4, x0, 0x11);
+    y5 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x00));
+    y6 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x10));
+    y7 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x20));
+    y8 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x30));
+    x1 = _mm_xor_si128(_mm_xor_si128(x1, x5), y5);
+    x2 = _mm_xor_si128(_mm_xor_si128(x2, x6), y6);
+    x3 = _mm_xor_si128(_mm_xor_si128(x3, x7), y7);
+    x4 = _mm_xor_si128(_mm_xor_si128(x4, x8), y8);
+    buf += 64;
+    len -= 64;
+  }
+
+  x0 = _mm_load_si128(reinterpret_cast<const __m128i*>(k3k4));  // fold to 128 bits
+  x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, x2), x5);
+  x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, x3), x5);
+  x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, x4), x5);
+
+  while (len >= 16) {  // single folds of the remaining 16-byte blocks
+    x2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf));
+    x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+    x1 = _mm_xor_si128(_mm_xor_si128(x1, x2), x5);
+    buf += 16;
+    len -= 16;
+  }
+
+  // 128 -> 64 bits, then Barrett reduction to 32.
+  x2 = _mm_clmulepi64_si128(x1, x0, 0x10);
+  x3 = _mm_setr_epi32(~0, 0, ~0, 0);
+  x1 = _mm_srli_si128(x1, 8);
+  x1 = _mm_xor_si128(x1, x2);
+  x0 = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(k5k0));
+  x2 = _mm_srli_si128(x1, 4);
+  x1 = _mm_and_si128(x1, x3);
+  x1 = _mm_clmulepi64_si128(x1, x0, 0x00);
+  x1 = _mm_xor_si128(x1, x2);
+  x0 = _mm_load_si128(reinterpret_cast<const __m128i*>(poly));
+  x2 = _mm_and_si128(x1, x3);
+  x2 = _mm_clmulepi64_si128(x2, x0, 0x10);
+  x2 = _mm_and_si128(x2, x3);
+  x2 = _mm_clmulepi64_si128(x2, x0, 0x00);
+  x1 = _mm_xor_si128(x1, x2);
+  return static_cast<std::uint32_t>(_mm_extract_epi32(x1, 1));
+}
+
+std::uint32_t clmul_raw(std::uint32_t s, const std::uint8_t* p, std::size_t len) {
+  if (len >= 64) {
+    const std::size_t blocks = len & ~static_cast<std::size_t>(15);
+    s = clmul_raw_blocks(s, p, blocks);
+    p += blocks;
+    len -= blocks;
+  }
+  return slice8_raw(s, p, len);
+}
+
+bool clmul_supported() {
+  return __builtin_cpu_supports("pclmul") && __builtin_cpu_supports("sse4.1");
+}
+
+#endif  // OSN_CRC32_CLMUL
+
+#ifdef OSN_CRC32_ARMV8
+
+__attribute__((target("+crc"))) std::uint32_t armv8_raw(std::uint32_t s,
+                                                        const std::uint8_t* p,
+                                                        std::size_t len) {
+  while (len >= 8) {
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    s = __crc32d(s, v);
+    p += 8;
+    len -= 8;
+  }
+  while (len > 0) {
+    s = __crc32b(s, *p++);
+    --len;
+  }
+  return s;
+}
+
+bool armv8_supported() { return (getauxval(AT_HWCAP) & HWCAP_CRC32) != 0; }
+
+#endif  // OSN_CRC32_ARMV8
+
+using RawFn = std::uint32_t (*)(std::uint32_t, const std::uint8_t*, std::size_t);
+
+struct Dispatch {
+  RawFn fn;
+  const char* name;
+};
+
+Dispatch pick_impl() {
+#ifdef OSN_CRC32_CLMUL
+  if (clmul_supported()) return {&clmul_raw, "clmul"};
+#endif
+#ifdef OSN_CRC32_ARMV8
+  if (armv8_supported()) return {&armv8_raw, "armv8"};
+#endif
+  return {&slice8_raw, "slice8"};
+}
+
+const Dispatch& impl() {
+  static const Dispatch d = pick_impl();
+  return d;
+}
 
 }  // namespace
 
-std::uint32_t crc32_update(std::uint32_t crc, const void* data, std::size_t len) {
-  const auto* bytes = static_cast<const std::uint8_t*>(data);
-  crc = ~crc;
-  for (std::size_t i = 0; i < len; ++i)
-    crc = kTable[(crc ^ bytes[i]) & 0xffu] ^ (crc >> 8);
-  return ~crc;
+std::uint32_t crc32_update_bytewise(std::uint32_t crc, const void* data, std::size_t len) {
+  return ~bytewise_raw(~crc, static_cast<const std::uint8_t*>(data), len);
 }
+
+std::uint32_t crc32_update_slice8(std::uint32_t crc, const void* data, std::size_t len) {
+  return ~slice8_raw(~crc, static_cast<const std::uint8_t*>(data), len);
+}
+
+bool crc32_hardware_available() {
+#ifdef OSN_CRC32_CLMUL
+  if (clmul_supported()) return true;
+#endif
+#ifdef OSN_CRC32_ARMV8
+  if (armv8_supported()) return true;
+#endif
+  return false;
+}
+
+std::uint32_t crc32_update_hardware(std::uint32_t crc, const void* data, std::size_t len) {
+#ifdef OSN_CRC32_CLMUL
+  if (clmul_supported())
+    return ~clmul_raw(~crc, static_cast<const std::uint8_t*>(data), len);
+#endif
+#ifdef OSN_CRC32_ARMV8
+  if (armv8_supported())
+    return ~armv8_raw(~crc, static_cast<const std::uint8_t*>(data), len);
+#endif
+  return crc32_update_slice8(crc, data, len);
+}
+
+std::uint32_t crc32_update(std::uint32_t crc, const void* data, std::size_t len) {
+  return ~impl().fn(~crc, static_cast<const std::uint8_t*>(data), len);
+}
+
+const char* crc32_impl_name() { return impl().name; }
 
 }  // namespace osn

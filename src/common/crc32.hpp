@@ -3,8 +3,21 @@
 //
 // The v3 reader verifies every chunk before decoding it, so bit rot in
 // long-term trace storage is detected at the chunk granularity instead of
-// surfacing as a garbled table three analyses later. A byte-at-a-time table
-// implementation is plenty: checksumming is a fraction of varint decode cost.
+// surfacing as a garbled table three analyses later. Checksumming sits on the
+// decode hot path, so three implementations coexist:
+//  * bytewise  — the classic one-table loop. Kept as the reference oracle:
+//    the equivalence tests check the fast paths against it on random inputs.
+//  * slice8    — slicing-by-8 (eight 256-entry tables, 8 bytes per step);
+//    the portable fast path, ~5x the bytewise loop.
+//  * clmul     — x86-64 carry-less-multiply folding (PCLMULQDQ), selected at
+//    runtime via cpuid. Note the SSE4.2 crc32 *instruction* is useless here:
+//    it hardwires the Castagnoli polynomial (CRC-32C), not IEEE 802.3, so the
+//    hardware path folds with PCLMULQDQ instead. On AArch64 the CRC32
+//    extension does implement the IEEE polynomial and is used directly.
+//
+// crc32_update() dispatches to the best implementation for the host once, on
+// first use; crc32_impl_name() reports which one won (benchmarks, osn-analyze
+// info).
 #pragma once
 
 #include <cstddef>
@@ -12,9 +25,30 @@
 
 namespace osn {
 
-/// Incrementally updates a CRC-32 over `len` bytes. Start with `crc = 0`;
-/// feed consecutive spans to checksum a discontiguous buffer.
+/// Reference implementation (one table, one byte per step). The oracle the
+/// fast paths are tested against; also the fallback for exotic hosts.
+std::uint32_t crc32_update_bytewise(std::uint32_t crc, const void* data, std::size_t len);
+
+/// Slicing-by-8: portable fast path.
+std::uint32_t crc32_update_slice8(std::uint32_t crc, const void* data, std::size_t len);
+
+/// True when a hardware-accelerated path (PCLMULQDQ folding on x86-64, the
+/// CRC32 extension on AArch64) is compiled in and the CPU supports it.
+bool crc32_hardware_available();
+
+/// Hardware path. Callers must check crc32_hardware_available() first; on
+/// hosts without support this falls back to slice8 (it never faults).
+std::uint32_t crc32_update_hardware(std::uint32_t crc, const void* data, std::size_t len);
+
+/// Incrementally updates a CRC-32 over `len` bytes with the best available
+/// implementation. Start with `crc = 0`; feed consecutive spans to checksum a
+/// discontiguous buffer. All implementations are split-invariant:
+/// update(update(0, a), b) == update(0, a+b).
 std::uint32_t crc32_update(std::uint32_t crc, const void* data, std::size_t len);
+
+/// Name of the implementation crc32_update() dispatches to on this host:
+/// "clmul", "armv8", or "slice8".
+const char* crc32_impl_name();
 
 /// One-shot CRC-32 of a buffer.
 inline std::uint32_t crc32(const void* data, std::size_t len) {

@@ -1,0 +1,37 @@
+#include "common/mapped_file.hpp"
+
+#include <sys/mman.h>
+
+#include <utility>
+
+namespace osn {
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr)
+    ::munmap(const_cast<std::uint8_t*>(data_), static_cast<std::size_t>(size_));
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)), size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr)
+      ::munmap(const_cast<std::uint8_t*>(data_), static_cast<std::size_t>(size_));
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+MappedFile MappedFile::map(int fd, std::uint64_t size) {
+  MappedFile out;
+  if (size == 0 || size > SIZE_MAX) return out;
+  void* p = ::mmap(nullptr, static_cast<std::size_t>(size), PROT_READ, MAP_PRIVATE, fd, 0);
+  if (p == MAP_FAILED) return out;
+  out.data_ = static_cast<const std::uint8_t*>(p);
+  out.size_ = size;
+  return out;
+}
+
+}  // namespace osn

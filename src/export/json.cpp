@@ -98,22 +98,42 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-std::string summary_json(const noise::NoiseAnalysis& analysis) {
+SummaryData summary_data(const noise::NoiseAnalysis& analysis) {
   const trace::TraceModel& model = analysis.model();
+  SummaryData data;
+  data.workload = model.meta().workload;
+  data.duration_ns = model.duration();
+  data.cpus = model.cpu_count();
+  data.tick_period_ns = model.meta().tick_period_ns;
+  data.events = model.total_events();
+  data.noise_intervals = analysis.noise_intervals().size();
+  for (std::size_t k = 0; k < data.activities.size(); ++k)
+    data.activities[k] = analysis.activity_stats(static_cast<noise::ActivityKind>(k));
+  for (const Pid pid : model.app_pids()) {
+    SummaryData::Rank rank;
+    rank.pid = pid;
+    rank.name = model.task_name(pid);
+    rank.total_noise_ns = analysis.total_noise(pid);
+    rank.by_category = analysis.category_breakdown(pid);
+    data.ranks.push_back(std::move(rank));
+  }
+  return data;
+}
+
+std::string render_summary(const SummaryData& data) {
   std::string out = "{\n";
-  out += "  \"workload\": \"" + json_escape(model.meta().workload) + "\",\n";
-  out += "  \"duration_ns\": " + std::to_string(model.duration()) + ",\n";
-  out += "  \"cpus\": " + std::to_string(model.cpu_count()) + ",\n";
-  out += "  \"tick_period_ns\": " + std::to_string(model.meta().tick_period_ns) + ",\n";
-  out += "  \"events\": " + std::to_string(model.total_events()) + ",\n";
-  out += "  \"noise_intervals\": " + std::to_string(analysis.noise_intervals().size()) +
-         ",\n";
+  out += "  \"workload\": \"" + json_escape(data.workload) + "\",\n";
+  out += "  \"duration_ns\": " + std::to_string(data.duration_ns) + ",\n";
+  out += "  \"cpus\": " + std::to_string(data.cpus) + ",\n";
+  out += "  \"tick_period_ns\": " + std::to_string(data.tick_period_ns) + ",\n";
+  out += "  \"events\": " + std::to_string(data.events) + ",\n";
+  out += "  \"noise_intervals\": " + std::to_string(data.noise_intervals) + ",\n";
 
   out += "  \"activities\": {\n";
   bool first = true;
-  for (int k = 0; k < static_cast<int>(noise::ActivityKind::kMaxKind); ++k) {
+  for (std::size_t k = 0; k < data.activities.size(); ++k) {
     const auto kind = static_cast<noise::ActivityKind>(k);
-    const noise::EventStats s = analysis.activity_stats(kind);
+    const noise::EventStats& s = data.activities[k];
     if (s.count == 0) continue;
     if (!first) out += ",\n";
     first = false;
@@ -128,15 +148,13 @@ std::string summary_json(const noise::NoiseAnalysis& analysis) {
   out += "\n  },\n";
 
   out += "  \"ranks\": [\n";
-  const auto apps = model.app_pids();
-  for (std::size_t i = 0; i < apps.size(); ++i) {
-    const Pid pid = apps[i];
-    const auto bd = analysis.category_breakdown(pid);
-    out += "    {\"pid\": " + std::to_string(pid) + ", \"name\": \"" +
-           json_escape(model.task_name(pid)) + "\", \"total_noise_ns\": " +
-           std::to_string(analysis.total_noise(pid)) + ", \"by_category\": {";
+  for (std::size_t i = 0; i < data.ranks.size(); ++i) {
+    const SummaryData::Rank& rank = data.ranks[i];
+    out += "    {\"pid\": " + std::to_string(rank.pid) + ", \"name\": \"" +
+           json_escape(rank.name) + "\", \"total_noise_ns\": " +
+           std::to_string(rank.total_noise_ns) + ", \"by_category\": {";
     bool first_cat = true;
-    for (std::size_t c = 0; c < bd.size(); ++c) {
+    for (std::size_t c = 0; c < rank.by_category.size(); ++c) {
       const auto cat = static_cast<noise::NoiseCategory>(c);
       if (cat == noise::NoiseCategory::kRequestedService ||
           cat == noise::NoiseCategory::kMaxCategory)
@@ -148,13 +166,17 @@ std::string summary_json(const noise::NoiseAnalysis& analysis) {
       out += '"';
       out += noise::category_name(cat);
       out += "\": ";
-      out += std::to_string(bd[c]);
+      out += std::to_string(rank.by_category[c]);
     }
     out += "}}";
-    out += i + 1 < apps.size() ? ",\n" : "\n";
+    out += i + 1 < data.ranks.size() ? ",\n" : "\n";
   }
   out += "  ]\n}\n";
   return out;
+}
+
+std::string summary_json(const noise::NoiseAnalysis& analysis) {
+  return render_summary(summary_data(analysis));
 }
 
 std::string chart_json(const noise::SyntheticChart& chart, const std::string& task) {

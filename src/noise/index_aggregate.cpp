@@ -1,0 +1,149 @@
+#include "noise/index_aggregate.hpp"
+
+#include "trace/schema.hpp"
+
+namespace osn::noise {
+
+using trace::EventType;
+
+void IndexAggregator::on_record(const tracebuf::EventRecord& rec) {
+  if (dirty_) return;
+  ++cpu_events_[rec.cpu];
+
+  const auto type = static_cast<EventType>(rec.event);
+  if (trace::is_entry(type)) {
+    const auto kind = try_activity_of(type, rec.arg);
+    if (!kind) {
+      dirty_ = true;
+      return;
+    }
+    if (rec.cpu >= stacks_.size()) stacks_.resize(rec.cpu + std::size_t{1});
+    Frame frame;
+    frame.kind = *kind;
+    frame.task = rec.pid;
+    frame.start = rec.timestamp;
+    frame.in_comm_at_entry = states_[rec.pid].in_comm;
+    stacks_[rec.cpu].push_back(frame);
+  } else if (trace::is_exit(type)) {
+    close_kernel(rec.cpu, rec);
+  } else if (type == EventType::kSchedSwitch) {
+    const trace::SwitchArg sw = trace::unpack_switch(rec.arg);
+    // The analyzer only derives preemption for application tasks, but the
+    // task table is unknown until finish() — track every task and let the
+    // reader sum the application subset (the machines are per-task
+    // independent, so the extra state cannot perturb application results).
+    if (sw.prev != kIdlePid && sw.prev_runnable) {
+      TaskState& st = states_[sw.prev];
+      if (st.preempted) {
+        dirty_ = true;  // nested preemption: the analyzer would abort here
+        return;
+      }
+      st.preempted = true;
+      st.pre_start = rec.timestamp;
+      st.pre_in_comm = st.in_comm;
+    }
+    if (sw.next != kIdlePid) {
+      TaskState& st = states_[sw.next];
+      if (st.preempted) close_preemption(sw.next, st, rec.timestamp);
+    }
+  } else if (type == EventType::kAppMark) {
+    const auto mark = static_cast<trace::AppMark>(rec.arg);
+    TaskState& st = states_[rec.pid];
+    if (mark == trace::AppMark::kBarrierEnter) {
+      // build_intervals moves comm_start forward on a re-enter, so intervals
+      // between the two enters qualify as noise there but a streaming
+      // in_comm flag would have excluded them — not representable exactly,
+      // so veto rather than emit wrong numbers.
+      if (st.in_comm) {
+        dirty_ = true;
+        return;
+      }
+      st.in_comm = true;
+    } else if (mark == trace::AppMark::kBarrierExit) {
+      st.in_comm = false;
+    }
+  }
+}
+
+void IndexAggregator::close_kernel(std::uint16_t cpu, const tracebuf::EventRecord& rec) {
+  const auto type = static_cast<EventType>(rec.event);
+  if (cpu >= stacks_.size() || stacks_[cpu].empty()) {
+    dirty_ = true;  // exit without entry
+    return;
+  }
+  const auto kind = try_activity_of(trace::entry_of(type), rec.arg);
+  Frame frame = stacks_[cpu].back();
+  stacks_[cpu].pop_back();
+  if (!kind || *kind != frame.kind || rec.timestamp < frame.start) {
+    dirty_ = true;  // mismatched exit, or time ran backwards
+    return;
+  }
+  const DurNs inclusive = rec.timestamp - frame.start;
+  const DurNs self = sat_sub(inclusive, frame.child_time);
+  if (!stacks_[cpu].empty()) stacks_[cpu].back().child_time += inclusive;
+
+  classes_[static_cast<std::uint64_t>(frame.kind)].add(self);
+  const NoiseCategory cat = categorize(frame.kind);
+  if (cat != NoiseCategory::kRequestedService && !frame.in_comm_at_entry) {
+    auto& [count, sum] = noise_[{frame.task, static_cast<std::uint64_t>(cat)}];
+    ++count;
+    sum += self;
+  }
+}
+
+void IndexAggregator::close_preemption(Pid task, TaskState& st, TimeNs end) {
+  // Unsigned difference, matching build_intervals exactly (including the
+  // wrap if a hostile stream puts end before start — both paths agree).
+  const DurNs dur = end - st.pre_start;
+  PreAccum& p = preempt_[task];
+  p.acc.add(dur);
+  if (!st.pre_in_comm) {
+    ++p.cex_count;
+    p.cex_sum += dur;
+  }
+  st.preempted = false;
+}
+
+trace::ChunkAggregate IndexAggregator::drain() {
+  trace::ChunkAggregate out;
+  out.classes.reserve(classes_.size());
+  for (const auto& [cls, acc] : classes_)
+    out.classes.push_back(trace::ChunkAggregate::ClassAccum{cls, acc});
+  classes_.clear();
+  out.preempt.reserve(preempt_.size());
+  for (const auto& [task, p] : preempt_)
+    out.preempt.push_back(
+        trace::ChunkAggregate::PreAccum{task, p.acc, p.cex_count, p.cex_sum});
+  preempt_.clear();
+  out.noise.reserve(noise_.size());
+  for (const auto& [key, val] : noise_)
+    out.noise.push_back(
+        trace::ChunkAggregate::NoiseAccum{key.first, key.second, val.first, val.second});
+  noise_.clear();
+  out.cpu_events.reserve(cpu_events_.size());
+  for (const auto& [cpu, count] : cpu_events_)
+    out.cpu_events.push_back(trace::ChunkAggregate::CpuCount{cpu, count});
+  cpu_events_.clear();
+  return out;
+}
+
+trace::ChunkAggregate IndexAggregator::take_chunk() {
+  // Open intervals carry over: an interval is attributed to the chunk where
+  // it closes, which keeps whole-file merges exact.
+  return drain();
+}
+
+std::optional<trace::ChunkAggregate> IndexAggregator::take_tail(const trace::TraceMeta& meta) {
+  if (dirty_) return std::nullopt;
+  for (const auto& stack : stacks_) {
+    if (!stack.empty()) return std::nullopt;  // unclosed kernel interval
+  }
+  // A task still preempted when tracing stopped contributes the observed
+  // portion, closed at the trace end like build_intervals does.
+  for (auto& [task, st] : states_) {
+    if (st.preempted) close_preemption(task, st, meta.end_ns);
+  }
+  return drain();
+}
+
+}  // namespace osn::noise

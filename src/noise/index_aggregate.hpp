@@ -1,0 +1,94 @@
+// Write-time builder of the OSNT v3 index-resident pre-aggregates.
+//
+// IndexAggregator is the noise layer's implementation of
+// trace::ChunkAggregator: it runs the same state machines as the offline
+// analyzer (kernel entry/exit pairing with self-time resolution, per-task
+// preemption derivation, communication-window tracking — interval.cpp), but
+// streaming, while OsntStreamWriter appends records. At each chunk flush it
+// emits exact integer accumulators for the intervals that CLOSED in that
+// chunk; finish() adds a tail blob for intervals only closed by
+// end-of-trace. The exporter's index-only summary path (index_summary.hpp)
+// merges these blobs back into byte-identical summary output under the
+// default AnalysisOptions — that equivalence is this class's contract, and
+// the property tests in tests/test_index_summary.cpp keep it binding.
+//
+// Attribution note: intervals land in the chunk where they close, not where
+// they start, so whole-file merges are exact while partial-chunk windows are
+// not — which is why readers only take the index-only path for queries
+// covering the full trace span.
+//
+// Application filtering happens at READ time: the task table is unknown
+// until finish(), so preemption and noise accumulators are kept per task and
+// the reader sums the application subset.
+//
+// The aggregator never aborts on a malformed stream (unmapped entry events,
+// unpaired exits, nested preemption of one task, unbalanced barrier marks):
+// it marks itself dirty and vetoes the whole block via take_tail() — the
+// trace file is still written, readers just fall back to record decode.
+// Exactness assumes per-CPU strictly monotone timestamps (the stream
+// writer's own append contract).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "noise/classify.hpp"
+#include "noise/interval.hpp"
+#include "trace/chunk_aggregate.hpp"
+
+namespace osn::noise {
+
+class IndexAggregator final : public trace::ChunkAggregator {
+ public:
+  void on_record(const tracebuf::EventRecord& rec) override;
+  trace::ChunkAggregate take_chunk() override;
+  std::optional<trace::ChunkAggregate> take_tail(const trace::TraceMeta& meta) override;
+
+  /// True once the stream violated the analyzer's model; take_tail() will
+  /// veto. Exposed for tests and writer diagnostics.
+  bool dirty() const { return dirty_; }
+
+ private:
+  /// One open kernel interval on a CPU (mirrors interval.cpp's OpenFrame,
+  /// plus the fields the streaming variant cannot look up later).
+  struct Frame {
+    ActivityKind kind = ActivityKind::kMaxKind;
+    Pid task = 0;
+    TimeNs start = 0;
+    DurNs child_time = 0;
+    bool in_comm_at_entry = false;
+  };
+  /// Per-task preemption / communication state (mirrors TaskScan).
+  struct TaskState {
+    bool preempted = false;
+    TimeNs pre_start = 0;
+    bool pre_in_comm = false;  ///< task was in a comm window at preemption start
+    bool in_comm = false;
+  };
+  /// Accumulators for one chunk in progress, keyed maps so the drained
+  /// sparse lists come out sorted.
+  struct PreAccum {
+    trace::AggAccum acc;
+    std::uint64_t cex_count = 0;
+    std::uint64_t cex_sum = 0;
+  };
+
+  void close_kernel(std::uint16_t cpu, const tracebuf::EventRecord& rec);
+  void close_preemption(Pid task, TaskState& st, TimeNs end);
+  trace::ChunkAggregate drain();
+
+  std::vector<std::vector<Frame>> stacks_;  ///< per-cpu open kernel intervals
+  std::map<Pid, TaskState> states_;
+  bool dirty_ = false;
+
+  std::map<std::uint64_t, trace::AggAccum> classes_;
+  std::map<Pid, PreAccum> preempt_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::pair<std::uint64_t, std::uint64_t>>
+      noise_;  ///< (task, category) -> (count, charged sum)
+  std::map<std::uint64_t, std::uint64_t> cpu_events_;
+};
+
+}  // namespace osn::noise

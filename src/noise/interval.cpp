@@ -30,6 +30,14 @@ std::string_view activity_name(ActivityKind k) {
 }
 
 ActivityKind activity_of(EventType entry_type, std::uint64_t arg) {
+  if (const auto kind = try_activity_of(entry_type, arg)) return *kind;
+  // Not an OSN_ASSERT: this must abort even in builds that compile contract
+  // checks out — falling off the end of a value-returning function is UB.
+  assert_fail("activity_of: mapped entry event", __FILE__, __LINE__,
+              "unmapped entry event");
+}
+
+std::optional<ActivityKind> try_activity_of(EventType entry_type, std::uint64_t arg) {
   switch (entry_type) {
     case EventType::kIrqEntry:
       switch (static_cast<trace::IrqVector>(arg)) {
@@ -59,10 +67,7 @@ ActivityKind activity_of(EventType entry_type, std::uint64_t arg) {
     case EventType::kScheduleEntry: return ActivityKind::kSchedule;
     default: break;
   }
-  // Not an OSN_ASSERT: this must abort even in builds that compile contract
-  // checks out — falling off the end of a value-returning function is UB.
-  assert_fail("activity_of: mapped entry event", __FILE__, __LINE__,
-              "unmapped entry event");
+  return std::nullopt;
 }
 
 bool interval_before(const Interval& a, const Interval& b) {

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -98,5 +99,10 @@ std::vector<Interval> merge_kernel_shards(std::vector<std::vector<Interval>> sha
 /// unmapped entry event aborts (loud failure rather than a corrupt table),
 /// in every build type.
 ActivityKind activity_of(trace::EventType entry_type, std::uint64_t arg);
+
+/// Non-aborting variant for observers of streams that are not guaranteed
+/// well-formed (the write-time index aggregator sees whatever the producer
+/// appends): nullopt for an unmapped entry instead of aborting the process.
+std::optional<ActivityKind> try_activity_of(trace::EventType entry_type, std::uint64_t arg);
 
 }  // namespace osn::noise

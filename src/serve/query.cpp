@@ -1,10 +1,12 @@
 #include "serve/query.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <exception>
 #include <memory>
 #include <utility>
 
+#include "export/index_summary.hpp"
 #include "export/json.hpp"
 #include "noise/analysis.hpp"
 #include "noise/chart.hpp"
@@ -175,6 +177,13 @@ Response run_query(const QueryContext& ctx, const Request& req, Deadline deadlin
       payload = info_payload(lease);
       break;
     case Op::kSummary: {
+      // Files carrying intact pre-aggregates answer from the index alone —
+      // byte-identical to the record-decode path by the IndexAggregator
+      // contract, so the result cache stays coherent across both paths.
+      if (auto fast = exporter::index_summary_json(*lease.reader)) {
+        payload = std::move(*fast);
+        break;
+      }
       const auto model = model_for(ctx, lease);
       if (deadline.expired()) return deadline_failure(ctx, req, "before analysis");
       const noise::NoiseAnalysis analysis(*model);
@@ -186,6 +195,20 @@ Response run_query(const QueryContext& ctx, const Request& req, Deadline deadlin
       // window is byte-identical to the offline one.
       const auto t0 = static_cast<TimeNs>(req.window_from_ms * static_cast<double>(kNsPerMs));
       const auto t1 = static_cast<TimeNs>(req.window_to_ms * static_cast<double>(kNsPerMs));
+      // A window covering the whole trace is the summary: the clip keeps
+      // every record (t0 at or before the first timestamp, t1 past the last)
+      // and the meta clamp is a no-op, so the index-only path applies.
+      // Pre-aggregates cannot answer partial windows — intervals are
+      // attributed to the chunk where they close, not sliced by time.
+      const auto& chunks = lease.reader->chunks();
+      const trace::TraceMeta& meta = lease.reader->meta();
+      if (!chunks.empty() && t0 <= std::min(meta.start_ns, chunks.front().t_first) &&
+          t1 > chunks.back().t_last && t1 >= meta.end_ns) {
+        if (auto fast = exporter::index_summary_json(*lease.reader)) {
+          payload = std::move(*fast);
+          break;
+        }
+      }
       const trace::TraceModel model = lease.reader->read_window(t0, t1, nullptr);
       if (deadline.expired()) return deadline_failure(ctx, req, "before analysis");
       const noise::NoiseAnalysis analysis(model);

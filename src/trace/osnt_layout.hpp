@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "trace/chunk_aggregate.hpp"
 #include "trace/trace_model.hpp"
 
 namespace osn::trace::osnt {
@@ -26,6 +27,14 @@ constexpr std::uint32_t kTrailerMagic = 0x334e534f;  // "OSN3" little-endian
 constexpr std::size_t kTrailerSize = 24;
 constexpr std::uint32_t kFlagTruncated = 1;  ///< writer destroyed before finish()
 
+// Optional pre-aggregate block, stored inside the index region right after
+// the entries CRC: u32le magic "OSNA", varint n_chunks (must equal the index
+// chunk count), one aggregate blob per chunk plus a tail blob, u32le CRC-32
+// of the block. Readers that find it damaged drop the aggregates and keep the
+// index (record decode still works); files written without an aggregator
+// simply end the region at the entries CRC.
+constexpr std::uint32_t kAggMagic = 0x414e534f;  // "OSNA" little-endian
+
 void put_string(std::vector<std::uint8_t>& out, const std::string& s);
 std::string get_string(const std::uint8_t* buf, std::size_t size, std::size_t& pos);
 
@@ -38,6 +47,11 @@ void get_meta_and_tasks(const std::uint8_t* buf, std::size_t size, std::size_t& 
 void put_drain(std::vector<std::uint8_t>& out, const DrainStats& drain);
 void get_drain(const std::uint8_t* buf, std::size_t size, std::size_t& pos,
                DrainStats& drain);
+
+/// One pre-aggregate blob (sparse sorted lists, varint fields).
+void put_aggregate(std::vector<std::uint8_t>& out, const ChunkAggregate& agg);
+void get_aggregate(const std::uint8_t* buf, std::size_t size, std::size_t& pos,
+                   ChunkAggregate& agg);
 
 // Fixed-width little-endian fields (v3 CRCs and trailer only).
 void put_u32le(std::vector<std::uint8_t>& out, std::uint32_t v);

@@ -17,7 +17,17 @@
 //  * verify() checks every chunk's CRC-32 and structure without building a
 //    model, and reports truncation (writer died before finish()) and index
 //    damage (trailer/index unreadable -> index rebuilt by a forward scan,
-//    salvaging every chunk up to the first corrupt byte).
+//    salvaging every chunk up to the first corrupt byte);
+//  * index_summary() exposes the pre-aggregate block (chunk_aggregate.hpp)
+//    when the file carries an intact one, so summary queries can skip record
+//    decode entirely.
+//
+// I/O modes: file-backed readers mmap the file read-only by default and
+// decode straight out of the mapping (zero-copy); when mmap fails — or
+// IoMode::kPread is requested — every access falls back to positioned pread
+// into a caller-local scratch buffer, which stays fully thread-safe and
+// needs O(chunk) memory. Buffer-backed readers (owned or borrowed) are
+// always zero-copy.
 //
 // v1/v2 files are served through a compatibility shim (whole-file decode via
 // deserialize_trace) with identical results — callers never dispatch on the
@@ -26,9 +36,10 @@
 // Thread safety: after construction, read_all / read_window / for_each /
 // verify may be called concurrently from multiple threads on one reader (the
 // query server's workers share a reader per catalog entry). v3 decoding is
-// naturally concurrent — chunks are read with pread and all index state is
-// immutable after open — while the v1/v2 shim and the truncated-file
-// metadata refinement serialize on an internal mutex.
+// naturally concurrent — chunks are read from the immutable mapping (or with
+// pread into local scratch) and all index state is immutable after open —
+// while the v1/v2 shim and the truncated-file metadata refinement serialize
+// on an internal mutex.
 #pragma once
 
 #include <cstdint>
@@ -40,7 +51,9 @@
 #include <string>
 #include <vector>
 
+#include "common/mapped_file.hpp"
 #include "common/thread_pool.hpp"
+#include "trace/chunk_aggregate.hpp"
 #include "trace/trace_error.hpp"
 #include "trace/trace_model.hpp"
 
@@ -79,12 +92,23 @@ struct VerifyReport {
 
 class OsntReader {
  public:
+  /// Requested I/O strategy for file-backed readers.
+  enum class IoMode {
+    kAuto,   ///< mmap the file; silently fall back to pread when mmap fails
+    kPread,  ///< always use positioned reads (no mapping)
+  };
+  /// The strategy actually in effect after construction.
+  enum class IoBackend { kMmap, kPread, kBuffer };
+
   /// Opens and indexes a trace file (any OSNT version). Throws
   /// TraceReadError when the file cannot be opened or the header/index is
   /// unusable.
-  explicit OsntReader(const std::string& path);
+  explicit OsntReader(const std::string& path, IoMode mode = IoMode::kAuto);
   /// In-memory variant over a serialized buffer (tests, network payloads).
   explicit OsntReader(std::vector<std::uint8_t> bytes);
+  /// Borrowed-buffer variant: decodes out of caller-owned memory without
+  /// copying. The buffer must outlive the reader.
+  OsntReader(const std::uint8_t* data, std::size_t size);
   ~OsntReader();
 
   OsntReader(const OsntReader&) = delete;
@@ -93,9 +117,17 @@ class OsntReader {
   std::uint32_t version() const { return version_; }
   bool truncated() const { return truncated_; }
   bool index_recovered() const { return index_recovered_; }
+  IoBackend io_backend() const { return backend_; }
   /// v3 chunk index (rebuilt by scan when damaged); empty for v1/v2.
   const std::vector<ChunkInfo>& chunks() const { return chunks_; }
   std::uint64_t indexed_records() const;
+
+  /// The file's pre-aggregate block, when present and intact (v3 files
+  /// written with a ChunkAggregator). nullopt for v1/v2 files, files written
+  /// without an aggregator, truncated files, recovered indexes, and files
+  /// whose aggregate block failed its CRC or structural checks (the damage
+  /// is reported through verify()) — callers fall back to record decode.
+  const std::optional<IndexSummary>& index_summary() const { return index_summary_; }
 
   /// Trace metadata/tasks from the footer. For truncated v3 files the footer
   /// is missing: meta is synthesized best-effort from the chunk index
@@ -130,34 +162,53 @@ class OsntReader {
  private:
   void open_and_index();
   bool parse_trailer_and_index();
+  void parse_aggregate_block(const std::uint8_t* idx, std::size_t size, std::size_t pos,
+                             std::size_t n_chunks, std::uint64_t base_offset);
   void parse_footer(std::uint64_t footer_offset, std::uint64_t end);
   void recover_by_scan();
   void synthesize_truncated_meta();
   void ensure_legacy_model();
-  /// Reads [offset, offset+len) of the underlying storage (thread-safe).
-  std::vector<std::uint8_t> read_at(std::uint64_t offset, std::uint64_t len) const;
+  /// Largest cpu id + 1 the decode accepts for this file.
+  std::size_t decode_cpu_bound() const;
+  /// A view of [offset, offset+len): a pointer into the mapping/buffer when
+  /// one exists (scratch untouched), otherwise `scratch` is filled by pread
+  /// and its data() returned. Thread-safe; the view is valid as long as both
+  /// the reader and `scratch` live.
+  const std::uint8_t* view_at(std::uint64_t offset, std::uint64_t len,
+                              std::vector<std::uint8_t>& scratch) const;
   /// Decodes chunk `i` (CRC-verified) into records in stored (merged) order.
   std::vector<tracebuf::EventRecord> decode_chunk(std::size_t i) const;
   TraceModel assemble(std::vector<std::vector<tracebuf::EventRecord>> chunk_records,
                       const std::vector<std::size_t>& chunk_ids, ThreadPool* pool);
+  /// Serial read_all fast path: a counting pass sizes every per-CPU stream
+  /// exactly, then chunks decode straight into the final streams — no merged
+  /// intermediate, no bucket/concatenate copies. Output is bit-identical to
+  /// the pooled assemble() path.
+  TraceModel read_all_direct();
 
   std::FILE* file_ = nullptr;            ///< file-backed mode
-  std::vector<std::uint8_t> bytes_;      ///< in-memory mode
+  MappedFile map_;                       ///< file-backed mode with mmap
+  std::vector<std::uint8_t> bytes_;      ///< owned in-memory mode
+  /// Zero-copy base pointer (mapping, owned buffer, or borrowed buffer);
+  /// nullptr means every access goes through pread.
+  const std::uint8_t* mem_ = nullptr;
   std::uint64_t size_ = 0;
   std::uint64_t data_begin_ = 0;         ///< first byte after the header varints
+  IoBackend backend_ = IoBackend::kBuffer;
 
   std::uint32_t version_ = 0;
   bool truncated_ = false;
   bool index_recovered_ = false;
-  /// Problems found while opening (index recovery, footer damage); prepended
-  /// to every verify() report.
+  /// Problems found while opening (index recovery, footer damage, a rejected
+  /// aggregate block); prepended to every verify() report.
   std::vector<ChunkIssue> open_issues_;
   std::vector<ChunkInfo> chunks_;
+  std::optional<IndexSummary> index_summary_;
   TraceMeta meta_;
   std::map<Pid, TaskInfo> tasks_;
   /// Serializes the mutable post-open state: the legacy shim below and the
   /// truncated-file meta_ refinement in assemble(). The v3 hot path (chunk
-  /// index, pread) takes this lock only to snapshot meta_.
+  /// index, mapping/pread) takes this lock only to snapshot meta_.
   mutable std::mutex mutex_;
   /// v1/v2 compatibility shim: whole-file decode, built on first use and
   /// moved out by read_all() (re-parsed if needed again).

@@ -23,22 +23,10 @@ void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
   out.push_back(static_cast<std::uint8_t>(v));
 }
 
-std::uint64_t get_varint(const std::uint8_t* data, std::size_t size, std::size_t& pos) {
-  std::uint64_t v = 0;
-  int shift = 0;
-  while (true) {
-    if (pos >= size) throw TraceReadError("truncated varint", pos);
-    const std::uint8_t byte = data[pos++];
-    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
-    if ((byte & 0x80) == 0) break;
-    shift += 7;
-    if (shift >= 64) throw TraceReadError("varint too long", pos);
-  }
-  return v;
-}
-
-std::uint64_t get_varint(const std::vector<std::uint8_t>& buf, std::size_t& pos) {
-  return get_varint(buf.data(), buf.size(), pos);
+// Out-of-line throw path keeps the inlined get_varint hot loop small (the
+// compiler can treat the error branches as cold calls).
+void throw_varint_error(const char* what, std::size_t pos) {
+  throw TraceReadError(what, pos);
 }
 
 // ---------------------------------------------------------------------------
@@ -120,6 +108,90 @@ void get_drain(const std::uint8_t* buf, std::size_t size, std::size_t& pos,
   drain.producer_stalls = get_varint(buf, size, pos);
 }
 
+void put_aggregate(std::vector<std::uint8_t>& out, const ChunkAggregate& agg) {
+  put_varint(out, agg.classes.size());
+  for (const auto& c : agg.classes) {
+    put_varint(out, c.cls);
+    put_varint(out, c.acc.count);
+    put_varint(out, c.acc.sum);
+    put_varint(out, c.acc.max);
+    put_varint(out, c.acc.min);
+  }
+  put_varint(out, agg.preempt.size());
+  for (const auto& p : agg.preempt) {
+    put_varint(out, p.task);
+    put_varint(out, p.acc.count);
+    put_varint(out, p.acc.sum);
+    put_varint(out, p.acc.max);
+    put_varint(out, p.acc.min);
+    put_varint(out, p.cex_count);
+    put_varint(out, p.cex_sum);
+  }
+  put_varint(out, agg.noise.size());
+  for (const auto& n : agg.noise) {
+    put_varint(out, n.task);
+    put_varint(out, n.cat);
+    put_varint(out, n.count);
+    put_varint(out, n.sum);
+  }
+  put_varint(out, agg.cpu_events.size());
+  for (const auto& c : agg.cpu_events) {
+    put_varint(out, c.cpu);
+    put_varint(out, c.count);
+  }
+}
+
+namespace {
+
+/// Each list entry encodes to >= 2 bytes; a larger count cannot be honest.
+/// Checked before reserving on attacker-controlled sizes.
+std::size_t checked_agg_count(const std::uint8_t* buf, std::size_t size, std::size_t& pos) {
+  const std::uint64_t n = get_varint(buf, size, pos);
+  if (n > (size - pos) / 2 + 1)
+    throw TraceReadError("implausible aggregate list length", pos);
+  return static_cast<std::size_t>(n);
+}
+
+}  // namespace
+
+void get_aggregate(const std::uint8_t* buf, std::size_t size, std::size_t& pos,
+                   ChunkAggregate& agg) {
+  std::size_t n = checked_agg_count(buf, size, pos);
+  agg.classes.resize(n);
+  for (auto& c : agg.classes) {
+    c.cls = get_varint(buf, size, pos);
+    c.acc.count = get_varint(buf, size, pos);
+    c.acc.sum = get_varint(buf, size, pos);
+    c.acc.max = get_varint(buf, size, pos);
+    c.acc.min = get_varint(buf, size, pos);
+  }
+  n = checked_agg_count(buf, size, pos);
+  agg.preempt.resize(n);
+  for (auto& p : agg.preempt) {
+    p.task = get_varint(buf, size, pos);
+    p.acc.count = get_varint(buf, size, pos);
+    p.acc.sum = get_varint(buf, size, pos);
+    p.acc.max = get_varint(buf, size, pos);
+    p.acc.min = get_varint(buf, size, pos);
+    p.cex_count = get_varint(buf, size, pos);
+    p.cex_sum = get_varint(buf, size, pos);
+  }
+  n = checked_agg_count(buf, size, pos);
+  agg.noise.resize(n);
+  for (auto& e : agg.noise) {
+    e.task = get_varint(buf, size, pos);
+    e.cat = get_varint(buf, size, pos);
+    e.count = get_varint(buf, size, pos);
+    e.sum = get_varint(buf, size, pos);
+  }
+  n = checked_agg_count(buf, size, pos);
+  agg.cpu_events.resize(n);
+  for (auto& c : agg.cpu_events) {
+    c.cpu = get_varint(buf, size, pos);
+    c.count = get_varint(buf, size, pos);
+  }
+}
+
 void put_u32le(std::vector<std::uint8_t>& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
 }
@@ -179,67 +251,67 @@ std::vector<std::uint8_t> serialize_trace(const TraceModel& model) {
 namespace {
 
 /// v1: per-CPU streams with up-front counts, after the shared header fields.
-TraceModel deserialize_whole(const std::vector<std::uint8_t>& buf, std::size_t pos) {
+TraceModel deserialize_whole(const std::uint8_t* buf, std::size_t size, std::size_t pos) {
   TraceMeta meta;
   std::map<Pid, TaskInfo> tasks;
-  osnt::get_meta_and_tasks(buf.data(), buf.size(), pos, meta, tasks);
+  osnt::get_meta_and_tasks(buf, size, pos, meta, tasks);
 
   std::vector<std::vector<tracebuf::EventRecord>> per_cpu(meta.n_cpus);
   for (CpuId c = 0; c < meta.n_cpus; ++c) {
-    const std::uint64_t n = get_varint(buf, pos);
+    const std::uint64_t n = get_varint(buf, size, pos);
     // A record encodes to >= 4 bytes; a larger count cannot be honest.
-    if (n > (buf.size() - pos) / 4 + 1)
+    if (n > (size - pos) / 4 + 1)
       throw TraceReadError("implausible record count", pos);
     per_cpu[c].reserve(static_cast<std::size_t>(n));
     TimeNs ts = 0;
     for (std::uint64_t i = 0; i < n; ++i) {
       tracebuf::EventRecord rec;
-      ts += get_varint(buf, pos);
+      ts += get_varint(buf, size, pos);
       rec.timestamp = ts;
-      rec.pid = narrow<std::uint32_t>(get_varint(buf, pos), "pid", pos);
+      rec.pid = narrow<std::uint32_t>(get_varint(buf, size, pos), "pid", pos);
       rec.cpu = c;
-      rec.event = narrow<std::uint16_t>(get_varint(buf, pos), "event", pos);
-      rec.arg = get_varint(buf, pos);
+      rec.event = narrow<std::uint16_t>(get_varint(buf, size, pos), "event", pos);
+      rec.arg = get_varint(buf, size, pos);
       per_cpu[c].push_back(rec);
     }
   }
-  if (pos != buf.size()) throw TraceReadError("trailing bytes after trace", pos);
+  if (pos != size) throw TraceReadError("trailing bytes after trace", pos);
   return TraceModel(std::move(meta), std::move(per_cpu), std::move(tasks));
 }
 
 /// v2: chunks of cpu-tagged records in merged order, 0-count terminator,
 /// then the metadata footer.
-TraceModel deserialize_stream(const std::vector<std::uint8_t>& buf, std::size_t pos) {
+TraceModel deserialize_stream(const std::uint8_t* buf, std::size_t size, std::size_t pos) {
   std::vector<std::vector<tracebuf::EventRecord>> per_cpu;
   std::vector<TimeNs> prev_ts;
   for (;;) {
-    const std::uint64_t n = get_varint(buf, pos);
+    const std::uint64_t n = get_varint(buf, size, pos);
     if (n == 0) break;  // terminator chunk
-    if (n > (buf.size() - pos) / 5 + 1)
+    if (n > (size - pos) / 5 + 1)
       throw TraceReadError("implausible chunk record count", pos);
     for (std::uint64_t i = 0; i < n; ++i) {
-      const auto cpu = static_cast<std::size_t>(get_varint(buf, pos));
+      const auto cpu = static_cast<std::size_t>(get_varint(buf, size, pos));
       if (cpu >= 65536) throw TraceReadError("stream chunk cpu out of range", pos);
       if (cpu >= per_cpu.size()) {
         per_cpu.resize(cpu + 1);
         prev_ts.resize(cpu + 1, 0);
       }
       tracebuf::EventRecord rec;
-      prev_ts[cpu] += get_varint(buf, pos);
+      prev_ts[cpu] += get_varint(buf, size, pos);
       rec.timestamp = prev_ts[cpu];
-      rec.pid = narrow<std::uint32_t>(get_varint(buf, pos), "pid", pos);
+      rec.pid = narrow<std::uint32_t>(get_varint(buf, size, pos), "pid", pos);
       rec.cpu = static_cast<std::uint16_t>(cpu);
-      rec.event = narrow<std::uint16_t>(get_varint(buf, pos), "event", pos);
-      rec.arg = get_varint(buf, pos);
+      rec.event = narrow<std::uint16_t>(get_varint(buf, size, pos), "event", pos);
+      rec.arg = get_varint(buf, size, pos);
       per_cpu[cpu].push_back(rec);
     }
   }
 
   TraceMeta meta;
   std::map<Pid, TaskInfo> tasks;
-  osnt::get_meta_and_tasks(buf.data(), buf.size(), pos, meta, tasks);
-  osnt::get_drain(buf.data(), buf.size(), pos, meta.drain);
-  if (pos != buf.size()) throw TraceReadError("trailing bytes after trace", pos);
+  osnt::get_meta_and_tasks(buf, size, pos, meta, tasks);
+  osnt::get_drain(buf, size, pos, meta.drain);
+  if (pos != size) throw TraceReadError("trailing bytes after trace", pos);
   if (per_cpu.size() > meta.n_cpus)
     throw TraceReadError("stream chunk cpu >= n_cpus", pos);
   per_cpu.resize(meta.n_cpus);
@@ -248,18 +320,23 @@ TraceModel deserialize_stream(const std::vector<std::uint8_t>& buf, std::size_t 
 
 }  // namespace
 
-TraceModel deserialize_trace(const std::vector<std::uint8_t>& buf) {
+TraceModel deserialize_trace(const std::uint8_t* data, std::size_t size) {
   std::size_t pos = 0;
-  if (get_varint(buf, pos) != osnt::kMagic)
+  if (get_varint(data, size, pos) != osnt::kMagic)
     throw TraceReadError("bad magic: not an OSNT trace", 0);
-  const std::uint64_t version = get_varint(buf, pos);
-  if (version == osnt::kVersionWhole) return deserialize_whole(buf, pos);
-  if (version == osnt::kVersionStream) return deserialize_stream(buf, pos);
+  const std::uint64_t version = get_varint(data, size, pos);
+  if (version == osnt::kVersionWhole) return deserialize_whole(data, size, pos);
+  if (version == osnt::kVersionStream) return deserialize_stream(data, size, pos);
   if (version == osnt::kVersionChunked) {
-    OsntReader reader(buf);
+    // Borrowed-buffer reader: decodes straight out of the caller's memory.
+    OsntReader reader(data, size);
     return reader.read_all();
   }
   throw TraceReadError("unsupported OSNT version", pos);
+}
+
+TraceModel deserialize_trace(const std::vector<std::uint8_t>& buf) {
+  return deserialize_trace(buf.data(), buf.size());
 }
 
 bool write_trace_file(const TraceModel& model, const std::string& path) {
@@ -307,9 +384,17 @@ OsntStreamWriter::~OsntStreamWriter() {
     std::vector<std::uint8_t> term;
     put_varint(term, 0);
     write_bytes(term.data(), term.size());
-    write_index_and_trailer(/*footer_offset=*/0);
+    write_index_and_trailer(/*footer_offset=*/0, /*with_aggregates=*/false);
   }
   std::fclose(file_);
+}
+
+void OsntStreamWriter::set_aggregator(std::unique_ptr<ChunkAggregator> agg) {
+  OSN_ASSERT_MSG(  // osn-lint: allow(decode-throw)
+      records_ == 0, "set_aggregator after append");
+  OSN_ASSERT_MSG(  // osn-lint: allow(decode-throw)
+      format_ == Format::kV3, "aggregates require the v3 layout");
+  aggregator_ = std::move(agg);
 }
 
 void OsntStreamWriter::write_bytes(const void* data, std::size_t n) {
@@ -345,6 +430,7 @@ void OsntStreamWriter::append(const tracebuf::EventRecord& rec) {
   put_varint(chunk_buf_, rec.pid);
   put_varint(chunk_buf_, rec.event);
   put_varint(chunk_buf_, rec.arg);
+  if (aggregator_) aggregator_->on_record(rec);
   ++in_chunk_;
   ++records_;
   if (in_chunk_ >= chunk_records_) flush_chunk();
@@ -368,12 +454,17 @@ void OsntStreamWriter::flush_chunk() {
     index_.push_back(cur_);
     cur_ = ChunkEntry{};
     std::fill(chunk_seen_.begin(), chunk_seen_.end(), false);
+    if (aggregator_) {
+      osnt::put_aggregate(agg_blobs_, aggregator_->take_chunk());
+      ++agg_chunks_;
+    }
   }
   chunk_buf_.clear();
   in_chunk_ = 0;
 }
 
-void OsntStreamWriter::write_index_and_trailer(std::uint64_t footer_offset) {
+void OsntStreamWriter::write_index_and_trailer(std::uint64_t footer_offset,
+                                               bool with_aggregates) {
   const std::uint64_t index_offset = file_pos_;
   std::vector<std::uint8_t> idx;
   put_varint(idx, index_.size());
@@ -386,6 +477,15 @@ void OsntStreamWriter::write_index_and_trailer(std::uint64_t footer_offset) {
     put_varint(idx, e.cpu_mask);
   }
   osnt::put_u32le(idx, crc32(idx.data(), idx.size()));
+  if (with_aggregates) {
+    // Optional pre-aggregate block after the entries CRC; agg_blobs_ already
+    // holds the per-chunk blobs plus the tail blob (finish() appends it).
+    const std::size_t agg_begin = idx.size();
+    osnt::put_u32le(idx, osnt::kAggMagic);
+    put_varint(idx, index_.size());
+    idx.insert(idx.end(), agg_blobs_.begin(), agg_blobs_.end());
+    osnt::put_u32le(idx, crc32(idx.data() + agg_begin, idx.size() - agg_begin));
+  }
   write_bytes(idx.data(), idx.size());
 
   std::vector<std::uint8_t> trailer;
@@ -401,13 +501,23 @@ bool OsntStreamWriter::finish(const TraceMeta& meta, const std::map<Pid, TaskInf
   finished_ = true;
   if (file_ == nullptr) return false;
   flush_chunk();
+  bool with_aggregates = false;
+  if (aggregator_ && agg_chunks_ == index_.size()) {
+    // The tail blob covers intervals only closed by end-of-trace. A nullopt
+    // tail is the aggregator's veto (stream not well-formed for its model):
+    // the file is still written, just without the aggregate block.
+    if (std::optional<ChunkAggregate> tail = aggregator_->take_tail(meta)) {
+      osnt::put_aggregate(agg_blobs_, *tail);
+      with_aggregates = true;
+    }
+  }
   std::vector<std::uint8_t> footer;
   put_varint(footer, 0);  // chunk terminator
   const std::uint64_t footer_offset = file_pos_ + footer.size();
   osnt::put_meta_and_tasks(footer, meta, tasks);
   osnt::put_drain(footer, meta.drain);
   write_bytes(footer.data(), footer.size());
-  if (format_ == Format::kV3) write_index_and_trailer(footer_offset);
+  if (format_ == Format::kV3) write_index_and_trailer(footer_offset, with_aggregates);
   if (std::fclose(file_) != 0) failed_ = true;
   file_ = nullptr;
   return !failed_;

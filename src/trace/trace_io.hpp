@@ -50,10 +50,12 @@
 #include <cstdio>
 #include <limits>
 #include <map>
+#include <memory>
 #include <string>
 #include <type_traits>
 #include <vector>
 
+#include "trace/chunk_aggregate.hpp"
 #include "trace/trace_error.hpp"
 #include "trace/trace_model.hpp"
 
@@ -62,10 +64,30 @@ namespace osn::trace {
 /// Appends a LEB128 varint to `out`.
 void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v);
 
+[[noreturn]] void throw_varint_error(const char* what, std::size_t pos);
+
 /// Reads a LEB128 varint at `pos`, advancing it. Throws TraceReadError on
-/// truncation or an over-long encoding.
-std::uint64_t get_varint(const std::uint8_t* data, std::size_t size, std::size_t& pos);
-std::uint64_t get_varint(const std::vector<std::uint8_t>& buf, std::size_t& pos);
+/// truncation or an over-long encoding. Inline: the decode hot loop reads
+/// five varints per record, and the call overhead dominates otherwise (the
+/// common case is a 1-2 byte varint).
+inline std::uint64_t get_varint(const std::uint8_t* data, std::size_t size,
+                                std::size_t& pos) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (pos >= size) throw_varint_error("truncated varint", pos);
+    const std::uint8_t byte = data[pos++];
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    if (shift >= 64) throw_varint_error("varint too long", pos);
+  }
+  return v;
+}
+
+inline std::uint64_t get_varint(const std::vector<std::uint8_t>& buf, std::size_t& pos) {
+  return get_varint(buf.data(), buf.size(), pos);
+}
 
 /// Checked narrowing for decoded fields: a varint that does not fit its
 /// destination type is malformed input, so this throws TraceReadError (with
@@ -82,7 +104,10 @@ T narrow(std::uint64_t v, const char* field, std::size_t pos) {
 std::vector<std::uint8_t> serialize_trace(const TraceModel& model);
 
 /// Parses an OSNT buffer (any version) back into a TraceModel. Throws
-/// TraceReadError on malformed input.
+/// TraceReadError on malformed input. The span overload decodes straight out
+/// of caller-owned memory (no copy); the buffer only needs to live for the
+/// duration of the call.
+TraceModel deserialize_trace(const std::uint8_t* data, std::size_t size);
 TraceModel deserialize_trace(const std::vector<std::uint8_t>& buf);
 
 /// File convenience wrappers. write_trace_file returns false on I/O failure;
@@ -116,6 +141,14 @@ class OsntStreamWriter {
   /// False when the output file could not be opened or a write failed.
   bool ok() const { return !failed_; }
 
+  /// Attaches a pre-aggregate builder (v3 only; call before the first
+  /// append). Every appended record is forwarded to it, per-chunk aggregates
+  /// are collected at each flush, and finish() stores the block next to the
+  /// chunk index — unless the aggregator vetoes (take_tail returns nullopt)
+  /// or the writer dies before finish() (truncated files carry no
+  /// aggregates).
+  void set_aggregator(std::unique_ptr<ChunkAggregator> agg);
+
   void append(const tracebuf::EventRecord& rec);
 
   /// Flushes the final chunk, writes footer/index/trailer and closes the
@@ -137,7 +170,7 @@ class OsntStreamWriter {
 
   void write_bytes(const void* data, std::size_t n);
   void flush_chunk();
-  void write_index_and_trailer(std::uint64_t footer_offset);
+  void write_index_and_trailer(std::uint64_t footer_offset, bool with_aggregates);
 
   std::FILE* file_ = nullptr;
   Format format_;
@@ -153,6 +186,9 @@ class OsntStreamWriter {
   std::vector<bool> chunk_seen_;       ///< v3: cpu has appeared in the open chunk
   ChunkEntry cur_;                     ///< v3: stats of the open chunk
   std::vector<ChunkEntry> index_;      ///< v3: flushed chunks
+  std::unique_ptr<ChunkAggregator> aggregator_;  ///< v3: optional pre-aggregate builder
+  std::vector<std::uint8_t> agg_blobs_;  ///< serialized per-chunk aggregates
+  std::size_t agg_chunks_ = 0;           ///< blobs collected (== index_.size() when healthy)
 };
 
 }  // namespace osn::trace

@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <string>
 
+#include "noise/index_aggregate.hpp"
 #include "trace/trace_io.hpp"
 #include "trace_builder.hpp"
 
@@ -52,6 +53,9 @@ inline void write_trace(const trace::TraceModel& model, const std::string& dir,
   const std::string tmp_path = final_path + ".tmp";
   {
     trace::OsntStreamWriter writer(tmp_path, /*chunk_records=*/128);
+    // Mirror production traces: carry pre-aggregates so the server's
+    // index-only summary path is exercised by the serve tests.
+    writer.set_aggregator(std::make_unique<noise::IndexAggregator>());
     for (const auto& rec : model.merged()) writer.append(rec);
     ASSERT_TRUE(writer.finish(model.meta(), model.tasks()));
   }

@@ -92,8 +92,11 @@ TEST(Server, ConcurrentClientsMatchOfflineAnalysis) {
         << "client " << i;
   }
 
-  // Repeat queries must be result-cache hits; a fresh chart op reuses the
-  // decoded model from the model cache.
+  // Repeat queries must be result-cache hits. Summary answers from the
+  // index pre-aggregates without materializing a model, so the model cache
+  // is exercised by chart ops: the first decodes and caches the model, a
+  // second with a different quantum misses the result cache but reuses the
+  // cached model.
   Client client("127.0.0.1", server.port(), Deadline::after(sec(10)));
   ASSERT_TRUE(client.call(summary_request(100), Deadline::after(sec(60))).ok);
   Request chart;
@@ -101,6 +104,10 @@ TEST(Server, ConcurrentClientsMatchOfflineAnalysis) {
   chart.op = Op::kChart;
   chart.trace = "t";
   ASSERT_TRUE(client.call(chart, Deadline::after(sec(60))).ok);
+  Request chart2 = chart;
+  chart2.id = 103;
+  chart2.quantum_us = 500;
+  ASSERT_TRUE(client.call(chart2, Deadline::after(sec(60))).ok);
   Request metrics_req;
   metrics_req.id = 101;
   metrics_req.op = Op::kMetrics;

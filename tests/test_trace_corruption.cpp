@@ -6,10 +6,12 @@
 // offset, not a core dump.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "common/crc32.hpp"
 #include "common/rng.hpp"
 #include "trace/osnt_layout.hpp"
 #include "trace/osnt_reader.hpp"
@@ -206,6 +208,83 @@ TEST(TraceCorruption, MidChunkTruncationSalvagesPrefix) {
   const VerifyReport report = reader.verify();
   EXPECT_TRUE(report.truncated);
   EXPECT_FALSE(report.issues.empty());  // the torn chunk is reported
+}
+
+/// Overwrites the leading bytes of chunk 0's payload with `patch` and re-seals
+/// the chunk CRC, so the damage reaches the record decoder instead of being
+/// rejected at the integrity layer. Payload length is unchanged: the bytes the
+/// patch consumes simply shift how the rest of the (now nonsense) payload
+/// parses, which is exactly the hostile-input shape a fuzzer produces.
+void forge_chunk0_payload(std::vector<std::uint8_t>& bytes,
+                          const std::vector<std::uint8_t>& patch) {
+  std::size_t payload_off = 0;
+  std::size_t payload_len = 0;
+  {
+    OsntReader clean(bytes);
+    ASSERT_FALSE(clean.chunks().empty());
+    const ChunkInfo& c = clean.chunks()[0];
+    std::size_t pos = static_cast<std::size_t>(c.offset);
+    (void)get_varint(bytes.data(), bytes.size(), pos);  // record count
+    (void)get_varint(bytes.data(), bytes.size(), pos);  // payload length
+    payload_off = pos;
+    payload_len = static_cast<std::size_t>(c.payload_len);
+  }
+  ASSERT_LE(patch.size(), payload_len);
+  std::copy(patch.begin(), patch.end(),
+            bytes.begin() + static_cast<std::ptrdiff_t>(payload_off));
+  const std::uint32_t crc = crc32(bytes.data() + payload_off, payload_len);
+  std::size_t cpos = payload_off + payload_len;
+  for (int i = 0; i < 4; ++i)
+    bytes[cpos + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(crc >> (8 * i));
+}
+
+// A record whose cpu varint decodes to 2^32 must be refused with a structured
+// error BEFORE any per-cpu state is sized from it. The old decoder resized
+// per-cpu vectors straight from the varint, so this exact input attempted a
+// multi-GiB allocation; the bound check makes it fail in O(1) memory.
+TEST(TraceCorruption, HostileCpuVarintFailsBounded) {
+  auto bytes = v3_bytes(sample_trace());
+  // varint(2^32): four continuation bytes of zero payload, then bit 32.
+  forge_chunk0_payload(bytes, {0x80, 0x80, 0x80, 0x80, 0x10});
+
+  OsntReader reader(std::move(bytes));
+  try {
+    (void)reader.read_all();
+    FAIL() << "expected TraceReadError";
+  } catch (const TraceReadError& e) {
+    EXPECT_EQ(e.chunk_id(), 0);
+    EXPECT_NE(std::string(e.what()).find("cpu out of range"), std::string::npos);
+  }
+}
+
+// Same contract for the subtle case: a cpu id that is small enough to
+// allocate cheaply but exceeds the footer's n_cpus. Intact files must bound
+// decode by TraceMeta, not just by the format-wide hard cap.
+TEST(TraceCorruption, CpuBeyondMetaCountIsRejected) {
+  auto bytes = v3_bytes(sample_trace());
+  forge_chunk0_payload(bytes, {60});  // n_cpus is 4; 60 is out of range
+
+  OsntReader reader(std::move(bytes));
+  try {
+    (void)reader.read_all();
+    FAIL() << "expected TraceReadError";
+  } catch (const TraceReadError& e) {
+    EXPECT_EQ(e.chunk_id(), 0);
+    EXPECT_NE(std::string(e.what()).find("cpu out of range"), std::string::npos);
+  }
+}
+
+// With the footer gone (truncation) there is no TraceMeta to bound against;
+// the format-wide kMaxCpus cap must still keep a 2^32 cpu id from driving an
+// allocation during the recovery scan or the salvage read.
+TEST(TraceCorruption, HostileCpuVarintFailsBoundedWhenTruncated) {
+  auto bytes = v3_bytes(sample_trace());
+  forge_chunk0_payload(bytes, {0x80, 0x80, 0x80, 0x80, 0x10});
+  // Chop mid-index so the reader falls back to the forward scan.
+  bytes.resize(bytes.size() - osnt::kTrailerSize - 3);
+
+  expect_clean_failure_or_success(std::move(bytes));
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "trace/osnt_reader.hpp"
 #include "trace/trace_io.hpp"
@@ -270,6 +272,72 @@ TEST(TraceIo, StreamWriterDestructorEmptyTruncated) {
   EXPECT_EQ(reader.indexed_records(), 0u);
   EXPECT_EQ(reader.read_all().total_events(), 0u);
   std::remove(path.c_str());
+}
+
+// The reader's three I/O backends (mmap, positioned pread, in-memory buffer)
+// must be observationally identical: same metadata, same records, same window
+// slices, same verify verdicts. Only the access mechanism may differ.
+TEST(TraceIo, MmapAndPreadBackendsAreEquivalent) {
+  const TraceModel original = sample_trace();
+  const std::string path = ::testing::TempDir() + "/osn_io_backends.osnt";
+  {
+    OsntStreamWriter writer(path, /*chunk_records=*/2);
+    for (const auto& rec : original.merged()) writer.append(rec);
+    ASSERT_TRUE(writer.finish(original.meta(), original.tasks()));
+  }
+
+  OsntReader mapped(path, OsntReader::IoMode::kAuto);
+  OsntReader preading(path, OsntReader::IoMode::kPread);
+  // kAuto maps regular files; kPread must never map.
+  EXPECT_EQ(mapped.io_backend(), OsntReader::IoBackend::kMmap);
+  EXPECT_EQ(preading.io_backend(), OsntReader::IoBackend::kPread);
+
+  EXPECT_EQ(mapped.read_all(), original);
+  EXPECT_EQ(preading.read_all(), original);
+  EXPECT_EQ(mapped.meta(), preading.meta());
+  ASSERT_EQ(mapped.chunks().size(), preading.chunks().size());
+
+  // Window reads exercise the per-chunk view path (header reparse + CRC).
+  const TimeNs mid = original.meta().end_ns / 2;
+  EXPECT_EQ(mapped.read_window(0, mid), preading.read_window(0, mid));
+  EXPECT_EQ(mapped.read_window(mid, original.meta().end_ns + 1),
+            preading.read_window(mid, original.meta().end_ns + 1));
+
+  EXPECT_TRUE(mapped.verify().clean());
+  EXPECT_TRUE(preading.verify().clean());
+  std::remove(path.c_str());
+}
+
+// Buffer-backed construction — owned bytes or a borrowed span — reports the
+// kBuffer backend and reads identically to the file-backed paths.
+TEST(TraceIo, BufferAndBorrowedBackendsAreEquivalent) {
+  const TraceModel original = sample_trace();
+  const std::string path = ::testing::TempDir() + "/osn_io_borrow.osnt";
+  {
+    OsntStreamWriter writer(path, /*chunk_records=*/2);
+    for (const auto& rec : original.merged()) writer.append(rec);
+    ASSERT_TRUE(writer.finish(original.meta(), original.tasks()));
+  }
+  std::vector<std::uint8_t> bytes;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    bytes.resize(static_cast<std::size_t>(std::ftell(f)));
+    std::fseek(f, 0, SEEK_SET);
+    ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+  }
+  std::remove(path.c_str());
+
+  OsntReader borrowed(bytes.data(), bytes.size());
+  EXPECT_EQ(borrowed.io_backend(), OsntReader::IoBackend::kBuffer);
+  EXPECT_EQ(borrowed.read_all(), original);
+
+  OsntReader owned(std::move(bytes));
+  EXPECT_EQ(owned.io_backend(), OsntReader::IoBackend::kBuffer);
+  EXPECT_EQ(owned.read_all(), original);
+  EXPECT_TRUE(owned.verify().clean());
 }
 
 TEST(TraceIo, StreamWriterRejectsNonMonotonicPerCpu) {

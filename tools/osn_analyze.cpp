@@ -37,9 +37,11 @@
 #include "export/csv.hpp"
 #include "export/json.hpp"
 #include "export/paraver.hpp"
+#include "export/index_summary.hpp"
 #include "noise/analysis.hpp"
 #include "noise/chart.hpp"
 #include "noise/disambiguate.hpp"
+#include "noise/index_aggregate.hpp"
 #include "noise/scalability.hpp"
 #include "noise/streaming.hpp"
 #include "serve/client.hpp"
@@ -128,7 +130,9 @@ int usage() {
       "hardware threads; --jobs 1 runs the serial reference path — both\n"
       "produce byte-identical output). They also accept --window A:B\n"
       "(milliseconds): analyze only that time slice — for chunk-indexed v3\n"
-      "traces only the overlapping chunks are read from disk.\n");
+      "traces only the overlapping chunks are read from disk — and\n"
+      "--io mmap|pread: decode straight out of a read-only mapping (default,\n"
+      "falls back to pread when mmap fails) or force positioned reads.\n");
   return 2;
 }
 
@@ -167,8 +171,20 @@ bool parse_window(const Args& args, TimeNs& t0, TimeNs& t1) {
   return true;
 }
 
+/// --io mmap|pread: I/O strategy for file-backed readers (default: mmap with
+/// silent pread fallback).
+trace::OsntReader::IoMode io_mode(const Args& args) {
+  const std::string mode = args.get("io", "mmap");
+  if (mode == "pread") return trace::OsntReader::IoMode::kPread;
+  if (mode != "mmap") {
+    std::fprintf(stderr, "error: --io expects mmap or pread\n");
+    std::exit(2);
+  }
+  return trace::OsntReader::IoMode::kAuto;
+}
+
 trace::TraceModel load(const Args& args) {
-  auto source = trace::open_trace_source(trace_path(args));
+  auto source = trace::open_trace_source(trace_path(args), io_mode(args));
   const auto pool = decode_pool(args);
   TimeNs t0 = 0, t1 = 0;
   if (parse_window(args, t0, t1)) return source->to_model_window(t0, t1, pool.get());
@@ -268,6 +284,10 @@ int cmd_run(const Args& args) {
     std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
     return 1;
   }
+  // Pre-aggregate the per-chunk summaries while streaming, so later
+  // `export --json` / served summary queries answer from the index without
+  // decoding records. Costs a few accumulators per chunk in the footer.
+  writer.set_aggregator(std::make_unique<noise::IndexAggregator>());
   noise::StreamingStats live_stats;
   workloads::LiveOptions lopts;
   lopts.per_cpu_capacity = ceil_pow2(args.get_u64("buf-capacity", 1u << 16));
@@ -312,7 +332,7 @@ int cmd_run(const Args& args) {
 }
 
 int cmd_info(const Args& args) {
-  trace::FileEventSource source(trace_path(args));
+  trace::FileEventSource source(trace_path(args), io_mode(args));
   const auto pool = decode_pool(args);
   const trace::TraceModel model = source.to_model(pool.get());
   const trace::OsntReader& reader = source.reader();
@@ -348,7 +368,7 @@ int cmd_info(const Args& args) {
 }
 
 int cmd_verify(const Args& args) {
-  trace::OsntReader reader(trace_path(args));
+  trace::OsntReader reader(trace_path(args), io_mode(args));
   const trace::VerifyReport report = reader.verify();
   std::printf("format:    OSNT v%u\n", report.version);
   if (report.version == 3)
@@ -488,6 +508,22 @@ int cmd_lookalikes(const Args& args) {
 }
 
 int cmd_export(const Args& args) {
+  // The JSON summary of a whole trace under default options is answerable
+  // from the pre-aggregate block alone; only fall back to record decode when
+  // the file has no usable aggregates or the request isn't the default one.
+  if (args.has("json") && !args.has("window") && !args.has("no-runnable-filter") &&
+      !args.has("no-nesting")) {
+    trace::OsntReader reader(trace_path(args), io_mode(args));
+    if (const auto fast = exporter::index_summary_json(reader)) {
+      const std::string path = args.get("json", reader.meta().workload + ".json");
+      if (!exporter::write_text_file(path, *fast)) {
+        std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", path.c_str());
+      return 0;
+    }
+  }
   const trace::TraceModel model = load(args);
   noise::NoiseAnalysis analysis(model, analysis_options(args));
   if (args.has("paraver")) {
