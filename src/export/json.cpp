@@ -1,6 +1,7 @@
 #include "export/json.hpp"
 
 #include <cstdio>
+#include <string_view>
 
 #include "common/format.hpp"
 
@@ -202,6 +203,44 @@ std::string chart_json(const noise::SyntheticChart& chart, const std::string& ta
     }
     out += "]}";
     out += i + 1 < chart.quanta.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string timeseries_json(const noise::ActivitySeries& series) {
+  const std::string_view name = series.kind == noise::ActivityKind::kMaxKind
+                                    ? std::string_view("all")
+                                    : noise::activity_name(series.kind);
+  std::string out = "{\n";
+  out += "  \"activity\": \"";
+  out += name;
+  out += "\",\n";
+  out += "  \"origin_ns\": " + std::to_string(series.origin) + ",\n";
+  out += "  \"quantum_ns\": " + std::to_string(series.quantum) + ",\n";
+  out += "  \"quanta\": [\n";
+  for (std::size_t i = 0; i < series.totals.size(); ++i) {
+    out += "    {\"start_ns\": " +
+           std::to_string(series.origin + static_cast<TimeNs>(i) * series.quantum);
+    out += ", \"total_ns\": " + std::to_string(series.totals[i]);
+    out += ", \"count\": " + std::to_string(series.counts[i]);
+    out += '}';
+    out += i + 1 < series.totals.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string topk_json(const std::vector<noise::CpuNoise>& cpus, std::size_t k) {
+  std::string out = "{\n";
+  out += "  \"k\": " + std::to_string(k) + ",\n";
+  out += "  \"cpus\": [\n";
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    out += "    {\"cpu\": " + std::to_string(cpus[i].cpu);
+    out += ", \"total_noise_ns\": " + std::to_string(cpus[i].total_ns);
+    out += ", \"intervals\": " + std::to_string(cpus[i].intervals);
+    out += '}';
+    out += i + 1 < cpus.size() ? ",\n" : "\n";
   }
   out += "  ]\n}\n";
   return out;

@@ -50,6 +50,14 @@ std::string summary_json(const noise::NoiseAnalysis& analysis);
 /// composition) as a JSON document; `task` names the charted rank.
 std::string chart_json(const noise::SyntheticChart& chart, const std::string& task);
 
+/// Serializes a per-activity noise timeseries (the `timeseries` query op).
+/// The activity field is "all" when the series covers every kind.
+std::string timeseries_json(const noise::ActivitySeries& series);
+
+/// Serializes the noisiest-CPU ranking (the `topk` query op). `k` is the
+/// requested row count; `cpus` may carry fewer when the trace is quieter.
+std::string topk_json(const std::vector<noise::CpuNoise>& cpus, std::size_t k);
+
 /// RFC 8259 string escaping: quotes, backslashes and control characters are
 /// escaped, well-formed UTF-8 passes through verbatim, and ill-formed bytes
 /// (hostile names) are escaped as \u00xx so the document stays valid JSON.

@@ -47,6 +47,37 @@ struct SyntheticChart {
 SyntheticChart build_chart(const NoiseAnalysis& analysis, Pid task, TimeNs origin,
                            DurNs quantum, std::size_t n_quanta);
 
+/// Node-wide noise of one activity (or all of them) bucketed on a quantum
+/// grid — the `timeseries` query op. Unlike the synthetic chart, which
+/// decomposes one task's interruptions, the series tracks a single activity
+/// across every application task: "when do timer softirqs bite?".
+struct ActivitySeries {
+  ActivityKind kind = ActivityKind::kMaxKind;  ///< kMaxKind = every activity
+  TimeNs origin = 0;
+  DurNs quantum = 0;
+  std::vector<DurNs> totals;          ///< charged ns per quantum (dense)
+  std::vector<std::uint64_t> counts;  ///< noise intervals starting in each quantum
+};
+
+/// Builds the per-activity series over [origin, origin + n_quanta*quantum),
+/// summing charged time of noise intervals of `kind` (every kind when
+/// kMaxKind) across all tasks. Straddling intervals split proportionally,
+/// with the same arithmetic as build_chart.
+ActivitySeries build_activity_series(const NoiseAnalysis& analysis, ActivityKind kind,
+                                     TimeNs origin, DurNs quantum, std::size_t n_quanta);
+
+/// Per-CPU noise totals — one row of the `topk` query op.
+struct CpuNoise {
+  CpuId cpu = 0;
+  DurNs total_ns = 0;            ///< summed charged noise on this cpu
+  std::uint64_t intervals = 0;  ///< noise intervals attributed to it
+};
+
+/// The k noisiest CPUs, ordered by total charged noise descending with cpu id
+/// as the tie-breaker (deterministic bytes for equal inputs). CPUs with zero
+/// noise are omitted; fewer than k rows may return.
+std::vector<CpuNoise> top_noisy_cpus(const NoiseAnalysis& analysis, std::size_t k);
+
 struct Interruption {
   TimeNs start = 0;
   TimeNs end = 0;

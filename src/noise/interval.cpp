@@ -29,6 +29,14 @@ std::string_view activity_name(ActivityKind k) {
   return "unknown";
 }
 
+std::optional<ActivityKind> activity_from_name(std::string_view name) {
+  for (std::size_t k = 0; k < static_cast<std::size_t>(ActivityKind::kMaxKind); ++k) {
+    const auto kind = static_cast<ActivityKind>(k);
+    if (activity_name(kind) == name) return kind;
+  }
+  return std::nullopt;
+}
+
 ActivityKind activity_of(EventType entry_type, std::uint64_t arg) {
   if (const auto kind = try_activity_of(entry_type, arg)) return *kind;
   // Not an OSN_ASSERT: this must abort even in builds that compile contract

@@ -43,6 +43,10 @@ enum class ActivityKind : std::uint8_t {
 
 std::string_view activity_name(ActivityKind k);
 
+/// Reverse of activity_name: parses a user-supplied activity filter (CLI
+/// `--activity`, serve request field). nullopt for unknown names.
+std::optional<ActivityKind> activity_from_name(std::string_view name);
+
 struct Interval {
   ActivityKind kind = ActivityKind::kMaxKind;
   std::uint64_t detail = 0;  ///< pf kind / syscall nr / preempting pid

@@ -1,13 +1,15 @@
-// Sharded LRU cache with a byte budget — the server's memoization layer.
+// Sharded LRU cache with a byte budget — the query engine's memoization
+// layer.
 //
-// A query server re-answers the same questions: the same dashboards ask for
+// A query service re-answers the same questions: the same dashboards ask for
 // the same summaries, windows cluster around recent time ranges, and every
 // query against an unchanged file re-derives the same bytes. The cache holds
 // two kinds of values behind one template: decoded TraceModels (the
-// expensive chunk decode) and rendered response payloads (the analysis).
-// Keys embed the file's identity *and* its mtime/size stamp, so a rewritten
-// trace can never serve stale results — invalidation is structural, not
-// timed.
+// expensive chunk decode, cached at chunk-range granularity so overlapping
+// windows reuse work) and rendered response payloads keyed by plan
+// fingerprint. Keys embed the file's identity *and* its mtime/size stamp, so
+// a rewritten trace can never serve stale results — invalidation is
+// structural, not timed.
 //
 // Sharding: the key hash picks one of N independent LRU shards, each with
 // its own mutex and bytes/N of the budget, so concurrent workers do not
@@ -25,7 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
-namespace osn::serve {
+namespace osn::query {
 
 /// Aggregated cache counters (surfaced by the metrics endpoint).
 struct CacheStats {
@@ -160,4 +162,4 @@ class ShardedLruCache {
   std::vector<Shard> shards_;
 };
 
-}  // namespace osn::serve
+}  // namespace osn::query

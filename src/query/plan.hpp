@@ -1,0 +1,103 @@
+// The query plan: one canonical description of "filter, window, group,
+// aggregate" over a trace.
+//
+// The paper observes that every analysis view is "simply applying different
+// filters" over one interval stream (§III-A) — yet the repo grew three
+// hand-rolled copies of that logic (CLI subcommands, serve ops, streaming
+// stats), each with its own ms→ns conversion, fast-path gate and cache key.
+// A Plan is the single vocabulary those front ends now share:
+//
+//   predicate   — optional cpu restriction (records of one CPU only) and,
+//                 for timeseries, an activity-kind filter;
+//   window      — [t0, t1) in trace nanoseconds; (0, kTimeInfinity) means
+//                 the whole trace;
+//   group-by    — the quantum grid (chart/timeseries) or the cpu axis (topk);
+//   aggregate   — which document to render (summary, chart, timeseries,
+//                 topk), plus the analysis ablation switches.
+//
+// The executor (engine.hpp) decides *how* to answer — index-only
+// pre-aggregates, chunk-pruned decode, cached models — from the plan alone;
+// front ends never pick an execution strategy again.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+#include "noise/analysis.hpp"
+#include "noise/interval.hpp"
+
+namespace osn::query {
+
+/// The document a plan produces. A windowed summary is not a separate
+/// aggregate: it is kSummary with a non-trivial window.
+enum class Aggregate : std::uint8_t {
+  kSummary,     ///< activity stats + per-rank breakdown (export --json)
+  kChart,       ///< synthetic noise chart for one task (Fig 1b)
+  kTimeseries,  ///< one activity's charged noise on a quantum grid
+  kTopK,        ///< noisiest CPUs by total charged noise
+};
+
+const char* aggregate_name(Aggregate a);
+
+struct Plan {
+  Aggregate aggregate = Aggregate::kSummary;
+
+  /// Time window [t0, t1) in trace ns. The default covers everything; the
+  /// engine canonicalizes any window provably covering the whole trace back
+  /// to this form so it shares cache entries (and the index-only fast path)
+  /// with the unwindowed plan.
+  TimeNs t0 = 0;
+  TimeNs t1 = kTimeInfinity;
+
+  /// Restrict input records to one CPU: every other per-CPU stream becomes
+  /// empty, metadata is unchanged. Chunks whose cpu_mask excludes the CPU
+  /// are pruned from the decode entirely.
+  std::optional<CpuId> cpu;
+
+  /// Timeseries activity filter; kMaxKind means every activity.
+  noise::ActivityKind activity = noise::ActivityKind::kMaxKind;
+
+  /// Chart task (nullopt: first application rank).
+  std::optional<Pid> task;
+
+  /// Chart / timeseries bucket width in ns (must be > 0 for those plans).
+  DurNs quantum = kNsPerMs;
+
+  /// TopK row count (must be > 0 for kTopK plans).
+  std::size_t k = 5;
+
+  /// Analysis ablation switches + worker count. jobs does not affect
+  /// results (the analyzer is bit-deterministic at any worker count), so
+  /// it is excluded from the fingerprint.
+  noise::AnalysisOptions options;
+};
+
+/// Converts milliseconds (as the protocol's double) to nanoseconds.
+/// Rejects non-finite and negative inputs with nullopt; saturates to
+/// kTimeInfinity when the product exceeds the TimeNs range (the cast the
+/// CLI and server both used to do raw is undefined behaviour there). For
+/// in-range values the result is the exact historical static_cast, so
+/// existing windows stay byte-identical.
+std::optional<TimeNs> ns_from_ms(double ms);
+
+/// Applies a [from_ms, to_ms) window to `plan` through ns_from_ms. False
+/// (plan untouched) when the pair is rejected: non-finite, negative, or
+/// to <= from after conversion.
+bool window_from_ms(Plan& plan, double from_ms, double to_ms);
+
+/// Bucket count for a quantum grid over `duration`: duration / quantum,
+/// clamped to at least one bucket. The clamp pins the edge cases that used
+/// to hide in each caller: a zero-duration (single-event) trace, an empty
+/// window, and a quantum longer than the trace all yield exactly one
+/// bucket. quantum must be > 0.
+std::size_t chart_buckets(DurNs duration, DurNs quantum);
+
+/// Canonical plan fingerprint: the result-cache key body (the trace's
+/// identity stamp is prepended by the engine). Two plans that must produce
+/// the same bytes fingerprint equal; fields irrelevant to the aggregate
+/// (e.g. a chart's activity filter) are excluded, as is options.jobs.
+std::string fingerprint(const Plan& plan);
+
+}  // namespace osn::query

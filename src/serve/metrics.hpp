@@ -12,15 +12,17 @@
 #include <string>
 
 #include "common/types.hpp"
-#include "serve/result_cache.hpp"
+#include "query/lru_cache.hpp"
 #include "stats/histogram.hpp"
 
 namespace osn::serve {
 
+using query::CacheStats;
+
 class ServerMetrics {
  public:
   // One counter per protocol op, indexed by static_cast<size_t>(Op).
-  static constexpr std::size_t kOpSlots = 8;
+  static constexpr std::size_t kOpSlots = 16;
 
   void count_request(std::size_t op_index) {
     requests_.fetch_add(1, std::memory_order_relaxed);

@@ -280,6 +280,8 @@ const char* op_name(Op op) {
     case Op::kSummary: return "summary";
     case Op::kChart: return "chart";
     case Op::kWindow: return "window";
+    case Op::kTimeseries: return "timeseries";
+    case Op::kTopK: return "topk";
     case Op::kMetrics: return "metrics";
     case Op::kPing: return "ping";
   }
@@ -290,7 +292,7 @@ namespace {
 
 std::optional<Op> op_from_name(const std::string& name) {
   for (const Op op : {Op::kList, Op::kInfo, Op::kSummary, Op::kChart, Op::kWindow,
-                      Op::kMetrics, Op::kPing})
+                      Op::kTimeseries, Op::kTopK, Op::kMetrics, Op::kPing})
     if (name == op_name(op)) return op;
   return std::nullopt;
 }
@@ -298,7 +300,7 @@ std::optional<Op> op_from_name(const std::string& name) {
 /// True when the op addresses one trace (and thus requires `trace`).
 bool op_takes_trace(Op op) {
   return op == Op::kInfo || op == Op::kSummary || op == Op::kChart ||
-         op == Op::kWindow;
+         op == Op::kWindow || op == Op::kTimeseries || op == Op::kTopK;
 }
 
 bool get_u64_field(const JsonValue& root, const char* key, std::uint64_t& out,
@@ -384,6 +386,32 @@ std::optional<Request> parse_request(const std::string& line, std::string& error
     return std::nullopt;
   }
 
+  std::uint64_t cpu = 0;
+  const bool had_cpu = root->find("cpu") != nullptr;
+  if (!get_u64_field(*root, "cpu", cpu, error)) return std::nullopt;
+  if (had_cpu) {
+    // CpuId is 16-bit; anything wider can never match a record.
+    if (cpu > 0xFFFF) {
+      error = "cpu out of range";
+      return std::nullopt;
+    }
+    req.cpu = static_cast<CpuId>(cpu);
+  }
+
+  if (const JsonValue* activity = root->find("activity"); activity != nullptr) {
+    if (!activity->is_string()) {
+      error = "activity must be a string";
+      return std::nullopt;
+    }
+    req.activity = activity->string;
+  }
+
+  if (!get_u64_field(*root, "k", req.k, error)) return std::nullopt;
+  if (req.k == 0 || req.k > 65536) {
+    error = "k out of range";
+    return std::nullopt;
+  }
+
   std::uint64_t deadline_ms = 0;
   const bool had_deadline = root->find("deadline_ms") != nullptr;
   if (!get_u64_field(*root, "deadline_ms", deadline_ms, error)) return std::nullopt;
@@ -412,6 +440,9 @@ std::string Request::to_line() const {
            number_to_json(window_to_ms) + "]";
   if (task.has_value()) out += ",\"task\":" + std::to_string(*task);
   if (quantum_us != 1000) out += ",\"quantum_us\":" + std::to_string(quantum_us);
+  if (cpu.has_value()) out += ",\"cpu\":" + std::to_string(*cpu);
+  if (!activity.empty()) out += ",\"activity\":\"" + exporter::json_escape(activity) + "\"";
+  if (k != 5) out += ",\"k\":" + std::to_string(k);
   if (deadline.has_value())
     out += ",\"deadline_ms\":" + std::to_string(*deadline / kNsPerMs);
   if (stall != 0) out += ",\"stall_ms\":" + std::to_string(stall / kNsPerMs);

@@ -11,7 +11,8 @@
 //   -> {"id":2,"op":"window","trace":"ftq","window":[100,900]}
 //   <- {"id":2,"ok":false,"error":"deadline_exceeded","message":"..."}
 //
-// Ops: list, info, summary, chart, window, metrics, ping. This header also
+// Ops: list, info, summary, chart, window, timeseries, topk, metrics, ping.
+// This header also
 // contains the small recursive-descent JSON reader the server uses to parse
 // requests (hostile input is an expected condition: any parse problem turns
 // into a bad_request response, never a crash).
@@ -61,13 +62,17 @@ std::optional<JsonValue> parse_json(const std::string& text);
 // ---------------------------------------------------------------------------
 
 enum class Op : std::uint8_t {
-  kList,     ///< catalog contents
-  kInfo,     ///< one trace's metadata/tasks/chunks
-  kSummary,  ///< full-trace analysis summary (== osn-analyze export --json)
-  kChart,    ///< synthetic noise chart for one task
-  kWindow,   ///< summary of a [t0,t1) time slice (chunk-index driven)
-  kMetrics,  ///< server counters, cache stats, latency quantiles
-  kPing,     ///< liveness; optional stall_ms busy-wait for drain/load tests
+  kList,        ///< catalog contents
+  kInfo,        ///< one trace's metadata/tasks/chunks
+  kSummary,     ///< full-trace analysis summary (== osn-analyze export --json)
+  kChart,       ///< synthetic noise chart for one task
+  kWindow,      ///< summary of a [t0,t1) time slice (chunk-index driven)
+  kTimeseries,  ///< one activity's charged noise on a quantum grid
+  kTopK,        ///< noisiest CPUs by total charged noise
+  kMetrics,     ///< server counters, cache stats, latency quantiles
+  kPing,        ///< liveness; optional stall_ms busy-wait for drain/load
+                ///< tests. Must stay the last enumerator: metrics renders
+                ///< per-op counters for 0..kPing inclusive.
 };
 
 const char* op_name(Op op);
@@ -80,7 +85,10 @@ struct Request {
   double window_from_ms = 0.0;     ///< --window A:B semantics, milliseconds
   double window_to_ms = 0.0;
   std::optional<Pid> task;         ///< chart: rank pid (default: first app)
-  std::uint64_t quantum_us = 1000; ///< chart quantum
+  std::uint64_t quantum_us = 1000; ///< chart/timeseries quantum
+  std::optional<CpuId> cpu;        ///< restrict input records to one CPU
+  std::string activity;            ///< timeseries: activity name ("" = all)
+  std::uint64_t k = 5;             ///< topk: row count
   std::optional<DurNs> deadline;   ///< per-request budget (from deadline_ms)
   DurNs stall = 0;                 ///< ping: server-side stall (from stall_ms)
 

@@ -1,27 +1,14 @@
 #include "serve/query.hpp"
 
-#include <algorithm>
-#include <cstdio>
 #include <exception>
-#include <memory>
 #include <utility>
 
-#include "export/index_summary.hpp"
 #include "export/json.hpp"
-#include "noise/analysis.hpp"
-#include "noise/chart.hpp"
+#include "noise/interval.hpp"
 
 namespace osn::serve {
 
 namespace {
-
-/// Shortest round-trippable rendering of a double (cache keys only; payload
-/// numbers are integers).
-std::string fmt_double(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
 
 void append_field(std::string& out, const char* key, const std::string& value,
                   bool comma = true) {
@@ -119,19 +106,13 @@ std::string info_payload(const Lease& lease) {
   return out;
 }
 
-/// Full-trace model through the model cache. The byte estimate charges the
-/// dominant cost (24 bytes per stored record) plus task-table slack.
-std::shared_ptr<const trace::TraceModel> model_for(const QueryContext& ctx,
-                                                   const Lease& lease) {
-  const std::string key = lease.entry.id() + "|model";
-  if (auto cached = ctx.models->get(key)) return cached;
-  auto model = std::make_shared<const trace::TraceModel>(lease.reader->read_all(nullptr));
-  const std::uint64_t bytes =
-      static_cast<std::uint64_t>(model->total_events()) * sizeof(tracebuf::EventRecord) +
-      4096;
-  ctx.models->put(key, model, bytes);
-  return model;
-}
+/// Thrown by the engine checkpoint when the request deadline expires
+/// mid-execution; caught in execute_query and turned into the response.
+/// Not a std::exception on purpose — it must never be swallowed by the
+/// generic internal-error handler.
+struct DeadlineError {
+  const char* stage;
+};
 
 Response deadline_failure(const QueryContext& ctx, const Request& req,
                           const char* stage) {
@@ -154,11 +135,12 @@ Response run_query(const QueryContext& ctx, const Request& req, Deadline deadlin
   }
   if (req.op == Op::kMetrics) {
     return Response::success(
-        req.id, ctx.metrics->to_json(ctx.results->stats(), ctx.models->stats()));
+        req.id, ctx.metrics->to_json(ctx.engine->result_cache_stats(),
+                                     ctx.engine->model_cache_stats()));
   }
   if (req.op == Op::kList) return Response::success(req.id, list_payload(ctx));
 
-  // Data-plane ops: lease the trace, consult the result cache.
+  // Ops that address one trace: lease it first.
   if (deadline.expired()) return deadline_failure(ctx, req, "before lease");
   Lease lease = ctx.catalog->open(req.trace);
   if (!lease.reader) {
@@ -166,113 +148,72 @@ Response run_query(const QueryContext& ctx, const Request& req, Deadline deadlin
     return Response::failure(req.id, unknown ? errc::kUnknownTrace : errc::kTraceError,
                              lease.error);
   }
+  if (req.op == Op::kInfo) return Response::success(req.id, info_payload(lease));
 
-  const std::string key = result_cache_key(lease.entry.id(), req);
-  if (auto cached = ctx.results->get(key)) return Response::success(req.id, *cached);
-  if (deadline.expired()) return deadline_failure(ctx, req, "before decode");
-
-  std::string payload;
-  switch (req.op) {
-    case Op::kInfo:
-      payload = info_payload(lease);
-      break;
-    case Op::kSummary: {
-      // Files carrying intact pre-aggregates answer from the index alone —
-      // byte-identical to the record-decode path by the IndexAggregator
-      // contract, so the result cache stays coherent across both paths.
-      if (auto fast = exporter::index_summary_json(*lease.reader)) {
-        payload = std::move(*fast);
-        break;
-      }
-      const auto model = model_for(ctx, lease);
-      if (deadline.expired()) return deadline_failure(ctx, req, "before analysis");
-      const noise::NoiseAnalysis analysis(*model);
-      payload = exporter::summary_json(analysis);
-      break;
-    }
-    case Op::kWindow: {
-      // Same ns conversion as the CLI's --window A:B parse, so a served
-      // window is byte-identical to the offline one.
-      const auto t0 = static_cast<TimeNs>(req.window_from_ms * static_cast<double>(kNsPerMs));
-      const auto t1 = static_cast<TimeNs>(req.window_to_ms * static_cast<double>(kNsPerMs));
-      // A window covering the whole trace is the summary: the clip keeps
-      // every record (t0 at or before the first timestamp, t1 past the last)
-      // and the meta clamp is a no-op, so the index-only path applies.
-      // Pre-aggregates cannot answer partial windows — intervals are
-      // attributed to the chunk where they close, not sliced by time.
-      const auto& chunks = lease.reader->chunks();
-      const trace::TraceMeta& meta = lease.reader->meta();
-      if (!chunks.empty() && t0 <= std::min(meta.start_ns, chunks.front().t_first) &&
-          t1 > chunks.back().t_last && t1 >= meta.end_ns) {
-        if (auto fast = exporter::index_summary_json(*lease.reader)) {
-          payload = std::move(*fast);
-          break;
-        }
-      }
-      const trace::TraceModel model = lease.reader->read_window(t0, t1, nullptr);
-      if (deadline.expired()) return deadline_failure(ctx, req, "before analysis");
-      const noise::NoiseAnalysis analysis(model);
-      payload = exporter::summary_json(analysis);
-      break;
-    }
-    case Op::kChart: {
-      const auto model = model_for(ctx, lease);
-      if (deadline.expired()) return deadline_failure(ctx, req, "before analysis");
-      const auto apps = model->app_pids();
-      if (apps.empty())
-        return Response::failure(req.id, errc::kTraceError,
-                                 "trace has no application tasks");
-      const Pid pid = req.task.value_or(apps.front());
-      if (!model->is_app(pid))
-        return Response::failure(req.id, errc::kBadRequest,
-                                 "pid " + std::to_string(pid) +
-                                     " is not an application task");
-      // parse_request bounds quantum_us, but execute_query is also reachable
-      // with an in-process Request; keep the division guarded here so no
-      // caller can wrap the product to 0 and SIGFPE the daemon.
-      if (req.quantum_us == 0 || req.quantum_us > kTimeInfinity / kNsPerUs)
-        return Response::failure(req.id, errc::kBadRequest,
-                                 "quantum_us out of range");
-      const noise::NoiseAnalysis analysis(*model);
-      const DurNs quantum = req.quantum_us * kNsPerUs;
-      const auto n = static_cast<std::size_t>(model->duration() / quantum);
-      const noise::SyntheticChart chart =
-          noise::build_chart(analysis, pid, 0, quantum, std::max<std::size_t>(n, 1));
-      payload = exporter::chart_json(chart, model->task_name(pid));
-      break;
-    }
-    default:
-      return Response::failure(req.id, errc::kBadRequest, "unhandled op");
-  }
-
-  if (deadline.expired()) return deadline_failure(ctx, req, "after analysis");
-  ctx.results->put(key, std::make_shared<const std::string>(payload), payload.size());
+  // Data-plane ops run through the shared engine: it owns the result and
+  // model caches, the index-only fast path, and the chunk pushdown. The
+  // checkpoint turns engine stage boundaries into deadline enforcement.
+  const query::Plan plan = plan_from_request(req);
+  std::string payload = ctx.engine->run(
+      *lease.reader, lease.entry.id(), plan, /*pool=*/nullptr,
+      [&deadline](const char* stage) {
+        if (deadline.expired()) throw DeadlineError{stage};
+      });
   return Response::success(req.id, std::move(payload));
 }
 
 }  // namespace
 
-std::string result_cache_key(const std::string& trace_id, const Request& req) {
-  std::string key = trace_id;
-  key += '|';
-  key += op_name(req.op);
+query::Plan plan_from_request(const Request& req) {
+  using query::PlanError;
+  query::Plan plan;
+  // parse_request bounds quantum_us, but plan_from_request is also reachable
+  // with an in-process Request; keep the product guarded here so no caller
+  // can wrap the quantum to 0 and SIGFPE the bucket division.
+  const auto quantum_ns = [&req]() -> DurNs {
+    if (req.quantum_us == 0 || req.quantum_us > kTimeInfinity / kNsPerUs)
+      throw PlanError(PlanError::Kind::kBadPlan, "quantum_us out of range");
+    return req.quantum_us * kNsPerUs;
+  };
+  const auto apply_window = [&req, &plan]() {
+    if (!query::window_from_ms(plan, req.window_from_ms, req.window_to_ms))
+      throw PlanError(PlanError::Kind::kBadPlan,
+                      "window requires 0 <= from_ms < to_ms");
+  };
   switch (req.op) {
+    case Op::kSummary:
+      break;
     case Op::kWindow:
-      key += '|';
-      key += fmt_double(req.window_from_ms);
-      key += ':';
-      key += fmt_double(req.window_to_ms);
+      apply_window();
       break;
     case Op::kChart:
-      key += "|task=";
-      key += req.task ? std::to_string(*req.task) : "auto";
-      key += "|quantum_us=";
-      key += std::to_string(req.quantum_us);
+      plan.aggregate = query::Aggregate::kChart;
+      plan.task = req.task;
+      plan.quantum = quantum_ns();
+      break;
+    case Op::kTimeseries:
+      plan.aggregate = query::Aggregate::kTimeseries;
+      plan.quantum = quantum_ns();
+      if (!req.activity.empty()) {
+        const auto kind = noise::activity_from_name(req.activity);
+        if (!kind.has_value())
+          throw PlanError(PlanError::Kind::kBadPlan,
+                          "unknown activity: " + req.activity);
+        plan.activity = *kind;
+      }
+      if (req.has_window) apply_window();
+      break;
+    case Op::kTopK:
+      plan.aggregate = query::Aggregate::kTopK;
+      plan.k = static_cast<std::size_t>(req.k);
+      if (req.has_window) apply_window();
       break;
     default:
-      break;
+      throw PlanError(PlanError::Kind::kBadPlan,
+                      std::string(op_name(req.op)) + " has no query plan");
   }
-  return key;
+  plan.cpu = req.cpu;
+  return plan;
 }
 
 Response execute_query(const QueryContext& ctx, const Request& req, Deadline deadline) {
@@ -280,6 +221,14 @@ Response execute_query(const QueryContext& ctx, const Request& req, Deadline dea
   Response resp;
   try {
     resp = run_query(ctx, req, deadline);
+  } catch (const DeadlineError& e) {
+    resp = deadline_failure(ctx, req, e.stage);
+  } catch (const query::PlanError& e) {
+    resp = Response::failure(req.id,
+                             e.kind() == query::PlanError::Kind::kBadPlan
+                                 ? errc::kBadRequest
+                                 : errc::kTraceError,
+                             e.what());
   } catch (const trace::TraceReadError& e) {
     resp = Response::failure(req.id, errc::kTraceError, e.what());
   } catch (const std::exception& e) {

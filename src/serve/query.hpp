@@ -1,41 +1,36 @@
 // Query execution: one Request in, one Response out.
 //
 // This is the server's data plane, deliberately independent of sockets and
-// threads so tests can drive it directly. Every op funnels through the same
-// shape: lease the trace from the catalog, check the result cache (keyed by
-// the file's identity stamp + the canonical query parameters), on a miss
-// obtain the decoded TraceModel (model cache, same stamp), run the analysis,
-// render the same bytes the offline CLI writes, and populate both caches on
-// the way out.
+// threads so tests can drive it directly. The server translates a wire
+// Request into a query::Plan and hands it to the shared query::Engine —
+// the same executor the offline CLI uses — so a served payload is
+// byte-identical to the offline document by construction, and all caching
+// (plan-fingerprint result cache, chunk-range model cache) lives in one
+// place. Only the control-plane ops (list, info, metrics, ping) are
+// answered here.
 //
-// Deadlines are checked at stage boundaries (after lease, after decode,
-// after analysis) — the stages themselves are not interruptible, so a
-// deadline bounds *queueing + staleness*, not a hard wall; an expired
-// deadline yields errc::kDeadlineExceeded rather than a late answer.
+// Deadlines are checked at stage boundaries (before lease, before decode,
+// before/after analysis — the engine's checkpoint hook) — the stages
+// themselves are not interruptible, so a deadline bounds *queueing +
+// staleness*, not a hard wall; an expired deadline yields
+// errc::kDeadlineExceeded rather than a late answer.
 #pragma once
 
 #include <atomic>
 #include <string>
 
 #include "common/clock.hpp"
+#include "query/engine.hpp"
 #include "serve/catalog.hpp"
 #include "serve/metrics.hpp"
 #include "serve/protocol.hpp"
-#include "serve/result_cache.hpp"
-#include "trace/trace_model.hpp"
 
 namespace osn::serve {
-
-/// Rendered response payloads, keyed by trace stamp + canonical query.
-using ResultCache = ShardedLruCache<std::string>;
-/// Decoded full-trace models, keyed by trace stamp.
-using ModelCache = ShardedLruCache<trace::TraceModel>;
 
 /// Everything execute_query needs; owned by the Server, shared by workers.
 struct QueryContext {
   TraceCatalog* catalog = nullptr;
-  ResultCache* results = nullptr;
-  ModelCache* models = nullptr;
+  query::Engine* engine = nullptr;
   ServerMetrics* metrics = nullptr;
   /// Optional drain flag: a set flag cuts ping stalls short so graceful
   /// shutdown is not held hostage by load-test requests.
@@ -48,8 +43,10 @@ struct QueryContext {
 /// the server observes that around the whole request).
 Response execute_query(const QueryContext& ctx, const Request& req, Deadline deadline);
 
-/// Canonical result-cache key for a request against a trace stamp (exposed
-/// for tests asserting hit/miss behaviour).
-std::string result_cache_key(const std::string& trace_id, const Request& req);
+/// Translates a wire request into the canonical plan the engine executes
+/// (exposed for tests asserting fingerprint/cache behaviour). Throws
+/// query::PlanError for semantically invalid combinations (unknown
+/// activity name, non-finite window).
+query::Plan plan_from_request(const Request& req);
 
 }  // namespace osn::serve

@@ -24,11 +24,10 @@ constexpr DurNs kControlWriteNs = 100 * kNsPerMs;
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
       catalog_(std::make_unique<TraceCatalog>(options_.dir)),
-      results_(options_.result_cache_bytes),
-      models_(options_.model_cache_bytes) {
+      engine_(query::EngineOptions{options_.result_cache_bytes,
+                                   options_.model_cache_bytes}) {
   ctx_.catalog = catalog_.get();
-  ctx_.results = &results_;
-  ctx_.models = &models_;
+  ctx_.engine = &engine_;
   ctx_.metrics = &metrics_;
   ctx_.draining = &draining_;
 }

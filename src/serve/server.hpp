@@ -36,6 +36,7 @@
 #include "common/clock.hpp"
 #include "common/socket.hpp"
 #include "common/thread_pool.hpp"
+#include "query/engine.hpp"
 #include "serve/catalog.hpp"
 #include "serve/metrics.hpp"
 #include "serve/query.hpp"
@@ -97,8 +98,7 @@ class Server {
 
   ServerOptions options_;
   std::unique_ptr<TraceCatalog> catalog_;
-  ResultCache results_;
-  ModelCache models_;
+  query::Engine engine_;
   ServerMetrics metrics_;
   QueryContext ctx_;
 

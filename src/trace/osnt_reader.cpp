@@ -820,27 +820,41 @@ TraceModel OsntReader::read_all(ThreadPool* pool) {
   return assemble(std::move(decoded), ids, pool);
 }
 
+std::pair<std::size_t, std::size_t> OsntReader::window_chunk_range(TimeNs t0,
+                                                                   TimeNs t1) const {
+  if (version_ != osnt::kVersionChunked || t1 <= t0 || chunks_.empty()) return {0, 0};
+  // Chunks slice the global merged stream, so their time ranges are sorted:
+  // binary-search the first chunk that can reach t0, walk to the last whose
+  // t_first is below t1.
+  const auto first = std::partition_point(chunks_.begin(), chunks_.end(),
+                                          [t0](const ChunkInfo& c) { return c.t_last < t0; });
+  auto last = first;
+  while (last != chunks_.end() && last->t_first < t1) ++last;
+  return {static_cast<std::size_t>(first - chunks_.begin()),
+          static_cast<std::size_t>(last - chunks_.begin())};
+}
+
+TraceModel OsntReader::read_chunks(const std::vector<std::size_t>& ids, ThreadPool* pool) {
+  if (version_ != osnt::kVersionChunked)
+    throw TraceReadError("read_chunks requires a chunk-indexed file", 0);
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    if (ids[i] >= chunks_.size() || (i > 0 && ids[i] <= ids[i - 1]))
+      throw TraceReadError("chunk ids must be strictly increasing and in range", 0);
+  auto decoded =
+      decode_chunks(ids, pool, [this](std::size_t i) { return decode_chunk(i); });
+  return assemble(std::move(decoded), ids, pool);
+}
+
 TraceModel OsntReader::read_window(TimeNs t0, TimeNs t1, ThreadPool* pool) {
   if (version_ != osnt::kVersionChunked) {
     std::lock_guard<std::mutex> lock(mutex_);
     ensure_legacy_model();
     return window_of(*legacy_, t0, t1);
   }
-  // Chunks slice the global merged stream, so their time ranges are sorted:
-  // binary-search the first chunk that can reach t0, walk to the last whose
-  // t_first is below t1.
-  std::vector<std::size_t> ids;
-  if (t1 > t0 && !chunks_.empty()) {
-    const auto first = std::partition_point(
-        chunks_.begin(), chunks_.end(),
-        [t0](const ChunkInfo& c) { return c.t_last < t0; });
-    for (auto it = first; it != chunks_.end() && it->t_first < t1; ++it)
-      ids.push_back(static_cast<std::size_t>(it - chunks_.begin()));
-  }
-  auto decoded =
-      decode_chunks(ids, pool, [this](std::size_t i) { return decode_chunk(i); });
-  TraceModel full = assemble(std::move(decoded), ids, pool);
-  return window_of(full, t0, t1);
+  const auto [first, last] = window_chunk_range(t0, t1);
+  std::vector<std::size_t> ids(last - first);
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = first + i;
+  return window_of(read_chunks(ids, pool), t0, t1);
 }
 
 void OsntReader::for_each(const std::function<void(const tracebuf::EventRecord&)>& fn) {

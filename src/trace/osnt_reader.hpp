@@ -49,6 +49,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/mapped_file.hpp"
@@ -148,6 +149,21 @@ class OsntReader {
   /// keeps the analyzer's pairing invariants; meta start/end are clamped to
   /// the window.
   TraceModel read_window(TimeNs t0, TimeNs t1, ThreadPool* pool = nullptr);
+
+  /// The contiguous [first, last) range of v3 chunks whose index time span
+  /// overlaps [t0, t1) — exactly the set read_window() decodes. Returns
+  /// (0, 0) for v1/v2 files and for empty windows.
+  std::pair<std::size_t, std::size_t> window_chunk_range(TimeNs t0, TimeNs t1) const;
+
+  /// Decodes and assembles an explicit set of chunks (ids strictly
+  /// increasing) into a model carrying the full-trace meta (no window
+  /// clamping). v3 only; throws TraceReadError for legacy files or
+  /// out-of-range ids. read_window(t0, t1) is exactly
+  /// window_of(read_chunks(window_chunk_range(t0, t1)), t0, t1) bit for bit
+  /// — the identity the query engine's chunk-range model cache relies on.
+  /// The engine also passes mask-pruned subsets: dropping chunks whose
+  /// cpu_mask lacks a cpu leaves that cpu's stream untouched.
+  TraceModel read_chunks(const std::vector<std::size_t>& ids, ThreadPool* pool = nullptr);
 
   /// Streams every record in global merged order, chunk at a time — O(chunk)
   /// memory for v3 files (the compatibility shim for v1/v2 materializes the

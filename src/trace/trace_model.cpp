@@ -18,6 +18,20 @@ std::size_t TraceModel::total_events() const {
   return n;
 }
 
+std::size_t TraceModel::footprint_bytes() const {
+  std::size_t bytes = sizeof(TraceModel);
+  bytes += per_cpu_.capacity() * sizeof(std::vector<tracebuf::EventRecord>);
+  for (const auto& v : per_cpu_) bytes += v.capacity() * sizeof(tracebuf::EventRecord);
+  bytes += meta_.workload.capacity();
+  for (const auto& [pid, info] : tasks_) {
+    (void)pid;
+    // Red-black tree node: key/value pair plus parent/child pointers + color.
+    bytes += sizeof(std::pair<const Pid, TaskInfo>) + 4 * sizeof(void*);
+    bytes += info.name.capacity();
+  }
+  return bytes;
+}
+
 const TaskInfo* TraceModel::find_task(Pid pid) const {
   auto it = tasks_.find(pid);
   return it == tasks_.end() ? nullptr : &it->second;

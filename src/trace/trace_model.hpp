@@ -67,6 +67,12 @@ class TraceModel {
   }
   std::size_t total_events() const;
 
+  /// Measured memory footprint: the object itself plus every heap block it
+  /// owns (per-CPU stream capacity, task names, workload string, map nodes).
+  /// This is what byte-budgeted caches charge — an event-count estimate
+  /// under-counts per-CPU array and task-table overhead on wide traces.
+  std::size_t footprint_bytes() const;
+
   const std::map<Pid, TaskInfo>& tasks() const { return tasks_; }
   const TaskInfo* find_task(Pid pid) const;
   bool is_app(Pid pid) const;

@@ -5,9 +5,9 @@
 #include <thread>
 #include <vector>
 
-#include "serve/result_cache.hpp"
+#include "query/lru_cache.hpp"
 
-namespace osn::serve {
+namespace osn::query {
 namespace {
 
 std::shared_ptr<const std::string> val(const std::string& s) {
@@ -105,4 +105,4 @@ TEST(ResultCache, ConcurrentMixedLoad) {
 }
 
 }  // namespace
-}  // namespace osn::serve
+}  // namespace osn::query

@@ -9,6 +9,7 @@
 
 #include "export/json.hpp"
 #include "noise/analysis.hpp"
+#include "query/engine.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "serve_helpers.hpp"
@@ -176,6 +177,87 @@ TEST(Server, InfoChartAndListRoundTrip) {
                 .call_line(
                     R"({"id":6,"op":"chart","trace":"t","quantum_us":2305843009213693952})",
                     6, Deadline::after(sec(10)))
+                .error,
+            errc::kBadRequest);
+
+  server.stop();
+}
+
+TEST(Server, TimeseriesTopkAndCpuPredicateMatchOfflinePlanner) {
+  TempDir dir("server_new_ops");
+  const trace::TraceModel model = make_model();
+  write_trace(model, dir.path(), "t");
+
+  // The offline truth through the same planner the CLI drives; byte-identity
+  // here proves serve and `osn-analyze timeseries/topk/summary --cpu` agree.
+  query::Engine engine;
+  trace::OsntReader reader(dir.path() + "/t.osnt");
+  query::Plan ts_plan;
+  ts_plan.aggregate = query::Aggregate::kTimeseries;
+  ts_plan.quantum = 100 * kNsPerUs;
+  const std::string offline_ts = engine.run(reader, "", ts_plan);
+  query::Plan ts_act_plan = ts_plan;
+  ts_act_plan.activity = noise::ActivityKind::kPageFault;
+  const std::string offline_ts_act = engine.run(reader, "", ts_act_plan);
+  query::Plan topk_plan;
+  topk_plan.aggregate = query::Aggregate::kTopK;
+  topk_plan.k = 2;
+  const std::string offline_topk = engine.run(reader, "", topk_plan);
+  query::Plan cpu_plan;
+  cpu_plan.cpu = 1;
+  const std::string offline_cpu = engine.run(reader, "", cpu_plan);
+
+  Server server(options_for(dir.path()));
+  ASSERT_TRUE(server.start());
+  Client client("127.0.0.1", server.port(), Deadline::after(sec(10)));
+
+  Request ts;
+  ts.id = 1;
+  ts.op = Op::kTimeseries;
+  ts.trace = "t";
+  ts.quantum_us = 100;
+  const Response ts_resp = client.call(ts, Deadline::after(sec(60)));
+  ASSERT_TRUE(ts_resp.ok) << ts_resp.message;
+  EXPECT_EQ(ts_resp.payload, offline_ts);
+
+  Request ts_act = ts;
+  ts_act.id = 2;
+  ts_act.activity = "page_fault";
+  const Response ts_act_resp = client.call(ts_act, Deadline::after(sec(60)));
+  ASSERT_TRUE(ts_act_resp.ok) << ts_act_resp.message;
+  EXPECT_EQ(ts_act_resp.payload, offline_ts_act);
+  EXPECT_NE(ts_act_resp.payload.find("\"activity\": \"page_fault\""),
+            std::string::npos);
+
+  Request topk;
+  topk.id = 3;
+  topk.op = Op::kTopK;
+  topk.trace = "t";
+  topk.k = 2;
+  const Response topk_resp = client.call(topk, Deadline::after(sec(60)));
+  ASSERT_TRUE(topk_resp.ok) << topk_resp.message;
+  EXPECT_EQ(topk_resp.payload, offline_topk);
+
+  Request cpu = summary_request(4);
+  cpu.cpu = 1;
+  const Response cpu_resp = client.call(cpu, Deadline::after(sec(60)));
+  ASSERT_TRUE(cpu_resp.ok) << cpu_resp.message;
+  EXPECT_EQ(cpu_resp.payload, offline_cpu);
+
+  // Unexecutable new-op requests come back as clean protocol errors.
+  Request bad_activity = ts;
+  bad_activity.id = 5;
+  bad_activity.activity = "definitely_not_an_activity";
+  EXPECT_EQ(client.call(bad_activity, Deadline::after(sec(10))).error,
+            errc::kBadRequest);
+  EXPECT_EQ(client
+                .call_line(R"({"id":6,"op":"topk","trace":"t","k":0})", 6,
+                           Deadline::after(sec(10)))
+                .error,
+            errc::kBadRequest);
+  EXPECT_EQ(client
+                .call_line(R"({"id":7,"op":"summary","trace":"t","cpu":70000})", 7,
+                           Deadline::after(sec(10)))
                 .error,
             errc::kBadRequest);
 

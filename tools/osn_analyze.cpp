@@ -37,13 +37,13 @@
 #include "export/csv.hpp"
 #include "export/json.hpp"
 #include "export/paraver.hpp"
-#include "export/index_summary.hpp"
 #include "noise/analysis.hpp"
 #include "noise/chart.hpp"
 #include "noise/disambiguate.hpp"
 #include "noise/index_aggregate.hpp"
 #include "noise/scalability.hpp"
 #include "noise/streaming.hpp"
+#include "query/engine.hpp"
 #include "serve/client.hpp"
 #include "trace/event_source.hpp"
 #include "trace/osnt_reader.hpp"
@@ -117,11 +117,16 @@ int usage() {
       "              [--to-ms B] [--width N]\n"
       "  osn-analyze interruptions <trace.osnt> [--task PID] [--top N]\n"
       "  osn-analyze lookalikes <trace.osnt> [--task PID] [--tolerance PCT]\n"
+      "  osn-analyze summary <trace.osnt> [--window A:B] [--cpu N]\n"
+      "  osn-analyze timeseries <trace.osnt> [--activity NAME] [--quantum-us N]\n"
+      "              [--window A:B] [--cpu N]\n"
+      "  osn-analyze topk <trace.osnt> [--k N] [--window A:B] [--cpu N]\n"
       "  osn-analyze export <trace.osnt> (--paraver BASE | --csv FILE |\n"
       "              --json FILE)\n"
-      "  osn-analyze query <list|info|summary|chart|window|metrics|ping> [trace]\n"
-      "              --port N [--host H] [--window A:B] [--task PID]\n"
-      "              [--quantum-us N] [--deadline-ms N] [--stall-ms N]\n"
+      "  osn-analyze query <list|info|summary|chart|window|timeseries|topk|\n"
+      "              metrics|ping> [trace] --port N [--host H] [--window A:B]\n"
+      "              [--task PID] [--quantum-us N] [--cpu N] [--activity NAME]\n"
+      "              [--k N] [--deadline-ms N] [--stall-ms N]\n"
       "  osn-analyze diff <a.osnt> <b.osnt>\n"
       "  osn-analyze scalability <trace.osnt> [--granularity-us N]\n"
       "              [--ranks N,N,...]\n\n"
@@ -152,23 +157,36 @@ std::unique_ptr<ThreadPool> decode_pool(const Args& args) {
   return jobs > 1 ? std::make_unique<ThreadPool>(jobs) : nullptr;
 }
 
-/// Parses --window A:B (milliseconds, fractional allowed) into [t0, t1) ns.
+/// Parses --window A:B (milliseconds, fractional allowed) into [t0, t1) ns
+/// through the same conversion the serve protocol uses (query::ns_from_ms),
+/// so a CLI window and a served window always mean the same nanosecond span.
 bool parse_window(const Args& args, TimeNs& t0, TimeNs& t1) {
   if (!args.has("window")) return false;
   const std::string w = args.get("window");
   const std::size_t colon = w.find(':');
-  double a = 0, b = 0;
+  std::optional<TimeNs> a, b;
   if (colon != std::string::npos) {
-    a = std::strtod(w.substr(0, colon).c_str(), nullptr);
-    b = std::strtod(w.substr(colon + 1).c_str(), nullptr);
+    a = query::ns_from_ms(std::strtod(w.substr(0, colon).c_str(), nullptr));
+    b = query::ns_from_ms(std::strtod(w.substr(colon + 1).c_str(), nullptr));
   }
-  if (colon == std::string::npos || b <= a || a < 0) {
+  if (colon == std::string::npos || !a.has_value() || !b.has_value() || *b <= *a) {
     std::fprintf(stderr, "error: --window expects A:B in milliseconds (B > A)\n");
     std::exit(2);
   }
-  t0 = static_cast<TimeNs>(a * static_cast<double>(kNsPerMs));
-  t1 = static_cast<TimeNs>(b * static_cast<double>(kNsPerMs));
+  t0 = *a;
+  t1 = *b;
   return true;
+}
+
+/// --quantum-us with the wrap guard every quantum consumer needs: a product
+/// that overflows DurNs would otherwise fold to a quantum of 0.
+DurNs quantum_from_args(const Args& args) {
+  const std::uint64_t us = args.get_u64("quantum-us", 1000);
+  if (us == 0 || us > kTimeInfinity / kNsPerUs) {
+    std::fprintf(stderr, "error: --quantum-us out of range\n");
+    std::exit(2);
+  }
+  return us * kNsPerUs;
 }
 
 /// --io mmap|pread: I/O strategy for file-backed readers (default: mmap with
@@ -213,6 +231,50 @@ Pid pick_task(const Args& args, const trace::TraceModel& model) {
     std::exit(1);
   }
   return pid;
+}
+
+/// The aggregate-independent plan pieces every planner subcommand shares:
+/// analysis options, the --window predicate, the --cpu predicate.
+query::Plan base_plan(const Args& args) {
+  query::Plan plan;
+  plan.options = analysis_options(args);
+  TimeNs t0 = 0, t1 = 0;
+  if (parse_window(args, t0, t1)) {
+    plan.t0 = t0;
+    plan.t1 = t1;
+  }
+  if (args.has("cpu")) {
+    const std::uint64_t cpu = args.get_u64("cpu", 0);
+    if (cpu > 0xFFFF) {
+      std::fprintf(stderr, "error: --cpu out of range\n");
+      std::exit(2);
+    }
+    plan.cpu = static_cast<CpuId>(cpu);
+  }
+  return plan;
+}
+
+/// Runs one plan through the shared engine (the same executor osn-served
+/// uses) and returns the rendered JSON document. The empty trace id keeps
+/// the single-shot CLI out of the cache layer entirely.
+std::string run_plan(const Args& args, const query::Plan& plan) {
+  trace::OsntReader reader(trace_path(args), io_mode(args));
+  const auto pool = decode_pool(args);
+  query::Engine engine;
+  return engine.run(reader, /*trace_id=*/"", plan, pool.get());
+}
+
+/// Print-to-stdout wrapper: the document bytes are the exporter's bytes,
+/// identical to what the serve path transports.
+int print_plan(const Args& args, const query::Plan& plan) {
+  try {
+    const std::string doc = run_plan(args, plan);
+    std::fwrite(doc.data(), 1, doc.size(), stdout);
+  } catch (const query::PlanError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
 }
 
 std::optional<noise::NoiseCategory> parse_category(const std::string& s) {
@@ -436,13 +498,19 @@ int cmd_breakdown(const Args& args) {
 }
 
 int cmd_chart(const Args& args) {
+  const DurNs quantum = quantum_from_args(args);
+  if (args.has("json")) {
+    query::Plan plan = base_plan(args);
+    plan.aggregate = query::Aggregate::kChart;
+    if (args.has("task")) plan.task = static_cast<Pid>(args.get_u64("task", 0));
+    plan.quantum = quantum;
+    return print_plan(args, plan);
+  }
   const trace::TraceModel model = load(args);
   noise::NoiseAnalysis analysis(model, analysis_options(args));
   const Pid pid = pick_task(args, model);
-  const DurNs quantum = args.get_u64("quantum-us", 1000) * kNsPerUs;
-  const auto n = static_cast<std::size_t>(model.duration() / quantum);
-  const noise::SyntheticChart chart =
-      noise::build_chart(analysis, pid, 0, quantum, std::max<std::size_t>(n, 1));
+  const noise::SyntheticChart chart = noise::build_chart(
+      analysis, pid, 0, quantum, query::chart_buckets(model.duration(), quantum));
   const DurNs min_noise = args.get_u64("min-noise-us", 2) * kNsPerUs;
   std::printf("synthetic OS noise chart for %s (quantum %s):\n%s",
               model.task_name(pid).c_str(), fmt_duration(quantum).c_str(),
@@ -508,21 +576,29 @@ int cmd_lookalikes(const Args& args) {
 }
 
 int cmd_export(const Args& args) {
-  // The JSON summary of a whole trace under default options is answerable
-  // from the pre-aggregate block alone; only fall back to record decode when
-  // the file has no usable aggregates or the request isn't the default one.
-  if (args.has("json") && !args.has("window") && !args.has("no-runnable-filter") &&
-      !args.has("no-nesting")) {
-    trace::OsntReader reader(trace_path(args), io_mode(args));
-    if (const auto fast = exporter::index_summary_json(reader)) {
-      const std::string path = args.get("json", reader.meta().workload + ".json");
-      if (!exporter::write_text_file(path, *fast)) {
-        std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
-        return 1;
-      }
-      std::printf("wrote %s\n", path.c_str());
-      return 0;
+  // The JSON summary goes through the planner: the engine decides centrally
+  // whether the pre-aggregate fast path answers (full window, default
+  // options, intact index) or records must be decoded.
+  if (args.has("json")) {
+    query::Plan plan = base_plan(args);
+    std::string path = args.get("json");
+    std::string doc;
+    try {
+      doc = run_plan(args, plan);
+    } catch (const query::PlanError& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
     }
+    if (path.empty()) {
+      trace::OsntReader reader(trace_path(args), io_mode(args));
+      path = reader.meta().workload + ".json";
+    }
+    if (!exporter::write_text_file(path, doc)) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
   }
   const trace::TraceModel model = load(args);
   noise::NoiseAnalysis analysis(model, analysis_options(args));
@@ -545,16 +621,36 @@ int cmd_export(const Args& args) {
                 analysis.noise_intervals().size());
     return 0;
   }
-  if (args.has("json")) {
-    const std::string path = args.get("json", model.meta().workload + ".json");
-    if (!exporter::write_text_file(path, exporter::summary_json(analysis))) {
-      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
-      return 1;
-    }
-    std::printf("wrote %s\n", path.c_str());
-    return 0;
-  }
   return usage();
+}
+
+int cmd_summary(const Args& args) { return print_plan(args, base_plan(args)); }
+
+int cmd_timeseries(const Args& args) {
+  query::Plan plan = base_plan(args);
+  plan.aggregate = query::Aggregate::kTimeseries;
+  plan.quantum = quantum_from_args(args);
+  const std::string name = args.get("activity");
+  if (!name.empty()) {
+    const auto kind = noise::activity_from_name(name);
+    if (!kind.has_value()) {
+      std::fprintf(stderr, "error: unknown activity '%s'\n", name.c_str());
+      return 2;
+    }
+    plan.activity = *kind;
+  }
+  return print_plan(args, plan);
+}
+
+int cmd_topk(const Args& args) {
+  query::Plan plan = base_plan(args);
+  plan.aggregate = query::Aggregate::kTopK;
+  plan.k = static_cast<std::size_t>(args.get_u64("k", 5));
+  if (plan.k == 0) {
+    std::fprintf(stderr, "error: --k must be positive\n");
+    return 2;
+  }
+  return print_plan(args, plan);
 }
 
 
@@ -568,6 +664,8 @@ int cmd_query(const Args& args) {
   else if (op_str == "summary") req.op = serve::Op::kSummary;
   else if (op_str == "chart") req.op = serve::Op::kChart;
   else if (op_str == "window") req.op = serve::Op::kWindow;
+  else if (op_str == "timeseries") req.op = serve::Op::kTimeseries;
+  else if (op_str == "topk") req.op = serve::Op::kTopK;
   else if (op_str == "metrics") req.op = serve::Op::kMetrics;
   else if (op_str == "ping") req.op = serve::Op::kPing;
   else {
@@ -588,6 +686,9 @@ int cmd_query(const Args& args) {
   }
   if (args.has("task")) req.task = static_cast<Pid>(args.get_u64("task", 0));
   req.quantum_us = args.get_u64("quantum-us", 1000);
+  if (args.has("cpu")) req.cpu = static_cast<CpuId>(args.get_u64("cpu", 0));
+  req.activity = args.get("activity");
+  req.k = args.get_u64("k", 5);
   if (args.has("deadline-ms")) req.deadline = args.get_u64("deadline-ms", 0) * kNsPerMs;
   req.stall = args.get_u64("stall-ms", 0) * kNsPerMs;
 
@@ -704,6 +805,9 @@ int main(int argc, char** argv) {
     if (cmd == "timeline") return cmd_timeline(args);
     if (cmd == "interruptions") return cmd_interruptions(args);
     if (cmd == "lookalikes") return cmd_lookalikes(args);
+    if (cmd == "summary") return cmd_summary(args);
+    if (cmd == "timeseries") return cmd_timeseries(args);
+    if (cmd == "topk") return cmd_topk(args);
     if (cmd == "export") return cmd_export(args);
     if (cmd == "query") return cmd_query(args);
     if (cmd == "diff") return cmd_diff(args);

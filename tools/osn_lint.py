@@ -21,6 +21,13 @@ unchecked-narrow  Decode paths must not `static_cast` a freshly decoded
 wallclock         Hot paths (src/tracebuf/) must not read wall-clock time
                   (std::system_clock, gettimeofday, time(NULL)): timestamps
                   come from the monotonic clock plumbed through the engine.
+query-pushdown    All filter/window/aggregate execution goes through the
+                  planner: production code outside src/query/ must not call
+                  read_window() or index_summary_json() directly — those are
+                  the planner's primitives, and bypassing it resurrects the
+                  duplicated execution paths this layer deleted. The trace
+                  layer itself (src/trace/) and the primitive's home
+                  (src/export/) are exempt, as are tests and benches.
 
 Suppress a finding by appending `// osn-lint: allow(<rule>)` to the line.
 
@@ -52,6 +59,8 @@ NARROW_CAST_RE = re.compile(
     r"static_cast<\s*(?:std::)?u?int(?:8|16|32)_t\s*>\s*\(\s*get_varint")
 WALLCLOCK_RE = re.compile(
     r"std::chrono::system_clock|\bgettimeofday\s*\(|(?<![_A-Za-z])time\s*\(\s*(?:NULL|nullptr|0)\s*\)")
+QUERY_PRIMITIVE_RE = re.compile(r"\b(?:read_window|index_summary_json)\s*\(")
+QUERY_EXEMPT_PREFIXES = ("src/query/", "src/trace/", "src/export/")
 
 
 def strip_comments_and_strings(line: str) -> str:
@@ -108,6 +117,12 @@ def lint_file(root: pathlib.Path, rel: str) -> list[str]:
             report("wallclock",
                    "wall-clock read in a hot path; use the monotonic "
                    "timestamp source")
+        if (not rel.startswith(QUERY_EXEMPT_PREFIXES)
+                and QUERY_PRIMITIVE_RE.search(code)):
+            report("query-pushdown",
+                   "direct read_window()/index_summary_json() call outside "
+                   "src/query/; build a query::Plan and run it through the "
+                   "Engine instead")
     return findings
 
 
@@ -119,7 +134,8 @@ def main() -> int:
 
     files = sorted(
         str(p.relative_to(root))
-        for p in (root / "src").rglob("*")
+        for tree in ("src", "tools")
+        for p in (root / tree).rglob("*")
         if p.suffix in (".cpp", ".hpp") and p.is_file())
     if not files:
         print(f"osn_lint: no sources under {root}/src", file=sys.stderr)

@@ -2,9 +2,9 @@
 # Daemon <-> client smoke test, run as part of the default ctest suite.
 #
 # Produces a short trace, starts osn-served on a kernel-assigned port,
-# round-trips list/summary/window/metrics through `osn-analyze query`,
-# checks the served summary is byte-identical to the offline exporter's
-# file, then SIGTERMs the daemon and requires a clean exit.
+# round-trips list/summary/window/chart/timeseries/topk/metrics through
+# `osn-analyze query`, checks every served document is byte-identical to
+# the offline planner's, then SIGTERMs the daemon and requires a clean exit.
 #
 # Usage: serve_smoke.sh <osn-analyze> <osn-served> <workdir>
 set -eu
@@ -15,7 +15,10 @@ WORK=$3
 
 mkdir -p "$WORK/catalog"
 rm -f "$WORK/catalog/ftq.osnt" "$WORK/port" "$WORK/served.json" \
-      "$WORK/served_window.json" "$WORK/offline.json" "$WORK/offline_window.json"
+      "$WORK/served_window.json" "$WORK/offline.json" "$WORK/offline_window.json" \
+      "$WORK/served_chart.json" "$WORK/offline_chart.json" \
+      "$WORK/served_ts.json" "$WORK/offline_ts.json" \
+      "$WORK/served_topk.json" "$WORK/offline_topk.json"
 
 "$ANALYZE" run ftq --seconds 1 --seed 7 -o "$WORK/catalog/ftq.osnt" > /dev/null 2>&1
 
@@ -48,6 +51,25 @@ cmp "$WORK/served.json" "$WORK/offline.json" || {
   --json "$WORK/offline_window.json" > /dev/null
 cmp "$WORK/served_window.json" "$WORK/offline_window.json" || {
   echo "FAIL: served window differs from offline export" >&2; exit 1; }
+
+# The aggregate ops run through one planner on both sides: every document
+# must be byte-identical between the daemon and the offline CLI.
+"$ANALYZE" query chart ftq --quantum-us 200 --port "$PORT" > "$WORK/served_chart.json"
+"$ANALYZE" chart "$WORK/catalog/ftq.osnt" --quantum-us 200 --json > "$WORK/offline_chart.json"
+cmp "$WORK/served_chart.json" "$WORK/offline_chart.json" || {
+  echo "FAIL: served chart differs from offline chart" >&2; exit 1; }
+
+"$ANALYZE" query timeseries ftq --activity timer_interrupt --quantum-us 500 \
+  --port "$PORT" > "$WORK/served_ts.json"
+"$ANALYZE" timeseries "$WORK/catalog/ftq.osnt" --activity timer_interrupt \
+  --quantum-us 500 > "$WORK/offline_ts.json"
+cmp "$WORK/served_ts.json" "$WORK/offline_ts.json" || {
+  echo "FAIL: served timeseries differs from offline timeseries" >&2; exit 1; }
+
+"$ANALYZE" query topk ftq --k 2 --port "$PORT" > "$WORK/served_topk.json"
+"$ANALYZE" topk "$WORK/catalog/ftq.osnt" --k 2 > "$WORK/offline_topk.json"
+cmp "$WORK/served_topk.json" "$WORK/offline_topk.json" || {
+  echo "FAIL: served topk differs from offline topk" >&2; exit 1; }
 
 "$ANALYZE" query metrics --port "$PORT" | grep -q '"requests"' || {
   echo "FAIL: metrics payload missing counters" >&2; exit 1; }
