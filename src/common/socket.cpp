@@ -1,6 +1,7 @@
 #include "common/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -55,6 +56,66 @@ bool parse_addr(const std::string& host, std::uint16_t port, sockaddr_in& addr) 
 }  // namespace
 
 // ---------------------------------------------------------------------------
+// sockio
+// ---------------------------------------------------------------------------
+
+namespace sockio {
+
+Status write_some(int fd, const char* data, std::size_t len, std::size_t& done) {
+  done = 0;
+  for (;;) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n >= 0) {
+      done = static_cast<std::size_t>(n);
+      return Status::kOk;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::kWouldBlock;
+    return Status::kError;
+  }
+}
+
+Status read_some(int fd, char* buf, std::size_t cap, std::size_t& done) {
+  done = 0;
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, cap, 0);
+    if (n > 0) {
+      done = static_cast<std::size_t>(n);
+      return Status::kOk;
+    }
+    if (n == 0) return Status::kEof;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::kWouldBlock;
+    return Status::kError;
+  }
+}
+
+bool write_all(int fd, const char* data, std::size_t len, Deadline deadline) {
+  std::size_t total = 0;
+  while (total < len) {
+    const int revents = poll_fd(fd, POLLOUT, deadline);
+    if (revents <= 0 || (revents & (POLLERR | POLLHUP)) != 0) return false;
+    std::size_t n = 0;
+    const Status st = write_some(fd, data + total, len - total, n);
+    if (st == Status::kError) return false;
+    total += n;  // kWouldBlock: lost the race to a full buffer; re-poll
+  }
+  return true;
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void set_tcp_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace sockio
+
+// ---------------------------------------------------------------------------
 // TcpStream
 // ---------------------------------------------------------------------------
 
@@ -97,30 +158,15 @@ TcpStream TcpStream::connect(const std::string& host, std::uint16_t port,
     ::close(fd);
     return TcpStream();
   }
-  // The protocol is one small request line per round trip; Nagle only adds
-  // latency here.
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockio::set_tcp_nodelay(fd);
   (void)deadline;  // connect on loopback is immediate; deadline kept for shape
   return TcpStream(fd);
 }
 
 bool TcpStream::send_all(const std::string& data, Deadline deadline) {
-  std::size_t done = 0;
-  while (done < data.size()) {
-    const int revents = poll_fd(fd_, POLLOUT, deadline);
-    if (revents <= 0 || (revents & (POLLERR | POLLHUP)) != 0) {
-      close();
-      return false;
-    }
-    const ssize_t n =
-        ::send(fd_, data.data() + done, data.size() - done, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
-      close();
-      return false;
-    }
-    done += static_cast<std::size_t>(n);
+  if (!sockio::write_all(fd_, data.data(), data.size(), deadline)) {
+    close();
+    return false;
   }
   return true;
 }
@@ -149,17 +195,41 @@ std::optional<std::string> TcpStream::recv_line(Deadline deadline,
     }
     if (revents == 0) continue;  // slice timeout: recheck cancel/deadline
     char chunk[4096];
-    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-    if (n == 0) {  // orderly EOF: close so callers can tell it from a timeout
-      close();
+    std::size_t n = 0;
+    const sockio::Status st = sockio::read_some(fd_, chunk, sizeof(chunk), n);
+    if (st == sockio::Status::kEof || st == sockio::Status::kError) {
+      close();  // orderly EOF closes too, so callers can tell it from a timeout
       return std::nullopt;
     }
-    if (n < 0) {
-      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    if (st == sockio::Status::kOk) buffer_.append(chunk, n);
+  }
+}
+
+bool TcpStream::recv_chunk(std::string& out, Deadline deadline) {
+  if (!buffer_.empty()) {  // hand over bytes recv_line left behind
+    out += buffer_;
+    buffer_.clear();
+    return true;
+  }
+  for (;;) {
+    if (deadline.expired()) return false;
+    const int revents = poll_fd(fd_, POLLIN, deadline);
+    if (revents < 0) {
       close();
-      return std::nullopt;
+      return false;
     }
-    buffer_.append(chunk, static_cast<std::size_t>(n));
+    if (revents == 0) continue;
+    char chunk[4096];
+    std::size_t n = 0;
+    const sockio::Status st = sockio::read_some(fd_, chunk, sizeof(chunk), n);
+    if (st == sockio::Status::kEof || st == sockio::Status::kError) {
+      close();
+      return false;
+    }
+    if (st == sockio::Status::kOk) {
+      out.append(chunk, n);
+      return true;
+    }
   }
 }
 
@@ -224,11 +294,19 @@ TcpListener TcpListener::listen(const std::string& host, std::uint16_t port,
 std::optional<TcpStream> TcpListener::accept(Deadline deadline) {
   const int revents = poll_fd(fd_, POLLIN, deadline);
   if (revents <= 0) return std::nullopt;
-  const int fd = ::accept(fd_, nullptr, nullptr);
-  if (fd < 0) return std::nullopt;
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return TcpStream(fd);
+  return accept_now();
+}
+
+std::optional<TcpStream> TcpListener::accept_now() {
+  for (;;) {
+    const int fd = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd >= 0) {
+      sockio::set_tcp_nodelay(fd);
+      return TcpStream(fd);
+    }
+    if (errno == EINTR) continue;
+    return std::nullopt;  // EAGAIN (nothing queued) or a transient accept error
+  }
 }
 
 }  // namespace osn

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -16,6 +17,41 @@
 #include "common/clock.hpp"
 
 namespace osn {
+
+// ---------------------------------------------------------------------------
+// Raw-fd helpers: the single home of the EINTR / partial-transfer / SIGPIPE
+// discipline. Everything in the repo that touches a socket fd — the blocking
+// TcpStream below, the src/net/ event loop — goes through these instead of
+// re-rolling ::send/::recv loops per call site (osn_lint's `raw-socket` rule
+// enforces that).
+// ---------------------------------------------------------------------------
+namespace sockio {
+
+enum class Status : std::uint8_t {
+  kOk,          ///< transferred >= 1 byte
+  kWouldBlock,  ///< non-blocking fd has no space/data right now
+  kEof,         ///< orderly peer shutdown (reads only)
+  kError,       ///< fatal transport error; errno holds the reason
+};
+
+/// One ::send with MSG_NOSIGNAL (a dead peer must yield EPIPE, never
+/// SIGPIPE — daemons cannot rely on callers installing SIG_IGN), retrying
+/// EINTR. Partial writes are normal: `done` reports bytes accepted.
+Status write_some(int fd, const char* data, std::size_t len, std::size_t& done);
+
+/// One ::recv, retrying EINTR. `done` reports bytes received on kOk.
+Status read_some(int fd, char* buf, std::size_t cap, std::size_t& done);
+
+/// Writes all of [data, data+len) to a *blocking* fd, polling for POLLOUT
+/// up to the deadline between partial writes. False on error/deadline/HUP.
+bool write_all(int fd, const char* data, std::size_t len, Deadline deadline);
+
+bool set_nonblocking(int fd);
+/// The protocol is small request frames per round trip; Nagle only adds
+/// latency. Applied to every accepted/connected socket.
+void set_tcp_nodelay(int fd);
+
+}  // namespace sockio
 
 /// A connected TCP stream (move-only RAII over the file descriptor).
 class TcpStream {
@@ -58,6 +94,13 @@ class TcpStream {
   /// caller know poll(2) on the fd would under-report pending work.
   bool has_buffered_line() const { return buffer_.find('\n') != std::string::npos; }
 
+  /// Appends at least one received byte to `out` (binary-codec clients frame
+  /// their own reads). Waits up to the deadline; false on EOF, error, or
+  /// deadline — the stream is closed on EOF/error, so ok() distinguishes
+  /// "no bytes yet" from "peer gone". Bytes recv_line buffered but has not
+  /// returned are handed over first.
+  bool recv_chunk(std::string& out, Deadline deadline = Deadline::never());
+
  private:
   int fd_ = -1;
   std::string buffer_;  ///< bytes received past the last returned line
@@ -88,6 +131,12 @@ class TcpListener {
   /// Waits up to the deadline for one connection. nullopt on timeout or
   /// error; the caller distinguishes via ok().
   std::optional<TcpStream> accept(Deadline deadline);
+
+  /// Non-blocking accept for readiness-driven callers (the src/net/ event
+  /// loop): returns a stream only if a connection is already queued. The
+  /// accepted socket has TCP_NODELAY set but stays blocking; callers that
+  /// multiplex it flip it with sockio::set_nonblocking.
+  std::optional<TcpStream> accept_now();
 
  private:
   int fd_ = -1;

@@ -1,0 +1,102 @@
+#include "net/codec.hpp"
+
+#include "common/varint.hpp"
+
+namespace osn::net {
+
+namespace {
+
+class LineCodec final : public Codec {
+ public:
+  CodecKind kind() const override { return CodecKind::kLine; }
+
+  Result decode(std::string& buf, std::size_t max_frame, std::string& frame,
+                std::string& error) const override {
+    const std::size_t nl = buf.find('\n');
+    if (nl == std::string::npos) {
+      if (buf.size() > max_frame) {
+        error = "line exceeds frame limit";
+        return Result::kError;
+      }
+      return Result::kNeedMore;
+    }
+    if (nl > max_frame) {
+      error = "line exceeds frame limit";
+      return Result::kError;
+    }
+    frame.assign(buf, 0, nl);
+    buf.erase(0, nl + 1);
+    return Result::kFrame;
+  }
+
+  std::string encode(std::string_view frame) const override {
+    std::string out;
+    out.reserve(frame.size() + 1);
+    out.append(frame);
+    out += '\n';
+    return out;
+  }
+};
+
+class OsnbCodec final : public Codec {
+ public:
+  CodecKind kind() const override { return CodecKind::kOsnb; }
+
+  Result decode(std::string& buf, std::size_t max_frame, std::string& frame,
+                std::string& error) const override {
+    std::size_t pos = 0;
+    std::uint64_t len = 0;
+    switch (varint_decode(buf, pos, len)) {
+      case VarintStatus::kNeedMore:
+        return Result::kNeedMore;
+      case VarintStatus::kMalformed:
+        error = "malformed frame length varint";
+        return Result::kError;
+      case VarintStatus::kOk:
+        break;
+    }
+    if (len > max_frame) {
+      error = "frame exceeds limit";  // reject before buffering len bytes
+      return Result::kError;
+    }
+    if (buf.size() - pos < len) return Result::kNeedMore;
+    frame.assign(buf, pos, static_cast<std::size_t>(len));
+    buf.erase(0, pos + static_cast<std::size_t>(len));
+    return Result::kFrame;
+  }
+
+  std::string encode(std::string_view frame) const override {
+    std::string out;
+    out.reserve(frame.size() + 5);
+    varint_append(out, frame.size());
+    out.append(frame);
+    return out;
+  }
+};
+
+}  // namespace
+
+const char* codec_kind_name(CodecKind kind) {
+  return kind == CodecKind::kOsnb ? "osnb" : "json";
+}
+
+const Codec& codec_for(CodecKind kind) {
+  static const LineCodec line;
+  static const OsnbCodec osnb;
+  return kind == CodecKind::kOsnb ? static_cast<const Codec&>(osnb)
+                                  : static_cast<const Codec&>(line);
+}
+
+bool detect_codec(std::string& buf, const Codec*& codec) {
+  const std::size_t probe = buf.size() < kOsnbPreambleLen ? buf.size() : kOsnbPreambleLen;
+  if (buf.compare(0, probe, kOsnbPreamble, probe) == 0) {
+    if (probe < kOsnbPreambleLen) return false;  // prefix of the preamble so far
+    buf.erase(0, kOsnbPreambleLen);
+    codec = &codec_for(CodecKind::kOsnb);
+    return true;
+  }
+  codec = &codec_for(CodecKind::kLine);
+  return true;
+}
+
+}  // namespace osn::net

@@ -1,0 +1,70 @@
+// Framing codecs: byte streams in, frames out (and back).
+//
+// A Codec answers exactly one question per direction: "is there a complete
+// frame at the front of this receive buffer?" and "what bytes put this
+// frame on the wire?". Frames are opaque octet strings here — what is
+// *inside* a frame (JSON request objects, OSNB binary envelopes) belongs to
+// the session layer; this file must stay ignorant of it so the readiness
+// core can ship any protocol (the lint layering rule makes that structural:
+// src/net/ includes no serve/query/trace headers).
+//
+// Two codecs exist:
+//
+//  * kLine — newline-delimited frames, the osn-served JSON wire since PR 5.
+//    encode(frame) is frame + '\n', byte-identical to the historical wire.
+//  * kOsnb — length-prefixed binary frames: LEB128 varint payload length,
+//    then payload. A connection opts in by leading with the 5-byte preamble
+//    "OSNB\x01" (magic + wire version); everything else is line-framed.
+//
+// Both are stateless (per-connection state lives in the caller's buffer),
+// so the singletons from codec_for() are shared freely across threads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace osn::net {
+
+enum class CodecKind : std::uint8_t { kLine, kOsnb };
+
+/// Stable protocol names ("json" / "osnb") used in metrics and logs.
+const char* codec_kind_name(CodecKind kind);
+
+/// Connection preamble selecting the OSNB codec: magic + wire version.
+inline constexpr char kOsnbPreamble[5] = {'O', 'S', 'N', 'B', '\x01'};
+inline constexpr std::size_t kOsnbPreambleLen = sizeof(kOsnbPreamble);
+
+class Codec {
+ public:
+  enum class Result : std::uint8_t {
+    kFrame,     ///< one complete frame extracted (and erased from buf)
+    kNeedMore,  ///< buf holds a proper prefix of a frame; wait for bytes
+    kError,     ///< framing violation; the connection must close
+  };
+
+  virtual ~Codec() = default;
+  virtual CodecKind kind() const = 0;
+
+  /// Tries to take one frame off the front of `buf`. Consumes bytes only on
+  /// kFrame. `max_frame` bounds a single frame (and, for kNeedMore, how much
+  /// unframed data may accumulate) so a hostile peer cannot balloon memory:
+  /// past the bound the verdict is kError with the reason in `error`.
+  virtual Result decode(std::string& buf, std::size_t max_frame,
+                        std::string& frame, std::string& error) const = 0;
+
+  /// Wire bytes for one frame.
+  virtual std::string encode(std::string_view frame) const = 0;
+};
+
+const Codec& codec_for(CodecKind kind);
+
+/// Sniffs the codec from a connection's first bytes. Returns true with
+/// `codec` set (consuming the OSNB preamble from `buf` when that is the
+/// match); false when `buf` is still a proper prefix of the preamble and
+/// the decision needs more bytes. Anything that is not the preamble —
+/// including its first byte diverging — selects the line codec, whose
+/// session layer then reports garbage as a bad request the legacy way.
+bool detect_codec(std::string& buf, const Codec*& codec);
+
+}  // namespace osn::net

@@ -1,0 +1,60 @@
+// Readiness backend: one interface, two kernels.
+//
+// The EventLoop asks a single question — "which of my fds are
+// readable/writable?" — and epoll(7) answers it in O(ready) no matter how
+// many idle connections are registered, which is what lets one loop thread
+// hold tens of thousands of quiet clients. The poll(2) backend answers the
+// same question in O(registered) by rebuilding the pollfd array per wait;
+// it exists for portability and as the reference implementation the
+// portability tests run both loops against (LoopOptions::use_poll).
+//
+// Level-triggered semantics on both backends: an fd keeps reporting until
+// the condition is consumed, so a loop pass that reads less than everything
+// is woken again rather than wedged.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace osn::net {
+
+/// Readiness bits (a subset both backends can deliver).
+struct Ready {
+  std::uint64_t key = 0;  ///< caller's tag for the fd (connection id)
+  bool readable = false;
+  bool writable = false;
+  bool error = false;     ///< EPOLLERR/EPOLLHUP-class condition
+};
+
+/// Interest bits for watch()/rearm().
+inline constexpr unsigned kInterestRead = 1u << 0;
+inline constexpr unsigned kInterestWrite = 1u << 1;
+
+class Poller {
+ public:
+  virtual ~Poller() = default;
+
+  /// Registers fd with the given interest (possibly 0: parked but tracked).
+  virtual bool watch(int fd, unsigned interest, std::uint64_t key) = 0;
+  /// Changes the interest set of a registered fd.
+  virtual bool rearm(int fd, unsigned interest) = 0;
+  /// Deregisters fd (must be called before the fd is closed).
+  virtual void forget(int fd) = 0;
+
+  /// Blocks up to timeout_ms (-1 = forever) and appends ready fds to `out`.
+  /// Returns false on an unrecoverable backend error (EINTR is retried
+  /// internally and surfaces as an empty wait, not a failure).
+  virtual bool wait(int timeout_ms, std::vector<Ready>& out) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// epoll backend on Linux (nullptr where unsupported).
+std::unique_ptr<Poller> make_epoll_poller();
+/// Portable poll(2) backend.
+std::unique_ptr<Poller> make_poll_poller();
+/// The requested backend, falling back to poll(2) when epoll is unavailable.
+std::unique_ptr<Poller> make_poller(bool use_poll);
+
+}  // namespace osn::net

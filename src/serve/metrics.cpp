@@ -31,7 +31,8 @@ void append_cache(std::string& out, const char* key, const CacheStats& s, bool c
 }  // namespace
 
 std::string ServerMetrics::to_json(const CacheStats& results,
-                                   const CacheStats& models) const {
+                                   const CacheStats& models,
+                                   const NetGauges* net) const {
   std::uint64_t total = 0;
   DurNs p50 = 0, p90 = 0, p99 = 0;
   {
@@ -84,7 +85,25 @@ std::string ServerMetrics::to_json(const CacheStats& results,
   append_kv(out, "p99_ns", p99, /*comma=*/false);
   out += "  },\n";
   append_cache(out, "result_cache", results, /*comma=*/true);
-  append_cache(out, "model_cache", models, /*comma=*/false);
+  append_cache(out, "model_cache", models, /*comma=*/net != nullptr);
+  if (net != nullptr) {
+    out += "  \"net\": {\n";
+    out += "    \"backend\": \"";
+    out += net->backend;
+    out += "\",\n";
+    append_kv(out, "accepted", net->accepted);
+    append_kv(out, "open", net->open);
+    append_kv(out, "idle", net->idle);
+    append_kv(out, "dispatched", net->dispatched);
+    append_kv(out, "draining", net->draining);
+    append_kv(out, "requests_json", net->requests_json);
+    append_kv(out, "requests_osnb", net->requests_osnb);
+    append_kv(out, "write_queue_hwm", net->write_queue_hwm);
+    append_kv(out, "slow_reader_closes", net->slow_reader_closes);
+    append_kv(out, "idle_timeouts", net->idle_timeouts);
+    append_kv(out, "codec_errors", net->codec_errors, /*comma=*/false);
+    out += "  }\n";
+  }
   out += "}\n";
   return out;
 }

@@ -19,6 +19,24 @@ namespace osn::serve {
 
 using query::CacheStats;
 
+/// Connection-level gauges and per-wire counters sampled from the event loop
+/// at `metrics` render time (the loop owns the live values; this is the
+/// transport-independent snapshot ServerMetrics knows how to print).
+struct NetGauges {
+  const char* backend = "?";          ///< "epoll" or "poll"
+  std::uint64_t accepted = 0;
+  std::uint64_t open = 0;             ///< all registered connections
+  std::uint64_t idle = 0;             ///< kReading: awaiting a request
+  std::uint64_t dispatched = 0;       ///< a worker owns a batch
+  std::uint64_t draining = 0;         ///< flushing final bytes
+  std::uint64_t requests_json = 0;    ///< requests served on the line wire
+  std::uint64_t requests_osnb = 0;    ///< requests served on the binary wire
+  std::uint64_t write_queue_hwm = 0;  ///< max pending bytes on any connection
+  std::uint64_t slow_reader_closes = 0;
+  std::uint64_t idle_timeouts = 0;
+  std::uint64_t codec_errors = 0;
+};
+
 class ServerMetrics {
  public:
   // One counter per protocol op, indexed by static_cast<size_t>(Op).
@@ -49,8 +67,10 @@ class ServerMetrics {
   }
 
   /// Full metrics document (the `metrics` op payload): counters, per-op
-  /// totals, latency quantiles, and both caches' stats.
-  std::string to_json(const CacheStats& results, const CacheStats& models) const;
+  /// totals, latency quantiles, both caches' stats, and — when the caller
+  /// provides them — the event loop's connection gauges as a "net" section.
+  std::string to_json(const CacheStats& results, const CacheStats& models,
+                      const NetGauges* net = nullptr) const;
 
  private:
   std::atomic<std::uint64_t> requests_{0};

@@ -5,7 +5,9 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
+#include "common/varint.hpp"
 #include "export/json.hpp"
 
 namespace osn::serve {
@@ -502,6 +504,253 @@ std::optional<Response> parse_response(const std::string& line) {
     if (const JsonValue* msg = root->find("message"); msg != nullptr && msg->is_string())
       r.message = msg->string;
   }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// OSNB binary envelope
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint8_t kTagRequest = 0x01;
+constexpr std::uint8_t kTagResponse = 0x02;
+
+constexpr std::uint8_t kFlagWindow = 1u << 0;
+constexpr std::uint8_t kFlagTask = 1u << 1;
+constexpr std::uint8_t kFlagCpu = 1u << 2;
+constexpr std::uint8_t kFlagDeadline = 1u << 3;
+constexpr std::uint8_t kKnownFlags =
+    kFlagWindow | kFlagTask | kFlagCpu | kFlagDeadline;
+
+/// IEEE-754 bits, explicitly little-endian so the wire is host-independent.
+void put_f64(std::string& out, double v) {
+  static_assert(sizeof(double) == 8);
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, 8);
+  for (int i = 0; i < 8; ++i)
+    out += static_cast<char>((bits >> (8 * i)) & 0xFF);
+}
+
+bool get_f64(const std::string& frame, std::size_t& pos, double& out) {
+  if (frame.size() - pos < 8) return false;
+  std::uint64_t bits = 0;
+  for (std::size_t i = 0; i < 8; ++i)
+    bits |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(frame[pos + i]))
+            << (8 * i);
+  pos += 8;
+  std::memcpy(&out, &bits, 8);
+  return true;
+}
+
+bool get_u8(const std::string& frame, std::size_t& pos, std::uint8_t& out) {
+  if (pos >= frame.size()) return false;
+  out = static_cast<std::uint8_t>(frame[pos++]);
+  return true;
+}
+
+/// Varint where "need more" is as malformed as a bad byte: the codec already
+/// delivered a complete frame, so truncation inside it is a hard error.
+bool get_varint(const std::string& frame, std::size_t& pos, std::uint64_t& out) {
+  return varint_decode(frame, pos, out) == VarintStatus::kOk;
+}
+
+void put_bytes(std::string& out, const std::string& bytes) {
+  varint_append(out, bytes.size());
+  out += bytes;
+}
+
+bool get_bytes(const std::string& frame, std::size_t& pos, std::string& out) {
+  std::uint64_t len = 0;
+  if (!get_varint(frame, pos, len)) return false;
+  if (frame.size() - pos < len) return false;
+  out.assign(frame, pos, static_cast<std::size_t>(len));
+  pos += static_cast<std::size_t>(len);
+  return true;
+}
+
+}  // namespace
+
+std::string request_to_osnb(const Request& req) {
+  std::string out;
+  out += static_cast<char>(kTagRequest);
+  varint_append(out, req.id);
+  out += static_cast<char>(static_cast<std::uint8_t>(req.op));
+  std::uint8_t flags = 0;
+  if (req.has_window) flags |= kFlagWindow;
+  if (req.task.has_value()) flags |= kFlagTask;
+  if (req.cpu.has_value()) flags |= kFlagCpu;
+  if (req.deadline.has_value()) flags |= kFlagDeadline;
+  out += static_cast<char>(flags);
+  put_bytes(out, req.trace);
+  if (req.has_window) {
+    put_f64(out, req.window_from_ms);
+    put_f64(out, req.window_to_ms);
+  }
+  if (req.task.has_value()) varint_append(out, *req.task);
+  varint_append(out, req.quantum_us);
+  if (req.cpu.has_value()) varint_append(out, *req.cpu);
+  put_bytes(out, req.activity);
+  varint_append(out, req.k);
+  if (req.deadline.has_value()) varint_append(out, *req.deadline);
+  varint_append(out, req.stall);
+  return out;
+}
+
+std::optional<Request> parse_request_osnb(const std::string& frame,
+                                          std::string& error) {
+  std::size_t pos = 0;
+  std::uint8_t tag = 0;
+  if (!get_u8(frame, pos, tag) || tag != kTagRequest) {
+    error = "not an OSNB request frame";
+    return std::nullopt;
+  }
+  Request req;
+  std::uint8_t op_byte = 0;
+  std::uint8_t flags = 0;
+  if (!get_varint(frame, pos, req.id) || !get_u8(frame, pos, op_byte) ||
+      !get_u8(frame, pos, flags)) {
+    error = "truncated request header";
+    return std::nullopt;
+  }
+  if (op_byte > static_cast<std::uint8_t>(Op::kPing)) {
+    error = "unknown op: " + std::to_string(op_byte);
+    return std::nullopt;
+  }
+  req.op = static_cast<Op>(op_byte);
+  if ((flags & ~kKnownFlags) != 0) {
+    error = "unknown request flags";
+    return std::nullopt;
+  }
+
+  if (!get_bytes(frame, pos, req.trace)) {
+    error = "truncated trace field";
+    return std::nullopt;
+  }
+  if (op_takes_trace(req.op) && req.trace.empty()) {
+    error = std::string(op_name(req.op)) + " requires a trace name";
+    return std::nullopt;
+  }
+
+  if ((flags & kFlagWindow) != 0) {
+    if (!get_f64(frame, pos, req.window_from_ms) ||
+        !get_f64(frame, pos, req.window_to_ms)) {
+      error = "truncated window field";
+      return std::nullopt;
+    }
+    // Same semantic bound as the JSON reader (NaN fails the comparison).
+    if (!(req.window_to_ms > req.window_from_ms) || req.window_from_ms < 0) {
+      error = "window requires 0 <= from_ms < to_ms";
+      return std::nullopt;
+    }
+    req.has_window = true;
+  }
+  if (req.op == Op::kWindow && !req.has_window) {
+    error = "window op requires a window field";
+    return std::nullopt;
+  }
+
+  if ((flags & kFlagTask) != 0) {
+    std::uint64_t task = 0;
+    if (!get_varint(frame, pos, task)) {
+      error = "truncated task field";
+      return std::nullopt;
+    }
+    req.task = static_cast<Pid>(task);
+  }
+
+  if (!get_varint(frame, pos, req.quantum_us)) {
+    error = "truncated quantum_us field";
+    return std::nullopt;
+  }
+  if (req.quantum_us == 0 || req.quantum_us > kTimeInfinity / kNsPerUs) {
+    error = "quantum_us out of range";
+    return std::nullopt;
+  }
+
+  if ((flags & kFlagCpu) != 0) {
+    std::uint64_t cpu = 0;
+    if (!get_varint(frame, pos, cpu)) {
+      error = "truncated cpu field";
+      return std::nullopt;
+    }
+    if (cpu > 0xFFFF) {
+      error = "cpu out of range";
+      return std::nullopt;
+    }
+    req.cpu = static_cast<CpuId>(cpu);
+  }
+
+  if (!get_bytes(frame, pos, req.activity)) {
+    error = "truncated activity field";
+    return std::nullopt;
+  }
+
+  if (!get_varint(frame, pos, req.k)) {
+    error = "truncated k field";
+    return std::nullopt;
+  }
+  if (req.k == 0 || req.k > 65536) {
+    error = "k out of range";
+    return std::nullopt;
+  }
+
+  if ((flags & kFlagDeadline) != 0) {
+    std::uint64_t deadline_ns = 0;
+    if (!get_varint(frame, pos, deadline_ns)) {
+      error = "truncated deadline field";
+      return std::nullopt;
+    }
+    req.deadline = deadline_ns;
+  }
+
+  std::uint64_t stall_ns = 0;
+  if (!get_varint(frame, pos, stall_ns)) {
+    error = "truncated stall field";
+    return std::nullopt;
+  }
+  // Same cap the JSON reader applies to stall_ms: a load-test stall must not
+  // be able to park a worker for minutes.
+  req.stall = std::min<std::uint64_t>(stall_ns, 10'000 * kNsPerMs);
+
+  if (pos != frame.size()) {
+    error = "trailing bytes after request";
+    return std::nullopt;
+  }
+  return req;
+}
+
+std::string response_to_osnb(const Response& resp) {
+  std::string out;
+  out += static_cast<char>(kTagResponse);
+  varint_append(out, resp.id);
+  out += static_cast<char>(resp.ok ? 1 : 0);
+  if (resp.ok) {
+    put_bytes(out, resp.payload);
+  } else {
+    put_bytes(out, resp.error);
+    put_bytes(out, resp.message);
+  }
+  return out;
+}
+
+std::optional<Response> parse_response_osnb(const std::string& frame) {
+  std::size_t pos = 0;
+  std::uint8_t tag = 0;
+  std::uint8_t ok_byte = 0;
+  Response r;
+  if (!get_u8(frame, pos, tag) || tag != kTagResponse) return std::nullopt;
+  if (!get_varint(frame, pos, r.id) || !get_u8(frame, pos, ok_byte))
+    return std::nullopt;
+  if (ok_byte > 1) return std::nullopt;
+  r.ok = ok_byte == 1;
+  if (r.ok) {
+    if (!get_bytes(frame, pos, r.payload)) return std::nullopt;
+  } else {
+    if (!get_bytes(frame, pos, r.error)) return std::nullopt;
+    if (!get_bytes(frame, pos, r.message)) return std::nullopt;
+  }
+  if (pos != frame.size()) return std::nullopt;
   return r;
 }
 

@@ -132,4 +132,52 @@ struct Response {
 /// Parses a response line (client side). Nullopt on malformed input.
 std::optional<Response> parse_response(const std::string& line);
 
+// ---------------------------------------------------------------------------
+// OSNB binary envelope
+// ---------------------------------------------------------------------------
+//
+// The binary wire replaces the JSON *envelope*, not the payloads: an OSNB
+// response carries the exact JSON document the line protocol would, so the
+// two wires are equivalent by construction (the equivalence tests assert
+// byte-identical documents). One OSNB frame payload is:
+//
+//   tag      u8         0x01 request, 0x02 response
+//   -- request --
+//   id       varint
+//   op       u8         Op enumerator value
+//   flags    u8         bit0 window, bit1 task, bit2 cpu, bit3 deadline
+//   trace    varint len + bytes        (empty for trace-less ops)
+//   window   2 x f64 LE                (iff flags bit0)
+//   task     varint pid                (iff flags bit1)
+//   quantum  varint microseconds
+//   cpu      varint                    (iff flags bit2)
+//   activity varint len + bytes
+//   k        varint
+//   deadline varint nanoseconds        (iff flags bit3)
+//   stall    varint nanoseconds
+//   -- response --
+//   id       varint
+//   ok       u8
+//   ok=1: payload varint len + bytes
+//   ok=0: error varint len + bytes, message varint len + bytes
+//
+// Varints are the LEB128 the OSNT trace container uses (common/varint.hpp).
+// Parsers reject trailing bytes and enforce the same field bounds as the
+// JSON reader, so a request means the same thing on either wire.
+
+/// Serializes a request as one OSNB frame payload (no length prefix — the
+/// net::OsnbCodec adds framing).
+std::string request_to_osnb(const Request& req);
+
+/// Parses an OSNB request frame. Nullopt + `error` on malformed input
+/// (wrong tag, bad varint, out-of-range field, trailing bytes).
+std::optional<Request> parse_request_osnb(const std::string& frame,
+                                          std::string& error);
+
+/// Serializes a response as one OSNB frame payload.
+std::string response_to_osnb(const Response& resp);
+
+/// Parses an OSNB response frame (client side). Nullopt on malformed input.
+std::optional<Response> parse_response_osnb(const std::string& frame);
+
 }  // namespace osn::serve

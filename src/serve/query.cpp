@@ -134,9 +134,15 @@ Response run_query(const QueryContext& ctx, const Request& req, Deadline deadlin
     return Response::success(req.id, "{\n  \"pong\": true\n}\n");
   }
   if (req.op == Op::kMetrics) {
+    NetGauges gauges;
+    const NetGauges* net = nullptr;
+    if (ctx.net_gauges) {
+      gauges = ctx.net_gauges();
+      net = &gauges;
+    }
     return Response::success(
         req.id, ctx.metrics->to_json(ctx.engine->result_cache_stats(),
-                                     ctx.engine->model_cache_stats()));
+                                     ctx.engine->model_cache_stats(), net));
   }
   if (req.op == Op::kList) return Response::success(req.id, list_payload(ctx));
 

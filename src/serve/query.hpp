@@ -17,6 +17,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <string>
 
 #include "common/clock.hpp"
@@ -35,6 +36,9 @@ struct QueryContext {
   /// Optional drain flag: a set flag cuts ping stalls short so graceful
   /// shutdown is not held hostage by load-test requests.
   const std::atomic<bool>* draining = nullptr;
+  /// Optional sampler for the event loop's connection gauges; when set, the
+  /// `metrics` op payload gains a "net" section.
+  std::function<NetGauges()> net_gauges;
 };
 
 /// Executes one request. Never throws: trace problems become trace_error

@@ -1,25 +1,9 @@
 #include "serve/server.hpp"
 
-#include <fcntl.h>
-#include <poll.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
+#include <algorithm>
 #include <utility>
 
 namespace osn::serve {
-
-namespace {
-/// How long one poll(2) pass waits before rechecking the drain flag.
-constexpr int kPollSliceMs = 100;
-/// Worker-side read budget per dispatch. The poller only hands over readable
-/// connections, so the common case returns immediately; the bound keeps a
-/// client that trickles bytes from pinning a worker between them.
-constexpr DurNs kReadySliceNs = 20 * kNsPerMs;
-/// How long control responses (shed, shutting-down) may take to write.
-constexpr DurNs kControlWriteNs = 100 * kNsPerMs;
-}  // namespace
 
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
@@ -30,201 +14,159 @@ Server::Server(ServerOptions options)
   ctx_.engine = &engine_;
   ctx_.metrics = &metrics_;
   ctx_.draining = &draining_;
+  ctx_.net_gauges = [this] { return net_gauges(); };
 }
 
 Server::~Server() { stop(); }
 
 bool Server::start(std::string* error) {
-  listener_ = TcpListener::listen(options_.host, options_.port,
-                                  /*backlog=*/64, error);
-  if (!listener_.ok()) return false;
-  if (::pipe(wake_fds_) != 0) {
-    if (error != nullptr) *error = "pipe: " + std::string(std::strerror(errno));
-    listener_.close();
+  // A deep backlog: connection fleets (dashboards, the churn bench) connect
+  // in bursts far faster than one accept pass. The kernel clamps to
+  // net.core.somaxconn anyway.
+  TcpListener listener = TcpListener::listen(options_.host, options_.port,
+                                             /*backlog=*/1024, error);
+  if (!listener.ok()) return false;
+  net::LoopOptions loop_options;
+  loop_options.idle_timeout = options_.idle_timeout;
+  loop_options.use_poll = options_.use_poll_backend;
+  // A fresh loop per start: the loop's stop latch is one-shot by design.
+  // The cast happens here, in class scope, because Handler is a private base.
+  loop_ = std::make_unique<net::EventLoop>(loop_options,
+                                           static_cast<net::Handler*>(this));
+  pool_ = std::make_unique<ThreadPool>(std::max<std::size_t>(options_.workers, 1));
+  inflight_.store(0, std::memory_order_release);
+  draining_.store(false, std::memory_order_release);
+  if (!loop_->start(std::move(listener), error)) {
+    pool_.reset();
+    loop_.reset();
     return false;
   }
-  // Non-blocking read end: the event loop drains wake bytes opportunistically.
-  ::fcntl(wake_fds_[0], F_SETFL, O_NONBLOCK);
-  pool_ = std::make_unique<ThreadPool>(std::max<std::size_t>(options_.workers, 1));
-  conns_.store(0, std::memory_order_release);
   running_.store(true, std::memory_order_release);
-  draining_.store(false, std::memory_order_release);
-  event_thread_ = std::thread([this] { event_loop(); });
   return true;
 }
 
 void Server::stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Phase 1: no new connections or dispatches; idle clients hear
+  // `shutting_down` instead of seeing EOF. In-request ping stalls watch the
+  // draining flag, so in-flight work finishes promptly. drain() blocks until
+  // the loop acknowledges, so no on_frames() can race the pool teardown.
   draining_.store(true, std::memory_order_release);
-  wake();  // pop the event loop out of its poll slice promptly
-  if (event_thread_.joinable()) event_thread_.join();
-  // The pool destructor drains the queue and joins: every request task
-  // already submitted runs to completion (in-request stalls watch the
-  // draining flag, so completion is prompt).
+  loop_->drain();
+  // Phase 2: the pool destructor runs every already-submitted batch to
+  // completion; each posts its responses and finish() to the still-running
+  // loop, which answers with the drain goodbye and flushes.
   pool_.reset();
-  // Workers may have handed connections back after the event loop exited;
-  // those clients still deserve to hear why the server is going away.
-  {
-    std::lock_guard<std::mutex> lock(returned_mu_);
-    for (TcpStream& conn : returned_) notify_shutdown(conn);
-    returned_.clear();
-  }
-  listener_.close();
-  for (int& fd : wake_fds_) {
-    if (fd >= 0) ::close(fd);
-    fd = -1;
-  }
+  // Phase 3: bounded flush of whatever is still queued, then join.
+  loop_->stop();
 }
 
-void Server::event_loop() {
-  std::vector<TcpStream> idle;  // connections waiting for their next request
-  while (!draining_.load(std::memory_order_acquire)) {
-    // Fold in connections the workers finished a request on.
-    {
-      std::lock_guard<std::mutex> lock(returned_mu_);
-      for (TcpStream& conn : returned_) idle.push_back(std::move(conn));
-      returned_.clear();
-    }
-
-    std::vector<pollfd> fds;
-    fds.reserve(idle.size() + 2);
-    fds.push_back({listener_.fd(), POLLIN, 0});
-    fds.push_back({wake_fds_[0], POLLIN, 0});
-    for (const TcpStream& conn : idle) fds.push_back({conn.fd(), POLLIN, 0});
-    const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), kPollSliceMs);
-    if (rc < 0) {
-      if (errno == EINTR) continue;
-      break;  // poll itself failing is unrecoverable; drain handles cleanup
-    }
-    if (rc == 0) continue;  // slice timeout: recheck the drain flag
-
-    if ((fds[1].revents & POLLIN) != 0) {  // drain the self-pipe
-      char buf[64];
-      while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
-      }
-    }
-
-    // Readable (or hung-up) idle connections go to a worker, which also
-    // handles EOF/error teardown. Walk back-to-front so erasing is cheap.
-    for (std::size_t i = idle.size(); i-- > 0;) {
-      if (fds[i + 2].revents == 0) continue;
-      TcpStream ready = std::move(idle[i]);
-      idle.erase(idle.begin() + static_cast<std::ptrdiff_t>(i));
-      dispatch(std::move(ready));
-    }
-
-    if ((fds[0].revents & POLLIN) != 0) {
-      // The listener is readable, so this accept returns immediately; the
-      // deadline only covers a lost race against a resetting client.
-      std::optional<TcpStream> conn = listener_.accept(Deadline::after(kNsPerMs));
-      if (conn) admit(std::move(*conn), idle);
-    }
+NetGauges Server::net_gauges() const {
+  NetGauges g;
+  if (loop_) {
+    const net::LoopStats s = loop_->stats();
+    g.backend = loop_->backend();
+    g.accepted = s.accepted;
+    g.open = s.open;
+    g.idle = s.reading;
+    g.dispatched = s.dispatched;
+    g.draining = s.draining;
+    g.write_queue_hwm = s.write_queue_hwm;
+    g.slow_reader_closes = s.slow_reader_closes;
+    g.idle_timeouts = s.idle_timeouts;
+    g.codec_errors = s.codec_errors;
   }
-  // Drain: a still-connected idle client learns why instead of seeing EOF.
-  for (TcpStream& conn : idle) notify_shutdown(conn);
+  g.requests_json = wire_requests_json_.load(std::memory_order_relaxed);
+  g.requests_osnb = wire_requests_osnb_.load(std::memory_order_relaxed);
+  return g;
 }
 
-void Server::admit(TcpStream conn, std::vector<TcpStream>& idle) {
+bool Server::on_accept(std::uint64_t) {
+  // Sockets are always welcome: an idle connection costs one poller
+  // registration, nothing more. Admission control happens per dispatched
+  // batch in on_frames(), so 10k parked dashboards can't starve anyone.
   metrics_.count_connection();
-  if (conns_.load(std::memory_order_acquire) >= options_.max_inflight) {
-    // Shed at the door: an explicit error beats an invisible queue.
+  return true;
+}
+
+void Server::on_closed(std::uint64_t, bool) {}
+
+std::string Server::control_frame(net::CodecKind kind, net::Control which) {
+  const Response resp =
+      which == net::Control::kOverloaded
+          ? Response::failure(0, errc::kOverloaded, "server at capacity")
+          : Response::failure(0, errc::kShuttingDown, "server draining");
+  return kind == net::CodecKind::kOsnb ? response_to_osnb(resp) : resp.to_line();
+}
+
+void Server::on_frames(std::uint64_t id, net::CodecKind kind,
+                       std::vector<std::string> frames) {
+  if (inflight_.fetch_add(1, std::memory_order_acq_rel) >= options_.max_inflight) {
+    // At capacity: refuse this batch with an explicit error (an invisible
+    // queue would just convert overload into latency) but keep the
+    // connection — the client may retry once the burst passes.
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
     metrics_.count_shed();
-    conn.send_all(
-        Response::failure(0, errc::kOverloaded, "server at capacity").to_line() + "\n",
-        Deadline::after(kControlWriteNs));
+    const std::string refusal = control_frame(kind, net::Control::kOverloaded);
+    for (const std::string& frame : frames)
+      if (!(kind == net::CodecKind::kLine && frame.empty()))
+        loop_->send(id, refusal);
+    loop_->finish(id);
     return;
   }
-  conns_.fetch_add(1, std::memory_order_acq_rel);
-  idle.push_back(std::move(conn));  // dispatched once its first request arrives
-}
-
-void Server::dispatch(TcpStream conn) {
-  auto stream = std::make_shared<TcpStream>(std::move(conn));
-  // The guard settles the connection on every exit path — including a worker
-  // throwing (say, bad_alloc mid-response): the slot is released and the
-  // stream closed by ~TcpStream instead of leaking an admission slot.
-  struct Settle {
-    Server* self;
-    std::shared_ptr<TcpStream> stream;
-    bool keep = false;
-    ~Settle() {
-      if (keep)
-        self->return_connection(std::move(*stream));
-      else
-        self->conns_.fetch_sub(1, std::memory_order_acq_rel);
-    }
-  };
   try {
-    pool_->submit([this, stream] {
-      Settle settle{this, stream};
-      settle.keep = serve_ready(*stream);
+    pool_->submit([this, id, kind, frames = std::move(frames)] {
+      try {
+        for (const std::string& frame : frames) {
+          std::optional<std::string> resp = serve_frame(kind, frame);
+          if (resp.has_value()) loop_->send(id, std::move(*resp));
+        }
+        loop_->finish(id);
+      } catch (...) {
+        // A worker throwing mid-batch (say, bad_alloc composing a response)
+        // must not strand the connection in kDispatched forever.
+        loop_->close(id);
+      }
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
     });
   } catch (...) {
-    // Couldn't even enqueue: drop the connection and free its slot.
-    conns_.fetch_sub(1, std::memory_order_acq_rel);
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    loop_->close(id);  // couldn't even enqueue
   }
 }
 
-bool Server::serve_ready(TcpStream& stream) {
-  for (;;) {
-    std::optional<std::string> line =
-        stream.recv_line(Deadline::after(kReadySliceNs), &draining_);
-    if (!line) {
-      if (!stream.ok()) return false;  // EOF or transport error: recv_line closed it
-      if (draining_.load(std::memory_order_acquire)) {
-        notify_shutdown(stream);
-        return false;
-      }
-      return true;  // no complete line yet: back to the poller
-    }
-    if (line->empty()) continue;
+std::optional<std::string> Server::serve_frame(net::CodecKind kind,
+                                               const std::string& frame) {
+  if (kind == net::CodecKind::kLine && frame.empty())
+    return std::nullopt;  // blank keep-alive line, never answered
 
-    const TimeNs t_start = monotonic_now_ns();
-    std::string parse_error;
-    std::optional<Request> req = parse_request(*line, parse_error);
-    Response resp;
-    if (!req) {
-      metrics_.count_bad_line();
-      metrics_.count_error();
-      resp = Response::failure(0, errc::kBadRequest, parse_error);
-    } else {
-      // An explicit client deadline is always honoured — deadline_ms:0 means
-      // "already expired", which is how clients probe the deadline machinery.
-      // Only when the request carries none does the server default apply,
-      // where 0 means "no deadline".
-      const Deadline deadline =
-          req->deadline.has_value() ? Deadline::after(*req->deadline)
-          : options_.default_deadline > 0
-              ? Deadline::after(options_.default_deadline)
-              : Deadline::never();
-      resp = execute_query(ctx_, *req, deadline);
-    }
-    metrics_.observe_latency(sat_sub(monotonic_now_ns(), t_start));
-    if (!stream.send_all(resp.to_line() + "\n", Deadline::after(30 * kNsPerSec)))
-      return false;
-    // A pipelined follow-up already in the buffer is served now — poll(2)
-    // cannot see buffered bytes, only socket ones.
-    if (!stream.has_buffered_line()) return true;
+  (kind == net::CodecKind::kOsnb ? wire_requests_osnb_ : wire_requests_json_)
+      .fetch_add(1, std::memory_order_relaxed);
+
+  const TimeNs t_start = monotonic_now_ns();
+  std::string parse_error;
+  const std::optional<Request> req =
+      kind == net::CodecKind::kOsnb ? parse_request_osnb(frame, parse_error)
+                                    : parse_request(frame, parse_error);
+  Response resp;
+  if (!req.has_value()) {
+    metrics_.count_bad_line();
+    metrics_.count_error();
+    resp = Response::failure(0, errc::kBadRequest, parse_error);
+  } else {
+    // An explicit client deadline is always honoured — deadline_ms:0 means
+    // "already expired", which is how clients probe the deadline machinery.
+    // Only when the request carries none does the server default apply,
+    // where 0 means "no deadline".
+    const Deadline deadline =
+        req->deadline.has_value() ? Deadline::after(*req->deadline)
+        : options_.default_deadline > 0
+            ? Deadline::after(options_.default_deadline)
+            : Deadline::never();
+    resp = execute_query(ctx_, *req, deadline);
   }
-}
-
-void Server::return_connection(TcpStream conn) {
-  {
-    std::lock_guard<std::mutex> lock(returned_mu_);
-    returned_.push_back(std::move(conn));
-  }
-  wake();
-}
-
-void Server::notify_shutdown(TcpStream& stream) {
-  stream.send_all(
-      Response::failure(0, errc::kShuttingDown, "server draining").to_line() + "\n",
-      Deadline::after(kControlWriteNs));
-}
-
-void Server::wake() {
-  const char byte = 1;
-  [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
+  metrics_.observe_latency(sat_sub(monotonic_now_ns(), t_start));
+  return kind == net::CodecKind::kOsnb ? response_to_osnb(resp) : resp.to_line();
 }
 
 }  // namespace osn::serve

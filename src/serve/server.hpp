@@ -1,41 +1,47 @@
-// osn-served: the trace-query daemon.
+// osn-served: the trace-query daemon, as a session layer over src/net/.
 //
-// Threading model: readiness-driven. One event-loop thread owns the
-// listening socket and every *idle* connection, multiplexing them through a
-// single poll(2); a common::ThreadPool of workers executes requests. When an
-// idle connection turns readable the event loop hands it to a pool task,
-// which serves every complete request line buffered on it and then returns
-// the connection to the poller (or closes it on EOF/error). Requests on a
-// connection stay sequential — the protocol is strictly request/response —
-// and concurrency comes from concurrent connections, but an idle connection
-// never pins a worker: a thousand quiet clients cost one poll entry each,
-// and workers are always free for whoever actually sends a request.
+// The server is three layers now, and this file is only the top one:
 //
-// Admission control happens at accept: when `max_inflight` connections are
-// already open, the server does not queue the newcomer behind an invisible
-// backlog — it sends an explicit `overloaded` response and closes, so
-// clients can back off or retry elsewhere. That bounded-queue-with-shedding
-// is the same discipline the tracebuf layer applies to lossy ring buffers:
-// under overload, fail visibly and cheaply instead of degrading everyone
-// invisibly.
+//   net::EventLoop   readiness core — epoll (or poll) loop owning the
+//                    listener, every connection's buffers and state machine,
+//                    idle timeouts, and write back-pressure. One thread, no
+//                    protocol knowledge.
+//   net::Codec       framing — newline-delimited (the JSON wire unchanged
+//                    since PR 5, byte for byte) or OSNB length-prefixed
+//                    binary, auto-detected from a connection's first bytes.
+//   serve::Server    sessions — this class. It implements net::Handler:
+//                    admission control, decoding request frames, running
+//                    them on the worker pool via the shared query engine,
+//                    encoding responses in the connection's wire, metrics.
 //
-// Shutdown is a graceful drain: stop() flips the draining flag (which wakes
-// the event loop via a self-pipe and cuts short in-request stalls), tells
-// idle clients `shutting_down`, waits for in-flight requests to finish,
-// then joins.
+// Concurrency shape: the loop thread parks a dispatched connection's reads
+// while exactly one worker owns its current frame batch, so an idle client
+// never pins a worker and a pipelining client never occupies two. Workers
+// never touch sockets — responses post back to the loop, which owns every
+// write (and the slow-reader close when a peer stops reading them).
+//
+// Admission control gates *dispatched work*, not sockets: any number of
+// idle connections may sit on the loop (they cost one poller registration
+// each), but at most `max_inflight` connections may hold a worker batch at
+// once. Past that, a request batch is refused with `overloaded` — rendered
+// in the connection's own codec, so binary clients get a binary refusal —
+// and the connection stays open to try again later.
+//
+// Shutdown is a graceful drain in two phases: drain() stops accepting and
+// says `shutting_down` to idle clients; in-flight batches finish on the
+// pool, their connections get the same goodbye, and stop() bounds the final
+// flush before joining the loop.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
-#include <vector>
 
 #include "common/clock.hpp"
 #include "common/socket.hpp"
 #include "common/thread_pool.hpp"
+#include "net/event_loop.hpp"
 #include "query/engine.hpp"
 #include "serve/catalog.hpp"
 #include "serve/metrics.hpp"
@@ -48,53 +54,61 @@ struct ServerOptions {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;         ///< 0 = kernel-assigned (see Server::port())
   std::size_t workers = 4;
-  /// Open connections (idle ones included) admitted before shedding. Also
-  /// bounds the pool's request backlog: a connection carries at most one
-  /// in-flight request.
+  /// Connections served concurrently (holding a worker batch) before the
+  /// server sheds with `overloaded`. Idle connections are free and don't
+  /// count; a connection carries at most one in-flight batch, so this also
+  /// bounds the pool's backlog.
   std::size_t max_inflight = 32;
   std::uint64_t result_cache_bytes = 64ull << 20;
   std::uint64_t model_cache_bytes = 256ull << 20;
   /// Per-request budget when the request carries no deadline_ms (0 = none).
   DurNs default_deadline = 0;
+  /// Close connections idle longer than this (0 = keep them forever).
+  DurNs idle_timeout = 0;
+  /// Force the portable poll(2) readiness backend instead of epoll.
+  bool use_poll_backend = false;
 };
 
-class Server {
+class Server : private net::Handler {
  public:
   explicit Server(ServerOptions options);
-  ~Server();  ///< stops if still running
+  ~Server() override;  ///< stops if still running
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens and starts the accept loop. False (with the reason in
-  /// `error`) when the address cannot be bound.
+  /// Binds, listens and starts the event loop + worker pool. False (with
+  /// the reason in `error`) when the address cannot be bound.
   bool start(std::string* error = nullptr);
 
-  /// Graceful drain: stop accepting, cancel idle reads, wait for in-flight
-  /// requests, join all threads. Idempotent.
+  /// Graceful drain: stop accepting, notify idle clients, wait for
+  /// in-flight requests, flush, join all threads. Idempotent.
   void stop();
 
   /// The bound port (valid after start(); resolves port 0).
-  std::uint16_t port() const { return listener_.port(); }
+  std::uint16_t port() const { return loop_ ? loop_->port() : 0; }
+  /// The readiness backend actually in use ("epoll" or "poll").
+  const char* backend() const { return loop_ ? loop_->backend() : "?"; }
 
   ServerMetrics& metrics() { return metrics_; }
   TraceCatalog& catalog() { return *catalog_; }
   const ServerOptions& options() const { return options_; }
+  /// Live connection gauges (what the `metrics` op reports as "net").
+  NetGauges net_gauges() const;
 
  private:
-  void event_loop();
-  /// Admits or sheds a freshly accepted connection (event-loop thread).
-  void admit(TcpStream conn, std::vector<TcpStream>& idle);
-  /// Hands a readable connection to a pool worker.
-  void dispatch(TcpStream conn);
-  /// Serves every complete request line on a readable connection. True when
-  /// the connection should return to the poller, false when it is finished.
-  bool serve_ready(TcpStream& stream);
-  /// Worker → event loop: the connection is idle again.
-  void return_connection(TcpStream conn);
-  /// One `shutting_down` response so a draining server never just vanishes.
-  void notify_shutdown(TcpStream& stream);
-  void wake();
+  // net::Handler — all invoked on the loop thread.
+  bool on_accept(std::uint64_t id) override;
+  void on_frames(std::uint64_t id, net::CodecKind kind,
+                 std::vector<std::string> frames) override;
+  std::string control_frame(net::CodecKind kind, net::Control which) override;
+  void on_closed(std::uint64_t id, bool admitted) override;
+
+  /// Decodes + executes one request frame; returns the encoded response
+  /// frame payload, or nullopt for frames that get no response (empty
+  /// keep-alive lines on the JSON wire).
+  std::optional<std::string> serve_frame(net::CodecKind kind,
+                                         const std::string& frame);
 
   ServerOptions options_;
   std::unique_ptr<TraceCatalog> catalog_;
@@ -102,18 +116,13 @@ class Server {
   ServerMetrics metrics_;
   QueryContext ctx_;
 
-  TcpListener listener_;
+  std::unique_ptr<net::EventLoop> loop_;
   std::unique_ptr<ThreadPool> pool_;
-  std::thread event_thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};
-  std::atomic<std::size_t> conns_{0};  ///< open connections (admission control)
-
-  /// Self-pipe: workers write a byte to pop the event loop out of poll(2)
-  /// when they return a connection or stop() flips the drain flag.
-  int wake_fds_[2] = {-1, -1};
-  std::mutex returned_mu_;
-  std::vector<TcpStream> returned_;  ///< connections handed back by workers
+  std::atomic<std::size_t> inflight_{0};  ///< connections holding a worker batch
+  std::atomic<std::uint64_t> wire_requests_json_{0};
+  std::atomic<std::uint64_t> wire_requests_osnb_{0};
 };
 
 }  // namespace osn::serve

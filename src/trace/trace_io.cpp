@@ -6,6 +6,7 @@
 
 #include "common/assert.hpp"
 #include "common/crc32.hpp"
+#include "common/varint.hpp"
 #include "trace/osnt_layout.hpp"
 #include "trace/osnt_reader.hpp"
 
@@ -15,12 +16,10 @@ namespace osn::trace {
 // Varints
 // ---------------------------------------------------------------------------
 
+// One LEB128 implementation for the whole system: the OSNT writer and the
+// OSNB wire both delegate to common/varint.hpp (byte-identical output).
 void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  while (v >= 0x80) {
-    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
-    v >>= 7;
-  }
-  out.push_back(static_cast<std::uint8_t>(v));
+  varint_append(out, v);
 }
 
 // Out-of-line throw path keeps the inlined get_varint hot loop small (the

@@ -1,0 +1,242 @@
+// Framing-codec unit tests: varint primitives, line/OSNB round-trips,
+// codec detection, and the truncation/garbage battery — every proper prefix
+// of a valid frame must decode as "need more" (never an error, never a
+// frame) and mangled bytes must fail cleanly instead of hanging or
+// ballooning memory.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/varint.hpp"
+#include "net/codec.hpp"
+
+namespace osn::net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Varints
+// ---------------------------------------------------------------------------
+
+TEST(Varint, RoundTripsRepresentativeValues) {
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  300,
+                                  16383,
+                                  16384,
+                                  (1ull << 32) - 1,
+                                  1ull << 32,
+                                  ~0ull};
+  for (const std::uint64_t v : values) {
+    std::string buf;
+    varint_append(buf, v);
+    std::size_t pos = 0;
+    std::uint64_t out = 0;
+    EXPECT_EQ(varint_decode(buf, pos, out), VarintStatus::kOk);
+    EXPECT_EQ(out, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(Varint, EveryPrefixNeedsMore) {
+  std::string buf;
+  varint_append(buf, ~0ull);  // 10 bytes, the longest encoding
+  for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+    const std::string prefix = buf.substr(0, cut);
+    std::size_t pos = 0;
+    std::uint64_t out = 0;
+    EXPECT_EQ(varint_decode(prefix, pos, out), VarintStatus::kNeedMore);
+    EXPECT_EQ(pos, 0u) << "pos must not advance on kNeedMore";
+  }
+}
+
+TEST(Varint, OverlongAndOverflowingEncodingsAreMalformed) {
+  // 10 continuation bytes: no terminator within the 64-bit budget.
+  const std::string eleven(11, '\x80');
+  std::size_t pos = 0;
+  std::uint64_t out = 0;
+  EXPECT_EQ(varint_decode(eleven, pos, out), VarintStatus::kMalformed);
+
+  // Tenth byte carries bits beyond 2^64.
+  std::string overflow(9, '\x80');
+  overflow += '\x02';  // bit 65
+  pos = 0;
+  EXPECT_EQ(varint_decode(overflow, pos, out), VarintStatus::kMalformed);
+}
+
+// ---------------------------------------------------------------------------
+// Line codec
+// ---------------------------------------------------------------------------
+
+TEST(Codec, LineEncodeIsPayloadPlusNewline) {
+  const Codec& line = codec_for(CodecKind::kLine);
+  EXPECT_EQ(line.encode("{\"id\":1}"), "{\"id\":1}\n");
+  EXPECT_EQ(line.encode(""), "\n");
+}
+
+TEST(Codec, LineDecodeSplitsAtNewlineAndPreservesRemainder) {
+  const Codec& line = codec_for(CodecKind::kLine);
+  std::string buf = "first\nsecond\npartial";
+  std::string frame;
+  std::string error;
+  ASSERT_EQ(line.decode(buf, 1 << 20, frame, error), Codec::Result::kFrame);
+  EXPECT_EQ(frame, "first");
+  ASSERT_EQ(line.decode(buf, 1 << 20, frame, error), Codec::Result::kFrame);
+  EXPECT_EQ(frame, "second");
+  EXPECT_EQ(line.decode(buf, 1 << 20, frame, error), Codec::Result::kNeedMore);
+  EXPECT_EQ(buf, "partial");
+}
+
+TEST(Codec, LineOverlongFrameIsAnErrorNotAnAllocation) {
+  const Codec& line = codec_for(CodecKind::kLine);
+  std::string frame;
+  std::string error;
+  // Complete line over the limit.
+  std::string buf = std::string(100, 'x') + "\n";
+  EXPECT_EQ(line.decode(buf, /*max_frame=*/64, frame, error), Codec::Result::kError);
+  // Unterminated line already past the limit: reject instead of buffering on.
+  buf = std::string(100, 'x');
+  error.clear();
+  EXPECT_EQ(line.decode(buf, /*max_frame=*/64, frame, error), Codec::Result::kError);
+  EXPECT_FALSE(error.empty());
+}
+
+// ---------------------------------------------------------------------------
+// OSNB codec
+// ---------------------------------------------------------------------------
+
+TEST(Codec, OsnbRoundTripsFramesOfManySizes) {
+  const Codec& osnb = codec_for(CodecKind::kOsnb);
+  Xoshiro256 rng(42);
+  for (const std::size_t size : {0u, 1u, 127u, 128u, 300u, 70000u}) {
+    std::string payload;
+    payload.reserve(size);
+    for (std::size_t i = 0; i < size; ++i)
+      payload += static_cast<char>(rng.next() & 0xFF);  // binary-safe, \n included
+    std::string buf = osnb.encode(payload);
+    std::string frame;
+    std::string error;
+    ASSERT_EQ(osnb.decode(buf, 1 << 20, frame, error), Codec::Result::kFrame)
+        << "size " << size;
+    EXPECT_EQ(frame, payload);
+    EXPECT_TRUE(buf.empty());
+  }
+}
+
+TEST(Codec, OsnbDecodesBackToBackFrames) {
+  const Codec& osnb = codec_for(CodecKind::kOsnb);
+  std::string buf = osnb.encode("one") + osnb.encode("") + osnb.encode("three");
+  std::string frame;
+  std::string error;
+  ASSERT_EQ(osnb.decode(buf, 1 << 20, frame, error), Codec::Result::kFrame);
+  EXPECT_EQ(frame, "one");
+  ASSERT_EQ(osnb.decode(buf, 1 << 20, frame, error), Codec::Result::kFrame);
+  EXPECT_EQ(frame, "");
+  ASSERT_EQ(osnb.decode(buf, 1 << 20, frame, error), Codec::Result::kFrame);
+  EXPECT_EQ(frame, "three");
+  EXPECT_EQ(osnb.decode(buf, 1 << 20, frame, error), Codec::Result::kNeedMore);
+}
+
+TEST(Codec, OsnbEveryTruncationNeedsMoreNeverErrorNeverFrame) {
+  // The fuzz battery's core property: a proper prefix of a valid frame is
+  // always "wait for more bytes" — any other verdict would corrupt or kill
+  // a connection mid-delivery.
+  const Codec& osnb = codec_for(CodecKind::kOsnb);
+  const std::string wire = osnb.encode(std::string(300, 'q'));
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    std::string buf = wire.substr(0, cut);
+    std::string frame;
+    std::string error;
+    EXPECT_EQ(osnb.decode(buf, 1 << 20, frame, error), Codec::Result::kNeedMore)
+        << "cut at " << cut;
+    EXPECT_EQ(buf.size(), cut) << "kNeedMore must not consume bytes";
+  }
+}
+
+TEST(Codec, OsnbRejectsOversizeFrameBeforeBufferingIt) {
+  const Codec& osnb = codec_for(CodecKind::kOsnb);
+  // Header claims 1 GiB; only the header has arrived. The decoder must
+  // reject on the claim, not wait for a gigabyte that may never come.
+  std::string buf;
+  varint_append(buf, 1ull << 30);
+  std::string frame;
+  std::string error;
+  EXPECT_EQ(osnb.decode(buf, /*max_frame=*/1 << 20, frame, error),
+            Codec::Result::kError);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Codec, OsnbRejectsMalformedLengthVarint) {
+  const Codec& osnb = codec_for(CodecKind::kOsnb);
+  std::string buf(11, '\x80');  // unterminated varint
+  std::string frame;
+  std::string error;
+  EXPECT_EQ(osnb.decode(buf, 1 << 20, frame, error), Codec::Result::kError);
+}
+
+TEST(Codec, OsnbGarbageFuzzNeverFramesGarbageAsSuccess) {
+  // Random bytes must resolve to kFrame (with a plausible short length
+  // prefix), kNeedMore, or kError — and repeated decoding must terminate.
+  const Codec& osnb = codec_for(CodecKind::kOsnb);
+  Xoshiro256 rng(7);
+  for (int round = 0; round < 200; ++round) {
+    std::string buf;
+    const std::size_t n = 1 + rng.next() % 64;
+    for (std::size_t i = 0; i < n; ++i) buf += static_cast<char>(rng.next() & 0xFF);
+    std::string frame;
+    std::string error;
+    for (int step = 0; step < 100; ++step) {
+      const std::size_t before = buf.size();
+      const Codec::Result r = osnb.decode(buf, /*max_frame=*/4096, frame, error);
+      if (r != Codec::Result::kFrame) break;  // kNeedMore/kError: done, no hang
+      EXPECT_LT(buf.size(), before) << "kFrame must consume bytes";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Codec detection
+// ---------------------------------------------------------------------------
+
+TEST(Codec, DetectSelectsOsnbOnPreambleAndConsumesIt) {
+  std::string buf(kOsnbPreamble, kOsnbPreambleLen);
+  buf += "rest";
+  const Codec* codec = nullptr;
+  ASSERT_TRUE(detect_codec(buf, codec));
+  EXPECT_EQ(codec->kind(), CodecKind::kOsnb);
+  EXPECT_EQ(buf, "rest") << "preamble must be consumed";
+}
+
+TEST(Codec, DetectWaitsOnProperPreamblePrefix) {
+  for (std::size_t cut = 1; cut < kOsnbPreambleLen; ++cut) {
+    std::string buf(kOsnbPreamble, cut);
+    const Codec* codec = nullptr;
+    EXPECT_FALSE(detect_codec(buf, codec)) << "prefix length " << cut;
+    EXPECT_EQ(buf.size(), cut);
+  }
+}
+
+TEST(Codec, DetectFallsBackToLineOnAnyDivergence) {
+  // A JSON request, an almost-preamble, and plain garbage all get the line
+  // codec, whose session layer reports garbage the legacy way.
+  for (const char* first : {"{\"op\":\"ping\"}\n", "OSNA\x01", "OSN", "x"}) {
+    std::string buf = first;
+    const Codec* codec = nullptr;
+    if (buf.size() < kOsnbPreambleLen &&
+        buf == std::string(kOsnbPreamble, buf.size()))
+      continue;  // still ambiguous, covered above
+    ASSERT_TRUE(detect_codec(buf, codec)) << first;
+    EXPECT_EQ(codec->kind(), CodecKind::kLine) << first;
+  }
+}
+
+TEST(Codec, KindNamesAreStable) {
+  EXPECT_STREQ(codec_kind_name(CodecKind::kLine), "json");
+  EXPECT_STREQ(codec_kind_name(CodecKind::kOsnb), "osnb");
+}
+
+}  // namespace
+}  // namespace osn::net

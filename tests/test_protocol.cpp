@@ -194,5 +194,162 @@ TEST(Response, ParseRejectsMalformed) {
   EXPECT_FALSE(parse_response(R"({"id":1,"ok":false})").has_value());     // no error
 }
 
+// --------------------------------------------------------------------------
+// OSNB binary envelope
+// --------------------------------------------------------------------------
+
+TEST(Osnb, RequestRoundTripsEveryField) {
+  Request req;
+  req.id = 0xDEADBEEFull;
+  req.op = Op::kWindow;
+  req.trace = "ftq";
+  req.has_window = true;
+  req.window_from_ms = 100.5;
+  req.window_to_ms = 900.25;
+  req.task = 42;
+  req.quantum_us = 500;
+  req.cpu = 3;
+  req.activity = "irq";
+  req.k = 12;
+  req.deadline = 250 * kNsPerMs;
+  req.stall = 7 * kNsPerMs;
+
+  std::string error;
+  const auto back = parse_request_osnb(request_to_osnb(req), error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->id, req.id);
+  EXPECT_EQ(back->op, Op::kWindow);
+  EXPECT_EQ(back->trace, "ftq");
+  EXPECT_TRUE(back->has_window);
+  EXPECT_DOUBLE_EQ(back->window_from_ms, 100.5);
+  EXPECT_DOUBLE_EQ(back->window_to_ms, 900.25);
+  ASSERT_TRUE(back->task.has_value());
+  EXPECT_EQ(*back->task, 42u);
+  EXPECT_EQ(back->quantum_us, 500u);
+  ASSERT_TRUE(back->cpu.has_value());
+  EXPECT_EQ(*back->cpu, 3u);
+  EXPECT_EQ(back->activity, "irq");
+  EXPECT_EQ(back->k, 12u);
+  ASSERT_TRUE(back->deadline.has_value());
+  EXPECT_EQ(*back->deadline, 250 * kNsPerMs);
+  EXPECT_EQ(back->stall, 7 * kNsPerMs);
+}
+
+TEST(Osnb, MinimalRequestKeepsDefaults) {
+  Request req;  // ping with all defaults
+  std::string error;
+  const auto back = parse_request_osnb(request_to_osnb(req), error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->op, Op::kPing);
+  EXPECT_EQ(back->id, 0u);
+  EXPECT_FALSE(back->has_window);
+  EXPECT_FALSE(back->task.has_value());
+  EXPECT_FALSE(back->cpu.has_value());
+  EXPECT_FALSE(back->deadline.has_value());
+  EXPECT_EQ(back->quantum_us, 1000u);
+  EXPECT_EQ(back->k, 5u);
+}
+
+TEST(Osnb, RequestEnforcesJsonParserBounds) {
+  // The two wires must agree on what a valid request is: values the JSON
+  // parser rejects must not sneak in through the binary door.
+  std::string error;
+
+  Request bad_window;
+  bad_window.op = Op::kWindow;
+  bad_window.trace = "t";
+  bad_window.has_window = true;
+  bad_window.window_from_ms = 900;
+  bad_window.window_to_ms = 100;  // reversed
+  EXPECT_FALSE(parse_request_osnb(request_to_osnb(bad_window), error).has_value());
+
+  Request no_window;
+  no_window.op = Op::kWindow;  // window op without a window
+  no_window.trace = "t";
+  EXPECT_FALSE(parse_request_osnb(request_to_osnb(no_window), error).has_value());
+
+  Request no_trace;
+  no_trace.op = Op::kSummary;  // trace-addressed op without a trace
+  EXPECT_FALSE(parse_request_osnb(request_to_osnb(no_trace), error).has_value());
+
+  Request zero_quantum;
+  zero_quantum.op = Op::kChart;
+  zero_quantum.trace = "t";
+  zero_quantum.quantum_us = 0;
+  EXPECT_FALSE(parse_request_osnb(request_to_osnb(zero_quantum), error).has_value());
+
+  Request huge_stall;
+  huge_stall.stall = 600'000 * kNsPerMs;
+  const auto capped = parse_request_osnb(request_to_osnb(huge_stall), error);
+  ASSERT_TRUE(capped.has_value()) << error;
+  EXPECT_EQ(capped->stall, 10'000 * kNsPerMs);  // same 10 s cap as stall_ms
+}
+
+TEST(Osnb, RequestParserRejectsMangledFrames) {
+  Request req;
+  req.op = Op::kSummary;
+  req.trace = "ftq";
+  const std::string good = request_to_osnb(req);
+  std::string error;
+  ASSERT_TRUE(parse_request_osnb(good, error).has_value()) << error;
+
+  // Every truncation must fail cleanly (a frame is complete by construction;
+  // a short one is corruption, not "need more").
+  for (std::size_t cut = 0; cut < good.size(); ++cut)
+    EXPECT_FALSE(parse_request_osnb(good.substr(0, cut), error).has_value())
+        << "cut at " << cut;
+
+  // Trailing bytes are a framing bug, not padding.
+  EXPECT_FALSE(parse_request_osnb(good + "x", error).has_value());
+
+  // Wrong tag (a response tag on the request path).
+  std::string wrong_tag = good;
+  wrong_tag[0] = '\x02';
+  EXPECT_FALSE(parse_request_osnb(wrong_tag, error).has_value());
+
+  // Unknown op and unknown flag bits must be rejected, not ignored —
+  // otherwise old servers silently misread new clients.
+  std::string bad_op = good;
+  bad_op[2] = '\x7F';
+  EXPECT_FALSE(parse_request_osnb(bad_op, error).has_value());
+  std::string bad_flags = good;
+  bad_flags[3] = static_cast<char>(0x80);
+  EXPECT_FALSE(parse_request_osnb(bad_flags, error).has_value());
+}
+
+TEST(Osnb, ResponseSuccessRoundTripPreservesDocumentBytes) {
+  // The whole point of the binary wire: the payload document is carried
+  // verbatim, newlines and UTF-8 included, with no escaping layer.
+  const std::string doc = "{\n  \"workload\": \"ftq \\ é\",\n  \"n\": 3\n}\n";
+  const Response out = Response::success(9, doc);
+  const auto back = parse_response_osnb(response_to_osnb(out));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->ok);
+  EXPECT_EQ(back->id, 9u);
+  EXPECT_EQ(back->payload, doc);
+}
+
+TEST(Osnb, ResponseFailureRoundTrip) {
+  const Response out = Response::failure(4, errc::kDeadlineExceeded, "too slow");
+  const auto back = parse_response_osnb(response_to_osnb(out));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_FALSE(back->ok);
+  EXPECT_EQ(back->id, 4u);
+  EXPECT_EQ(back->error, errc::kDeadlineExceeded);
+  EXPECT_EQ(back->message, "too slow");
+}
+
+TEST(Osnb, ResponseParserRejectsMangledFrames) {
+  const std::string good = response_to_osnb(Response::success(1, "{}\n"));
+  ASSERT_TRUE(parse_response_osnb(good).has_value());
+  for (std::size_t cut = 0; cut < good.size(); ++cut)
+    EXPECT_FALSE(parse_response_osnb(good.substr(0, cut)).has_value())
+        << "cut at " << cut;
+  EXPECT_FALSE(parse_response_osnb(good + "x").has_value());
+  std::string wrong_tag = good;
+  wrong_tag[0] = '\x01';
+  EXPECT_FALSE(parse_response_osnb(wrong_tag).has_value());
+}
+
 }  // namespace
 }  // namespace osn::serve

@@ -439,5 +439,150 @@ TEST(Server, GracefulDrainFinishesInflightAndTellsIdleClients) {
   EXPECT_EQ(resp->error, errc::kShuttingDown);
 }
 
+TEST(Server, BinaryWireMatchesJsonWireByteForByte) {
+  TempDir dir("server_binary");
+  write_trace(make_model(), dir.path(), "t");
+  Server server(options_for(dir.path()));
+  ASSERT_TRUE(server.start());
+
+  Client json("127.0.0.1", server.port(), Deadline::after(sec(10)), Wire::kJson);
+  Client binary("127.0.0.1", server.port(), Deadline::after(sec(10)), Wire::kBinary);
+  ASSERT_TRUE(json.ok());
+  ASSERT_TRUE(binary.ok());
+
+  // Same ops down both wires: payload documents must be byte-identical —
+  // OSNB replaces the envelope, never the content.
+  std::vector<Request> requests;
+  requests.push_back(summary_request(1));
+  requests.push_back(window_request(2, 0.5, 1.5));
+  Request list;
+  list.id = 3;
+  list.op = Op::kList;
+  requests.push_back(list);
+  Request info;
+  info.id = 4;
+  info.op = Op::kInfo;
+  info.trace = "t";
+  requests.push_back(info);
+  Request topk;
+  topk.id = 5;
+  topk.op = Op::kTopK;
+  topk.trace = "t";
+  topk.k = 2;
+  requests.push_back(topk);
+  Request ping;
+  ping.id = 6;
+  ping.op = Op::kPing;
+  requests.push_back(ping);
+
+  for (const Request& req : requests) {
+    const Response via_json = json.call(req, Deadline::after(sec(60)));
+    const Response via_binary = binary.call(req, Deadline::after(sec(60)));
+    ASSERT_TRUE(via_json.ok) << op_name(req.op) << ": " << via_json.message;
+    ASSERT_TRUE(via_binary.ok) << op_name(req.op) << ": " << via_binary.message;
+    EXPECT_EQ(via_binary.id, req.id);
+    EXPECT_EQ(via_binary.payload, via_json.payload) << op_name(req.op);
+  }
+
+  // Error paths cross the binary wire with the same codes.
+  Request unknown = summary_request(7);
+  unknown.trace = "no_such_trace";
+  EXPECT_EQ(binary.call(unknown, Deadline::after(sec(10))).error,
+            errc::kUnknownTrace);
+
+  // Both wires show up in the metrics per-wire counters.
+  Request metrics_req;
+  metrics_req.id = 8;
+  metrics_req.op = Op::kMetrics;
+  const Response metrics = binary.call(metrics_req, Deadline::after(sec(10)));
+  ASSERT_TRUE(metrics.ok) << metrics.message;
+  const auto doc = parse_json(metrics.payload);
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* net = doc->find("net");
+  ASSERT_NE(net, nullptr) << "metrics must carry the net section";
+  EXPECT_GE(net->find("requests_json")->number, 6.0);
+  EXPECT_GE(net->find("requests_osnb")->number, 7.0);
+  EXPECT_GE(net->find("open")->number, 2.0);
+  EXPECT_GE(net->find("accepted")->number, 2.0);
+
+  server.stop();
+}
+
+TEST(Server, BinaryClientIsShedWithBinaryControlFrame) {
+  TempDir dir("server_binary_shed");
+  write_trace(make_model(), dir.path(), "t");
+  ServerOptions opts = options_for(dir.path());
+  opts.max_inflight = 1;
+  Server server(opts);
+  ASSERT_TRUE(server.start());
+
+  // Fill the only inflight slot with a stalled JSON request, then knock on
+  // the binary door: the overloaded response must come back OSNB-framed,
+  // not as a JSON line.
+  std::thread occupant([&] {
+    Client client("127.0.0.1", server.port(), Deadline::after(sec(10)));
+    Request stalled;
+    stalled.id = 1;
+    stalled.op = Op::kPing;
+    stalled.stall = sec(3);
+    EXPECT_TRUE(client.call(stalled, Deadline::after(sec(30))).ok);
+  });
+  const Deadline setup = Deadline::after(sec(20));
+  while (server.metrics().requests() < 1 && !setup.expired())
+    Deadline::after(5 * kNsPerMs).sleep_remaining();
+
+  Client binary("127.0.0.1", server.port(), Deadline::after(sec(10)), Wire::kBinary);
+  Request ping;
+  ping.id = 2;
+  ping.op = Op::kPing;
+  const Response shed = binary.call(ping, Deadline::after(sec(30)));
+  ASSERT_FALSE(shed.ok);
+  EXPECT_EQ(shed.error, errc::kOverloaded);
+  EXPECT_GE(server.metrics().shed(), 1u);
+
+  occupant.join();
+  server.stop();
+}
+
+TEST(Server, PollBackendServesBothWires) {
+  TempDir dir("server_poll");
+  write_trace(make_model(), dir.path(), "t");
+  ServerOptions opts = options_for(dir.path());
+  opts.use_poll_backend = true;
+  Server server(opts);
+  ASSERT_TRUE(server.start());
+  EXPECT_STREQ(server.backend(), "poll");
+
+  for (const Wire wire : {Wire::kJson, Wire::kBinary}) {
+    Client client("127.0.0.1", server.port(), Deadline::after(sec(10)), wire);
+    const Response resp = client.call(summary_request(1), Deadline::after(sec(60)));
+    EXPECT_TRUE(resp.ok) << wire_name(wire) << ": " << resp.error + ": " + resp.message;
+  }
+
+  server.stop();
+}
+
+TEST(Server, IdleTimeoutReapsQuietConnections) {
+  TempDir dir("server_idle_timeout");
+  write_trace(make_model(), dir.path(), "t");
+  ServerOptions opts = options_for(dir.path());
+  opts.idle_timeout = 100 * kNsPerMs;
+  Server server(opts);
+  ASSERT_TRUE(server.start());
+
+  TcpStream quiet =
+      TcpStream::connect("127.0.0.1", server.port(), Deadline::after(sec(10)));
+  ASSERT_TRUE(quiet.ok());
+  // The server closes the idle connection; the client sees EOF, no goodbye.
+  EXPECT_FALSE(quiet.recv_line(Deadline::after(sec(10))).has_value());
+  EXPECT_FALSE(quiet.ok());
+
+  // An active client on the same server is untouched.
+  Client active("127.0.0.1", server.port(), Deadline::after(sec(10)));
+  EXPECT_TRUE(active.call(summary_request(1), Deadline::after(sec(60))).ok);
+
+  server.stop();
+}
+
 }  // namespace
 }  // namespace osn::serve

@@ -127,6 +127,7 @@ int usage() {
       "              metrics|ping> [trace] --port N [--host H] [--window A:B]\n"
       "              [--task PID] [--quantum-us N] [--cpu N] [--activity NAME]\n"
       "              [--k N] [--deadline-ms N] [--stall-ms N]\n"
+      "              [--wire json|binary]\n"
       "  osn-analyze diff <a.osnt> <b.osnt>\n"
       "  osn-analyze scalability <trace.osnt> [--granularity-us N]\n"
       "              [--ranks N,N,...]\n\n"
@@ -698,7 +699,15 @@ int cmd_query(const Args& args) {
     std::fprintf(stderr, "error: --port is required\n");
     return 2;
   }
-  serve::Client client(host, port, Deadline::after(5 * kNsPerSec));
+  const std::string wire_str = args.get("wire", "json");
+  serve::Wire wire = serve::Wire::kJson;
+  if (wire_str == "binary") {
+    wire = serve::Wire::kBinary;
+  } else if (wire_str != "json") {
+    std::fprintf(stderr, "error: --wire must be json or binary\n");
+    return 2;
+  }
+  serve::Client client(host, port, Deadline::after(5 * kNsPerSec), wire);
   if (!client.ok()) {
     std::fprintf(stderr, "error: cannot connect to %s:%u: %s\n", host.c_str(), port,
                  client.connect_error().c_str());

@@ -28,6 +28,15 @@ query-pushdown    All filter/window/aggregate execution goes through the
                   duplicated execution paths this layer deleted. The trace
                   layer itself (src/trace/) and the primitive's home
                   (src/export/) are exempt, as are tests and benches.
+net-layering      src/net/ is the bottom of the network stack: frames, not
+                  requests. It must not include serve/, query/, trace/,
+                  noise/, or export/ headers — protocol knowledge flows down
+                  into it only through the net::Handler interface.
+raw-socket        The EINTR / partial-transfer / SIGPIPE discipline lives in
+                  one place (the sockio helpers in common/socket.cpp). Raw
+                  ::send / ::recv / ::poll / ::accept calls are forbidden
+                  outside common/socket.cpp and src/net/ (the readiness
+                  layer's poller backends legitimately speak poll(2)).
 
 Suppress a finding by appending `// osn-lint: allow(<rule>)` to the line.
 
@@ -61,6 +70,11 @@ WALLCLOCK_RE = re.compile(
     r"std::chrono::system_clock|\bgettimeofday\s*\(|(?<![_A-Za-z])time\s*\(\s*(?:NULL|nullptr|0)\s*\)")
 QUERY_PRIMITIVE_RE = re.compile(r"\b(?:read_window|index_summary_json)\s*\(")
 QUERY_EXEMPT_PREFIXES = ("src/query/", "src/trace/", "src/export/")
+NET_LAYER_PREFIX = "src/net/"
+NET_FORBIDDEN_INCLUDE_RE = re.compile(
+    r'#\s*include\s*"(?:serve|query|trace|noise|export)/')
+RAW_SOCKET_RE = re.compile(r"::\s*(?:send|sendto|recv|recvfrom|poll|accept4?)\s*\(")
+RAW_SOCKET_EXEMPT = ("src/common/socket.cpp", "src/net/")
 
 
 def strip_comments_and_strings(line: str) -> str:
@@ -123,6 +137,21 @@ def lint_file(root: pathlib.Path, rel: str) -> list[str]:
                    "direct read_window()/index_summary_json() call outside "
                    "src/query/; build a query::Plan and run it through the "
                    "Engine instead")
+        # Includes are string literals, which strip_comments_and_strings
+        # blanks — match the raw line for this rule.
+        if (rel.startswith(NET_LAYER_PREFIX)
+                and NET_FORBIDDEN_INCLUDE_RE.search(raw)):
+            report("net-layering",
+                   "src/net/ must not include serve/query/trace/noise/export "
+                   "headers; protocol logic reaches the readiness core only "
+                   "through net::Handler")
+        if (not rel.startswith(RAW_SOCKET_EXEMPT[1])
+                and rel != RAW_SOCKET_EXEMPT[0]
+                and RAW_SOCKET_RE.search(code)):
+            report("raw-socket",
+                   "raw socket syscall outside common/socket.cpp; use the "
+                   "sockio helpers (shared EINTR/partial-write/SIGPIPE "
+                   "discipline)")
     return findings
 
 

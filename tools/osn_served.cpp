@@ -29,7 +29,8 @@ int usage() {
                "osn-served — serve OSNT traces to osn-analyze query clients\n\n"
                "  osn-served --dir DIR [--host H] [--port N] [--port-file FILE]\n"
                "             [--workers N] [--max-inflight N] [--cache-mb N]\n"
-               "             [--model-cache-mb N] [--deadline-ms N]\n\n"
+               "             [--model-cache-mb N] [--deadline-ms N]\n"
+               "             [--idle-timeout-ms N] [--poll-backend]\n\n"
                "  --dir DIR          directory of .osnt trace files (required)\n"
                "  --host H           bind address (default 127.0.0.1)\n"
                "  --port N           TCP port; 0 = kernel-assigned (default 0)\n"
@@ -39,7 +40,11 @@ int usage() {
                "                     server sheds with 'overloaded' (default 32)\n"
                "  --cache-mb N       result cache budget in MiB (default 64)\n"
                "  --model-cache-mb N decoded-model cache budget in MiB (default 256)\n"
-               "  --deadline-ms N    default per-request deadline (default none)\n");
+               "  --deadline-ms N    default per-request deadline (default none)\n"
+               "  --idle-timeout-ms N  close connections idle this long\n"
+               "                     (default: keep them forever)\n"
+               "  --poll-backend     use the portable poll(2) readiness backend\n"
+               "                     instead of epoll\n");
   return 2;
 }
 
@@ -79,6 +84,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--deadline-ms") {
       options.default_deadline =
           static_cast<osn::DurNs>(std::atoll(arg_value(argc, argv, i))) * osn::kNsPerMs;
+    } else if (arg == "--idle-timeout-ms") {
+      options.idle_timeout =
+          static_cast<osn::DurNs>(std::atoll(arg_value(argc, argv, i))) * osn::kNsPerMs;
+    } else if (arg == "--poll-backend") {
+      options.use_poll_backend = true;
     } else {
       std::fprintf(stderr, "error: unknown option %s\n", arg.c_str());
       return usage();
@@ -97,9 +107,9 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::fprintf(stderr, "osn-served: serving %s on %s:%u (%zu workers)\n",
+  std::fprintf(stderr, "osn-served: serving %s on %s:%u (%zu workers, %s backend)\n",
                options.dir.c_str(), options.host.c_str(), server.port(),
-               options.workers);
+               options.workers, server.backend());
   if (!port_file.empty()) {
     // The port file is the readiness signal for scripts: written (atomically
     // enough for a <6-byte file) only after listen() succeeded.
