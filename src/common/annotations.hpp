@@ -1,0 +1,16 @@
+// Thread-safety annotations checked by osn-lint (DESIGN.md §11).
+//
+// OSN_GUARDED_BY(mutex) marks a field that must only be accessed while
+// `mutex` is held. It expands to nothing — the compiler ignores it — but
+// osn-lint's guarded-by rule verifies, at every member-access site in the
+// annotated subsystems (src/net/, src/serve/), that a lock_guard/unique_lock/
+// scoped_lock naming that mutex is in scope.
+//
+//   std::mutex mu_;
+//   std::vector<Job> queue_ OSN_GUARDED_BY(mu_);
+//
+// Accesses from member-initializer lists and class-body default initializers
+// are construction, not sharing, and are exempt.
+#pragma once
+
+#define OSN_GUARDED_BY(mutex)

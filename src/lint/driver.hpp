@@ -1,0 +1,56 @@
+// Driver for osn-lint: runs the rule set over in-memory sources (tests) or
+// a repo tree (the osn-lint binary and the check-static target).
+//
+// `lint_sources` is the pure core: lex every file, analyze scopes, collect
+// the OSN_GUARDED_BY registry across the locked subsystems, then run every
+// enabled rule. `lint_tree` wraps it with filesystem discovery (src/ and
+// tools/, *.cpp and *.hpp) and loads tools/layering.txt for the layering
+// rule. Findings come back sorted and deduplicated; `errors` carries
+// configuration problems (bad layering spec, unknown rule names, unreadable
+// files) that should fail the run with a distinct exit code.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+
+namespace osn::lint {
+
+struct SourceFile {
+  std::string path;     ///< repo-relative, '/'-separated
+  std::string content;
+};
+
+struct Options {
+  std::vector<std::string> rules;  ///< empty = all rules
+  std::string layering_text;       ///< tools/layering.txt content
+  bool have_layering = false;      ///< false: skip the layering rule
+};
+
+struct RunResult {
+  std::vector<Finding> findings;
+  std::vector<std::string> errors;  ///< configuration / IO problems
+  int files = 0;                    ///< files actually linted
+
+  bool clean() const { return findings.empty() && errors.empty(); }
+};
+
+/// Lints in-memory sources. Deterministic: findings are sorted by
+/// (file, line, rule) and deduplicated.
+RunResult lint_sources(const std::vector<SourceFile>& sources,
+                       const Options& opt);
+
+/// Discovers *.cpp / *.hpp under <root>/src and <root>/tools, loads
+/// <root>/tools/layering.txt (its absence is an error), and lints the lot.
+/// `opt.layering_text` / `opt.have_layering` are ignored; the tree's own
+/// spec is used.
+RunResult lint_tree(const std::string& root, const Options& opt);
+
+/// Render a result: one `file:line: [rule] message` per finding plus a
+/// summary line, or a JSON object {"findings":[...],"errors":[...],
+/// "files":N} for tooling.
+std::string to_human(const RunResult& result);
+std::string to_json(const RunResult& result);
+
+}  // namespace osn::lint

@@ -1,0 +1,97 @@
+#include "lint/layering.hpp"
+
+#include <sstream>
+
+namespace osn::lint {
+
+namespace {
+
+/// Depth-first cycle check over the declared edges.
+bool has_cycle(const std::map<std::string, std::set<std::string>>& edges,
+               std::string* where) {
+  std::map<std::string, int> state;  // 0 unvisited, 1 in-stack, 2 done
+  struct Walker {
+    const std::map<std::string, std::set<std::string>>& edges;
+    std::map<std::string, int>& state;
+    std::string* where;
+    bool visit(const std::string& n) {
+      state[n] = 1;
+      const auto it = edges.find(n);
+      if (it != edges.end()) {
+        for (const std::string& dep : it->second) {
+          const int s = state[dep];
+          if (s == 1) {
+            if (where != nullptr) *where = dep;
+            return true;
+          }
+          if (s == 0 && visit(dep)) return true;
+        }
+      }
+      state[n] = 2;
+      return false;
+    }
+  } w{edges, state, where};
+  for (const auto& [name, deps] : edges) {
+    (void)deps;
+    if (state[name] == 0 && w.visit(name)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+LayerSpec parse_layer_spec(const std::string& text) {
+  LayerSpec spec;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string name;
+    if (!(fields >> name)) continue;  // blank
+    if (name.back() != ':') {
+      spec.errors.push_back("layering.txt:" + std::to_string(lineno) +
+                            ": expected 'subsystem: deps...', got '" + name + "'");
+      continue;
+    }
+    name.pop_back();
+    if (spec.allowed.count(name) != 0) {
+      spec.errors.push_back("layering.txt:" + std::to_string(lineno) +
+                            ": duplicate subsystem '" + name + "'");
+      continue;
+    }
+    std::set<std::string>& deps = spec.allowed[name];
+    std::string dep;
+    while (fields >> dep)
+      if (dep != name) deps.insert(dep);
+  }
+  for (const auto& [name, deps] : spec.allowed)
+    for (const std::string& dep : deps)
+      if (spec.allowed.count(dep) == 0)
+        spec.errors.push_back("layering.txt: '" + name + "' depends on '" + dep +
+                              "', which is not declared");
+  std::string where;
+  if (spec.errors.empty() && has_cycle(spec.allowed, &where))
+    spec.errors.push_back("layering.txt: dependency cycle through '" + where + "'");
+  return spec;
+}
+
+std::string subsystem_of(const std::string& path) {
+  if (path.rfind("tools/", 0) == 0) return "tools";
+  if (path.rfind("src/", 0) != 0) return "";
+  const std::size_t slash = path.find('/', 4);
+  if (slash == std::string::npos) return "";
+  return path.substr(4, slash - 4);
+}
+
+std::string include_target(const IncludeDirective& inc) {
+  if (!inc.quoted) return "";
+  const std::size_t slash = inc.path.find('/');
+  if (slash == std::string::npos) return "";
+  return inc.path.substr(0, slash);
+}
+
+}  // namespace osn::lint

@@ -1,0 +1,54 @@
+// The repo's layering, as a declared DAG.
+//
+// `tools/layering.txt` declares, for every subsystem (a directory under
+// src/, plus the `tools` tree), the set of subsystems it may include. The
+// layering rule checks every quoted project include against that table, which
+// generalizes the old single hard-coded "src/net/ must not include serve/"
+// regex to the whole tree: adding a dependency edge is a reviewed one-line
+// diff in layering.txt, not an unnoticed #include.
+//
+// File format: one `name: dep dep ...` entry per line, `#` comments, blank
+// lines ignored. A subsystem may always include itself; `common` has no deps.
+// The parser rejects duplicate entries, deps on undeclared subsystems, and
+// cycles (the declaration must actually be a DAG, or it proves nothing).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/token.hpp"
+
+namespace osn::lint {
+
+struct LayerSpec {
+  /// subsystem -> subsystems it may include (never includes itself; self
+  /// edges are implicit).
+  std::map<std::string, std::set<std::string>> allowed;
+  std::vector<std::string> errors;  ///< parse/validation problems
+
+  bool ok() const { return errors.empty(); }
+  bool declared(const std::string& subsystem) const {
+    return allowed.count(subsystem) != 0;
+  }
+  bool allows(const std::string& from, const std::string& to) const {
+    if (from == to) return true;
+    const auto it = allowed.find(from);
+    return it != allowed.end() && it->second.count(to) != 0;
+  }
+};
+
+/// Parses the layering declaration from text (see file comment for format),
+/// validating that it is a closed DAG.
+LayerSpec parse_layer_spec(const std::string& text);
+
+/// Subsystem a repo-relative path belongs to: "net" for src/net/poller.cpp,
+/// "tools" for tools/osn_lint.cpp, "" for anything else.
+std::string subsystem_of(const std::string& path);
+
+/// Target subsystem of a quoted include ("net/codec.hpp" -> "net"); "" for
+/// same-directory includes without a path component.
+std::string include_target(const IncludeDirective& inc);
+
+}  // namespace osn::lint

@@ -1,0 +1,283 @@
+#include "lint/token.hpp"
+
+#include <cctype>
+
+namespace osn::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Scans comment text for `osn-lint: allow(rule)` directives and registers
+/// each rule on `line`. Multiple allow(...) groups in one comment all apply.
+void parse_allows(std::string_view comment, int line, LexedFile& out) {
+  const std::size_t tag = comment.find("osn-lint:");
+  if (tag == std::string_view::npos) return;
+  std::size_t pos = tag;
+  while ((pos = comment.find("allow(", pos)) != std::string_view::npos) {
+    pos += 6;
+    // Comma-separated rule names: allow(a, b).
+    while (pos < comment.size()) {
+      while (pos < comment.size() && (comment[pos] == ' ' || comment[pos] == ','))
+        ++pos;
+      std::size_t end = pos;
+      while (end < comment.size() &&
+             (ident_char(comment[end]) || comment[end] == '-'))
+        ++end;
+      if (end == pos) break;
+      out.allows[line].insert(std::string(comment.substr(pos, end - pos)));
+      pos = end;
+    }
+  }
+}
+
+class Lexer {
+ public:
+  Lexer(std::string path, std::string content) {
+    out_.path = std::move(path);
+    out_.content = std::move(content);
+    src_ = out_.content;
+  }
+
+  LexedFile run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        preprocessor_line();
+        continue;
+      }
+      at_line_start_ = false;
+      if (ident_start(c)) {
+        identifier_or_prefixed_literal();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))) != 0)) {
+        number();
+        continue;
+      }
+      if (c == '"') {
+        string_literal();
+        continue;
+      }
+      if (c == '\'') {
+        char_literal();
+        continue;
+      }
+      punct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void emit(Tok kind, std::size_t begin, std::size_t end, int line) {
+    out_.tokens.push_back(Token{kind, src_.substr(begin, end - begin), line});
+  }
+
+  void line_comment() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    parse_allows(src_.substr(begin, pos_ - begin), line, out_);
+  }
+
+  void block_comment() {
+    std::size_t begin = pos_;
+    int line = line_;
+    pos_ += 2;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\n') {
+        // Register allows line by line so a directive inside a multi-line
+        // block comment lands on its own line.
+        parse_allows(src_.substr(begin, pos_ - begin), line, out_);
+        ++line_;
+        line = line_;
+        begin = pos_ + 1;
+        ++pos_;
+        continue;
+      }
+      if (src_[pos_] == '*' && peek(1) == '/') {
+        pos_ += 2;
+        parse_allows(src_.substr(begin, pos_ - begin), line, out_);
+        return;
+      }
+      ++pos_;
+    }
+  }
+
+  /// Consumes one logical preprocessor line (with `\` continuations),
+  /// extracting #include targets and any trailing // comment's allows.
+  void preprocessor_line() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\\' && (peek(1) == '\n' || (peek(1) == '\r' && peek(2) == '\n'))) {
+        pos_ += peek(1) == '\n' ? std::size_t{2} : std::size_t{3};
+        ++line_;
+        continue;
+      }
+      if (src_[pos_] == '\n') break;  // newline handled by the main loop
+      ++pos_;
+    }
+    const std::string_view text = src_.substr(begin, pos_ - begin);
+    parse_include(text, line);
+    const std::size_t comment = text.find("//");
+    if (comment != std::string_view::npos)
+      parse_allows(text.substr(comment), line, out_);
+  }
+
+  void parse_include(std::string_view text, int line) {
+    std::size_t p = 1;  // past '#'
+    while (p < text.size() && (text[p] == ' ' || text[p] == '\t')) ++p;
+    if (text.substr(p, 7) != "include") return;
+    p += 7;
+    while (p < text.size() && (text[p] == ' ' || text[p] == '\t')) ++p;
+    if (p >= text.size()) return;
+    const char open = text[p];
+    const char close = open == '"' ? '"' : open == '<' ? '>' : '\0';
+    if (close == '\0') return;
+    const std::size_t end = text.find(close, p + 1);
+    if (end == std::string_view::npos) return;
+    out_.includes.push_back(IncludeDirective{
+        std::string(text.substr(p + 1, end - p - 1)), line, open == '"'});
+  }
+
+  void identifier_or_prefixed_literal() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    while (pos_ < src_.size() && ident_char(src_[pos_])) ++pos_;
+    const std::string_view id = src_.substr(begin, pos_ - begin);
+    // String/char prefixes: L"", u8"", uR"(...)", ... — the prefix is part of
+    // the literal, not an identifier.
+    if (pos_ < src_.size() && (src_[pos_] == '"' || src_[pos_] == '\'') &&
+        (id == "L" || id == "u" || id == "U" || id == "u8" || id == "R" ||
+         id == "LR" || id == "uR" || id == "UR" || id == "u8R")) {
+      if (src_[pos_] == '"') {
+        if (id.back() == 'R')
+          raw_string_literal(begin, line);
+        else
+          string_literal(begin, line);
+      } else {
+        char_literal(begin, line);
+      }
+      return;
+    }
+    emit(Tok::kIdent, begin, pos_, line);
+  }
+
+  void number() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (ident_char(c) || c == '.') {
+        // Exponent signs: 1e+9, 0x1p-3.
+        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+            (peek(1) == '+' || peek(1) == '-')) {
+          pos_ += 2;
+          continue;
+        }
+        ++pos_;
+        continue;
+      }
+      if (c == '\'' && ident_char(peek(1))) {  // digit separator
+        pos_ += 2;
+        continue;
+      }
+      break;
+    }
+    emit(Tok::kNumber, begin, pos_, line);
+  }
+
+  void string_literal() { string_literal(pos_, line_); }
+  void string_literal(std::size_t begin, int line) {
+    ++pos_;  // opening quote
+    while (pos_ < src_.size() && src_[pos_] != '"' && src_[pos_] != '\n') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        if (src_[pos_ + 1] == '\n') ++line_;  // line continuation in a literal
+        ++pos_;
+      }
+      ++pos_;
+    }
+    if (pos_ < src_.size() && src_[pos_] == '"') ++pos_;  // closing quote
+    emit(Tok::kString, begin, pos_, line);
+  }
+
+  void raw_string_literal(std::size_t begin, int line) {
+    ++pos_;  // opening quote
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') delim.push_back(src_[pos_++]);
+    if (pos_ < src_.size()) ++pos_;  // '('
+    const std::string closer = ")" + delim + "\"";
+    const std::size_t end = src_.find(closer, pos_);
+    for (std::size_t i = pos_; i < std::min(end, src_.size()); ++i)
+      if (src_[i] == '\n') ++line_;
+    pos_ = end == std::string::npos ? src_.size() : end + closer.size();
+    emit(Tok::kString, begin, pos_, line);
+  }
+
+  void char_literal() { char_literal(pos_, line_); }
+  void char_literal(std::size_t begin, int line) {
+    ++pos_;  // opening quote
+    while (pos_ < src_.size() && src_[pos_] != '\'' && src_[pos_] != '\n') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) ++pos_;
+      ++pos_;
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'') ++pos_;  // closing quote
+    emit(Tok::kChar, begin, pos_, line);
+  }
+
+  void punct() {
+    const std::size_t begin = pos_;
+    const char c = src_[pos_];
+    // `::` and `->` matter to the rules (scope resolution, member access);
+    // everything else is one character — `>>` deliberately lexes as two `>`
+    // so template-argument scanning can match brackets one at a time.
+    if ((c == ':' && peek(1) == ':') || (c == '-' && peek(1) == '>'))
+      pos_ += 2;
+    else
+      ++pos_;
+    emit(Tok::kPunct, begin, pos_, line_);
+  }
+
+  LexedFile out_;
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+};
+
+}  // namespace
+
+LexedFile lex(std::string path, std::string content) {
+  return Lexer(std::move(path), std::move(content)).run();
+}
+
+}  // namespace osn::lint

@@ -1,0 +1,69 @@
+// Rule registry for osn-lint.
+//
+// Eleven rules, each a token-level (or include-graph / scope-level) check.
+// The first seven are ports of the retired tools/osn_lint.py regex rules,
+// now token-accurate; `layering` generalizes the old `net-layering` rule to
+// every subsystem via tools/layering.txt. The last four are semantic rules a
+// line-regex engine cannot express:
+//
+//   hot-path-alloc     no allocation / container growth in src/tracebuf/
+//   hot-path-syscall   no blocking syscalls there either
+//   lock-scope         no socket I/O or trace decode while a lock is held
+//                      (src/net/ + src/serve/)
+//   guarded-by         OSN_GUARDED_BY(mutex) fields only touched with that
+//                      mutex's guard in scope (src/net/ + src/serve/)
+//
+// Per-line suppression: `// osn-lint: allow(rule)` with a justification.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/layering.hpp"
+#include "lint/scope.hpp"
+#include "lint/token.hpp"
+
+namespace osn::lint {
+
+struct Finding {
+  std::string file;
+  int line;
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Finding& o) const {
+    if (file != o.file) return file < o.file;
+    if (line != o.line) return line < o.line;
+    return rule < o.rule;
+  }
+};
+
+struct RuleInfo {
+  const char* name;
+  const char* summary;
+};
+
+/// All rules, in documentation order.
+const std::vector<RuleInfo>& all_rules();
+bool known_rule(const std::string& name);
+
+/// Everything a rule may consult for one file.
+struct FileContext {
+  const LexedFile& file;
+  const ScopeInfo& scopes;
+  const LayerSpec* layers;      ///< null: skip the layering rule
+  const GuardRegistry& guards;  ///< guarded fields across the file group
+  const std::vector<std::string>& enabled;  ///< empty = all rules
+
+  std::vector<Finding>* out;
+
+  bool rule_enabled(const std::string& rule) const;
+  /// Records a finding unless suppressed by an allow() on `line` or the
+  /// rule is filtered out.
+  void report(const std::string& rule, int line, std::string message) const;
+};
+
+/// Runs every enabled rule over one file.
+void run_rules(const FileContext& ctx);
+
+}  // namespace osn::lint

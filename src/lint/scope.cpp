@@ -1,0 +1,285 @@
+#include "lint/scope.hpp"
+
+#include <algorithm>
+
+namespace osn::lint {
+
+namespace {
+
+bool is_punct(const Token& t, std::string_view p) {
+  return t.kind == Tok::kPunct && t.text == p;
+}
+bool is_ident(const Token& t, std::string_view id) {
+  return t.kind == Tok::kIdent && t.text == id;
+}
+
+/// Keywords that introduce a parenthesized clause followed by a `{` that is
+/// NOT a new function body.
+bool control_keyword(std::string_view id) {
+  return id == "if" || id == "for" || id == "while" || id == "switch" ||
+         id == "catch" || id == "return" || id == "sizeof" || id == "alignof" ||
+         id == "decltype" || id == "noexcept" || id == "requires" ||
+         id == "do" || id == "else" || id == "new" || id == "co_return" ||
+         id == "co_await" || id == "assert" || id == "static_assert";
+}
+
+/// Specifiers that may sit between a signature's `)` and its body's `{`.
+bool signature_specifier(std::string_view id) {
+  return id == "const" || id == "noexcept" || id == "override" ||
+         id == "final" || id == "mutable" || id == "try" || id == "volatile" ||
+         id == "requires";
+}
+
+/// Walks back from tokens[i] (exclusive) to recover the qualified name in
+/// front of a parameter list's `(`: `name`, `Class::name`, `Class::~Class`,
+/// `ns::Class<T>::name`. Returns "" when no plausible name is found (lambda,
+/// expression, operator overload — "operator" is returned for the latter).
+std::string name_before(const std::vector<Token>& toks, std::size_t i) {
+  if (i == 0) return "";
+  std::size_t j = i;  // exclusive upper bound
+  // Skip one balanced template-argument group: f<int>( ... ).
+  if (is_punct(toks[j - 1], ">")) {
+    int depth = 0;
+    std::size_t k = j;
+    while (k > 0) {
+      --k;
+      if (is_punct(toks[k], ">")) ++depth;
+      else if (is_punct(toks[k], "<")) {
+        if (--depth == 0) break;
+      }
+      if (j - k > 64) return "";  // give up: probably a comparison chain
+    }
+    if (k == 0 || depth != 0) return "";
+    j = k;
+  }
+  if (j == 0 || toks[j - 1].kind != Tok::kIdent) return "";
+  std::vector<std::string_view> parts;
+  parts.push_back(toks[j - 1].text);
+  j -= 1;
+  // operator overloads: `operator` < ( — the punct before `(` already failed
+  // the ident test above except for operator() / conversion cases; treat any
+  // name directly preceded by `operator` as "operator".
+  if (j > 0 && is_ident(toks[j - 1], "operator")) return "operator";
+  // Destructors: `~` Name.
+  bool dtor = false;
+  if (j > 0 && is_punct(toks[j - 1], "~")) {
+    dtor = true;
+    j -= 1;
+  }
+  while (j >= 2 && is_punct(toks[j - 1], "::") && toks[j - 2].kind == Tok::kIdent) {
+    parts.push_back(toks[j - 2].text);
+    j -= 2;
+  }
+  std::string name;
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    if (!name.empty()) name += "::";
+    if (dtor && it + 1 == parts.rend()) name += "~";
+    name += std::string(*it);
+  }
+  if (parts.size() == 1 && control_keyword(parts[0])) return "";
+  return name;
+}
+
+/// Given tokens[i] == '(' or '{', returns the index one past the matching
+/// closer (same bracket family), or toks.size() when unbalanced.
+std::size_t skip_balanced(const std::vector<Token>& toks, std::size_t i) {
+  const std::string_view open = toks[i].text;
+  const std::string_view close = open == "(" ? ")" : open == "{" ? "}" : "]";
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (is_punct(toks[i], open)) ++depth;
+    else if (is_punct(toks[i], close)) {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return toks.size();
+}
+
+}  // namespace
+
+const FunctionRegion* ScopeInfo::function_at(std::size_t i) const {
+  const FunctionRegion* best = nullptr;
+  for (const FunctionRegion& f : functions)
+    if (f.begin_tok < i && i < f.end_tok)
+      if (best == nullptr || f.begin_tok > best->begin_tok) best = &f;
+  return best;
+}
+
+std::vector<const LockRegion*> ScopeInfo::locks_at(std::size_t i) const {
+  std::vector<const LockRegion*> out;
+  for (const LockRegion& l : locks)
+    if (l.decl_tok < i && i < l.end_tok) out.push_back(&l);
+  return out;
+}
+
+ScopeInfo analyze_scopes(const LexedFile& file) {
+  const std::vector<Token>& toks = file.tokens;
+  ScopeInfo info;
+
+  enum class Pending { kNone, kSignature, kInitList };
+  struct Brace {
+    bool function;
+    std::size_t region;  ///< index into info.functions when function
+  };
+  std::vector<Brace> braces;
+  std::vector<std::size_t> open_locks;  // indices into info.locks
+  std::vector<std::size_t> lock_depth;  // brace depth at declaration
+
+  Pending pending = Pending::kNone;
+  std::string pending_name;
+  int paren_depth = 0;
+  std::string cand_name;  ///< name in front of the current top-level '('
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+
+    // -- lock declarations --------------------------------------------------
+    if (t.kind == Tok::kIdent &&
+        (t.text == "lock_guard" || t.text == "unique_lock" ||
+         t.text == "scoped_lock" || t.text == "shared_lock")) {
+      std::size_t j = i + 1;
+      if (j < toks.size() && is_punct(toks[j], "<")) {
+        int depth = 0;
+        for (; j < toks.size(); ++j) {
+          if (is_punct(toks[j], "<")) ++depth;
+          else if (is_punct(toks[j], ">")) {
+            if (--depth == 0) { ++j; break; }
+          }
+        }
+      }
+      if (j < toks.size() && toks[j].kind == Tok::kIdent) {
+        const std::size_t args = j + 1;
+        if (args < toks.size() &&
+            (is_punct(toks[args], "(") || is_punct(toks[args], "{"))) {
+          // Mutex = last identifier of the first top-level constructor
+          // argument (handles `mu_`, `this->mu_`, `shard.mutex`,
+          // `mu_, std::defer_lock`).
+          const std::size_t close = skip_balanced(toks, args);
+          std::string mutex;
+          int depth = 0;
+          for (std::size_t k = args; k + 1 < close; ++k) {
+            if (is_punct(toks[k], "(") || is_punct(toks[k], "{")) ++depth;
+            else if (is_punct(toks[k], ")") || is_punct(toks[k], "}")) --depth;
+            else if (depth == 1 && is_punct(toks[k], ",")) break;
+            else if (depth >= 1 && toks[k].kind == Tok::kIdent)
+              mutex = std::string(toks[k].text);
+          }
+          if (!mutex.empty()) {
+            info.locks.push_back(
+                LockRegion{close - 1, toks.size(), mutex, t.line});
+            open_locks.push_back(info.locks.size() - 1);
+            lock_depth.push_back(braces.size());
+          }
+        }
+      }
+    }
+
+    // -- brace / paren structure ---------------------------------------------
+    if (t.kind == Tok::kPunct) {
+      if (t.text == "(") {
+        if (paren_depth == 0 && pending != Pending::kInitList)
+          cand_name = name_before(toks, i);
+        ++paren_depth;
+        continue;
+      }
+      if (t.text == ")") {
+        if (paren_depth > 0) --paren_depth;
+        if (paren_depth == 0 && pending == Pending::kNone && !cand_name.empty())
+          pending = Pending::kSignature;
+        if (paren_depth == 0 && pending == Pending::kNone && cand_name.empty() &&
+            i > 0 && is_punct(toks[i - 1], "]")) {
+          // `](` of a lambda was not name-detected; still a body candidate.
+          pending = Pending::kSignature;
+        }
+        continue;
+      }
+      if (t.text == "{") {
+        bool function = false;
+        std::string fname;
+        if (pending == Pending::kSignature || pending == Pending::kInitList) {
+          // In an init list, `{` directly after an identifier or `>` is a
+          // member brace-init (`b_{1}`), not the constructor body.
+          const bool member_init =
+              pending == Pending::kInitList && i > 0 &&
+              (toks[i - 1].kind == Tok::kIdent || is_punct(toks[i - 1], ">"));
+          if (!member_init && paren_depth == 0) {
+            function = true;
+            fname = pending_name.empty() ? cand_name : pending_name;
+            pending = Pending::kNone;
+          } else if (member_init) {
+            i = skip_balanced(toks, i) - 1;
+            continue;
+          }
+        } else if (i > 0 && is_punct(toks[i - 1], "]")) {
+          function = true;  // capture-only lambda body: `[&]{ ... }`
+        }
+        std::size_t region = 0;
+        if (function) {
+          info.functions.push_back(FunctionRegion{i, toks.size(), fname});
+          region = info.functions.size() - 1;
+        }
+        braces.push_back(Brace{function, region});
+        continue;
+      }
+      if (t.text == "}") {
+        if (!braces.empty()) {
+          const Brace b = braces.back();
+          braces.pop_back();
+          if (b.function) info.functions[b.region].end_tok = i;
+          while (!open_locks.empty() && lock_depth.back() > braces.size()) {
+            info.locks[open_locks.back()].end_tok = i;
+            open_locks.pop_back();
+            lock_depth.pop_back();
+          }
+        }
+        pending = Pending::kNone;
+        continue;
+      }
+    }
+
+    // -- pending-signature bookkeeping ---------------------------------------
+    if (pending == Pending::kSignature) {
+      if (t.kind == Tok::kIdent && signature_specifier(t.text)) continue;
+      if (is_punct(t, "->") || is_punct(t, "::") || is_punct(t, "<") ||
+          is_punct(t, ">") || is_punct(t, "*") || is_punct(t, "&") ||
+          t.kind == Tok::kIdent) {
+        // Trailing return type tokens keep the signature pending. Remember
+        // the name: `cand_name` may be overwritten by nested parens later.
+        if (pending_name.empty()) pending_name = cand_name;
+        continue;
+      }
+      if (is_punct(t, ":")) {
+        pending = Pending::kInitList;
+        if (pending_name.empty()) pending_name = cand_name;
+        continue;
+      }
+      pending = Pending::kNone;
+      pending_name.clear();
+      continue;
+    }
+    if (pending == Pending::kNone) pending_name.clear();
+  }
+
+  // Close regions left open at EOF (unbalanced input).
+  for (const std::size_t li : open_locks) info.locks[li].end_tok = toks.size();
+  return info;
+}
+
+void collect_guarded_fields(const LexedFile& file, GuardRegistry& out) {
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t i = 1; i + 2 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "OSN_GUARDED_BY")) continue;
+    if (!is_punct(toks[i + 1], "(")) continue;
+    if (toks[i - 1].kind != Tok::kIdent) continue;
+    const std::size_t close = skip_balanced(toks, i + 1);
+    std::string mutex;
+    for (std::size_t k = i + 2; k + 1 < close; ++k)
+      if (toks[k].kind == Tok::kIdent) mutex = std::string(toks[k].text);
+    if (mutex.empty()) continue;
+    out[std::string(toks[i - 1].text)] =
+        GuardedField{std::string(toks[i - 1].text), mutex, file.path,
+                     toks[i - 1].line};
+  }
+}
+
+}  // namespace osn::lint

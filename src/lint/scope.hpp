@@ -1,0 +1,75 @@
+// Scope analysis over the token stream: function bodies, lock lifetimes,
+// and OSN_GUARDED_BY field registration.
+//
+// This is deliberately not a parser. A linear walk with a brace stack is
+// enough to answer the three questions the semantic rules ask:
+//
+//  1. Which function body (qualified name) does token i sit in?
+//     Used by decode-throw (writer-side functions are exempt) and guarded-by
+//     (member-initializer lists and class bodies are not access sites).
+//  2. Which lock_guard/unique_lock/scoped_lock objects are live at token i,
+//     and which mutex does each one name?
+//     Used by lock-scope (no blocking calls under a lock) and guarded-by
+//     (the named mutex must be held at every access).
+//  3. Which fields carry an OSN_GUARDED_BY(mutex) annotation?
+//
+// Heuristics and their limits are documented in DESIGN.md §11; where the
+// walker is conservative (e.g. unique_lock + early unlock()), the per-line
+// `// osn-lint: allow(rule)` escape hatch applies.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/token.hpp"
+
+namespace osn::lint {
+
+/// A function body: tokens (begin, end] between its braces, with the
+/// qualified name recovered from the signature ("OsntStreamWriter::flush",
+/// "deserialize_whole", "" for lambdas).
+struct FunctionRegion {
+  std::size_t begin_tok;  ///< index of the opening '{'
+  std::size_t end_tok;    ///< index of the closing '}' (tokens.size() if EOF)
+  std::string name;
+};
+
+/// A live lock: declared at token `decl_tok`, covering tokens until its
+/// enclosing brace closes at `end_tok`.
+struct LockRegion {
+  std::size_t decl_tok;
+  std::size_t end_tok;
+  std::string mutex;  ///< last identifier of the first constructor argument
+  int line;
+};
+
+struct ScopeInfo {
+  std::vector<FunctionRegion> functions;
+  std::vector<LockRegion> locks;
+
+  /// Innermost function body containing token i, or nullptr.
+  const FunctionRegion* function_at(std::size_t i) const;
+  /// All locks live at token i (in declaration order).
+  std::vector<const LockRegion*> locks_at(std::size_t i) const;
+};
+
+ScopeInfo analyze_scopes(const LexedFile& file);
+
+/// One OSN_GUARDED_BY(mutex) annotation site.
+struct GuardedField {
+  std::string field;
+  std::string mutex;
+  std::string decl_file;
+  int decl_line;
+};
+
+/// field name -> annotation, collected across a file group (the annotated
+/// subsystems form one registry so .cpp access sites see .hpp declarations).
+using GuardRegistry = std::map<std::string, GuardedField>;
+
+/// Scans `file` for OSN_GUARDED_BY annotations and merges them into `out`.
+void collect_guarded_fields(const LexedFile& file, GuardRegistry& out);
+
+}  // namespace osn::lint

@@ -1,0 +1,63 @@
+// Token stream for osn-lint: just enough C++ lexing to make every rule
+// token-accurate.
+//
+// The lexer understands the constructs that defeat regex-over-lines linting:
+// line and block comments (including multi-line), string/char literals with
+// escapes, raw strings (R"delim(...)delim"), digit separators (1'000'000,
+// which would otherwise open a char literal), and preprocessor logical lines
+// with backslash continuations. Preprocessor directives never reach the token
+// stream; #include targets are extracted separately so the layering rule can
+// build the include graph without seeing tokens from macro bodies.
+//
+// Suppressions ride on comments: `// osn-lint: allow(rule)` (or the same text
+// in a block comment) registers `rule` as allowed on the line the comment
+// text appears on, mirroring the contract of the retired osn_lint.py.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace osn::lint {
+
+enum class Tok : unsigned char {
+  kIdent,   ///< identifier or keyword (keywords are not distinguished)
+  kNumber,  ///< numeric literal, including digit separators and suffixes
+  kString,  ///< string literal (any prefix, raw or not); text excludes quotes
+  kChar,    ///< character literal
+  kPunct,   ///< punctuation; `::` and `->` are single tokens, others one char
+};
+
+struct Token {
+  Tok kind;
+  std::string_view text;  ///< view into LexedFile::content
+  int line;               ///< 1-based line of the token's first character
+};
+
+/// One #include directive (quoted or angle) found on a preprocessor line.
+struct IncludeDirective {
+  std::string path;
+  int line;
+  bool quoted;
+};
+
+struct LexedFile {
+  std::string path;     ///< repo-relative, '/'-separated
+  std::string content;  ///< owned; tokens view into it
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+  /// line -> rules suppressed on that line via `osn-lint: allow(rule)`.
+  std::map<int, std::set<std::string>> allows;
+
+  bool allowed(const std::string& rule, int line) const {
+    const auto it = allows.find(line);
+    return it != allows.end() && it->second.count(rule) != 0;
+  }
+};
+
+/// Lexes `content` (which the returned file takes ownership of).
+LexedFile lex(std::string path, std::string content);
+
+}  // namespace osn::lint

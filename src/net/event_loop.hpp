@@ -44,6 +44,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/clock.hpp"
 #include "common/socket.hpp"
 #include "net/codec.hpp"
@@ -216,8 +217,8 @@ class EventLoop {
 
   // Cross-thread mailbox.
   mutable std::mutex posted_mu_;
-  std::vector<std::function<void()>> posted_;
-  bool mailbox_closed_ = false;  ///< run thread exited; guarded by posted_mu_
+  std::vector<std::function<void()>> posted_ OSN_GUARDED_BY(posted_mu_);
+  bool mailbox_closed_ OSN_GUARDED_BY(posted_mu_) = false;  ///< run thread exited
 
   // Stats: counters bumped with relaxed atomics; see LoopStats.
   struct AtomicStats {

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/types.hpp"
 #include "trace/osnt_reader.hpp"
 
@@ -88,7 +89,7 @@ class TraceCatalog {
 
   std::string dir_;
   mutable std::mutex mutex_;
-  std::map<std::string, Slot> slots_;
+  std::map<std::string, Slot> slots_ OSN_GUARDED_BY(mutex_);
 };
 
 }  // namespace osn::serve

@@ -11,6 +11,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/annotations.hpp"
 #include "common/types.hpp"
 #include "query/lru_cache.hpp"
 #include "stats/histogram.hpp"
@@ -83,7 +84,7 @@ class ServerMetrics {
   std::atomic<std::uint64_t> connections_{0};
 
   mutable std::mutex latency_mutex_;
-  stats::LogHistogram latency_;
+  stats::LogHistogram latency_ OSN_GUARDED_BY(latency_mutex_);
 };
 
 }  // namespace osn::serve

@@ -360,8 +360,7 @@ OsntStreamWriter::OsntStreamWriter(const std::string& path, std::size_t chunk_re
                                    Format format)
     : file_(std::fopen(path.c_str(), "wb")), format_(format), chunk_records_(chunk_records) {
   // Caller API precondition, not decoded input — assert is the right tier.
-  OSN_ASSERT_MSG(  // osn-lint: allow(decode-throw)
-      chunk_records_ >= 1, "chunk must hold at least one record");
+  OSN_ASSERT_MSG(chunk_records_ >= 1, "chunk must hold at least one record");
   if (file_ == nullptr) {
     failed_ = true;
     return;
@@ -389,10 +388,8 @@ OsntStreamWriter::~OsntStreamWriter() {
 }
 
 void OsntStreamWriter::set_aggregator(std::unique_ptr<ChunkAggregator> agg) {
-  OSN_ASSERT_MSG(  // osn-lint: allow(decode-throw)
-      records_ == 0, "set_aggregator after append");
-  OSN_ASSERT_MSG(  // osn-lint: allow(decode-throw)
-      format_ == Format::kV3, "aggregates require the v3 layout");
+  OSN_ASSERT_MSG(records_ == 0, "set_aggregator after append");
+  OSN_ASSERT_MSG(format_ == Format::kV3, "aggregates require the v3 layout");
   aggregator_ = std::move(agg);
 }
 

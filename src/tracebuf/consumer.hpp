@@ -86,13 +86,14 @@ class BasicConsumer {
       : channels_(channels), emit_(std::move(emit)), options_(options) {
     OSN_ASSERT_MSG(emit_ != nullptr, "consumer needs an emit callback");
     OSN_ASSERT_MSG(options_.batch_size >= 1, "batch size must be >= 1");
+    // Consumer construction, before the daemon starts.
     const std::size_t k = channels_.cpu_count();
-    staging_.resize(k);
-    staging_head_.assign(k, 0);
-    floor_.assign(k, 0);
-    seen_.assign(k, false);
-    scratch_.resize(options_.batch_size);
-    stats_.channels.resize(k);
+    staging_.resize(k);  // osn-lint: allow(hot-path-alloc) setup
+    staging_head_.assign(k, 0);  // osn-lint: allow(hot-path-alloc) setup
+    floor_.assign(k, 0);  // osn-lint: allow(hot-path-alloc) setup
+    seen_.assign(k, false);  // osn-lint: allow(hot-path-alloc) setup
+    scratch_.resize(options_.batch_size);  // osn-lint: allow(hot-path-alloc) setup
+    stats_.channels.resize(k);  // osn-lint: allow(hot-path-alloc) setup
     for (std::size_t c = 0; c < k; ++c)
       channels_.channel(static_cast<CpuId>(c)).attach_consumer();
     attached_ = true;
@@ -161,13 +162,16 @@ class BasicConsumer {
         continue;
       }
       if (backoff == 0 || options_.max_idle_sleep_ns == 0) {
-        std::this_thread::yield();
+        // Daemon-side idle backoff: only the consumer thread waits here,
+        // never a producer.
+        std::this_thread::yield();  // osn-lint: allow(hot-path-syscall) daemon idle
         backoff = kNsPerUs;
         continue;
       }
       // Timed backoff via the shared monotonic-deadline helper; capped so
       // stop() latency stays bounded by max_idle_sleep_ns.
-      Deadline::after(backoff).sleep_remaining(options_.max_idle_sleep_ns);
+      Deadline::after(backoff).sleep_remaining(  // osn-lint: allow(hot-path-syscall) daemon idle
+          options_.max_idle_sleep_ns);
       backoff = std::min<DurNs>(backoff * 2, options_.max_idle_sleep_ns);
     }
   }
@@ -187,7 +191,8 @@ class BasicConsumer {
                     queue.begin() + static_cast<std::ptrdiff_t>(head));
         head = 0;
       }
-      queue.insert(queue.end(), scratch_.begin(),
+      // Staging grows on the consumer daemon only; producers never touch it.
+      queue.insert(queue.end(), scratch_.begin(),  // osn-lint: allow(hot-path-alloc) drain
                    scratch_.begin() + static_cast<std::ptrdiff_t>(n));
       floor_[c] = queue.back().timestamp;
       seen_[c] = true;

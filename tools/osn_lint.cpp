@@ -1,0 +1,93 @@
+// osn-lint: the repo's static analyzer (see DESIGN.md §11).
+//
+// Exit codes: 0 clean, 1 findings, 2 configuration error or --budget-ms
+// exceeded. The check-static target and the StaticLint ctest run this over
+// the whole tree; StaticLintPerf additionally asserts the full-repo run
+// stays under its time budget.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "lint/driver.hpp"
+
+namespace {
+
+void usage(std::FILE* to) {
+  std::fputs(
+      "usage: osn-lint [--root DIR] [--rule NAME]... [--json]\n"
+      "                [--budget-ms N] [--list-rules]\n"
+      "\n"
+      "Lints *.cpp/*.hpp under DIR/src and DIR/tools against the rule set\n"
+      "described in DESIGN.md §11. Layering is read from DIR/tools/\n"
+      "layering.txt. Suppress per line with `// osn-lint: allow(rule)`.\n"
+      "\n"
+      "  --root DIR      repo root to lint (default: .)\n"
+      "  --rule NAME     run only this rule (repeatable)\n"
+      "  --json          machine-readable output\n"
+      "  --budget-ms N   fail (exit 2) if the run exceeds N milliseconds\n"
+      "  --list-rules    print the rule names and summaries, then exit\n",
+      to);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  osn::lint::Options opt;
+  bool json = false;
+  long budget_ms = -1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    }
+    if (arg == "--list-rules") {
+      for (const auto& r : osn::lint::all_rules())
+        std::printf("%-18s %s\n", r.name, r.summary);
+      return 0;
+    }
+    if (arg == "--json") {
+      json = true;
+      continue;
+    }
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+      continue;
+    }
+    if (arg == "--rule" && i + 1 < argc) {
+      opt.rules.emplace_back(argv[++i]);
+      continue;
+    }
+    if (arg == "--budget-ms" && i + 1 < argc) {
+      budget_ms = std::strtol(argv[++i], nullptr, 10);
+      continue;
+    }
+    std::fprintf(stderr, "osn-lint: unknown argument '%s'\n", arg.c_str());
+    usage(stderr);
+    return 2;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  const osn::lint::RunResult result = osn::lint::lint_tree(root, opt);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+
+  if (json)
+    std::fputs(osn::lint::to_json(result).c_str(), stdout);
+  else
+    std::fputs(osn::lint::to_human(result).c_str(), stdout);
+
+  if (!result.errors.empty()) return 2;
+  if (budget_ms >= 0 && elapsed > budget_ms) {
+    std::fprintf(stderr, "osn-lint: run took %ldms, over the %ldms budget\n",
+                 static_cast<long>(elapsed), budget_ms);
+    return 2;
+  }
+  return result.findings.empty() ? 0 : 1;
+}
