@@ -34,9 +34,12 @@ std::optional<SummaryData> index_summary_data(const trace::OsntReader& reader) {
     return std::nullopt;
   const std::optional<trace::IndexSummary>& summary = reader.index_summary();
   if (!summary) return std::nullopt;
+  return index_summary_data(*summary, reader.meta(), reader.tasks());
+}
 
-  const trace::TraceMeta& meta = reader.meta();
-  const std::map<Pid, trace::TaskInfo>& tasks = reader.tasks();
+std::optional<SummaryData> index_summary_data(const trace::IndexSummary& summary,
+                                              const trace::TraceMeta& meta,
+                                              const std::map<Pid, trace::TaskInfo>& tasks) {
   const auto is_app = [&tasks](std::uint64_t task) {
     if (task > std::numeric_limits<Pid>::max()) return false;
     const auto it = tasks.find(static_cast<Pid>(task));
@@ -78,9 +81,9 @@ std::optional<SummaryData> index_summary_data(const trace::OsntReader& reader) {
     return true;
   };
 
-  for (const trace::ChunkAggregate& agg : summary->chunks)
+  for (const trace::ChunkAggregate& agg : summary.chunks)
     if (!merge_one(agg)) return std::nullopt;
-  if (!merge_one(summary->tail)) return std::nullopt;
+  if (!merge_one(summary.tail)) return std::nullopt;
 
   SummaryData data;
   data.workload = meta.workload;

@@ -12,6 +12,7 @@
 // and blocks carrying out-of-range class/category ids all fall back.
 #pragma once
 
+#include <map>
 #include <optional>
 #include <string>
 
@@ -25,6 +26,15 @@ namespace osn::exporter {
 /// summary_data(NoiseAnalysis) field by field). nullopt when the file cannot
 /// take the fast path.
 std::optional<SummaryData> index_summary_data(const trace::OsntReader& reader);
+
+/// The merge half over an explicit aggregate block + metadata, for callers
+/// that assembled the summary themselves — the rolling segment store folds
+/// many segments' blocks into one IndexSummary and renders it through here.
+/// nullopt when a blob carries out-of-range class/category/cpu ids (the
+/// "not written by our aggregator" refusals).
+std::optional<SummaryData> index_summary_data(const trace::IndexSummary& summary,
+                                              const trace::TraceMeta& meta,
+                                              const std::map<Pid, trace::TaskInfo>& tasks);
 
 /// The full fast path: render_summary over index_summary_data. For a file
 /// whose aggregates were produced by noise::IndexAggregator, the returned

@@ -1,0 +1,154 @@
+#include "monitor/baseline.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace osn::monitor {
+
+WindowTracker::WindowTracker(DurNs window_ns, std::uint16_t n_cpus)
+    : window_ns_(window_ns), n_cpus_(n_cpus == 0 ? 1 : n_cpus) {
+  OSN_ASSERT_MSG(window_ns > 0, "window must be positive");
+}
+
+void WindowTracker::start(TimeNs origin) {
+  if (started_) return;
+  started_ = true;
+  cur_start_ = origin;
+}
+
+void WindowTracker::close_window(const Sink& sink) {
+  WindowMetrics m;
+  m.start_ns = cur_start_;
+  m.end_ns = cur_start_ + window_ns_;
+  m.intervals = intervals_;
+  m.noise_sum_ns = noise_sum_;
+  m.cat_sum_ns = cat_sum_;
+  m.p99_ns = hist_.total() == 0 ? 0 : hist_.quantile(0.99);
+  m.noise_fraction = static_cast<double>(noise_sum_) /
+                     (static_cast<double>(window_ns_) * static_cast<double>(n_cpus_));
+  ++windows_closed_;
+  cur_start_ = m.end_ns;
+  intervals_ = 0;
+  noise_sum_ = 0;
+  cat_sum_ = {};
+  hist_ = stats::LogHistogram();
+  if (sink) sink(m);
+}
+
+void WindowTracker::advance(TimeNs now, const Sink& sink) {
+  if (!started_) start(now);
+  while (now >= cur_start_ + window_ns_) close_window(sink);
+}
+
+void WindowTracker::observe(noise::NoiseCategory cat, TimeNs, DurNs charged_ns) {
+  ++intervals_;
+  noise_sum_ += charged_ns;
+  cat_sum_[static_cast<std::size_t>(cat)] += charged_ns;
+  hist_.add(charged_ns);
+}
+
+void WindowTracker::flush(TimeNs end, const Sink& sink) {
+  if (!started_) return;
+  advance(end, sink);
+  // The final partial window closes only when it holds observations; an
+  // empty tail sliver would just dilute the feed.
+  if (intervals_ > 0) close_window(sink);
+}
+
+RegressionDetector::RegressionDetector(DetectorOptions opts) : opts_(opts) {
+  // Absolute floors keep a near-zero baseline (an idle node) from alerting
+  // on microscopic changes: a p99 regression must reach microseconds, a
+  // fraction must reach 0.01%, a share shift must reach 5 points.
+  tracks_.push_back(Track{"p99_interval_ns", 5'000.0, 0, 0, 0, 0, 0});
+  tracks_.push_back(Track{"noise_fraction", 1e-4, 0, 0, 0, 0, 0});
+  for (std::size_t c = 0; c < kCategories; ++c) {
+    const auto cat = static_cast<noise::NoiseCategory>(c);
+    if (cat == noise::NoiseCategory::kRequestedService) continue;
+    tracks_.push_back(
+        Track{"share:" + std::string(noise::category_name(cat)), 0.05, 0, 0, 0, 0, 0});
+  }
+}
+
+double RegressionDetector::threshold(const Track& t) const {
+  const double var = t.n > 1 ? t.m2 / static_cast<double>(t.n - 1) : 0.0;
+  const double sigma_bound = t.mean + opts_.sigma * std::sqrt(var);
+  const double ratio_bound = t.mean * opts_.min_ratio;
+  double thr = sigma_bound > ratio_bound ? sigma_bound : ratio_bound;
+  if (thr < t.abs_floor) thr = t.abs_floor;
+  return thr;
+}
+
+bool RegressionDetector::feed(Track& t, double value, const WindowMetrics& m) {
+  const double thr = threshold(t);
+  if (value <= thr) {
+    t.streak = 0;
+    return false;
+  }
+  if (t.streak == 0) t.excursion_start = m.start_ns;
+  ++t.streak;
+  if (t.streak == opts_.sustain && !active_) {
+    // First track to confirm names the alert; the other metrics moved by
+    // the same excursion stay silent (see the header's one-event note).
+    active_ = true;
+    Alert a;
+    a.id = static_cast<std::uint64_t>(alerts_.size()) + 1;
+    a.metric = t.name;
+    a.start_ns = t.excursion_start;
+    a.end_ns = m.end_ns;
+    a.observed = value;
+    a.baseline_mean = t.mean;
+    a.threshold = thr;
+    alerts_.push_back(std::move(a));
+  }
+  return true;
+}
+
+void RegressionDetector::observe(const WindowMetrics& m) {
+  ++windows_seen_;
+  // A category's share is meaningless in a near-silent window: one stray
+  // 50 ns interval would read as "100% of noise" and trip the share floor.
+  // Shares participate (in learning and detection) only when the window's
+  // noise itself is non-negligible.
+  const bool shares_meaningful = m.noise_fraction > 1e-4;
+  const auto share_of = [&](std::size_t c) {
+    return shares_meaningful ? m.cat_share(c) : 0.0;
+  };
+  if (windows_seen_ <= opts_.warmup_windows) {
+    // Welford update per metric: the baseline is the node's own warmup
+    // profile, including its variance.
+    const auto learn = [](Track& t, double value) {
+      ++t.n;
+      const double d = value - t.mean;
+      t.mean += d / static_cast<double>(t.n);
+      t.m2 += d * (value - t.mean);
+    };
+    std::size_t i = 0;
+    learn(tracks_[i++], static_cast<double>(m.p99_ns));
+    learn(tracks_[i++], m.noise_fraction);
+    for (std::size_t c = 0; c < kCategories; ++c) {
+      if (static_cast<noise::NoiseCategory>(c) == noise::NoiseCategory::kRequestedService)
+        continue;
+      learn(tracks_[i++], share_of(c));
+    }
+    return;
+  }
+  std::size_t i = 0;
+  bool deviant = feed(tracks_[i++], static_cast<double>(m.p99_ns), m);
+  deviant = feed(tracks_[i++], m.noise_fraction, m) || deviant;
+  for (std::size_t c = 0; c < kCategories; ++c) {
+    if (static_cast<noise::NoiseCategory>(c) == noise::NoiseCategory::kRequestedService)
+      continue;
+    deviant = feed(tracks_[i++], share_of(c), m) || deviant;
+  }
+  if (active_) {
+    if (deviant) {
+      calm_ = 0;
+    } else if (++calm_ >= opts_.clear) {
+      active_ = false;
+      calm_ = 0;
+    }
+  }
+}
+
+}  // namespace osn::monitor

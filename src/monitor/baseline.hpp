@@ -1,0 +1,157 @@
+// Noise baseline and regression detection for the monitoring daemon.
+//
+// The paper characterizes a node's noise as a distribution, not a number;
+// a monitor's job is to notice when that distribution MOVES. The pipeline
+// here is deliberately simple and fully deterministic in trace time:
+//
+//  * WindowTracker buckets the live noise-interval feed (the segment
+//    store's IndexAggregator observer) into fixed trace-time windows and
+//    reduces each to a few scalar metrics: p99 interval length, noise
+//    fraction of CPU time, and per-category share of noise time.
+//  * BaselineModel learns mean/variance per metric over the first
+//    `warmup_windows` windows (Welford), i.e. the node's own quiet profile
+//    — no absolute thresholds baked in.
+//  * RegressionDetector compares each subsequent window against
+//    max(mean + sigma*stddev, mean*min_ratio, floor) and raises exactly ONE
+//    alert per sustained excursion: `sustain` consecutive deviant windows
+//    arm it, and it re-arms only after `clear` consecutive quiet ones — a
+//    step change produces one alert, not one per window.
+//
+// Everything is keyed to trace timestamps, so a replayed file yields the
+// identical alert sequence every run.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "noise/classify.hpp"
+#include "stats/histogram.hpp"
+
+namespace osn::monitor {
+
+inline constexpr std::size_t kCategories =
+    static_cast<std::size_t>(noise::NoiseCategory::kMaxCategory);
+
+/// Scalar reduction of one fixed trace-time window of noise observations.
+struct WindowMetrics {
+  TimeNs start_ns = 0;
+  TimeNs end_ns = 0;
+  std::uint64_t intervals = 0;
+  DurNs noise_sum_ns = 0;
+  DurNs p99_ns = 0;                          ///< p99 noise-interval length
+  double noise_fraction = 0;                 ///< noise time / (window * n_cpus)
+  std::array<DurNs, kCategories> cat_sum_ns{};
+
+  double cat_share(std::size_t cat) const {
+    return noise_sum_ns == 0 ? 0.0
+                             : static_cast<double>(cat_sum_ns[cat]) /
+                                   static_cast<double>(noise_sum_ns);
+  }
+};
+
+/// Buckets noise observations into fixed trace-time windows. Windows close
+/// as trace time advances past their end (including empty ones — silence is
+/// data); the sink receives them in order.
+class WindowTracker {
+ public:
+  using Sink = std::function<void(const WindowMetrics&)>;
+
+  WindowTracker(DurNs window_ns, std::uint16_t n_cpus);
+
+  /// Anchors the first window at `origin` (the trace's start).
+  void start(TimeNs origin);
+
+  /// Advances trace time, closing every window that ends at or before `now`.
+  void advance(TimeNs now, const Sink& sink);
+
+  /// Records one closed noise interval (`end_ts` inside the current window;
+  /// callers advance() first).
+  void observe(noise::NoiseCategory cat, TimeNs end_ts, DurNs charged_ns);
+
+  /// Closes the final partial window at end of stream.
+  void flush(TimeNs end, const Sink& sink);
+
+  std::uint64_t windows_closed() const { return windows_closed_; }
+
+ private:
+  void close_window(const Sink& sink);
+
+  DurNs window_ns_;
+  std::uint16_t n_cpus_;
+  bool started_ = false;
+  TimeNs cur_start_ = 0;
+  std::uint64_t windows_closed_ = 0;
+
+  std::uint64_t intervals_ = 0;
+  DurNs noise_sum_ = 0;
+  std::array<DurNs, kCategories> cat_sum_{};
+  stats::LogHistogram hist_;
+};
+
+struct DetectorOptions {
+  std::size_t warmup_windows = 8;  ///< windows used to learn the baseline
+  double sigma = 4.0;              ///< deviation threshold in baseline stddevs
+  double min_ratio = 1.5;          ///< ... and at least this multiple of the mean
+  std::size_t sustain = 3;         ///< consecutive deviant windows before alerting
+  std::size_t clear = 3;           ///< consecutive quiet windows to re-arm
+};
+
+/// One confirmed sustained regression.
+struct Alert {
+  std::uint64_t id = 0;
+  std::string metric;       ///< "p99_interval_ns" | "noise_fraction" | "share:<category>"
+  TimeNs start_ns = 0;      ///< first deviant window's start
+  TimeNs end_ns = 0;        ///< confirming window's end
+  double observed = 0;      ///< metric value in the confirming window
+  double baseline_mean = 0;
+  double threshold = 0;
+};
+
+/// Per-metric baseline learning + sustained-deviation detection. Feed every
+/// closed window in order; read alerts() afterwards.
+class RegressionDetector {
+ public:
+  explicit RegressionDetector(DetectorOptions opts = {});
+
+  void observe(const WindowMetrics& m);
+
+  /// Baseline learned (warmup complete) and watching for regressions.
+  bool armed() const { return windows_seen_ >= opts_.warmup_windows; }
+  std::uint64_t windows_seen() const { return windows_seen_; }
+  const std::vector<Alert>& alerts() const { return alerts_; }
+
+ private:
+  struct Track {
+    std::string name;
+    double abs_floor = 0;  ///< deviations below this absolute value never alert
+    // Welford running baseline.
+    double mean = 0;
+    double m2 = 0;
+    std::uint64_t n = 0;
+    // Excursion state.
+    std::size_t streak = 0;
+    TimeNs excursion_start = 0;
+  };
+
+  double threshold(const Track& t) const;
+  /// Feeds one track; returns whether it is above threshold this window.
+  bool feed(Track& t, double value, const WindowMetrics& m);
+
+  DetectorOptions opts_;
+  std::uint64_t windows_seen_ = 0;
+  std::vector<Track> tracks_;
+  std::vector<Alert> alerts_;
+  // One excursion at a time, detector-wide: a single noise step moves
+  // several metrics at once (p99, fraction, the category's share), and
+  // those are one event, not one alert each. The first track to sustain
+  // names the alert; re-arming requires `clear` windows with NO track
+  // above threshold.
+  bool active_ = false;
+  std::size_t calm_ = 0;
+};
+
+}  // namespace osn::monitor

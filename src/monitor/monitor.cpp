@@ -1,0 +1,136 @@
+#include "monitor/monitor.hpp"
+
+#include <utility>
+
+#include "common/format.hpp"
+#include "export/json.hpp"
+
+namespace osn::monitor {
+
+namespace {
+
+/// App-task filter matching the summary path: only application tasks' noise
+/// feeds the baseline (kernel helpers are not the paper's victim).
+bool is_app_task(const std::map<Pid, trace::TaskInfo>& tasks, Pid pid) {
+  const auto it = tasks.find(pid);
+  return it != tasks.end() && it->second.is_app;
+}
+
+}  // namespace
+
+Monitor::Monitor(MonitorOptions opts, trace::TraceMeta template_meta,
+                 std::map<Pid, trace::TaskInfo> tasks)
+    : opts_(std::move(opts)),
+      tasks_(std::move(tasks)),
+      tracker_(opts_.window_ns, template_meta.n_cpus),
+      detector_(opts_.detector) {
+  tracker_.start(template_meta.start_ns);
+  next_inject_ = opts_.inject.start_ns;
+  // The observer runs inside ingest() (store->append -> writer -> aggregator),
+  // so mutex_ is already held; it must not re-lock.
+  StoreOptions store_opts = opts_.store;
+  store_opts.on_noise = [this](Pid task, noise::NoiseCategory cat, TimeNs end_ts,
+                               DurNs charged) {
+    if (!is_app_task(tasks_, task)) return;
+    observe_noise(cat, end_ts, charged);
+  };
+  store_ = std::make_unique<SegmentStore>(std::move(store_opts), std::move(template_meta),
+                                          tasks_);
+}
+
+bool Monitor::ok() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return store_->ok();
+}
+
+void Monitor::observe_noise(noise::NoiseCategory cat, TimeNs end_ts, DurNs charged) {
+  tracker_.observe(cat, end_ts, charged);
+}
+
+void Monitor::ingest(const tracebuf::EventRecord& rec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const WindowTracker::Sink sink = [this](const WindowMetrics& m) { detector_.observe(m); };
+  // Synthetic injection rides the same clock as the stream: deterministic
+  // in trace time, invisible to the stored records.
+  if (opts_.inject.enabled) {
+    while (rec.timestamp >= next_inject_) {
+      tracker_.advance(next_inject_, sink);
+      tracker_.observe(opts_.inject.category, next_inject_, opts_.inject.duration_ns);
+      ++injected_;
+      next_inject_ += opts_.inject.period_ns;
+    }
+  }
+  tracker_.advance(rec.timestamp, sink);
+  store_->append(rec);
+}
+
+void Monitor::finish(TimeNs end_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (finished_) return;
+  finished_ = true;
+  store_->finish(end_ns);
+  tracker_.flush(end_ns, [this](const WindowMetrics& m) { detector_.observe(m); });
+}
+
+std::size_t Monitor::alert_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return detector_.alerts().size();
+}
+
+std::vector<SegmentInfo> Monitor::segments() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return store_->segments();
+}
+
+StoreStats Monitor::store_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return store_->stats();
+}
+
+std::string Monitor::status_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const StoreStats& s = store_->stats();
+  std::uint64_t compacted = 0;
+  for (const SegmentInfo& seg : store_->segments())
+    if (seg.compacted) ++compacted;
+  std::string out = "{\n";
+  out += "  \"dir\": \"" + exporter::json_escape(store_->dir()) + "\",\n";
+  out += "  \"records\": " + std::to_string(s.records) + ",\n";
+  out += "  \"segments\": " + std::to_string(store_->segments().size()) + ",\n";
+  out += "  \"segments_sealed\": " + std::to_string(s.segments_sealed) + ",\n";
+  out += "  \"segments_compacted\": " + std::to_string(compacted) + ",\n";
+  out += "  \"rotations_forced\": " + std::to_string(s.rotations_forced) + ",\n";
+  out += "  \"compactions\": " + std::to_string(s.compactions) + ",\n";
+  out += "  \"compaction_failures\": " + std::to_string(s.compaction_failures) + ",\n";
+  out += "  \"segments_deleted\": " + std::to_string(s.segments_deleted) + ",\n";
+  out += "  \"full_res_bytes\": " + std::to_string(s.full_res_bytes) + ",\n";
+  out += "  \"windows\": " + std::to_string(detector_.windows_seen()) + ",\n";
+  out += "  \"injected_intervals\": " + std::to_string(injected_) + ",\n";
+  out += std::string("  \"finished\": ") + (finished_ ? "true" : "false") + ",\n";
+  out += std::string("  \"baseline_armed\": ") + (detector_.armed() ? "true" : "false") +
+         ",\n";
+  out += "  \"alerts\": " + std::to_string(detector_.alerts().size()) + "\n";
+  out += "}\n";
+  return out;
+}
+
+std::string Monitor::alerts_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\n  \"alerts\": [";
+  bool first = true;
+  for (const Alert& a : detector_.alerts()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"id\": " + std::to_string(a.id) + ", \"metric\": \"" +
+           exporter::json_escape(a.metric) + "\", \"window_start_ns\": " +
+           std::to_string(a.start_ns) + ", \"window_end_ns\": " + std::to_string(a.end_ns) +
+           ", \"observed\": " + fmt_fixed(a.observed, 6) +
+           ", \"baseline_mean\": " + fmt_fixed(a.baseline_mean, 6) +
+           ", \"threshold\": " + fmt_fixed(a.threshold, 6) + "}";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+  out += "  \"count\": " + std::to_string(detector_.alerts().size()) + "\n}\n";
+  return out;
+}
+
+}  // namespace osn::monitor

@@ -1,0 +1,143 @@
+// Rolling segment store: the always-on daemon's durable event log.
+//
+// The offline pipeline writes one OSNT file per run; a monitor runs forever,
+// so the store splits the stream into time/size-bounded v3 segments, each
+// sealed with a normal footer and its OSNA pre-aggregate block, and keeps
+// the directory within a retention budget. Old full-resolution segments are
+// not simply deleted: downsampling compaction folds a segment's per-chunk
+// pre-aggregates into a single zero-record "summary segment" (an ordinary v3
+// file whose aggregate block holds one merged tail blob), so long-horizon
+// summary queries keep exact totals at O(index) bytes per retired segment —
+// the PR 6 aggregate machinery made durable, as the long-term-monitoring
+// literature prescribes.
+//
+// Rotation is quiescence-gated: a segment only closes when the stream sits
+// at an interval-free point (IndexAggregator::quiescent()), so per-segment
+// aggregates merge exactly to the uncut trace's and every segment passes the
+// analyzer's pairing invariants on its own. A stream that refuses to go
+// quiescent is force-cut once the segment runs 2x overdue (stacks empty —
+// only preemption/comm state spans the cut) or 4x overdue (unconditionally);
+// forced cuts are flagged clean_cut=false and only cost the affected
+// segments their fast-path aggregates, never record fidelity.
+//
+// Everything is driven by trace time and byte counts — no wall clock — so a
+// replayed file produces the identical segment layout every run (the
+// property tests' foundation).
+//
+// Crash safety: the active segment is written as `<name>.part` and renamed
+// into place only after finish() seals it. A crash leaves the sealed
+// segments pristine and at most one `.part` file, salvageable through the
+// v3 truncation sentinel; the catalog's `.osnt` extension filter keeps
+// half-written files invisible to serving.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "noise/index_aggregate.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/trace_model.hpp"
+
+namespace osn::monitor {
+
+struct StoreOptions {
+  std::string dir;
+  DurNs segment_ns = sec(1);               ///< rotate after this much trace time (0 = off)
+  std::uint64_t segment_bytes = 8u << 20;  ///< ... or this many flushed bytes (0 = off)
+  DurNs retain_ns = 0;                     ///< expire full-res segments older than this (0 = keep)
+  std::uint64_t retain_bytes = 0;          ///< ... or beyond this many full-res bytes (0 = keep)
+  bool compact = true;        ///< downsample expired segments instead of deleting them
+  std::size_t chunk_records = 4096;
+  /// Installed on every segment's IndexAggregator: live noise observations
+  /// for the baseline/alert pipeline (segment rotation is invisible to it).
+  noise::IndexAggregator::NoiseObserver on_noise;
+};
+
+/// One sealed file in the store (full-resolution segment or compacted
+/// summary segment).
+struct SegmentInfo {
+  std::uint64_t seq = 0;
+  std::string name;        ///< catalog name ("seg-000001.osnt" / "agg-000001.osnt")
+  std::string path;
+  TimeNs start_ns = 0;
+  TimeNs end_ns = 0;
+  std::uint64_t records = 0;
+  std::uint64_t bytes = 0;
+  bool compacted = false;
+  bool clean_cut = true;   ///< sealed at a quiescent point (aggregates exact)
+};
+
+struct StoreStats {
+  std::uint64_t records = 0;
+  std::uint64_t segments_sealed = 0;
+  std::uint64_t rotations_forced = 0;
+  std::uint64_t compactions = 0;
+  std::uint64_t compaction_failures = 0;
+  std::uint64_t segments_deleted = 0;
+  std::uint64_t full_res_bytes = 0;  ///< on-disk bytes still holding records
+};
+
+class SegmentStore {
+ public:
+  /// `template_meta` supplies the invariant trace identity (workload, cpus,
+  /// tick, stream start) stamped into every segment; `tasks` the task table
+  /// sealed into each footer (known up front for replay, snapshotted at
+  /// attach for live runs).
+  SegmentStore(StoreOptions opts, trace::TraceMeta template_meta,
+               std::map<Pid, trace::TaskInfo> tasks);
+  ~SegmentStore();
+
+  SegmentStore(const SegmentStore&) = delete;
+  SegmentStore& operator=(const SegmentStore&) = delete;
+
+  /// False after a filesystem failure (unwritable dir, failed rename).
+  bool ok() const { return !failed_; }
+
+  /// Feed the next record of the merged stream (same ordering contract as
+  /// OsntStreamWriter::append). May seal the active segment and open the
+  /// next one behind the scenes.
+  void append(const tracebuf::EventRecord& rec);
+
+  /// Seals the active segment at stream end `end_ns` (>= the last appended
+  /// timestamp; replay passes the source's meta end so the final segment's
+  /// span completes the uncut trace's). Idempotent.
+  void finish(TimeNs end_ns);
+
+  const std::vector<SegmentInfo>& segments() const { return sealed_; }
+  const StoreStats& stats() const { return stats_; }
+  const std::string& dir() const { return opts_.dir; }
+
+ private:
+  void open_segment(TimeNs start_ns);
+  void seal_active(TimeNs end_ns, bool clean_cut);
+  void maybe_rotate(const tracebuf::EventRecord& rec);
+  void enforce_retention();
+  bool compact_segment(SegmentInfo& seg);
+
+  StoreOptions opts_;
+  trace::TraceMeta template_meta_;
+  std::map<Pid, trace::TaskInfo> tasks_;
+
+  std::unique_ptr<trace::OsntStreamWriter> writer_;
+  noise::IndexAggregator* agg_ = nullptr;  ///< owned by writer_; valid while it lives
+  std::uint64_t next_seq_ = 1;
+  TimeNs seg_start_ = 0;
+  std::string part_path_;
+  std::string final_path_;
+  std::string final_name_;
+  TimeNs last_ts_ = 0;
+  bool first_segment_ = true;
+  bool tainted_start_ = false;  ///< active segment began at a forced (non-quiescent) cut
+  bool finished_ = false;
+  bool failed_ = false;
+
+  std::vector<SegmentInfo> sealed_;
+  StoreStats stats_;
+};
+
+}  // namespace osn::monitor

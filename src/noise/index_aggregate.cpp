@@ -88,10 +88,11 @@ void IndexAggregator::close_kernel(std::uint16_t cpu, const tracebuf::EventRecor
     auto& [count, sum] = noise_[{frame.task, static_cast<std::uint64_t>(cat)}];
     ++count;
     sum += self;
+    if (observer_) observer_(frame.task, cat, rec.timestamp, self);
   }
 }
 
-void IndexAggregator::close_preemption(Pid task, TaskState& st, TimeNs end) {
+void IndexAggregator::close_preemption(Pid task, TaskState& st, TimeNs end, bool notify) {
   // Unsigned difference, matching build_intervals exactly (including the
   // wrap if a hostile stream puts end before start — both paths agree).
   const DurNs dur = end - st.pre_start;
@@ -100,8 +101,22 @@ void IndexAggregator::close_preemption(Pid task, TaskState& st, TimeNs end) {
   if (!st.pre_in_comm) {
     ++p.cex_count;
     p.cex_sum += dur;
+    if (notify && observer_) observer_(task, NoiseCategory::kPreemption, end, dur);
   }
   st.preempted = false;
+}
+
+bool IndexAggregator::stacks_empty() const {
+  for (const auto& stack : stacks_)
+    if (!stack.empty()) return false;
+  return true;
+}
+
+bool IndexAggregator::quiescent() const {
+  if (dirty_ || !stacks_empty()) return false;
+  for (const auto& [task, st] : states_)
+    if (st.preempted || st.in_comm) return false;
+  return true;
 }
 
 trace::ChunkAggregate IndexAggregator::drain() {
@@ -134,14 +149,15 @@ trace::ChunkAggregate IndexAggregator::take_chunk() {
 }
 
 std::optional<trace::ChunkAggregate> IndexAggregator::take_tail(const trace::TraceMeta& meta) {
-  if (dirty_) return std::nullopt;
+  if (dirty_ || poisoned_) return std::nullopt;
   for (const auto& stack : stacks_) {
     if (!stack.empty()) return std::nullopt;  // unclosed kernel interval
   }
   // A task still preempted when tracing stopped contributes the observed
-  // portion, closed at the trace end like build_intervals does.
+  // portion, closed at the trace end like build_intervals does. These are
+  // storage bookkeeping, not live observations — the observer stays silent.
   for (auto& [task, st] : states_) {
-    if (st.preempted) close_preemption(task, st, meta.end_ns);
+    if (st.preempted) close_preemption(task, st, meta.end_ns, /*notify=*/false);
   }
   return drain();
 }

@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <vector>
@@ -43,13 +44,44 @@ namespace osn::noise {
 
 class IndexAggregator final : public trace::ChunkAggregator {
  public:
+  /// Live-noise observer: fired as each noise-qualifying interval closes —
+  /// kernel intervals outside comm windows (their category and charged self
+  /// time) and comm-excluded preemptions (category kPreemption). The monitor
+  /// daemon's baseline/alert pipeline taps this; take_tail()'s end-of-trace
+  /// closes do NOT fire it (they are bookkeeping for the stored aggregates,
+  /// not events the live stream observed).
+  using NoiseObserver =
+      std::function<void(Pid task, NoiseCategory cat, TimeNs end_ts, DurNs charged)>;
+
   void on_record(const tracebuf::EventRecord& rec) override;
   trace::ChunkAggregate take_chunk() override;
   std::optional<trace::ChunkAggregate> take_tail(const trace::TraceMeta& meta) override;
 
+  void set_observer(NoiseObserver observer) { observer_ = std::move(observer); }
+
   /// True once the stream violated the analyzer's model; take_tail() will
   /// veto. Exposed for tests and writer diagnostics.
   bool dirty() const { return dirty_; }
+
+  /// External veto: take_tail() will return nullopt even though the stream
+  /// itself is well-formed. The segment store poisons aggregators of
+  /// segments cut at non-quiescent boundaries — their per-segment totals
+  /// would be self-consistent but would NOT merge to the uncut trace's, and
+  /// absence of the block is how downstream merge paths learn to fall back.
+  /// Unlike dirty(), poisoning does not stop accumulation, so rotation
+  /// gating via quiescent() keeps working.
+  void poison() { poisoned_ = true; }
+
+  /// No kernel interval open on any CPU. Weaker than quiescent(): a
+  /// preempted or in-comm task may still span this point.
+  bool stacks_empty() const;
+
+  /// The stream is at an interval-free point: every kernel stack empty, no
+  /// task preempted or inside a communication window, and the stream still
+  /// well-formed. Cutting a segment here makes the per-segment aggregates
+  /// merge exactly to the uncut trace's — the rotation gate of the segment
+  /// store.
+  bool quiescent() const;
 
  private:
   /// One open kernel interval on a CPU (mirrors interval.cpp's OpenFrame,
@@ -77,12 +109,14 @@ class IndexAggregator final : public trace::ChunkAggregator {
   };
 
   void close_kernel(std::uint16_t cpu, const tracebuf::EventRecord& rec);
-  void close_preemption(Pid task, TaskState& st, TimeNs end);
+  void close_preemption(Pid task, TaskState& st, TimeNs end, bool notify = true);
   trace::ChunkAggregate drain();
 
   std::vector<std::vector<Frame>> stacks_;  ///< per-cpu open kernel intervals
   std::map<Pid, TaskState> states_;
   bool dirty_ = false;
+  bool poisoned_ = false;
+  NoiseObserver observer_;
 
   std::map<std::uint64_t, trace::AggAccum> classes_;
   std::map<Pid, PreAccum> preempt_;

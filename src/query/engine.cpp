@@ -29,6 +29,8 @@ trace::TraceModel restrict_to_cpu(const trace::TraceModel& model, CpuId cpu) {
   return trace::TraceModel(model.meta(), std::move(per_cpu), model.tasks());
 }
 
+}  // namespace
+
 /// The index-only fast path answers exactly one shape of plan: a summary of
 /// the full trace span under default analysis options with no predicates —
 /// pre-aggregates attribute intervals to the chunk where they close, so
@@ -41,7 +43,56 @@ bool fast_path_eligible(const Plan& plan) {
          !plan.options.include_requested_service;
 }
 
-}  // namespace
+void validate_plan(const Plan& plan) {
+  if (plan.t1 <= plan.t0)
+    throw PlanError(PlanError::Kind::kBadPlan, "window requires t0 < t1");
+  if ((plan.aggregate == Aggregate::kChart || plan.aggregate == Aggregate::kTimeseries) &&
+      plan.quantum == 0)
+    throw PlanError(PlanError::Kind::kBadPlan, "quantum out of range");
+  if (plan.aggregate == Aggregate::kTopK && plan.k == 0)
+    throw PlanError(PlanError::Kind::kBadPlan, "k out of range");
+}
+
+std::string render_plan(const trace::TraceModel& base, const Plan& plan,
+                        const Checkpoint& checkpoint) {
+  const bool full_window = plan.t0 == 0 && plan.t1 == kTimeInfinity;
+  std::optional<trace::TraceModel> local;
+  if (!full_window) local.emplace(trace::window_of(base, plan.t0, plan.t1));
+  if (plan.cpu.has_value())
+    local.emplace(restrict_to_cpu(local.has_value() ? *local : base, *plan.cpu));
+  const trace::TraceModel& model = local.has_value() ? *local : base;
+
+  if (checkpoint) checkpoint("before analysis");
+  const noise::NoiseAnalysis analysis(model, plan.options);
+
+  switch (plan.aggregate) {
+    case Aggregate::kSummary:
+      return exporter::summary_json(analysis);
+    case Aggregate::kChart: {
+      const auto apps = model.app_pids();
+      if (apps.empty())
+        throw PlanError(PlanError::Kind::kTraceMismatch,
+                        "trace has no application tasks");
+      const Pid pid = plan.task.value_or(apps.front());
+      if (!model.is_app(pid))
+        throw PlanError(PlanError::Kind::kBadPlan,
+                        "pid " + std::to_string(pid) + " is not an application task");
+      const std::size_t n = chart_buckets(model.duration(), plan.quantum);
+      const noise::SyntheticChart chart =
+          noise::build_chart(analysis, pid, 0, plan.quantum, n);
+      return exporter::chart_json(chart, model.task_name(pid));
+    }
+    case Aggregate::kTimeseries: {
+      const std::size_t n = chart_buckets(model.duration(), plan.quantum);
+      const noise::ActivitySeries series = noise::build_activity_series(
+          analysis, plan.activity, model.meta().start_ns, plan.quantum, n);
+      return exporter::timeseries_json(series);
+    }
+    case Aggregate::kTopK:
+      return exporter::topk_json(noise::top_noisy_cpus(analysis, plan.k), plan.k);
+  }
+  throw PlanError(PlanError::Kind::kBadPlan, "unknown aggregate");
+}
 
 Engine::Engine(EngineOptions options)
     : results_(options.result_cache_bytes), models_(options.model_cache_bytes) {}
@@ -110,56 +161,14 @@ std::string Engine::execute(trace::OsntReader& reader, const std::string& trace_
   }
 
   const auto base = base_model(reader, trace_id, plan, pool);
-  const bool full_window = plan.t0 == 0 && plan.t1 == kTimeInfinity;
-  std::optional<trace::TraceModel> local;
-  if (!full_window) local.emplace(trace::window_of(*base, plan.t0, plan.t1));
-  if (plan.cpu.has_value())
-    local.emplace(restrict_to_cpu(local.has_value() ? *local : *base, *plan.cpu));
-  const trace::TraceModel& model = local.has_value() ? *local : *base;
-
-  if (checkpoint) checkpoint("before analysis");
-  const noise::NoiseAnalysis analysis(model, plan.options);
-
-  switch (plan.aggregate) {
-    case Aggregate::kSummary:
-      return exporter::summary_json(analysis);
-    case Aggregate::kChart: {
-      const auto apps = model.app_pids();
-      if (apps.empty())
-        throw PlanError(PlanError::Kind::kTraceMismatch,
-                        "trace has no application tasks");
-      const Pid pid = plan.task.value_or(apps.front());
-      if (!model.is_app(pid))
-        throw PlanError(PlanError::Kind::kBadPlan,
-                        "pid " + std::to_string(pid) + " is not an application task");
-      const std::size_t n = chart_buckets(model.duration(), plan.quantum);
-      const noise::SyntheticChart chart =
-          noise::build_chart(analysis, pid, 0, plan.quantum, n);
-      return exporter::chart_json(chart, model.task_name(pid));
-    }
-    case Aggregate::kTimeseries: {
-      const std::size_t n = chart_buckets(model.duration(), plan.quantum);
-      const noise::ActivitySeries series = noise::build_activity_series(
-          analysis, plan.activity, model.meta().start_ns, plan.quantum, n);
-      return exporter::timeseries_json(series);
-    }
-    case Aggregate::kTopK:
-      return exporter::topk_json(noise::top_noisy_cpus(analysis, plan.k), plan.k);
-  }
-  throw PlanError(PlanError::Kind::kBadPlan, "unknown aggregate");
+  return render_plan(*base, plan, checkpoint);
 }
 
 std::string Engine::run(trace::OsntReader& reader, const std::string& trace_id,
                         const Plan& plan_in, ThreadPool* pool,
                         const Checkpoint& checkpoint) {
   const Plan plan = canonicalize(reader, plan_in);
-  if (plan.t1 <= plan.t0)
-    throw PlanError(PlanError::Kind::kBadPlan, "window requires t0 < t1");
-  if ((plan.aggregate == Aggregate::kChart || plan.aggregate == Aggregate::kTimeseries) &&
-      plan.quantum == 0)
-    throw PlanError(PlanError::Kind::kBadPlan, "quantum out of range");
-  if (plan.aggregate == Aggregate::kTopK && plan.k == 0)
-    throw PlanError(PlanError::Kind::kBadPlan, "k out of range");
+  validate_plan(plan);
 
   const std::string key =
       trace_id.empty() ? std::string() : trace_id + '|' + fingerprint(plan);

@@ -68,6 +68,24 @@ class PlanError : public std::runtime_error {
 /// deadline enforcement; the CLI passes none.
 using Checkpoint = std::function<void(const char* stage)>;
 
+/// True when the plan is the one shape the index-only fast path answers: a
+/// full-span, default-options summary with no predicates. Exposed so
+/// alternative executors (the monitor's rolling-segment view) route exactly
+/// like the engine.
+bool fast_path_eligible(const Plan& plan);
+
+/// Structural plan validation (window order, quantum/k ranges). Throws
+/// PlanError kBadPlan; shared by Engine::run and the rolling-segment view.
+void validate_plan(const Plan& plan);
+
+/// Renders `plan` against an already-decoded model: window clip, cpu
+/// restriction, analysis, aggregate rendering. The tail of Engine execution
+/// once a base model exists, exposed for executors that assemble models from
+/// other stores (rolling segments). Byte-identical to Engine::run on a
+/// reader whose read_all yields `base`.
+std::string render_plan(const trace::TraceModel& base, const Plan& plan,
+                        const Checkpoint& checkpoint = {});
+
 class Engine {
  public:
   explicit Engine(EngineOptions options = {});

@@ -284,6 +284,9 @@ const char* op_name(Op op) {
     case Op::kWindow: return "window";
     case Op::kTimeseries: return "timeseries";
     case Op::kTopK: return "topk";
+    case Op::kRefresh: return "refresh";
+    case Op::kAlerts: return "alerts";
+    case Op::kMonitorStatus: return "monitor_status";
     case Op::kMetrics: return "metrics";
     case Op::kPing: return "ping";
   }
@@ -294,7 +297,8 @@ namespace {
 
 std::optional<Op> op_from_name(const std::string& name) {
   for (const Op op : {Op::kList, Op::kInfo, Op::kSummary, Op::kChart, Op::kWindow,
-                      Op::kTimeseries, Op::kTopK, Op::kMetrics, Op::kPing})
+                      Op::kTimeseries, Op::kTopK, Op::kRefresh, Op::kAlerts,
+                      Op::kMonitorStatus, Op::kMetrics, Op::kPing})
     if (name == op_name(op)) return op;
   return std::nullopt;
 }

@@ -11,7 +11,8 @@
 //   -> {"id":2,"op":"window","trace":"ftq","window":[100,900]}
 //   <- {"id":2,"ok":false,"error":"deadline_exceeded","message":"..."}
 //
-// Ops: list, info, summary, chart, window, timeseries, topk, metrics, ping.
+// Ops: list, info, summary, chart, window, timeseries, topk, refresh,
+// alerts, monitor_status, metrics, ping.
 // This header also
 // contains the small recursive-descent JSON reader the server uses to parse
 // requests (hostile input is an expected condition: any parse problem turns
@@ -69,6 +70,9 @@ enum class Op : std::uint8_t {
   kWindow,      ///< summary of a [t0,t1) time slice (chunk-index driven)
   kTimeseries,  ///< one activity's charged noise on a quantum grid
   kTopK,        ///< noisiest CPUs by total charged noise
+  kRefresh,     ///< rescan the catalog directory (rolling segment stores)
+  kAlerts,      ///< monitor: confirmed noise-regression alerts
+  kMonitorStatus,  ///< monitor: store/pipeline counters
   kMetrics,     ///< server counters, cache stats, latency quantiles
   kPing,        ///< liveness; optional stall_ms busy-wait for drain/load
                 ///< tests. Must stay the last enumerator: metrics renders

@@ -145,6 +145,21 @@ Response run_query(const QueryContext& ctx, const Request& req, Deadline deadlin
                                      ctx.engine->model_cache_stats(), net));
   }
   if (req.op == Op::kList) return Response::success(req.id, list_payload(ctx));
+  if (req.op == Op::kRefresh) {
+    // The explicit rescan op: `list` refreshes too, but a monitor client
+    // wants "notice new segments" without paying for the full listing.
+    ctx.catalog->refresh();
+    return Response::success(req.id, "{\n  \"refreshed\": true,\n  \"traces\": " +
+                                         std::to_string(ctx.catalog->list().size()) +
+                                         "\n}\n");
+  }
+  if (req.op == Op::kAlerts || req.op == Op::kMonitorStatus) {
+    const auto& provider =
+        req.op == Op::kAlerts ? ctx.monitor_alerts : ctx.monitor_status;
+    if (!provider)
+      return Response::failure(req.id, errc::kBadRequest, "no monitor attached");
+    return Response::success(req.id, provider());
+  }
 
   // Ops that address one trace: lease it first.
   if (deadline.expired()) return deadline_failure(ctx, req, "before lease");

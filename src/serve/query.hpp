@@ -39,6 +39,11 @@ struct QueryContext {
   /// Optional sampler for the event loop's connection gauges; when set, the
   /// `metrics` op payload gains a "net" section.
   std::function<NetGauges()> net_gauges;
+  /// Optional monitor hooks (osn-monitord wires these to its Monitor; a
+  /// plain osn-served leaves them empty and the monitor ops answer
+  /// bad_request). Providers return complete JSON documents.
+  std::function<std::string()> monitor_status;
+  std::function<std::string()> monitor_alerts;
 };
 
 /// Executes one request. Never throws: trace problems become trace_error

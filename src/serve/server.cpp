@@ -15,6 +15,8 @@ Server::Server(ServerOptions options)
   ctx_.metrics = &metrics_;
   ctx_.draining = &draining_;
   ctx_.net_gauges = [this] { return net_gauges(); };
+  ctx_.monitor_status = options_.monitor_status;
+  ctx_.monitor_alerts = options_.monitor_alerts;
 }
 
 Server::~Server() { stop(); }

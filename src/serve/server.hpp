@@ -67,6 +67,10 @@ struct ServerOptions {
   DurNs idle_timeout = 0;
   /// Force the portable poll(2) readiness backend instead of epoll.
   bool use_poll_backend = false;
+  /// Monitor hooks for the `monitor_status`/`alerts` ops (osn-monitord
+  /// wires its Monitor's renderers in; empty means "no monitor attached").
+  std::function<std::string()> monitor_status;
+  std::function<std::string()> monitor_alerts;
 };
 
 class Server : private net::Handler {

@@ -1,0 +1,63 @@
+#include "trace/chunk_aggregate.hpp"
+
+#include <algorithm>
+
+namespace osn::trace {
+
+namespace {
+
+/// Merges two sparse key-sorted lists: entries with equal keys combine via
+/// `fold`, the rest interleave in key order. Output replaces `into`.
+template <class T, class Key, class Fold>
+void merge_sorted(std::vector<T>& into, const std::vector<T>& from, Key key, Fold fold) {
+  if (from.empty()) return;
+  std::vector<T> out;
+  out.reserve(into.size() + from.size());
+  std::size_t i = 0, j = 0;
+  while (i < into.size() && j < from.size()) {
+    if (key(into[i]) < key(from[j])) {
+      out.push_back(into[i++]);
+    } else if (key(from[j]) < key(into[i])) {
+      out.push_back(from[j++]);
+    } else {
+      T merged = into[i++];
+      fold(merged, from[j++]);
+      out.push_back(merged);
+    }
+  }
+  out.insert(out.end(), into.begin() + static_cast<std::ptrdiff_t>(i), into.end());
+  out.insert(out.end(), from.begin() + static_cast<std::ptrdiff_t>(j), from.end());
+  into = std::move(out);
+}
+
+}  // namespace
+
+void merge_aggregate(ChunkAggregate& into, const ChunkAggregate& from) {
+  merge_sorted(
+      into.classes, from.classes, [](const ChunkAggregate::ClassAccum& c) { return c.cls; },
+      [](ChunkAggregate::ClassAccum& a, const ChunkAggregate::ClassAccum& b) {
+        a.acc.merge(b.acc);
+      });
+  merge_sorted(
+      into.preempt, from.preempt, [](const ChunkAggregate::PreAccum& p) { return p.task; },
+      [](ChunkAggregate::PreAccum& a, const ChunkAggregate::PreAccum& b) {
+        a.acc.merge(b.acc);
+        a.cex_count += b.cex_count;
+        a.cex_sum += b.cex_sum;
+      });
+  merge_sorted(
+      into.noise, from.noise,
+      [](const ChunkAggregate::NoiseAccum& n) { return std::make_pair(n.task, n.cat); },
+      [](ChunkAggregate::NoiseAccum& a, const ChunkAggregate::NoiseAccum& b) {
+        a.count += b.count;
+        a.sum += b.sum;
+      });
+  merge_sorted(
+      into.cpu_events, from.cpu_events,
+      [](const ChunkAggregate::CpuCount& e) { return e.cpu; },
+      [](ChunkAggregate::CpuCount& a, const ChunkAggregate::CpuCount& b) {
+        a.count += b.count;
+      });
+}
+
+}  // namespace osn::trace

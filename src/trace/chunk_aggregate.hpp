@@ -106,6 +106,13 @@ struct IndexSummary {
   ChunkAggregate tail;
 };
 
+/// Merges `from` into `into` (sparse sorted lists merged by key, accumulators
+/// added). Aggregation is associative and order-independent, so folding a
+/// file's chunks + tail in any grouping yields the same totals — the identity
+/// the segment store's downsampling compaction relies on (many chunk blobs
+/// collapse to one).
+void merge_aggregate(ChunkAggregate& into, const ChunkAggregate& from);
+
 /// Writer-side hook: observes every appended record and emits aggregates at
 /// chunk boundaries. Implementations must be deterministic functions of the
 /// record sequence (the index-only summary's byte-identity contract).

@@ -157,6 +157,11 @@ class OsntStreamWriter {
 
   std::uint64_t records_written() const { return records_; }
 
+  /// Bytes emitted so far (header + flushed chunks; the open chunk's buffer
+  /// is not counted until it flushes). After finish() this is the file size.
+  /// Segment-store rotation uses it as the size trigger.
+  std::uint64_t bytes_written() const { return file_pos_; }
+
  private:
   /// Per-chunk index bookkeeping (mirrors trace::ChunkInfo on disk).
   struct ChunkEntry {

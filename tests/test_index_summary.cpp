@@ -304,6 +304,32 @@ TEST(IndexSummary, TruncatedFileFallsBack) {
   std::remove(path.c_str());
 }
 
+// The explicit-block overload (used by the rolling segment store to render
+// many segments' folded aggregates) must be the same computation as the
+// reader overload: handing it the reader's own block, meta and tasks yields
+// byte-identical output.
+TEST(IndexSummary, ExplicitBlockOverloadMatchesReaderOverload) {
+  const trace::TraceModel model = crafted_model();
+  const std::string path = write_v3(model, true, 8, "overload");
+  trace::OsntReader reader(path);
+  const auto via_reader = exporter::index_summary_data(reader);
+  ASSERT_TRUE(via_reader.has_value());
+  ASSERT_TRUE(reader.index_summary().has_value());
+  const auto via_block = exporter::index_summary_data(*reader.index_summary(),
+                                                      reader.meta(), reader.tasks());
+  ASSERT_TRUE(via_block.has_value());
+  EXPECT_EQ(exporter::render_summary(*via_block),
+            exporter::render_summary(*via_reader));
+
+  // And the refusal behavior carries over: an out-of-range category id in
+  // the block makes the explicit overload decline too.
+  trace::IndexSummary bad = *reader.index_summary();
+  bad.tail.noise.push_back({1, 999, 1, 100});
+  EXPECT_FALSE(
+      exporter::index_summary_data(bad, reader.meta(), reader.tasks()).has_value());
+  std::remove(path.c_str());
+}
+
 TEST(IndexSummary, DataMatchesAnalysisFieldByField) {
   // Beyond the rendered bytes: the extracted SummaryData must agree with the
   // analysis-derived one structurally (guards against two bugs cancelling

@@ -250,6 +250,35 @@ TEST(Osnb, MinimalRequestKeepsDefaults) {
   EXPECT_EQ(back->k, 5u);
 }
 
+// The monitoring ops are trace-less daemon queries; both wires must accept
+// them without a trace name and agree on identity after the Op renumbering.
+TEST(Osnb, MonitorOpsRoundTripOnBothWires) {
+  static constexpr struct {
+    Op op;
+    const char* name;
+  } kOps[] = {{Op::kRefresh, "refresh"},
+              {Op::kAlerts, "alerts"},
+              {Op::kMonitorStatus, "monitor_status"}};
+  std::string error;
+  for (const auto& [op, name] : kOps) {
+    Request req;
+    req.id = 11;
+    req.op = op;
+
+    const auto via_json = parse_request(req.to_line(), error);
+    ASSERT_TRUE(via_json.has_value()) << name << ": " << error;
+    EXPECT_EQ(via_json->op, op) << name;
+    EXPECT_EQ(via_json->id, 11u) << name;
+    EXPECT_NE(req.to_line().find(std::string("\"") + name + "\""), std::string::npos)
+        << name;
+
+    const auto via_osnb = parse_request_osnb(request_to_osnb(req), error);
+    ASSERT_TRUE(via_osnb.has_value()) << name << ": " << error;
+    EXPECT_EQ(via_osnb->op, op) << name;
+    EXPECT_EQ(via_osnb->id, 11u) << name;
+  }
+}
+
 TEST(Osnb, RequestEnforcesJsonParserBounds) {
   // The two wires must agree on what a valid request is: values the JSON
   // parser rejects must not sneak in through the binary door.

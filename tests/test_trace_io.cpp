@@ -340,6 +340,144 @@ TEST(TraceIo, BufferAndBorrowedBackendsAreEquivalent) {
   EXPECT_TRUE(owned.verify().clean());
 }
 
+// ---------------------------------------------------------------------------
+// Rotation correctness: the monitoring daemon's segment store seals one
+// writer and opens the next mid-stream. These tests pin the writer-level
+// contract that makes that safe, independent of the store itself.
+// ---------------------------------------------------------------------------
+
+// A finish()-then-reopen sequence: the stream split across consecutive
+// writers yields fully sealed files (footer + index present, NOT the
+// truncation sentinel) whose record concatenation is the original stream.
+TEST(TraceIo, StreamWriterRotationSequenceSealsEachFile) {
+  const TraceModel original = sample_trace();
+  const auto merged = original.merged();
+  static constexpr TimeNs kCut = 5'000;  // between the early pairs and the late one
+
+  std::vector<std::string> paths{::testing::TempDir() + "/osn_io_rot1.osnt",
+                                 ::testing::TempDir() + "/osn_io_rot2.osnt"};
+  for (int seg = 0; seg < 2; ++seg) {
+    OsntStreamWriter writer(paths[static_cast<std::size_t>(seg)], /*chunk_records=*/2);
+    std::uint64_t prev_bytes = 0;
+    for (const auto& rec : merged) {
+      if ((seg == 0) != (rec.timestamp < kCut)) continue;
+      writer.append(rec);
+      EXPECT_GE(writer.bytes_written(), prev_bytes);  // monotonic during a segment
+      prev_bytes = writer.bytes_written();
+    }
+    TraceMeta meta = original.meta();
+    meta.start_ns = seg == 0 ? original.meta().start_ns : kCut;
+    meta.end_ns = seg == 0 ? kCut : original.meta().end_ns;
+    ASSERT_TRUE(writer.finish(meta, original.tasks()));
+    // After finish, bytes_written() is the exact on-disk size.
+    std::FILE* f = std::fopen(paths[static_cast<std::size_t>(seg)].c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    EXPECT_EQ(writer.bytes_written(), static_cast<std::uint64_t>(std::ftell(f)));
+    std::fclose(f);
+  }
+
+  std::vector<tracebuf::EventRecord> rejoined;
+  for (const std::string& path : paths) {
+    OsntReader reader(path);
+    EXPECT_EQ(reader.version(), 3u);
+    EXPECT_FALSE(reader.truncated());  // sealed, not salvaged
+    EXPECT_FALSE(reader.index_recovered());
+    EXPECT_EQ(reader.tasks(), original.tasks());  // footer intact per segment
+    EXPECT_TRUE(reader.verify().clean());
+    const auto part = reader.read_all().merged();
+    rejoined.insert(rejoined.end(), part.begin(), part.end());
+    std::remove(path.c_str());
+  }
+  EXPECT_EQ(rejoined, merged);
+}
+
+// Crash mid-rotation: the previous segment was sealed and renamed into
+// place, the next one died as a half-written `.part`. The sealed file must
+// stay pristine and the `.part` must salvage through the truncation path.
+TEST(TraceIo, StreamWriterCrashMidRotationLeavesSealedSegmentPristine) {
+  const TraceModel original = sample_trace();
+  const auto merged = original.merged();
+  static constexpr TimeNs kCut = 5'000;
+  const std::string sealed = ::testing::TempDir() + "/osn_io_crash_seg1.osnt";
+  const std::string part = ::testing::TempDir() + "/osn_io_crash_seg2.osnt.part";
+
+  std::vector<tracebuf::EventRecord> first, second;
+  for (const auto& rec : merged)
+    (rec.timestamp < kCut ? first : second).push_back(rec);
+
+  {
+    OsntStreamWriter writer(sealed, /*chunk_records=*/2);
+    for (const auto& rec : first) writer.append(rec);
+    TraceMeta meta = original.meta();
+    meta.end_ns = kCut;
+    ASSERT_TRUE(writer.finish(meta, original.tasks()));
+  }
+  {
+    OsntStreamWriter writer(part, /*chunk_records=*/2);
+    for (const auto& rec : second) writer.append(rec);
+    // "Crash": destroyed without finish().
+  }
+
+  OsntReader ok(sealed);
+  EXPECT_FALSE(ok.truncated());
+  EXPECT_TRUE(ok.verify().clean());
+  EXPECT_EQ(ok.read_all().merged(), first);
+
+  OsntReader salvage(part);
+  EXPECT_TRUE(salvage.truncated());
+  EXPECT_EQ(salvage.read_all().merged(), second);  // every record recoverable
+  EXPECT_TRUE(salvage.verify().intact());
+
+  std::remove(sealed.c_str());
+  std::remove(part.c_str());
+}
+
+/// Stub aggregator with a fixed tail: what the store's compaction uses to
+/// persist a merged aggregate without replaying records.
+class FixedTailAggregator final : public ChunkAggregator {
+ public:
+  explicit FixedTailAggregator(ChunkAggregate tail) : tail_(std::move(tail)) {}
+  void on_record(const tracebuf::EventRecord&) override {}
+  ChunkAggregate take_chunk() override { return {}; }
+  std::optional<ChunkAggregate> take_tail(const TraceMeta&) override {
+    return std::move(tail_);
+  }
+
+ private:
+  ChunkAggregate tail_;
+};
+
+// A zero-record file whose whole payload is one aggregate blob — the
+// compacted "summary segment" shape — round-trips: no chunks, no records,
+// index_summary() present with the exact tail.
+TEST(TraceIo, ZeroRecordAggregateOnlyFileRoundTrips) {
+  ChunkAggregate tail;
+  tail.classes.push_back({3, {2, 4'000, 3'000, 1'000}});
+  tail.preempt.push_back({7, {1, 500, 500, 500}, 1, 500});
+  tail.noise.push_back({7, 2, 5, 12'345});
+  tail.cpu_events.push_back({0, 40});
+  tail.cpu_events.push_back({1, 2});
+
+  const TraceModel original = sample_trace();
+  const std::string path = ::testing::TempDir() + "/osn_io_aggonly.osnt";
+  {
+    OsntStreamWriter writer(path, /*chunk_records=*/64);
+    writer.set_aggregator(std::make_unique<FixedTailAggregator>(tail));
+    ASSERT_TRUE(writer.finish(original.meta(), original.tasks()));
+  }
+  OsntReader reader(path);
+  EXPECT_EQ(reader.version(), 3u);
+  EXPECT_FALSE(reader.truncated());
+  EXPECT_EQ(reader.indexed_records(), 0u);
+  EXPECT_TRUE(reader.chunks().empty());
+  EXPECT_EQ(reader.meta(), original.meta());
+  ASSERT_TRUE(reader.index_summary().has_value());
+  EXPECT_TRUE(reader.index_summary()->chunks.empty());
+  EXPECT_EQ(reader.index_summary()->tail, tail);
+  std::remove(path.c_str());
+}
+
 TEST(TraceIo, StreamWriterRejectsNonMonotonicPerCpu) {
   const std::string path = ::testing::TempDir() + "/osn_io_mono.osnt";
   OsntStreamWriter writer(path);

@@ -1,0 +1,102 @@
+#!/bin/sh
+# Monitoring daemon end-to-end smoke test, run as part of the default ctest
+# suite.
+#
+# Replays a 2s trace through osn-monitord with aggressive rotation (120ms
+# segments), retention (1.5s -> at least one compaction cycle) and a
+# synthetic noise step injected at 1.6s, then checks:
+#   * the store rotated >= 3 segments and compacted >= 1,
+#   * exactly one alert was raised, identical on the JSON and binary wires,
+#   * the refresh op answers and the catalog lists sealed segments,
+#   * planner queries over the rolling store are byte-identical to the same
+#     queries over the uncut trace (full-span summary via the merged
+#     pre-aggregate path, a windowed summary via the record path),
+#   * SIGTERM produces a clean exit.
+#
+# Usage: monitor_smoke.sh <osn-analyze> <osn-monitord> <workdir>
+set -eu
+
+ANALYZE=$1
+MONITORD=$2
+WORK=$3
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+"$ANALYZE" run ftq --seconds 2 --seed 7 -o "$WORK/ftq.osnt" > /dev/null 2>&1
+
+"$MONITORD" --replay "$WORK/ftq.osnt" --dir "$WORK/store" \
+  --segment-ms 120 --retain-ms 1500 --window-ms 50 --warmup 8 --sustain 3 \
+  --inject-at-ms 1600 --inject-period-us 2000 --inject-duration-us 300 \
+  --port 0 --port-file "$WORK/port" --workers 2 2> "$WORK/monitord.log" &
+MON_PID=$!
+trap 'kill "$MON_PID" 2>/dev/null || true' EXIT
+
+# The port file doubles as the readiness signal.
+tries=0
+while [ ! -s "$WORK/port" ]; do
+  tries=$((tries + 1))
+  if [ "$tries" -gt 100 ]; then
+    echo "FAIL: daemon never wrote the port file" >&2
+    cat "$WORK/monitord.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+PORT=$(cat "$WORK/port")
+
+# The replay is unpaced; poll monitor status until it reports completion.
+tries=0
+while ! "$ANALYZE" monitor status --port "$PORT" | grep -q '"finished": true'; do
+  tries=$((tries + 1))
+  if [ "$tries" -gt 300 ]; then
+    echo "FAIL: replay never finished" >&2
+    cat "$WORK/monitord.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+"$ANALYZE" monitor status --port "$PORT" > "$WORK/status.json"
+field() { grep "\"$1\"" "$WORK/status.json" | tr -dc '0-9'; }
+[ "$(field segments_sealed)" -ge 3 ] || {
+  echo "FAIL: expected >= 3 sealed segments" >&2; cat "$WORK/status.json" >&2; exit 1; }
+[ "$(field compactions)" -ge 1 ] || {
+  echo "FAIL: expected >= 1 compaction" >&2; cat "$WORK/status.json" >&2; exit 1; }
+
+# Exactly one alert from the injected noise step, identical on both wires.
+"$ANALYZE" monitor alerts --port "$PORT" > "$WORK/alerts.json"
+"$ANALYZE" monitor alerts --port "$PORT" --wire binary > "$WORK/alerts_osnb.json"
+cmp "$WORK/alerts.json" "$WORK/alerts_osnb.json" || {
+  echo "FAIL: alerts differ between JSON and binary wires" >&2; exit 1; }
+grep -q '"count": 1' "$WORK/alerts.json" || {
+  echo "FAIL: expected exactly one alert" >&2; cat "$WORK/alerts.json" >&2; exit 1; }
+
+"$ANALYZE" monitor status --port "$PORT" --wire binary > "$WORK/status_osnb.json"
+cmp "$WORK/status.json" "$WORK/status_osnb.json" || {
+  echo "FAIL: status differs between JSON and binary wires" >&2; exit 1; }
+
+# The store directory is a live catalog: refresh answers, list sees segments.
+"$ANALYZE" monitor refresh --port "$PORT" | grep -q '"refreshed": true' || {
+  echo "FAIL: refresh op did not answer" >&2; exit 1; }
+"$ANALYZE" query list --port "$PORT" | grep -q '"name": "seg-' || {
+  echo "FAIL: catalog does not list sealed segments" >&2; exit 1; }
+
+# Rolling-store queries must be byte-identical to the uncut trace's. The
+# full-span summary exercises the merged pre-aggregate path (compacted
+# summary segments included); the windowed summary exercises the record
+# path over the retained full-resolution span.
+"$ANALYZE" summary "$WORK/ftq.osnt" > "$WORK/uncut_summary.json"
+"$ANALYZE" rolling "$WORK/store" > "$WORK/rolled_summary.json"
+cmp "$WORK/uncut_summary.json" "$WORK/rolled_summary.json" || {
+  echo "FAIL: rolling summary differs from uncut trace summary" >&2; exit 1; }
+
+"$ANALYZE" summary "$WORK/ftq.osnt" --window 700:1900 > "$WORK/uncut_window.json"
+"$ANALYZE" rolling "$WORK/store" summary --window 700:1900 > "$WORK/rolled_window.json"
+cmp "$WORK/uncut_window.json" "$WORK/rolled_window.json" || {
+  echo "FAIL: rolling windowed summary differs from uncut trace" >&2; exit 1; }
+
+kill -TERM "$MON_PID"
+trap - EXIT
+wait "$MON_PID" || { echo "FAIL: daemon did not exit cleanly" >&2; exit 1; }
+echo "monitor smoke OK"

@@ -37,6 +37,7 @@
 #include "export/csv.hpp"
 #include "export/json.hpp"
 #include "export/paraver.hpp"
+#include "monitor/rolling.hpp"
 #include "noise/analysis.hpp"
 #include "noise/chart.hpp"
 #include "noise/disambiguate.hpp"
@@ -124,10 +125,16 @@ int usage() {
       "  osn-analyze export <trace.osnt> (--paraver BASE | --csv FILE |\n"
       "              --json FILE)\n"
       "  osn-analyze query <list|info|summary|chart|window|timeseries|topk|\n"
-      "              metrics|ping> [trace] --port N [--host H] [--window A:B]\n"
+      "              refresh|alerts|monitor_status|metrics|ping> [trace]\n"
+      "              --port N [--host H] [--window A:B]\n"
       "              [--task PID] [--quantum-us N] [--cpu N] [--activity NAME]\n"
       "              [--k N] [--deadline-ms N] [--stall-ms N]\n"
       "              [--wire json|binary]\n"
+      "  osn-analyze monitor <status|alerts|refresh> --port N [--host H]\n"
+      "              [--wire json|binary]\n"
+      "  osn-analyze rolling <store-dir> [summary|timeseries|topk]\n"
+      "              [--window A:B] [--cpu N] [--activity NAME] [--k N]\n"
+      "              [--quantum-us N]\n"
       "  osn-analyze diff <a.osnt> <b.osnt>\n"
       "  osn-analyze scalability <trace.osnt> [--granularity-us N]\n"
       "              [--ranks N,N,...]\n\n"
@@ -655,6 +662,39 @@ int cmd_topk(const Args& args) {
 }
 
 
+/// Shared client tail: connect with --host/--port/--wire, send one request,
+/// print the payload verbatim (so remote output stays byte-identical to the
+/// offline exporter's files).
+int client_call(const Args& args, const serve::Request& req) {
+  const std::string host = args.get("host", "127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(args.get_u64("port", 0));
+  if (port == 0) {
+    std::fprintf(stderr, "error: --port is required\n");
+    return 2;
+  }
+  const std::string wire_str = args.get("wire", "json");
+  serve::Wire wire = serve::Wire::kJson;
+  if (wire_str == "binary") {
+    wire = serve::Wire::kBinary;
+  } else if (wire_str != "json") {
+    std::fprintf(stderr, "error: --wire must be json or binary\n");
+    return 2;
+  }
+  serve::Client client(host, port, Deadline::after(5 * kNsPerSec), wire);
+  if (!client.ok()) {
+    std::fprintf(stderr, "error: cannot connect to %s:%u: %s\n", host.c_str(), port,
+                 client.connect_error().c_str());
+    return 1;
+  }
+  const serve::Response resp = client.call(req, Deadline::after(60 * kNsPerSec));
+  if (!resp.ok) {
+    std::fprintf(stderr, "error: %s: %s\n", resp.error.c_str(), resp.message.c_str());
+    return 1;
+  }
+  std::fwrite(resp.payload.data(), 1, resp.payload.size(), stdout);
+  return 0;
+}
+
 int cmd_query(const Args& args) {
   if (args.positionals().empty()) return usage();
   const std::string op_str = args.positionals()[0];
@@ -667,6 +707,9 @@ int cmd_query(const Args& args) {
   else if (op_str == "window") req.op = serve::Op::kWindow;
   else if (op_str == "timeseries") req.op = serve::Op::kTimeseries;
   else if (op_str == "topk") req.op = serve::Op::kTopK;
+  else if (op_str == "refresh") req.op = serve::Op::kRefresh;
+  else if (op_str == "alerts") req.op = serve::Op::kAlerts;
+  else if (op_str == "monitor_status") req.op = serve::Op::kMonitorStatus;
   else if (op_str == "metrics") req.op = serve::Op::kMetrics;
   else if (op_str == "ping") req.op = serve::Op::kPing;
   else {
@@ -693,34 +736,64 @@ int cmd_query(const Args& args) {
   if (args.has("deadline-ms")) req.deadline = args.get_u64("deadline-ms", 0) * kNsPerMs;
   req.stall = args.get_u64("stall-ms", 0) * kNsPerMs;
 
-  const std::string host = args.get("host", "127.0.0.1");
-  const auto port = static_cast<std::uint16_t>(args.get_u64("port", 0));
-  if (port == 0) {
-    std::fprintf(stderr, "error: --port is required\n");
-    return 2;
+  return client_call(args, req);
+}
+
+int cmd_monitor(const Args& args) {
+  if (args.positionals().empty()) {
+    std::fprintf(stderr, "error: monitor expects status or alerts\n");
+    return usage();
   }
-  const std::string wire_str = args.get("wire", "json");
-  serve::Wire wire = serve::Wire::kJson;
-  if (wire_str == "binary") {
-    wire = serve::Wire::kBinary;
-  } else if (wire_str != "json") {
-    std::fprintf(stderr, "error: --wire must be json or binary\n");
-    return 2;
+  const std::string what = args.positionals()[0];
+  serve::Request req;
+  req.id = 1;
+  if (what == "status") req.op = serve::Op::kMonitorStatus;
+  else if (what == "alerts") req.op = serve::Op::kAlerts;
+  else if (what == "refresh") req.op = serve::Op::kRefresh;
+  else {
+    std::fprintf(stderr, "error: unknown monitor request '%s'\n", what.c_str());
+    return usage();
   }
-  serve::Client client(host, port, Deadline::after(5 * kNsPerSec), wire);
-  if (!client.ok()) {
-    std::fprintf(stderr, "error: cannot connect to %s:%u: %s\n", host.c_str(), port,
-                 client.connect_error().c_str());
+  return client_call(args, req);
+}
+
+int cmd_rolling(const Args& args) {
+  if (args.positionals().empty()) {
+    std::fprintf(stderr, "error: missing segment store directory\n");
+    return usage();
+  }
+  const std::string& dir = args.positionals()[0];
+  const std::string what =
+      args.positionals().size() > 1 ? args.positionals()[1] : "summary";
+  query::Plan plan = base_plan(args);
+  if (what == "timeseries") {
+    plan.aggregate = query::Aggregate::kTimeseries;
+    plan.quantum = quantum_from_args(args);
+    const std::string name = args.get("activity");
+    if (!name.empty()) {
+      const auto kind = noise::activity_from_name(name);
+      if (!kind.has_value()) {
+        std::fprintf(stderr, "error: unknown activity '%s'\n", name.c_str());
+        return 2;
+      }
+      plan.activity = *kind;
+    }
+  } else if (what == "topk") {
+    plan.aggregate = query::Aggregate::kTopK;
+    plan.k = static_cast<std::size_t>(args.get_u64("k", 5));
+  } else if (what != "summary") {
+    std::fprintf(stderr, "error: unknown rolling aggregate '%s'\n", what.c_str());
+    return usage();
+  }
+  monitor::RollingView view(dir);
+  const auto pool = decode_pool(args);
+  try {
+    const std::string doc = view.run(plan, pool.get());
+    std::fwrite(doc.data(), 1, doc.size(), stdout);
+  } catch (const query::PlanError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  const serve::Response resp = client.call(req, Deadline::after(60 * kNsPerSec));
-  if (!resp.ok) {
-    std::fprintf(stderr, "error: %s: %s\n", resp.error.c_str(), resp.message.c_str());
-    return 1;
-  }
-  // The payload is a complete JSON document — print it verbatim so output is
-  // byte-identical to the offline exporter's files.
-  std::fwrite(resp.payload.data(), 1, resp.payload.size(), stdout);
   return 0;
 }
 
@@ -819,6 +892,8 @@ int main(int argc, char** argv) {
     if (cmd == "topk") return cmd_topk(args);
     if (cmd == "export") return cmd_export(args);
     if (cmd == "query") return cmd_query(args);
+    if (cmd == "monitor") return cmd_monitor(args);
+    if (cmd == "rolling") return cmd_rolling(args);
     if (cmd == "diff") return cmd_diff(args);
     if (cmd == "scalability") return cmd_scalability(args);
   } catch (const trace::TraceReadError& e) {
